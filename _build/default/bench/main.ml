@@ -1,0 +1,776 @@
+(* Benchmark harness: regenerates every table (T1-T6) and figure (F1-F3)
+   of EXPERIMENTS.md, then runs one Bechamel timing test per experiment.
+
+   Run with:  dune exec bench/main.exe            (all experiments)
+              dune exec bench/main.exe -- T1 F2   (a subset)
+              dune exec bench/main.exe -- --no-bechamel
+*)
+
+open Datalog_ast
+module O = Alexander.Options
+module S = Alexander.Solve
+module W = Alexander.Workloads
+module E = Alexander.Equivalence
+module C = Datalog_engine.Counters
+
+let atom = Datalog_parser.Parser.atom_of_string
+
+(* ------------------------------------------------------------------ *)
+(* Table printing *)
+
+let csv_dir : string option ref = ref None
+
+let csv_name_of_title title =
+  (* "T1a: linear ancestor ..." -> "T1a" *)
+  match String.index_opt title ':' with
+  | Some i -> String.sub title 0 i
+  | None -> String.map (fun c -> if c = ' ' then '_' else c) title
+
+let write_csv ~title ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (csv_name_of_title title ^ ".csv") in
+    Out_channel.with_open_text path (fun oc ->
+        let emit row =
+          Out_channel.output_string oc (String.concat "," row);
+          Out_channel.output_char oc '\n'
+        in
+        emit header;
+        List.iter emit rows)
+
+let print_table ~title ~header rows =
+  write_csv ~title ~header rows;
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    (header :: rows);
+  let line c =
+    print_string "+";
+    Array.iter
+      (fun w ->
+        print_string (String.make (w + 2) c);
+        print_string "+")
+      widths;
+    print_newline ()
+  in
+  let print_row row =
+    print_string "|";
+    List.iteri
+      (fun i cell -> Printf.printf " %-*s |" widths.(i) cell)
+      row;
+    print_newline ()
+  in
+  Printf.printf "\n== %s ==\n" title;
+  line '-';
+  print_row header;
+  line '=';
+  List.iter print_row rows;
+  line '-'
+
+let ms t = Printf.sprintf "%.3f" (t *. 1000.0)
+let itoa = string_of_int
+
+(* ------------------------------------------------------------------ *)
+(* Shared runners *)
+
+let run_strategy ?(negation = O.Auto) strategy program query =
+  let options = { O.strategy; negation; sips = Datalog_rewrite.Sips.Left_to_right } in
+  S.run_exn ~options program query
+
+let strategy_row strategy report =
+  let c = report.S.counters in
+  [ O.strategy_name strategy;
+    itoa (List.length report.S.answers);
+    itoa c.C.facts_derived;
+    itoa c.C.firings;
+    itoa c.C.probes;
+    itoa c.C.scanned;
+    ms report.S.wall_time_s
+  ]
+
+let strategies_table title program query =
+  let rows =
+    List.map
+      (fun strategy -> strategy_row strategy (run_strategy strategy program query))
+      O.all_strategies
+  in
+  print_table ~title
+    ~header:[ "strategy"; "answers"; "facts"; "firings"; "probes"; "scanned"; "time ms" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* T1: bound ancestor queries, chain and tree *)
+
+let t1 () =
+  let chain = W.ancestor_chain 400 in
+  strategies_table
+    "T1a: linear ancestor, chain n=400, query anc(300, X) (bound-first)"
+    chain (atom "anc(300, X)");
+  let tree = W.ancestor_tree ~depth:8 ~fanout:2 in
+  strategies_table
+    "T1b: linear ancestor, complete binary tree depth 8, query anc(3, X)"
+    tree (atom "anc(3, X)");
+  print_endline
+    "Expectation: the magic family touches only the part of the relation\n\
+     reachable from the bound constant; raw naive/semi-naive saturate the\n\
+     whole ancestor relation (facts column)."
+
+(* ------------------------------------------------------------------ *)
+(* T2: same generation *)
+
+let t2 () =
+  let program = W.same_generation ~layers:8 ~width:12 in
+  strategies_table
+    "T2: same-generation, cylinder 8x12 (528 EDB facts), query sg(0, X)"
+    program (atom "sg(0, X)");
+  print_endline
+    "Expectation: as in the Bancilhon-Ramakrishnan study, magic-style\n\
+     rewriting wins by restricting sg to generations of node 0."
+
+(* ------------------------------------------------------------------ *)
+(* T3: the Seki equivalence (headline) *)
+
+let t3 () =
+  let cases =
+    [ ("anc chain n=200, anc(50,X)", W.ancestor_chain 200, "anc(50, X)");
+      ( "anc tree d=7 f=2, anc(1,X)",
+        W.ancestor_tree ~depth:7 ~fanout:2,
+        "anc(1, X)" );
+      ( "same gen 6x8, sg(0,X)",
+        W.same_generation ~layers:6 ~width:8,
+        "sg(0, X)" );
+      ( "reverse sg 5x6, rsg(0,X)",
+        W.reverse_same_generation ~layers:5 ~width:6,
+        "rsg(0, X)" );
+      ( "nonlinear tc chain n=60, tc(10,X)",
+        Program.make ~facts:(W.chain ~pred:"edge" 60) (W.tc_nonlinear_rules ()),
+        "tc(10, X)" );
+      ( "nonlinear tc cycle n=30, tc(0,X)",
+        Program.make ~facts:(W.cycle ~pred:"edge" 30) (W.tc_nonlinear_rules ()),
+        "tc(0, X)" )
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, program, q) ->
+        match E.check program (atom q) with
+        | Error msg -> [ [ name; "ERROR: " ^ msg; ""; ""; ""; ""; "" ] ]
+        | Ok outcome ->
+          List.map
+            (fun (r : E.row) ->
+              [ name;
+                Pred.name r.E.source_pred ^ "^" ^ r.E.binding;
+                itoa r.E.calls_alexander;
+                itoa r.E.calls_magic;
+                itoa r.E.answers_alexander;
+                itoa r.E.answers_magic;
+                (if r.E.calls_equal && r.E.answers_equal then "yes" else "NO")
+              ])
+            outcome.E.rows)
+      cases
+  in
+  print_table
+    ~title:
+      "T3: Seki equivalence - Alexander templates vs supplementary magic"
+    ~header:
+      [ "workload"; "pred^ad"; "AT calls"; "SM calls"; "AT answers";
+        "SM answers"; "equal" ]
+    rows;
+  print_endline
+    "Expectation (the paper's theorem): every row shows identical call and\n\
+     answer sets for the two rewritings, under the shared SIP."
+
+(* ------------------------------------------------------------------ *)
+(* T4: join work - generalized magic repeats rule prefixes, the
+   supplementary/Alexander variants materialise them once *)
+
+let t4 () =
+  let program = W.reverse_same_generation ~layers:6 ~width:8 in
+  let query = atom "rsg(0, X)" in
+  let rows =
+    List.map
+      (fun strategy ->
+        let report = run_strategy strategy program query in
+        let c = report.S.counters in
+        let rw_size =
+          match report.S.rewritten with
+          | Some rw -> itoa (Datalog_rewrite.Rewritten.num_rules rw)
+          | None -> "-"
+        in
+        [ O.strategy_name strategy;
+          rw_size;
+          itoa c.C.firings;
+          itoa c.C.probes;
+          itoa c.C.scanned;
+          itoa c.C.facts_derived;
+          ms report.S.wall_time_s
+        ])
+      [ O.Magic; O.Supplementary; O.Alexander ]
+  in
+  print_table
+    ~title:
+      "T4: join work on reverse-same-generation 6x8, query rsg(0, X)"
+    ~header:
+      [ "rewriting"; "rules"; "firings"; "probes"; "scanned"; "facts"; "time ms" ]
+    rows;
+  print_endline
+    "Expectation: the three rewritings trade recomputation for storage.\n\
+     Generalized magic stores no intermediate joins (fewest facts) but\n\
+     re-evaluates each rule prefix inside every magic rule; supplementary\n\
+     magic materialises the join state after every literal (most facts,\n\
+     fewest repeated probes); Alexander materialises it only at intensional\n\
+     subgoals and sits between the two."
+
+(* ------------------------------------------------------------------ *)
+(* T5: the magic-sets extension to stratified negation *)
+
+let t5 () =
+  let n = 60 in
+  let base_facts =
+    W.chain ~pred:"edge" n
+    @ List.concat_map
+        (fun i ->
+          [ Atom.app "pair" [ Term.int i; Term.int (n - i) ];
+            Atom.app "pair" [ Term.int i; Term.int ((i * 7) mod n) ]
+          ])
+        [ 0; 3; 5; 10; 20; 30; 41 ]
+  in
+  let rules =
+    List.map Datalog_parser.Parser.rule_of_string
+      [ "link(X, Y) :- edge(X, Y).";
+        "link(X, Y) :- edge(X, Z), link(Z, Y).";
+        "broken(X, Y) :- pair(X, Y), not link(X, Y)."
+      ]
+  in
+  let program = Program.make ~facts:base_facts rules in
+  let query = atom "broken(0, Y)" in
+  let rows =
+    List.map
+      (fun strategy ->
+        let report = run_strategy strategy program query in
+        let stratified_after =
+          match report.S.rewritten with
+          | None -> "(source)"
+          | Some rw ->
+            let full =
+              Program.make
+                ~facts:rw.Datalog_rewrite.Rewritten.seeds
+                rw.Datalog_rewrite.Rewritten.rules
+            in
+            if Datalog_analysis.Stratify.is_stratified full then "yes" else "no"
+        in
+        [ O.strategy_name strategy;
+          stratified_after;
+          report.S.evaluator;
+          itoa (List.length report.S.answers);
+          itoa report.S.counters.C.facts_derived;
+          ms report.S.wall_time_s
+        ])
+      O.all_strategies
+  in
+  print_table
+    ~title:
+      "T5: negation through the rewriting - broken(0, Y) over a 60-chain"
+    ~header:
+      [ "strategy"; "stratified?"; "evaluator"; "answers"; "facts"; "time ms" ]
+    rows;
+  print_endline
+    "T5a: top-level negation keeps the rewritten program stratified, so\n\
+     plain semi-naive still applies after the rewriting.";
+  (* T5b: negation *before* a recursive subgoal in the SIP order.  The
+     source program is stratified, but the rewriting routes the magic of
+     the recursive predicate through the negated literal, creating a
+     negative cycle: m_r depends on (not q), q on r, r on m_r.  The
+     conditional fixpoint recovers the intended answers. *)
+  let program_b =
+    Datalog_parser.Parser.program_of_string
+      "p(X) :- a(X), not q(X), r(X).\n\
+       q(X) :- b(X), r(X).\n\
+       r(X) :- c(X).\n\
+       r(X) :- d(X, Y), r(Y).\n\
+       a(1). a(2). a(3). a(4). b(2). b(4).\n\
+       c(1). c(2). c(4). d(3, 1). d(4, 2)."
+  in
+  let query_b = atom "p(X)" in
+  let rows_b =
+    List.map
+      (fun strategy ->
+        let report = run_strategy strategy program_b query_b in
+        let stratified_after =
+          match report.S.rewritten with
+          | None -> "(source)"
+          | Some rw ->
+            let full =
+              Program.make
+                ~facts:rw.Datalog_rewrite.Rewritten.seeds
+                rw.Datalog_rewrite.Rewritten.rules
+            in
+            if Datalog_analysis.Stratify.is_stratified full then "yes" else "no"
+        in
+        [ O.strategy_name strategy;
+          stratified_after;
+          report.S.evaluator;
+          itoa (List.length report.S.answers);
+          itoa report.S.counters.C.facts_derived;
+          ms report.S.wall_time_s
+        ])
+      O.all_strategies
+  in
+  print_table
+    ~title:
+      "T5b: negation BEFORE a recursive subgoal - p(X) :- a(X), not q(X), r(X)"
+    ~header:
+      [ "strategy"; "stratified?"; "evaluator"; "answers"; "facts"; "time ms" ]
+    rows_b;
+  print_endline
+    "Expectation: the source program is stratified, but every rewriting\n\
+     compromises stratification (column 2 = no) because the recursive\n\
+     subgoal's magic now depends on the negated literal; the Auto planner\n\
+     falls back to the conditional fixpoint and the answers still match\n\
+     direct stratified evaluation - the magic-sets extension result."
+
+(* ------------------------------------------------------------------ *)
+(* T6: conditional fixpoint vs well-founded on win-move *)
+
+let t6 () =
+  let rows =
+    List.map
+      (fun (nodes, edges, seed) ->
+        let program = W.win_move_random ~nodes ~edges ~seed in
+        let t0 = Unix.gettimeofday () in
+        let cond = Datalog_engine.Conditional.run program in
+        let t_cond = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        let wf = Datalog_engine.Wellfounded.run program in
+        let t_wf = Unix.gettimeofday () -. t0 in
+        let cond_true =
+          Datalog_storage.Database.cardinal
+            cond.Datalog_engine.Conditional.true_db (Pred.make "win" 1)
+        in
+        let wf_true =
+          Datalog_storage.Database.cardinal wf.Datalog_engine.Wellfounded.true_db
+            (Pred.make "win" 1)
+        in
+        let agree =
+          cond_true = wf_true
+          && List.sort Atom.compare cond.Datalog_engine.Conditional.undefined
+             = List.sort Atom.compare wf.Datalog_engine.Wellfounded.undefined
+        in
+        [ Printf.sprintf "n=%d e=%d seed=%d" nodes edges seed;
+          itoa cond_true;
+          itoa (List.length cond.Datalog_engine.Conditional.undefined);
+          ms t_cond;
+          itoa wf_true;
+          itoa (List.length wf.Datalog_engine.Wellfounded.undefined);
+          itoa wf.Datalog_engine.Wellfounded.rounds;
+          ms t_wf;
+          (if agree then "yes" else "NO")
+        ])
+      [ (30, 45, 1); (50, 100, 2); (80, 160, 3); (120, 300, 4); (200, 400, 5) ]
+  in
+  print_table
+    ~title:
+      "T6: win-move on random graphs - conditional fixpoint vs well-founded"
+    ~header:
+      [ "graph"; "cond true"; "cond undef"; "cond ms"; "wf true"; "wf undef";
+        "wf rounds"; "wf ms"; "agree" ]
+    rows;
+  print_endline
+    "Expectation: identical three-valued models; the conditional fixpoint\n\
+     pays one pass plus reduction, the alternating fixpoint pays ~rounds\n\
+     inner fixpoints."
+
+(* ------------------------------------------------------------------ *)
+(* T7: top-down tabling vs the bottom-up rewritings *)
+
+let t7 () =
+  let cases =
+    [ ("anc chain 300, anc(100,X)", W.ancestor_chain 300, "anc(100, X)");
+      ( "same gen 6x10, sg(0,X)",
+        W.same_generation ~layers:6 ~width:10,
+        "sg(0, X)" );
+      ( "nonlinear tc 50, tc(10,X)",
+        Program.make ~facts:(W.chain ~pred:"edge" 50) (W.tc_nonlinear_rules ()),
+        "tc(10, X)" )
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, program, q) ->
+        let query = atom q in
+        List.map
+          (fun strategy ->
+            let report = run_strategy strategy program query in
+            let c = report.S.counters in
+            [ name;
+              O.strategy_name strategy;
+              itoa (List.length report.S.answers);
+              itoa c.C.facts_derived;
+              itoa c.C.probes;
+              ms report.S.wall_time_s
+            ])
+          [ O.Tabled; O.Alexander; O.Supplementary_idb; O.Magic ])
+      cases
+  in
+  print_table
+    ~title:
+      "T7: top-down tabled evaluation (OLDT/QSQR) vs the bottom-up rewritings"
+    ~header:[ "workload"; "method"; "answers"; "facts"; "probes"; "time ms" ]
+    rows;
+  (* and the exact structural correspondence on one workload *)
+  let program = W.ancestor_chain 100 in
+  let query = atom "anc(30, X)" in
+  let tab = Datalog_engine.Tabled.run_exn program query in
+  let at = run_strategy O.Alexander program query in
+  let anc = Pred.make "anc" 2 in
+  Printf.printf
+    "correspondence on anc chain 100: tabled calls(anc^bf)=%d vs \
+     |call_anc__bf|=%d; tabled answers=%d vs |ans_anc__bf|=%d\n"
+    (Datalog_engine.Tabled.calls_for tab anc "bf")
+    (Datalog_storage.Database.cardinal at.S.db (Pred.make "call_anc__bf" 1))
+    (Datalog_engine.Tabled.answers_for tab anc "bf")
+    (Datalog_storage.Database.cardinal at.S.db (Pred.make "ans_anc__bf" 2));
+  print_endline
+    "Expectation: the tabled calls and table contents coincide exactly with\n\
+     the Alexander call/ans relations (same left-to-right selection); the\n\
+     methods derive the same fact counts up to the continuation tuples the\n\
+     bottom-up rewriting materialises.  With the agenda-based (consumer\n\
+     wake-up) scheduler the tabled engine also probes far less: it never\n\
+     re-joins a rule whose input tables did not grow."
+
+(* ------------------------------------------------------------------ *)
+(* F1: scaling on chain transitive closure *)
+
+let f1 () =
+  let sizes = [ 50; 100; 200; 400; 800 ] in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let program = W.ancestor_chain n in
+        let query = atom (Printf.sprintf "anc(%d, X)" (3 * n / 4)) in
+        List.map
+          (fun strategy ->
+            let report = run_strategy strategy program query in
+            [ itoa n;
+              O.strategy_name strategy;
+              itoa (List.length report.S.answers);
+              itoa report.S.counters.C.facts_derived;
+              ms report.S.wall_time_s
+            ])
+          [ O.Seminaive; O.Magic; O.Supplementary; O.Alexander ])
+      sizes
+  in
+  print_table
+    ~title:
+      "F1: scaling series - chain TC, query anc(3n/4, X), n in {50..800}"
+    ~header:[ "n"; "strategy"; "answers"; "facts"; "time ms" ]
+    rows;
+  print_endline
+    "Expectation: raw semi-naive grows with the full closure (O(n^2) facts)\n\
+     regardless of the query; the rewritings grow only with the reachable\n\
+     suffix (O(n) here), so the gap widens with n."
+
+(* ------------------------------------------------------------------ *)
+(* F2: selectivity crossover on random graphs *)
+
+let f2 () =
+  let nodes = 150 in
+  let rows =
+    List.map
+      (fun factor ->
+        let edges = int_of_float (float_of_int nodes *. factor) in
+        let program =
+          Program.make
+            ~facts:(W.random_graph ~pred:"edge" ~nodes ~edges ~seed:7)
+            (W.ancestor_rules ())
+        in
+        let query = atom "anc(0, X)" in
+        let semi = run_strategy O.Seminaive program query in
+        let magic = run_strategy O.Alexander program query in
+        let reach = List.length magic.S.answers in
+        [ Printf.sprintf "%.1f" factor;
+          itoa edges;
+          itoa reach;
+          itoa semi.S.counters.C.facts_derived;
+          itoa magic.S.counters.C.facts_derived;
+          Printf.sprintf "%.2f"
+            (float_of_int semi.S.counters.C.facts_derived
+            /. float_of_int (max 1 magic.S.counters.C.facts_derived))
+        ])
+      [ 0.5; 1.0; 1.5; 2.0; 3.0; 4.0 ]
+  in
+  print_table
+    ~title:
+      "F2: selectivity sweep - anc(0, X) on random graphs, 150 nodes"
+    ~header:
+      [ "e/n"; "edges"; "reachable"; "semi facts"; "alexander facts"; "ratio" ]
+    rows;
+  print_endline
+    "Expectation: sparse graphs leave node 0 a small reachable set (big\n\
+     ratio); past the percolation threshold almost everything is reachable\n\
+     and the ratio falls toward ~1 - the crossover where rewriting stops\n\
+     paying."
+
+(* ------------------------------------------------------------------ *)
+(* F3: size of the rewritten program *)
+
+let f3 () =
+  let make_chain_rule_program k =
+    (* p(X0, Xk) :- e(X0, X1), q1(X1, X2), ..., q(k-1)(X(k-1), Xk); each
+       qi is intensional with one EDB rule, so the main rule has k body
+       literals of which k-1 are intensional subgoals *)
+    let body =
+      List.init k (fun i ->
+          let pred = if i = 0 then "e" else Printf.sprintf "q%d" i in
+          Literal.pos
+            (Atom.app pred
+               [ Term.var (Printf.sprintf "X%d" i);
+                 Term.var (Printf.sprintf "X%d" (i + 1))
+               ]))
+    in
+    let main =
+      Rule.make
+        (Atom.app "p" [ Term.var "X0"; Term.var (Printf.sprintf "X%d" k) ])
+        body
+    in
+    let helpers =
+      List.init (max 0 (k - 1)) (fun i ->
+          Datalog_parser.Parser.rule_of_string
+            (Printf.sprintf "q%d(X, Y) :- e(X, Y)." (i + 1)))
+    in
+    Program.make ~facts:(W.chain ~pred:"e" 3) (main :: helpers)
+  in
+  let rows =
+    List.concat_map
+      (fun k ->
+        let program = make_chain_rule_program k in
+        let query = atom "p(0, X)" in
+        let adorned = Datalog_rewrite.Adorn.adorn program query in
+        List.map
+          (fun (name, transform) ->
+            let rw = transform adorned in
+            [ itoa k;
+              name;
+              itoa (Datalog_rewrite.Rewritten.num_rules rw);
+              itoa (Datalog_rewrite.Rewritten.num_preds rw)
+            ])
+          [ ("magic", Datalog_rewrite.Magic.transform);
+            ("supplementary", Datalog_rewrite.Supplementary.transform);
+            ("alexander", Datalog_rewrite.Alexander_templates.transform)
+          ])
+      [ 1; 2; 3; 4; 6; 8 ]
+  in
+  print_table
+    ~title:
+      "F3: rewriting blow-up - one k-literal rule plus helper predicates"
+    ~header:[ "k"; "rewriting"; "rules"; "preds" ]
+    rows;
+  print_endline
+    "Expectation: supplementary magic adds ~k auxiliary predicates per rule\n\
+     (it cuts at every literal); Alexander adds one per intensional subgoal\n\
+     only; generalized magic adds none but its magic-rule bodies repeat\n\
+     prefixes (cost shows in T4, not here)."
+
+(* ------------------------------------------------------------------ *)
+(* F4: the cost of domain predicates (what cdi avoids) *)
+
+let f4 () =
+  let rows =
+    List.concat_map
+      (fun n ->
+        let program = W.ancestor_chain n in
+        let query = atom (Printf.sprintf "anc(%d, X)" (n / 2)) in
+        let plain = run_strategy O.Seminaive program query in
+        let guarded_program = Alexander.Preprocess.add_domain_guards program in
+        let guarded = run_strategy O.Seminaive guarded_program query in
+        let row tag (r : S.report) =
+          [ itoa n;
+            tag;
+            itoa (List.length r.S.answers);
+            itoa r.S.counters.C.facts_derived;
+            itoa r.S.counters.C.scanned;
+            ms r.S.wall_time_s
+          ]
+        in
+        [ row "cdi (no dom)" plain; row "dom-guarded" guarded ])
+      [ 10; 20; 40 ]
+  in
+  print_table
+    ~title:
+      "F4: evaluating with explicit domain guards vs the cdi discipline\n\
+       (chain TC, every rule variable guarded by dom(X))"
+    ~header:[ "n"; "evaluation"; "answers"; "facts"; "scanned"; "time ms" ]
+    rows;
+  print_endline
+    "Expectation: the domain-guarded program derives the same answers but\n\
+     pays for materialising dom/1 and for joining every rule through it -\n\
+     the overhead the constructive-domain-independence result eliminates\n\
+     by restricting queries to ranged (ordered) formulas."
+
+(* ------------------------------------------------------------------ *)
+(* T8: sideways-information-passing ablation - LTR vs greedy *)
+
+let t8 () =
+  (* a rule whose textual order is bad for the bound query: the greedy
+     SIP starts from the literal sharing the bound variable *)
+  let program =
+    Program.make
+      ~facts:
+        (W.chain ~pred:"e" 120
+        @ W.random_graph ~pred:"f" ~nodes:120 ~edges:240 ~seed:3)
+      [ Datalog_parser.Parser.rule_of_string "p(X, Y) :- f(W, Y), e(X, Z), f(Z, W).";
+        Datalog_parser.Parser.rule_of_string "q(X, Y) :- p(X, Y).";
+        Datalog_parser.Parser.rule_of_string "q(X, Y) :- p(X, Z), q(Z, Y)."
+      ]
+  in
+  let query = atom "q(5, Y)" in
+  let rows =
+    List.concat_map
+      (fun (sips_name, sips) ->
+        List.map
+          (fun strategy ->
+            let options = { O.strategy; negation = O.Auto; sips } in
+            let report = S.run_exn ~options program query in
+            let c = report.S.counters in
+            [ sips_name;
+              O.strategy_name strategy;
+              itoa (List.length report.S.answers);
+              itoa c.C.facts_derived;
+              itoa c.C.scanned;
+              ms report.S.wall_time_s
+            ])
+          [ O.Magic; O.Alexander ])
+      [ ("ltr", Datalog_rewrite.Sips.Left_to_right);
+        ("greedy", Datalog_rewrite.Sips.Greedy_bound)
+      ]
+  in
+  print_table
+    ~title:"T8: SIP ablation - left-to-right vs greedy body ordering"
+    ~header:[ "sip"; "rewriting"; "answers"; "facts"; "scanned"; "time ms" ]
+    rows;
+  print_endline
+    "Expectation: answers are identical under any SIP (and the Seki\n\
+     equivalence holds per SIP - tested); work differs because the greedy\n\
+     order joins through the bound variable first instead of starting\n\
+     from an unconstrained literal."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: one timing test per experiment, all in one executable *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let t strategy program query () =
+    ignore (run_strategy strategy program (atom query))
+  in
+  let anc = W.ancestor_chain 120 in
+  let sg = W.same_generation ~layers:5 ~width:6 in
+  let rsg = W.reverse_same_generation ~layers:4 ~width:5 in
+  let t5_prog =
+    Datalog_parser.Parser.program_of_string
+      "link(X, Y) :- edge(X, Y). link(X, Y) :- edge(X, Z), link(Z, Y).\n\
+       broken(X, Y) :- pair(X, Y), not link(X, Y).\n\
+       edge(0,1). edge(1,2). edge(2,3). edge(3,4). edge(4,5).\n\
+       pair(0,5). pair(0,9). pair(2,4)."
+  in
+  let wm = W.win_move_random ~nodes:40 ~edges:80 ~seed:11 in
+  [ Test.make ~name:"T1/anc-chain-magic" (Staged.stage (t O.Magic anc "anc(90, X)"));
+    Test.make ~name:"T2/sg-alexander" (Staged.stage (t O.Alexander sg "sg(0, X)"));
+    Test.make ~name:"T3/equivalence-check"
+      (Staged.stage (fun () -> ignore (E.check anc (atom "anc(90, X)"))));
+    Test.make ~name:"T4/rsg-supplementary"
+      (Staged.stage (t O.Supplementary rsg "rsg(0, X)"));
+    Test.make ~name:"T5/negation-magic"
+      (Staged.stage (t O.Magic t5_prog "broken(0, Y)"));
+    Test.make ~name:"T6/winmove-wellfounded"
+      (Staged.stage (fun () -> ignore (Datalog_engine.Wellfounded.run wm)));
+    Test.make ~name:"T7/anc-chain-tabled"
+      (Staged.stage (t O.Tabled anc "anc(90, X)"));
+    Test.make ~name:"F1/anc-chain-seminaive"
+      (Staged.stage (t O.Seminaive anc "anc(90, X)"));
+    Test.make ~name:"F2/random-graph-alexander"
+      (Staged.stage
+         (t O.Alexander
+            (Program.make
+               ~facts:(W.random_graph ~pred:"edge" ~nodes:80 ~edges:120 ~seed:7)
+               (W.ancestor_rules ()))
+            "anc(0, X)"));
+    Test.make ~name:"T8/greedy-sip"
+      (Staged.stage (fun () ->
+           (* [open Bechamel] shadows the S alias *)
+           ignore
+             (Alexander.Solve.run_exn
+                ~options:
+                  { O.strategy = O.Alexander;
+                    negation = O.Auto;
+                    sips = Datalog_rewrite.Sips.Greedy_bound
+                  }
+                sg (atom "sg(0, X)"))));
+    Test.make ~name:"F4/dom-guarded"
+      (Staged.stage (fun () ->
+           ignore
+             (run_strategy O.Seminaive
+                (Alexander.Preprocess.add_domain_guards (W.ancestor_chain 30))
+                (atom "anc(15, X)"))));
+    Test.make ~name:"F3/rewrite-only"
+      (Staged.stage (fun () ->
+           ignore
+             (Datalog_rewrite.Supplementary.transform
+                (Datalog_rewrite.Adorn.adorn sg (atom "sg(0, X)")))))
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "\n== Bechamel timings (ns per run, OLS estimate) ==";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) () in
+  let grouped = Test.make_grouped ~name:"alexander" (bechamel_tests ()) in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Instance.monotonic_clock raw
+  in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt results name with
+      | Some ols -> (
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> Printf.printf "  %-40s %14.0f ns/run\n" name est
+        | Some [] | None -> Printf.printf "  %-40s (no estimate)\n" name)
+      | None -> ())
+    (List.sort String.compare names)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5); ("T6", t6);
+    ("T7", t7); ("T8", t8); ("F1", f1); ("F2", f2); ("F3", f3); ("F4", f4)
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let no_bechamel = List.mem "--no-bechamel" args in
+  let rec extract_csv acc = function
+    | [] -> List.rev acc
+    | "--csv" :: dir :: rest ->
+      csv_dir := Some dir;
+      extract_csv acc rest
+    | a :: rest -> extract_csv (a :: acc) rest
+  in
+  let args = extract_csv [] args in
+  let selected = List.filter (fun a -> a <> "--no-bechamel") args in
+  let to_run =
+    match selected with
+    | [] -> experiments
+    | names -> List.filter (fun (name, _) -> List.mem name names) experiments
+  in
+  Printf.printf
+    "Alexander templates benchmark harness - regenerating %d experiments\n"
+    (List.length to_run);
+  List.iter (fun (_, f) -> f ()) to_run;
+  if (not no_bechamel) && selected = [] then run_bechamel ()

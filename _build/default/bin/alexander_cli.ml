@@ -1,0 +1,442 @@
+(* alexander_cli: evaluate Datalog programs from the command line.
+
+   Usage examples:
+     alexander_cli run examples.dl                       # run its ?- queries
+     alexander_cli run examples.dl -q 'anc(0, X)'        # explicit query
+     alexander_cli run examples.dl -q '...' -s magic --stats
+     alexander_cli analyze examples.dl                   # stratification etc.
+     alexander_cli rewrite examples.dl -q '...' -s alexander   # show rules
+     alexander_cli equiv examples.dl -q '...'            # Seki check
+*)
+
+open Datalog_ast
+open Cmdliner
+module O = Alexander.Options
+module S = Alexander.Solve
+
+let read_program path =
+  match Datalog_parser.Parser.parse_file path with
+  | Ok parsed -> Ok parsed
+  | Error msg -> Error msg
+
+let strategy_conv =
+  let parse s =
+    match O.strategy_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (O.strategy_name s))
+
+let negation_conv =
+  let parse s =
+    match O.negation_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown negation mode %S" s))
+  in
+  Arg.conv (parse, fun ppf n -> Format.pp_print_string ppf (O.negation_name n))
+
+let sips_conv =
+  let parse s =
+    match Datalog_rewrite.Sips.strategy_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown SIP strategy %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf s ->
+        Format.pp_print_string ppf (Datalog_rewrite.Sips.strategy_name s) )
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Datalog program (.dl)")
+
+let query_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"GOAL" ~doc:"Query goal, e.g. 'anc(0, X)'")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv O.default.O.strategy
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "naive | seminaive | magic | supplementary | supplementary-idb | \
+           alexander | tabled")
+
+let negation_arg =
+  Arg.(
+    value
+    & opt negation_conv O.default.O.negation
+    & info [ "negation" ] ~docv:"MODE"
+        ~doc:"auto | stratified | conditional | wellfounded")
+
+let sips_arg =
+  Arg.(
+    value
+    & opt sips_conv O.default.O.sips
+    & info [ "sips" ] ~docv:"SIP" ~doc:"ltr | greedy")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print evaluation statistics")
+
+let data_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "data" ] ~docv:"DIR"
+        ~doc:"Directory of .csv/.tsv files loaded as extensional facts")
+
+let with_data data program =
+  match data with
+  | None -> Ok program
+  | Some dir ->
+    Result.map
+      (fun atoms ->
+        Datalog_ast.Program.make
+          ~facts:(Datalog_ast.Program.facts program @ atoms)
+          (Datalog_ast.Program.rules program))
+      (Datalog_storage.Io.load_directory dir)
+
+let parse_query q =
+  match Datalog_parser.Parser.atom_of_string q with
+  | atom -> Ok atom
+  | exception Datalog_parser.Parser.Parse_error (msg, pos) ->
+    Error
+      (Printf.sprintf "bad query at column %d: %s" pos.Datalog_parser.Lexer.col
+         msg)
+
+let print_report query report ~stats =
+  let open S in
+  (match report.answers with
+  | [] -> print_endline "no."
+  | answers ->
+    List.iter
+      (fun t ->
+        Format.printf "%a@." Atom.pp (Atom.of_tuple (Atom.pred query) t))
+      answers);
+  List.iter
+    (fun a -> Format.printf "undefined: %a@." Atom.pp a)
+    report.undefined;
+  if stats then begin
+    Format.printf "%% strategy:  %s@." (O.strategy_name report.options.O.strategy);
+    Format.printf "%% evaluator: %s@." report.evaluator;
+    Format.printf "%% answers:   %d@." (List.length report.answers);
+    Format.printf "%% counters:  %a@." Datalog_engine.Counters.pp report.counters;
+    (match report.rewritten with
+    | Some rw ->
+      Format.printf "%% rewritten: %d rules, %d predicates@."
+        (Datalog_rewrite.Rewritten.num_rules rw)
+        (Datalog_rewrite.Rewritten.num_preds rw)
+    | None -> ());
+    Format.printf "%% wall time: %.6f s@." report.wall_time_s
+  end
+
+let run_cmd =
+  let action file query strategy negation sips stats data =
+    match
+      Result.bind (read_program file) (fun parsed ->
+          Result.map (fun p -> (parsed, p))
+            (with_data data parsed.Datalog_parser.Parser.program))
+    with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok (parsed, program) ->
+      let queries =
+        match query with
+        | Some q -> (
+          match parse_query q with
+          | Ok atom -> Ok [ atom ]
+          | Error e -> Error e)
+        | None -> (
+          match parsed.Datalog_parser.Parser.queries with
+          | [] -> Error "no query: none in the file, none on the command line"
+          | qs -> Ok qs)
+      in
+      (match queries with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok queries ->
+        let options = { O.strategy; negation; sips } in
+        List.fold_left
+          (fun code query ->
+            Format.printf "?- %a.@." Atom.pp query;
+            match S.run ~options program query with
+            | Ok report ->
+              print_report query report ~stats;
+              code
+            | Error msg ->
+              prerr_endline msg;
+              1)
+          0 queries)
+  in
+  let term =
+    Term.(
+      const action $ file_arg $ query_arg $ strategy_arg $ negation_arg
+      $ sips_arg $ stats_arg $ data_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Evaluate queries against a program") term
+
+let dot_arg =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit the dependency graph as Graphviz")
+
+let analyze_cmd =
+  let action file dot =
+    match read_program file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok parsed ->
+      let program = parsed.Datalog_parser.Parser.program in
+      let module An = Datalog_analysis in
+      if dot then begin
+        Format.printf "%a" An.Depgraph.pp_dot (An.Depgraph.make program);
+        exit 0
+      end;
+      Format.printf "rules: %d, facts: %d@." (Program.num_rules program)
+        (Program.num_facts program);
+      Format.printf "idb: %a@."
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Pred.pp)
+        (Pred.Set.elements (Program.idb program));
+      Format.printf "edb: %a@."
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Pred.pp)
+        (Pred.Set.elements (Program.edb program));
+      (match An.Safety.check_program program with
+      | Ok () -> Format.printf "safety: all rules range-restricted@."
+      | Error errs ->
+        List.iter (fun e -> Format.printf "safety: %s@." e) errs);
+      (match An.Stratify.stratification program with
+      | Some strata ->
+        Format.printf "stratified: yes (%d strata)@."
+          (Array.length strata.An.Stratify.groups)
+      | None ->
+        Format.printf "stratified: no@.";
+        (match An.Loose.check program with
+        | An.Loose.Loose -> Format.printf "loosely stratified: yes@."
+        | An.Loose.Not_loose trace ->
+          Format.printf "loosely stratified: no@.";
+          List.iter (fun s -> Format.printf "  %s@." s) trace
+        | An.Loose.Inconclusive ->
+          Format.printf "loosely stratified: inconclusive@.");
+        (match An.Stratify.locally_stratified_ground ~prune_edb:true program with
+        | An.Stratify.Locally_stratified ->
+          Format.printf "locally stratified (EDB-aware): yes@."
+        | An.Stratify.Not_locally_stratified _ ->
+          Format.printf "locally stratified (EDB-aware): no@."
+        | An.Stratify.Ground_too_large ->
+          Format.printf "locally stratified (EDB-aware): instantiation too large@."));
+      0
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Report safety and stratification analyses")
+    Term.(const action $ file_arg $ dot_arg)
+
+let rewrite_cmd =
+  let action file query strategy sips =
+    match read_program file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok parsed -> (
+      match Option.to_result ~none:"missing --query" query with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok q -> (
+        match parse_query q with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok query ->
+          let program =
+            Alexander.Preprocess.split_idb_facts
+              parsed.Datalog_parser.Parser.program
+          in
+          let adorned = Datalog_rewrite.Adorn.adorn ~strategy:sips program query in
+          let rw =
+            match strategy with
+            | O.Magic -> Datalog_rewrite.Magic.transform adorned
+            | O.Supplementary -> Datalog_rewrite.Supplementary.transform adorned
+            | O.Supplementary_idb ->
+              Datalog_rewrite.Supplementary_idb.transform adorned
+            | O.Alexander | O.Naive | O.Seminaive | O.Tabled ->
+              Datalog_rewrite.Alexander_templates.transform adorned
+          in
+          Format.printf "%a" Datalog_rewrite.Rewritten.pp rw;
+          0))
+  in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc:"Print the rewritten program for a query")
+    Term.(const action $ file_arg $ query_arg $ strategy_arg $ sips_arg)
+
+let equiv_cmd =
+  let action file query sips =
+    match read_program file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok parsed -> (
+      match Option.to_result ~none:"missing --query" query with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok q -> (
+        match parse_query q with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok query -> (
+          match
+            Alexander.Equivalence.check ~sips
+              parsed.Datalog_parser.Parser.program query
+          with
+          | Ok outcome ->
+            Format.printf "%a" Alexander.Equivalence.pp_outcome outcome;
+            if outcome.Alexander.Equivalence.equivalent then 0 else 1
+          | Error msg ->
+            prerr_endline msg;
+            1)))
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:"Check the Alexander/supplementary-magic equivalence on a query")
+    Term.(const action $ file_arg $ query_arg $ sips_arg)
+
+let explain_cmd =
+  let action file query =
+    match read_program file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok parsed -> (
+      match Option.to_result ~none:"missing --query (a ground atom)" query with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok q -> (
+        match parse_query q with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok goal ->
+          if not (Datalog_ast.Atom.is_ground goal) then begin
+            prerr_endline "explain needs a ground goal, e.g. 'anc(ann, cal)'";
+            1
+          end
+          else
+            let program = parsed.Datalog_parser.Parser.program in
+            (match Datalog_engine.Provenance.explain program goal with
+            | Some proof ->
+              Format.printf "%a@." Datalog_engine.Provenance.pp proof;
+              Format.printf "%% proof height %d, %d nodes@."
+                (Datalog_engine.Provenance.depth proof)
+                (Datalog_engine.Provenance.size proof);
+              0
+            | None ->
+              Format.printf "%a is not derivable.@." Atom.pp goal;
+              1)))
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Print a derivation tree for a ground goal")
+    Term.(const action $ file_arg $ query_arg)
+
+let repl_cmd =
+  let action file strategy negation sips stats =
+    let program =
+      match file with
+      | None -> Ok Datalog_ast.Program.empty
+      | Some path ->
+        Result.map (fun p -> p.Datalog_parser.Parser.program) (read_program path)
+    in
+    match program with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok program ->
+      let program = ref program in
+      let options = ref { O.strategy; negation; sips } in
+      let stats = ref stats in
+      print_endline
+        "alexander repl - enter clauses to assert, '?- goal.' to query,";
+      print_endline ":strategy NAME | :negation MODE | :stats | :program | :quit";
+      let rec loop () =
+        print_string "> ";
+        match In_channel.input_line stdin with
+        | None -> 0
+        | Some line -> dispatch (String.trim line)
+      and dispatch line =
+        if line = "" then loop ()
+        else if String.length line > 0 && line.[0] = ':' then command line
+        else
+          match Datalog_parser.Parser.parse_string_exn line with
+          | parsed ->
+            let queries = parsed.Datalog_parser.Parser.queries in
+            let additions = parsed.Datalog_parser.Parser.program in
+            if
+              Datalog_ast.Program.num_rules additions > 0
+              || Datalog_ast.Program.num_facts additions > 0
+            then begin
+              program := Datalog_ast.Program.union !program additions;
+              Printf.printf "asserted %d clause(s).\n"
+                (Datalog_ast.Program.num_rules additions
+                + Datalog_ast.Program.num_facts additions)
+            end;
+            List.iter
+              (fun query ->
+                match S.run ~options:!options !program query with
+                | Ok report -> print_report query report ~stats:!stats
+                | Error msg -> prerr_endline msg)
+              queries;
+            loop ()
+          | exception Datalog_parser.Parser.Parse_error (msg, pos) ->
+            Printf.printf "parse error at column %d: %s\n"
+              pos.Datalog_parser.Lexer.col msg;
+            loop ()
+      and command line =
+        let parts =
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        in
+        (match parts with
+        | [ ":quit" ] | [ ":q" ] -> exit 0
+        | [ ":stats" ] ->
+          stats := not !stats;
+          Printf.printf "stats %s\n" (if !stats then "on" else "off")
+        | [ ":program" ] -> Format.printf "%a@." Datalog_ast.Program.pp !program
+        | [ ":strategy"; name ] -> (
+          match O.strategy_of_string name with
+          | Some s ->
+            options := { !options with O.strategy = s };
+            Printf.printf "strategy = %s\n" (O.strategy_name s)
+          | None -> Printf.printf "unknown strategy %S\n" name)
+        | [ ":negation"; name ] -> (
+          match O.negation_of_string name with
+          | Some n ->
+            options := { !options with O.negation = n };
+            Printf.printf "negation = %s\n" (O.negation_name n)
+          | None -> Printf.printf "unknown negation mode %S\n" name)
+        | _ -> print_endline "unknown command");
+        loop ()
+      in
+      loop ()
+  in
+  let optional_file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Initial program to load")
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive session")
+    Term.(
+      const action $ optional_file $ strategy_arg $ negation_arg $ sips_arg
+      $ stats_arg)
+
+let () =
+  let doc = "Alexander templates deductive database engine" in
+  let info = Cmd.info "alexander_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ run_cmd; analyze_cmd; rewrite_cmd; equiv_cmd; explain_cmd; repl_cmd ]))

@@ -1,0 +1,1 @@
+examples/audit.ml: Alexander Array Atom Datalog_ast Datalog_engine Datalog_parser Format List String Value

@@ -1,0 +1,1 @@
+examples/bill_of_materials.ml: Alexander Atom Datalog_ast Datalog_engine Datalog_parser Format List

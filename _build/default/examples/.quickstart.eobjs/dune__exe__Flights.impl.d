@@ -1,0 +1,1 @@
+examples/flights.ml: Alexander Atom Datalog_ast Datalog_engine Datalog_parser Format List

@@ -1,0 +1,1 @@
+examples/live_updates.ml: Alexander Atom Database Datalog_ast Datalog_engine Datalog_parser Datalog_storage Filename Format Io List Pred Program Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alexander Atom Datalog_ast Datalog_engine Datalog_parser Datalog_rewrite Format List

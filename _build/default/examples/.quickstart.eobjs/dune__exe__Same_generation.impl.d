@@ -1,0 +1,1 @@
+examples/same_generation.ml: Alexander Atom Datalog_ast Datalog_engine Datalog_parser Format List Program

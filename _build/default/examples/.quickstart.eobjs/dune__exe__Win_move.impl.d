@@ -1,0 +1,1 @@
+examples/win_move.ml: Alexander Array Atom Datalog_analysis Datalog_ast Datalog_parser Format List Program Term Value

@@ -1,0 +1,41 @@
+(* Same-generation: the classic "bench wars" workload.  Two nodes are in
+   the same generation when they sit at the same depth of an up/down
+   hierarchy.  This example runs the bound-first query under every
+   strategy and prints what each one paid for the same answers.
+
+   Run with:  dune exec examples/same_generation.exe *)
+
+open Datalog_ast
+module O = Alexander.Options
+module S = Alexander.Solve
+
+let () =
+  let layers = 6 and width = 8 in
+  let program = Alexander.Workloads.same_generation ~layers ~width in
+  let query = Datalog_parser.Parser.atom_of_string "sg(0, X)" in
+
+  Format.printf
+    "same-generation cylinder: %d layers x %d columns (%d EDB facts)@."
+    layers width
+    (Program.num_facts program);
+  Format.printf "?- %a.@.@." Atom.pp query;
+
+  Format.printf "%-14s %10s %10s %10s %10s %12s@." "strategy" "answers"
+    "facts" "firings" "probes" "time (ms)";
+  List.iter
+    (fun strategy ->
+      let options = { O.default with O.strategy } in
+      let report = S.run_exn ~options program query in
+      let c = report.S.counters in
+      Format.printf "%-14s %10d %10d %10d %10d %12.3f@."
+        (O.strategy_name strategy)
+        (List.length report.S.answers)
+        c.Datalog_engine.Counters.facts_derived
+        c.Datalog_engine.Counters.firings c.Datalog_engine.Counters.probes
+        (report.S.wall_time_s *. 1000.0))
+    O.all_strategies;
+
+  Format.printf
+    "@.The magic-family strategies only explore generations reachable from \
+     node 0,@.so they derive far fewer facts than raw bottom-up evaluation \
+     on selective queries.@."

@@ -1,0 +1,80 @@
+(* The win-move game: a position is winning when some move leads the
+   opponent into a losing position.  On cyclic move graphs the program is
+   not stratified; the well-founded semantics three-values it into
+   won / lost / drawn positions, and the conditional fixpoint procedure
+   computes the same answer with delayed negations.
+
+   Run with:  dune exec examples/win_move.exe *)
+
+open Datalog_ast
+module O = Alexander.Options
+module S = Alexander.Solve
+
+let program_text =
+  "win(X) :- move(X, Y), not win(Y).\n\
+   % a small game board with a cycle (g <-> h) and dead ends\n\
+   move(a, b). move(b, c). move(c, d).\n\
+   move(a, e). move(e, f).\n\
+   move(g, h). move(h, g).\n\
+   move(f, g).\n"
+
+let () =
+  let program = Datalog_parser.Parser.program_of_string program_text in
+  let query = Datalog_parser.Parser.atom_of_string "win(X)" in
+
+  Format.printf "Game graph:@.%s@." program_text;
+
+  (* Analyses first: the program is not stratified, not even loosely. *)
+  Format.printf "stratified: %b@."
+    (Datalog_analysis.Stratify.is_stratified program);
+  (match Datalog_analysis.Loose.check program with
+  | Datalog_analysis.Loose.Not_loose _ ->
+    Format.printf "loosely stratified: no (win depends negatively on itself)@."
+  | _ -> Format.printf "loosely stratified: unexpectedly yes?@.");
+
+  (* Well-founded evaluation: three-valued answer. *)
+  let wf =
+    S.run_exn
+      ~options:{ O.default with O.strategy = O.Seminaive; negation = O.Well_founded }
+      program query
+  in
+  Format.printf "@.well-founded semantics:@.";
+  List.iter
+    (fun t -> Format.printf "  won:   %a@." Value.pp t.(0))
+    wf.S.answers;
+  List.iter
+    (fun a -> Format.printf "  drawn: %a@." Term.pp (Atom.args a).(0))
+    wf.S.undefined;
+
+  (* Conditional fixpoint: same model, computed by delaying negations and
+     then reducing the conditional statements. *)
+  let cond =
+    S.run_exn
+      ~options:{ O.default with O.strategy = O.Seminaive; negation = O.Conditional }
+      program query
+  in
+  Format.printf "@.conditional fixpoint agrees: %b@."
+    (cond.S.answers = wf.S.answers
+    && List.length cond.S.undefined = List.length wf.S.undefined);
+
+  (* All positions that are neither won nor drawn are lost. *)
+  let mentioned =
+    List.sort_uniq Value.compare
+      (List.concat_map
+         (fun a -> Array.to_list (Atom.to_tuple a))
+         (Program.facts program))
+  in
+  let won = List.map (fun t -> t.(0)) wf.S.answers in
+  let drawn =
+    List.map (fun a -> (Atom.to_tuple a).(0)) wf.S.undefined
+  in
+  let lost =
+    List.filter
+      (fun v ->
+        (not (List.exists (Value.equal v) won))
+        && not (List.exists (Value.equal v) drawn))
+      mentioned
+  in
+  Format.printf "@.lost positions: %a@."
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Value.pp)
+    lost

@@ -1,0 +1,1 @@
+lib/analysis/depgraph.ml: Atom Datalog_ast Format List Literal Option Pred Program Rule

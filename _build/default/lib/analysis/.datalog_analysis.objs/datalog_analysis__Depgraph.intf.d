@@ -1,0 +1,1 @@
+lib/analysis/depgraph.mli: Datalog_ast Format Pred Program

@@ -1,0 +1,1 @@
+lib/analysis/loose.ml: Atom Datalog_ast Depgraph Format List Literal Pred Printf Program Rule Subst Unify

@@ -1,0 +1,1 @@
+lib/analysis/loose.mli: Datalog_ast Program

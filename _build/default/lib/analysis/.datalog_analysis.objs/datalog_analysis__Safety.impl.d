@@ -1,0 +1,1 @@
+lib/analysis/safety.ml: Atom Datalog_ast Format List Literal Program Result Rule Set String Term

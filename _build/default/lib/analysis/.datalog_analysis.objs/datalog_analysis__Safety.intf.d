@@ -1,0 +1,1 @@
+lib/analysis/safety.mli: Datalog_ast Program Rule

@@ -1,0 +1,1 @@
+lib/analysis/stratify.ml: Array Atom Datalog_ast Depgraph List Literal Option Pred Program Rule Subst Term Value

@@ -1,0 +1,1 @@
+lib/analysis/stratify.mli: Atom Datalog_ast Pred Program Rule Value

@@ -1,0 +1,137 @@
+open Datalog_ast
+
+type sign = Positive | Negative
+
+type t = {
+  vertices : Pred.Set.t;
+  edges : (Pred.t * sign) list Pred.Map.t;  (* p -> outgoing *)
+}
+
+let make program =
+  let add_edge p q sign edges =
+    let existing = Option.value ~default:[] (Pred.Map.find_opt p edges) in
+    if List.exists (fun (q', s') -> Pred.equal q q' && s' = sign) existing then
+      edges
+    else Pred.Map.add p ((q, sign) :: existing) edges
+  in
+  let vertices = Program.preds program in
+  let edges =
+    List.fold_left
+      (fun edges rule ->
+        let p = Atom.pred (Rule.head rule) in
+        List.fold_left
+          (fun edges lit ->
+            match lit with
+            | Literal.Pos a -> add_edge p (Atom.pred a) Positive edges
+            | Literal.Neg a -> add_edge p (Atom.pred a) Negative edges
+            | Literal.Cmp _ -> edges)
+          edges (Rule.body rule))
+      Pred.Map.empty (Program.rules program)
+  in
+  { vertices; edges }
+
+let preds g = Pred.Set.elements g.vertices
+
+let successors g p =
+  Option.value ~default:[] (Pred.Map.find_opt p g.edges)
+
+let depends_on g p q =
+  let visited = Pred.Tbl.create 16 in
+  let rec go p =
+    if Pred.equal p q then true
+    else if Pred.Tbl.mem visited p then false
+    else begin
+      Pred.Tbl.add visited p ();
+      List.exists (fun (succ, _) -> go succ) (successors g p)
+    end
+  in
+  go p
+
+(* Tarjan's strongly connected components. *)
+let sccs g =
+  let index = Pred.Tbl.create 16 in
+  let lowlink = Pred.Tbl.create 16 in
+  let on_stack = Pred.Tbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Pred.Tbl.add index v !counter;
+    Pred.Tbl.add lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Pred.Tbl.add on_stack v ();
+    List.iter
+      (fun (w, _) ->
+        if not (Pred.Tbl.mem index w) then begin
+          strongconnect w;
+          Pred.Tbl.replace lowlink v
+            (min (Pred.Tbl.find lowlink v) (Pred.Tbl.find lowlink w))
+        end
+        else if Pred.Tbl.mem on_stack w then
+          Pred.Tbl.replace lowlink v
+            (min (Pred.Tbl.find lowlink v) (Pred.Tbl.find index w)))
+      (successors g v);
+    if Pred.Tbl.find lowlink v = Pred.Tbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Pred.Tbl.remove on_stack w;
+          if Pred.equal w v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  Pred.Set.iter
+    (fun v -> if not (Pred.Tbl.mem index v) then strongconnect v)
+    g.vertices;
+  (* Tarjan emits a component only after every component it depends on has
+     been emitted; reversing the accumulator restores that emission order,
+     so dependencies come first in the result. *)
+  List.rev !components
+
+let scc_of g p =
+  match List.find_opt (fun comp -> List.exists (Pred.equal p) comp) (sccs g) with
+  | Some comp -> comp
+  | None -> [ p ]
+
+let has_negative_edge_within g members =
+  let in_set q = List.exists (Pred.equal q) members in
+  List.exists
+    (fun p ->
+      List.exists
+        (fun (q, sign) -> sign = Negative && in_set q)
+        (successors g p))
+    members
+
+let pp ppf g =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (q, sign) ->
+          Format.fprintf ppf "%a -%s-> %a@." Pred.pp p
+            (match sign with Positive -> "+" | Negative -> "-")
+            Pred.pp q)
+        (successors g p))
+    (preds g)
+
+let pp_dot ppf g =
+  Format.fprintf ppf "digraph dependencies {@.";
+  Format.fprintf ppf "  rankdir=BT;@.";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %S;@." (Pred.name p);
+      List.iter
+        (fun (q, sign) ->
+          match sign with
+          | Positive ->
+            Format.fprintf ppf "  %S -> %S;@." (Pred.name p) (Pred.name q)
+          | Negative ->
+            Format.fprintf ppf
+              "  %S -> %S [style=dashed, label=\"not\", color=red];@."
+              (Pred.name p) (Pred.name q))
+        (successors g p))
+    (preds g);
+  Format.fprintf ppf "}@."

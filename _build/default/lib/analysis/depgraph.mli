@@ -1,0 +1,39 @@
+(** Predicate-level dependency graph of a program.
+
+    There is an edge [p -> q] with a sign for every rule with head predicate
+    [p] and a body literal over [q] ([Pos]itive or [Neg]ative occurrence).
+    Built-in comparison literals induce no edges. *)
+
+open Datalog_ast
+
+type sign = Positive | Negative
+
+type t
+
+val make : Program.t -> t
+
+val preds : t -> Pred.t list
+(** All vertices, sorted. *)
+
+val successors : t -> Pred.t -> (Pred.t * sign) list
+(** Outgoing edges of a predicate (deduplicated; if both a positive and a
+    negative edge to the same target exist, both are reported). *)
+
+val depends_on : t -> Pred.t -> Pred.t -> bool
+(** Reflexive-transitive dependency. *)
+
+val sccs : t -> Pred.t list list
+(** Strongly connected components in reverse topological order (every
+    component only depends on earlier components and itself). *)
+
+val scc_of : t -> Pred.t -> Pred.t list
+(** The component containing the given predicate. *)
+
+val has_negative_edge_within : t -> Pred.t list -> bool
+(** Is there a negative edge between two members of the given set? *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_dot : Format.formatter -> t -> unit
+(** Graphviz rendering: negative edges dashed and labelled, one node per
+    predicate. *)

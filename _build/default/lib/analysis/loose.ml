@@ -1,0 +1,102 @@
+open Datalog_ast
+
+type verdict =
+  | Loose
+  | Not_loose of string list
+  | Inconclusive
+
+(* The search walks chains of rule applications.  A state is the current
+   atom (with variables shared with the accumulated substitution), the
+   accumulated substitution (all unifiers along the chain must be
+   compatible, i.e. merge into one consistent substitution), and whether a
+   negative arc was crossed.  A chain closes when, after at least one
+   negative arc, the current atom unifies with the start atom under the
+   accumulated substitution.
+
+   A violating chain from a start atom loops back to its own predicate, so
+   every predicate along it belongs to the start predicate's strongly
+   connected component, and the chain's negative arc is internal to that
+   component.  Components without an internal negative edge therefore need
+   no search at all — which also makes the verdict [Loose] (rather than
+   depth-bounded) for every stratified program. *)
+
+let check ?max_depth program =
+  let rules = Program.rules program in
+  let max_depth =
+    match max_depth with
+    | Some d -> d
+    | None -> (3 * List.length rules) + 3
+  in
+  let graph = Depgraph.make program in
+  let suspicious_sccs =
+    List.filter
+      (fun comp -> Depgraph.has_negative_edge_within graph comp)
+      (Depgraph.sccs graph)
+  in
+  let scc_of p =
+    List.find_opt (fun comp -> List.exists (Pred.equal p) comp) suspicious_sccs
+  in
+  let counter = ref 0 in
+  let fresh_rule r =
+    incr counter;
+    Rule.rename ~suffix:(Printf.sprintf "#%d" !counter) r
+  in
+  let truncated = ref false in
+  let exception Found of string list in
+  let describe rule lit =
+    Format.asprintf "%a  [via %a]" Literal.pp lit Rule.pp rule
+  in
+  let rec extend scc start current subst neg_seen depth trace =
+    if depth >= max_depth then truncated := true
+    else
+      List.iter
+        (fun rule ->
+          if
+            Pred.equal (Atom.pred (Rule.head rule)) (Atom.pred current)
+          then
+            let rule = fresh_rule rule in
+            match Unify.unify ~init:subst current (Rule.head rule) with
+            | None -> ()
+            | Some subst ->
+              List.iter
+                (fun lit ->
+                  match lit with
+                  | Literal.Cmp _ -> ()
+                  | Literal.Pos b | Literal.Neg b ->
+                    if List.exists (Pred.equal (Atom.pred b)) scc then begin
+                      let neg_arc = Literal.is_negative lit in
+                      let neg_seen = neg_seen || neg_arc in
+                      let trace = describe rule lit :: trace in
+                      (if
+                         neg_seen
+                         && Pred.equal (Atom.pred b) (Atom.pred start)
+                       then
+                         match Unify.unify ~init:subst b start with
+                         | Some _ -> raise (Found (List.rev trace))
+                         | None -> ());
+                      extend scc start b subst neg_seen (depth + 1) trace
+                    end)
+                (Rule.body rule))
+        rules
+  in
+  match
+    List.iter
+      (fun rule ->
+        let head_pred = Atom.pred (Rule.head rule) in
+        match scc_of head_pred with
+        | None -> ()
+        | Some scc ->
+          let rule = fresh_rule rule in
+          let start = Rule.head rule in
+          (* The first arc is taken inside [extend] by re-unifying [start]
+             with (a fresh copy of) each rule head, including this one's. *)
+          extend scc start start Subst.empty false 0 [])
+      rules
+  with
+  | () -> if !truncated then Inconclusive else Loose
+  | exception Found trace -> Not_loose trace
+
+let is_loosely_stratified program =
+  match check program with
+  | Loose -> true
+  | Not_loose _ | Inconclusive -> false

@@ -1,0 +1,34 @@
+(** Loose stratification (Bry, PODS '89 volume).
+
+    Loose stratification refines stratification by labelling dependency-graph
+    arcs with unifiers: a program is loosely stratified iff there is no chain
+    of rule applications, with compatible unifiers, along which an atom
+    depends {e negatively} on a unifiable instance of itself.  Unlike local
+    stratification it needs no rule instantiation; unlike plain
+    stratification it accepts programs such as
+
+    {v p(X, a) :- q(X, Y), not r(Z, X), not p(Z, b). v}
+
+    where the head [p(_, a)] and the negated body atom [p(_, b)] cannot
+    unify.
+
+    The check searches chains up to a depth bound, so a negative verdict
+    ([Not_loose]) always exhibits a real chain, while a positive verdict is
+    exact only if the search was exhaustive ([Loose]) and is otherwise
+    reported as [Inconclusive]. *)
+
+open Datalog_ast
+
+type verdict =
+  | Loose  (** no violating chain exists (exhaustive search) *)
+  | Not_loose of string list
+      (** a violating chain, one human-readable step per arc *)
+  | Inconclusive
+      (** no chain found, but the depth bound pruned the search *)
+
+val check : ?max_depth:int -> Program.t -> verdict
+(** [max_depth] bounds the number of arcs per chain (default:
+    [3 * number of rules + 3]). *)
+
+val is_loosely_stratified : Program.t -> bool
+(** [true] only on a definite [Loose] verdict. *)

@@ -1,0 +1,224 @@
+open Datalog_ast
+
+type strata = {
+  of_pred : int Pred.Map.t;
+  groups : Pred.t list array;
+}
+
+let negative_cycle program =
+  let g = Depgraph.make program in
+  List.find_opt (fun comp -> Depgraph.has_negative_edge_within g comp)
+    (Depgraph.sccs g)
+
+let stratification program =
+  let g = Depgraph.make program in
+  let components = Depgraph.sccs g in
+  if List.exists (fun c -> Depgraph.has_negative_edge_within g c) components
+  then None
+  else begin
+    (* Components arrive dependencies-first, so each component's stratum
+       only needs the strata of already-processed predicates. *)
+    let of_pred = ref Pred.Map.empty in
+    List.iter
+      (fun comp ->
+        let in_comp q = List.exists (Pred.equal q) comp in
+        let stratum =
+          List.fold_left
+            (fun acc p ->
+              List.fold_left
+                (fun acc (q, sign) ->
+                  if in_comp q then acc
+                  else
+                    let sq =
+                      Option.value ~default:0 (Pred.Map.find_opt q !of_pred)
+                    in
+                    let needed =
+                      match sign with
+                      | Depgraph.Positive -> sq
+                      | Depgraph.Negative -> sq + 1
+                    in
+                    max acc needed)
+                acc (Depgraph.successors g p))
+            0 comp
+        in
+        List.iter (fun p -> of_pred := Pred.Map.add p stratum !of_pred) comp)
+      components;
+    let of_pred = !of_pred in
+    let max_stratum = Pred.Map.fold (fun _ s acc -> max s acc) of_pred 0 in
+    let groups = Array.make (max_stratum + 1) [] in
+    Pred.Map.iter (fun p s -> groups.(s) <- p :: groups.(s)) of_pred;
+    Array.iteri (fun i l -> groups.(i) <- List.sort Pred.compare l) groups;
+    Some { of_pred; groups }
+  end
+
+let is_stratified program = Option.is_some (stratification program)
+
+let rules_of_stratum program strata n =
+  List.filter
+    (fun r ->
+      match Pred.Map.find_opt (Atom.pred (Rule.head r)) strata.of_pred with
+      | Some s -> s = n
+      | None -> false)
+    (Program.rules program)
+
+type local_result =
+  | Locally_stratified
+  | Not_locally_stratified of Atom.t list
+  | Ground_too_large
+
+let active_domain program =
+  let add_term acc = function
+    | Term.Const v -> v :: acc
+    | Term.Var _ -> acc
+  in
+  let add_atom acc a = Array.fold_left add_term acc (Atom.args a) in
+  let from_facts = List.fold_left add_atom [] (Program.facts program) in
+  let all =
+    List.fold_left
+      (fun acc r ->
+        let acc = add_atom acc (Rule.head r) in
+        List.fold_left
+          (fun acc lit ->
+            match lit with
+            | Literal.Pos a | Literal.Neg a -> add_atom acc a
+            | Literal.Cmp (_, t1, t2) -> add_term (add_term acc t1) t2)
+          acc (Rule.body r))
+      from_facts (Program.rules program)
+  in
+  List.sort_uniq Value.compare all
+
+let groundings domain rule =
+  (* All substitutions of the rule's variables over the domain, lazily. *)
+  let vars = Rule.vars rule in
+  let rec enumerate vars subst acc =
+    match vars with
+    | [] -> subst :: acc
+    | v :: rest ->
+      List.fold_left
+        (fun acc c -> enumerate rest (Subst.bind v (Term.const c) subst) acc)
+        acc domain
+  in
+  enumerate vars Subst.empty []
+
+let pow_instances domain_size nvars =
+  let rec go acc n =
+    if n = 0 then acc
+    else if acc > 10_000_000 then acc
+    else go (acc * domain_size) (n - 1)
+  in
+  go 1 nvars
+
+let locally_stratified_ground ?(max_instances = 200_000) ?(prune_edb = false)
+    program =
+  let domain = active_domain program in
+  let dsize = max 1 (List.length domain) in
+  let total =
+    List.fold_left
+      (fun acc r -> acc + pow_instances dsize (List.length (Rule.vars r)))
+      0 (Program.rules program)
+  in
+  if total > max_instances then Ground_too_large
+  else begin
+    let idb = Program.idb program in
+    let edb_facts = Atom.Tbl.create 256 in
+    List.iter (fun a -> Atom.Tbl.replace edb_facts a ()) (Program.facts program);
+    (* An instance is vacuous when a ground literal that no rule can ever
+       change (an extensional atom or a comparison) is already false; the
+       EDB-aware variant drops such instances before building the graph. *)
+    let vacuous rule_instance =
+      List.exists
+        (fun lit ->
+          match lit with
+          | Literal.Pos a ->
+            prune_edb
+            && (not (Pred.Set.mem (Atom.pred a) idb))
+            && not (Atom.Tbl.mem edb_facts a)
+          | Literal.Neg a ->
+            prune_edb
+            && (not (Pred.Set.mem (Atom.pred a) idb))
+            && Atom.Tbl.mem edb_facts a
+          | Literal.Cmp (op, Term.Const v1, Term.Const v2) ->
+            not (Literal.eval_cmp op v1 v2)
+          | Literal.Cmp (_, _, _) -> false)
+        (Rule.body rule_instance)
+    in
+    (* Ground-atom dependency graph, edges head -> body with a sign. *)
+    let edges : (Atom.t * bool) list Atom.Tbl.t = Atom.Tbl.create 256 in
+    let vertices = Atom.Tbl.create 256 in
+    let add_vertex a = if not (Atom.Tbl.mem vertices a) then Atom.Tbl.add vertices a () in
+    let add_edge h b neg =
+      add_vertex h;
+      add_vertex b;
+      let existing = Option.value ~default:[] (Atom.Tbl.find_opt edges h) in
+      Atom.Tbl.replace edges h ((b, neg) :: existing)
+    in
+    List.iter
+      (fun rule ->
+        List.iter
+          (fun subst ->
+            let ground = Rule.apply subst rule in
+            if not (vacuous ground) then begin
+              let h = Rule.head ground in
+              List.iter
+                (fun lit ->
+                  match lit with
+                  | Literal.Pos a -> add_edge h a false
+                  | Literal.Neg a -> add_edge h a true
+                  | Literal.Cmp _ -> ())
+                (Rule.body ground)
+            end)
+          (groundings domain rule))
+      (Program.rules program);
+    (* Tarjan over ground atoms; any SCC with an internal negative edge
+       witnesses non-local-stratifiability. *)
+    let index = Atom.Tbl.create 256 in
+    let lowlink = Atom.Tbl.create 256 in
+    let on_stack = Atom.Tbl.create 256 in
+    let stack = ref [] in
+    let counter = ref 0 in
+    let bad = ref None in
+    let successors v = Option.value ~default:[] (Atom.Tbl.find_opt edges v) in
+    let rec strongconnect v =
+      Atom.Tbl.add index v !counter;
+      Atom.Tbl.add lowlink v !counter;
+      incr counter;
+      stack := v :: !stack;
+      Atom.Tbl.add on_stack v ();
+      List.iter
+        (fun (w, _) ->
+          if not (Atom.Tbl.mem index w) then begin
+            strongconnect w;
+            Atom.Tbl.replace lowlink v
+              (min (Atom.Tbl.find lowlink v) (Atom.Tbl.find lowlink w))
+          end
+          else if Atom.Tbl.mem on_stack w then
+            Atom.Tbl.replace lowlink v
+              (min (Atom.Tbl.find lowlink v) (Atom.Tbl.find index w)))
+        (successors v);
+      if Atom.Tbl.find lowlink v = Atom.Tbl.find index v then begin
+        let rec pop acc =
+          match !stack with
+          | [] -> acc
+          | w :: rest ->
+            stack := rest;
+            Atom.Tbl.remove on_stack w;
+            if Atom.equal w v then w :: acc else pop (w :: acc)
+        in
+        let comp = pop [] in
+        let in_comp a = List.exists (Atom.equal a) comp in
+        let has_neg =
+          List.exists
+            (fun a ->
+              List.exists (fun (b, neg) -> neg && in_comp b) (successors a))
+            comp
+        in
+        if has_neg && !bad = None then bad := Some comp
+      end
+    in
+    Atom.Tbl.iter
+      (fun v () -> if not (Atom.Tbl.mem index v) then strongconnect v)
+      vertices;
+    match !bad with
+    | Some comp -> Not_locally_stratified comp
+    | None -> Locally_stratified
+  end

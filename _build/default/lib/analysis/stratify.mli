@@ -1,0 +1,50 @@
+(** Stratification analyses.
+
+    A program is {e stratified} when no predicate depends negatively on
+    itself through the predicate dependency graph (Apt–Blair–Walker).  It is
+    {e locally stratified} when no ground atom depends negatively on itself
+    in the ground instantiation (Przymusinski); for function-free programs
+    this is decidable and checked here exactly (with a size guard). *)
+
+open Datalog_ast
+
+type strata = {
+  of_pred : int Pred.Map.t;  (** stratum of every predicate; EDB are 0 *)
+  groups : Pred.t list array;  (** predicates per stratum, ascending *)
+}
+
+val stratification : Program.t -> strata option
+(** [None] when the program is not stratified (some SCC of the dependency
+    graph contains a negative edge). *)
+
+val is_stratified : Program.t -> bool
+
+val negative_cycle : Program.t -> Pred.t list option
+(** A strongly connected component witnessing non-stratification, if any. *)
+
+val rules_of_stratum : Program.t -> strata -> int -> Rule.t list
+(** The rules whose head predicate belongs to the given stratum. *)
+
+type local_result =
+  | Locally_stratified
+  | Not_locally_stratified of Atom.t list
+      (** a ground dependency cycle through a negation *)
+  | Ground_too_large
+      (** the instantiation exceeded the size guard; undecided *)
+
+val locally_stratified_ground :
+  ?max_instances:int -> ?prune_edb:bool -> Program.t -> local_result
+(** Exact check on the ground instantiation over the program's active
+    domain.  [max_instances] bounds the number of ground rule instances
+    considered (default [200_000]).
+
+    With [prune_edb:false] (default) the check follows Przymusinski's
+    definition on the full instantiation — e.g. [even(X) :- succ(Y, X),
+    not even(Y)] is {e not} locally stratified over a finite constant
+    domain, because the instance with [X = Y] negates its own head.  With
+    [prune_edb:true], instances whose extensional body literals are false
+    in the given facts (and can therefore never fire) are dropped first;
+    odd/even over an acyclic [succ] relation then passes. *)
+
+val active_domain : Program.t -> Value.t list
+(** Every constant occurring in the program's facts and rules, sorted. *)

@@ -1,0 +1,1 @@
+lib/ast/atom.ml: Array Format Hashtbl List Map Pred Printf Set Term Value

@@ -1,0 +1,1 @@
+lib/ast/atom.mli: Format Hashtbl Map Pred Set Term Value

@@ -1,0 +1,1 @@
+lib/ast/literal.ml: Atom Format Int List Stdlib String Term Value

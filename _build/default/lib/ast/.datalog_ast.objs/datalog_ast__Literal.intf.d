@@ -1,0 +1,1 @@
+lib/ast/literal.mli: Atom Format Term Value

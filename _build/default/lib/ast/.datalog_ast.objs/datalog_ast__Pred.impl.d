@@ -1,0 +1,1 @@
+lib/ast/pred.ml: Format Hashtbl Int Map Set Symbol

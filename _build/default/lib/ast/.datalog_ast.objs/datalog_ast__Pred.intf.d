@@ -1,0 +1,1 @@
+lib/ast/pred.mli: Format Hashtbl Map Set Symbol

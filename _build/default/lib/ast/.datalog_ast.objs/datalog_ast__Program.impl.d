@@ -1,0 +1,1 @@
+lib/ast/program.ml: Atom Format List Option Pred Rule

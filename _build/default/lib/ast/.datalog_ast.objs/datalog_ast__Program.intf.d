@@ -1,0 +1,1 @@
+lib/ast/program.mli: Atom Format Pred Rule

@@ -1,0 +1,1 @@
+lib/ast/rule.ml: Atom Format Hashtbl List Literal Pred Subst Unify

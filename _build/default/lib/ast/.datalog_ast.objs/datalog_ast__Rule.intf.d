@@ -1,0 +1,1 @@
+lib/ast/rule.mli: Atom Format Literal Pred Subst

@@ -1,0 +1,1 @@
+lib/ast/subst.ml: Array Atom Format List Literal Map Printf String Term

@@ -1,0 +1,1 @@
+lib/ast/subst.mli: Atom Format Literal Term

@@ -1,0 +1,1 @@
+lib/ast/symbol.ml: Format Hashtbl Int Printf

@@ -1,0 +1,1 @@
+lib/ast/symbol.mli: Format

@@ -1,0 +1,1 @@
+lib/ast/term.ml: Format String Value

@@ -1,0 +1,1 @@
+lib/ast/term.mli: Format Value

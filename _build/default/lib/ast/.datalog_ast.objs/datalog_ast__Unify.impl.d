@@ -1,0 +1,1 @@
+lib/ast/unify.ml: Array Atom List Pred String Subst Term Value

@@ -1,0 +1,1 @@
+lib/ast/unify.mli: Atom Subst Term

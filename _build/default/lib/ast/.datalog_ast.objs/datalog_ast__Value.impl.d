@@ -1,0 +1,1 @@
+lib/ast/value.ml: Format Int Symbol

@@ -1,0 +1,1 @@
+lib/ast/value.mli: Format Symbol

@@ -1,0 +1,37 @@
+(** Atoms: a predicate applied to terms, e.g. [anc(X, tom)]. *)
+
+type t = private { pred : Pred.t; args : Term.t array }
+
+val make : Pred.t -> Term.t array -> t
+(** @raise Invalid_argument if the number of arguments differs from the
+    predicate arity. *)
+
+val app : string -> Term.t list -> t
+(** [app name args] builds an atom over the predicate [name/|args|]. *)
+
+val pred : t -> Pred.t
+val args : t -> Term.t array
+val arity : t -> int
+
+val vars : t -> string list
+(** Variables in argument order, with duplicates. *)
+
+val var_set : t -> string list
+(** Distinct variables, in order of first occurrence. *)
+
+val is_ground : t -> bool
+
+val to_tuple : t -> Value.t array
+(** @raise Invalid_argument if the atom is not ground. *)
+
+val of_tuple : Pred.t -> Value.t array -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,75 @@
+type cmp = Eq | Neq | Lt | Leq | Gt | Geq
+
+type t =
+  | Pos of Atom.t
+  | Neg of Atom.t
+  | Cmp of cmp * Term.t * Term.t
+
+let pos a = Pos a
+let neg a = Neg a
+let cmp op a b = Cmp (op, a, b)
+
+let atom = function Pos a | Neg a -> Some a | Cmp _ -> None
+let is_positive = function Pos _ -> true | Neg _ | Cmp _ -> false
+let is_negative = function Neg _ -> true | Pos _ | Cmp _ -> false
+let is_builtin = function Cmp _ -> true | Pos _ | Neg _ -> false
+
+let vars = function
+  | Pos a | Neg a -> Atom.var_set a
+  | Cmp (_, t1, t2) ->
+    let vs = Term.vars t1 @ Term.vars t2 in
+    List.sort_uniq String.compare vs
+
+let negate = function
+  | Pos a -> Neg a
+  | Neg a -> Pos a
+  | Cmp (Eq, a, b) -> Cmp (Neq, a, b)
+  | Cmp (Neq, a, b) -> Cmp (Eq, a, b)
+  | Cmp (Lt, a, b) -> Cmp (Geq, a, b)
+  | Cmp (Leq, a, b) -> Cmp (Gt, a, b)
+  | Cmp (Gt, a, b) -> Cmp (Leq, a, b)
+  | Cmp (Geq, a, b) -> Cmp (Lt, a, b)
+
+let eval_cmp op a b =
+  let c = Value.compare a b in
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Leq -> c <= 0
+  | Gt -> c > 0
+  | Geq -> c >= 0
+
+let cmp_name = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Leq -> "<="
+  | Gt -> ">"
+  | Geq -> ">="
+
+let equal a b =
+  match a, b with
+  | Pos x, Pos y | Neg x, Neg y -> Atom.equal x y
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) ->
+    o1 = o2 && Term.equal a1 a2 && Term.equal b1 b2
+  | (Pos _ | Neg _ | Cmp _), _ -> false
+
+let rank = function Pos _ -> 0 | Neg _ -> 1 | Cmp _ -> 2
+
+let compare a b =
+  match a, b with
+  | Pos x, Pos y | Neg x, Neg y -> Atom.compare x y
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) ->
+    let c = Stdlib.compare o1 o2 in
+    if c <> 0 then c
+    else
+      let c = Term.compare a1 a2 in
+      if c <> 0 then c else Term.compare b1 b2
+  | _ -> Int.compare (rank a) (rank b)
+
+let pp ppf = function
+  | Pos a -> Atom.pp ppf a
+  | Neg a -> Format.fprintf ppf "not %a" Atom.pp a
+  | Cmp (op, a, b) ->
+    Format.fprintf ppf "%a %s %a" Term.pp a (cmp_name op) Term.pp b

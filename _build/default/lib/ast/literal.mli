@@ -1,0 +1,40 @@
+(** Body literals: positive or negated atoms, or built-in comparisons.
+
+    Built-ins are evaluated, not stored: they act as filters (and, for [=]
+    with one unbound side, as assignments) during rule evaluation.  Query
+    rewritings treat them like extensional literals. *)
+
+type cmp = Eq | Neq | Lt | Leq | Gt | Geq
+
+type t =
+  | Pos of Atom.t  (** [p(t, ...)] *)
+  | Neg of Atom.t  (** [not p(t, ...)] — negation as failure *)
+  | Cmp of cmp * Term.t * Term.t  (** [t1 < t2], [t1 = t2], ... *)
+
+val pos : Atom.t -> t
+val neg : Atom.t -> t
+val cmp : cmp -> Term.t -> Term.t -> t
+
+val atom : t -> Atom.t option
+(** The underlying atom of a [Pos] or [Neg] literal. *)
+
+val is_positive : t -> bool
+val is_negative : t -> bool
+val is_builtin : t -> bool
+
+val vars : t -> string list
+(** Distinct variables, in order of first occurrence. *)
+
+val negate : t -> t
+(** Flips [Pos]/[Neg]; complements the comparison operator of a [Cmp]. *)
+
+val eval_cmp : cmp -> Value.t -> Value.t -> bool
+(** Semantics of the comparison operators on ground values.  Ordering
+    comparisons between a symbol and an integer follow {!Value.compare}. *)
+
+val cmp_name : cmp -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

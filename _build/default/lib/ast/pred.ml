@@ -1,0 +1,30 @@
+type t = { sym : Symbol.t; arity : int }
+
+let make name arity = { sym = Symbol.intern name; arity }
+let of_symbol sym arity = { sym; arity }
+let name p = Symbol.name p.sym
+let arity p = p.arity
+let symbol p = p.sym
+let equal a b = Symbol.equal a.sym b.sym && a.arity = b.arity
+let compare a b =
+  let c = Symbol.compare a.sym b.sym in
+  if c <> 0 then c else Int.compare a.arity b.arity
+let hash p = (Symbol.hash p.sym * 31) + p.arity
+let fresh prefix arity = { sym = Symbol.fresh prefix; arity }
+
+let pp ppf p = Format.fprintf ppf "%a/%d" Symbol.pp p.sym p.arity
+let pp_name ppf p = Symbol.pp ppf p.sym
+
+module Ord = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end)

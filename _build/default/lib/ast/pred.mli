@@ -1,0 +1,33 @@
+(** Predicate symbols: an interned name together with an arity.
+
+    Two predicates are equal iff both name and arity coincide, so [p/1] and
+    [p/2] are distinct predicates, as in standard Datalog. *)
+
+type t = private { sym : Symbol.t; arity : int }
+
+val make : string -> int -> t
+(** [make name arity] interns the predicate [name/arity]. *)
+
+val of_symbol : Symbol.t -> int -> t
+
+val name : t -> string
+val arity : t -> int
+val symbol : t -> Symbol.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val fresh : string -> int -> t
+(** [fresh prefix arity] is a predicate with a name not interned before
+    (used for auxiliary predicates introduced by rewritings). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [name/arity]. *)
+
+val pp_name : Format.formatter -> t -> unit
+(** Prints just the name. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

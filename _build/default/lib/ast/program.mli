@@ -1,0 +1,43 @@
+(** Programs: a set of rules plus a set of ground facts (the EDB).
+
+    A predicate is {e intensional} (IDB) if it appears in some rule head,
+    and {e extensional} (EDB) otherwise.  Facts may also be stated for IDB
+    predicates; evaluation seeds them into the fixpoint. *)
+
+type t
+
+val make : ?facts:Atom.t list -> Rule.t list -> t
+(** @raise Invalid_argument if a fact atom is not ground. *)
+
+val empty : t
+
+val rules : t -> Rule.t list
+val facts : t -> Atom.t list
+
+val add_rule : t -> Rule.t -> t
+val add_fact : t -> Atom.t -> t
+val union : t -> t -> t
+
+val preds : t -> Pred.Set.t
+(** Every predicate occurring anywhere in the program. *)
+
+val idb : t -> Pred.Set.t
+(** Predicates defined by at least one rule. *)
+
+val edb : t -> Pred.Set.t
+(** Predicates occurring only in rule bodies or facts. *)
+
+val is_idb : t -> Pred.t -> bool
+
+val rules_for : t -> Pred.t -> Rule.t list
+(** The rules whose head predicate is the given one, in program order. *)
+
+val facts_for : t -> Pred.t -> Atom.t list
+
+val num_rules : t -> int
+val num_facts : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the rules, then the facts, one clause per line. *)
+
+val pp_rules : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+type t = { head : Atom.t; body : Literal.t list }
+
+let make head body = { head; body }
+
+let fact atom =
+  if not (Atom.is_ground atom) then
+    invalid_arg (Format.asprintf "Rule.fact: non-ground atom %a" Atom.pp atom);
+  { head = atom; body = [] }
+
+let head r = r.head
+let body r = r.body
+let is_fact r = r.body = [] && Atom.is_ground r.head
+
+let dedup vars =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    vars
+
+let head_vars r = Atom.var_set r.head
+let body_vars r = dedup (List.concat_map Literal.vars r.body)
+let vars r = dedup (head_vars r @ body_vars r)
+
+let positive_body r =
+  List.filter_map
+    (function Literal.Pos a -> Some a | Literal.Neg _ | Literal.Cmp _ -> None)
+    r.body
+
+let negative_body r =
+  List.filter_map
+    (function Literal.Neg a -> Some a | Literal.Pos _ | Literal.Cmp _ -> None)
+    r.body
+
+let body_preds r =
+  List.fold_left
+    (fun acc lit ->
+      match Literal.atom lit with
+      | Some a -> Pred.Set.add (Atom.pred a) acc
+      | None -> acc)
+    Pred.Set.empty r.body
+
+let apply s r =
+  { head = Subst.apply_atom s r.head;
+    body = List.map (Subst.apply_literal s) r.body
+  }
+
+let rename ~suffix r = apply (Unify.rename_apart ~suffix (vars r)) r
+
+let equal a b =
+  Atom.equal a.head b.head && List.equal Literal.equal a.body b.body
+
+let compare a b =
+  let c = Atom.compare a.head b.head in
+  if c <> 0 then c else List.compare Literal.compare a.body b.body
+
+let pp ppf r =
+  match r.body with
+  | [] -> Format.fprintf ppf "%a." Atom.pp r.head
+  | body ->
+    Format.fprintf ppf "%a :- %a." Atom.pp r.head
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Literal.pp)
+      body

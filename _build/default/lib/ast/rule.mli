@@ -1,0 +1,36 @@
+(** Rules (clauses): a head atom and a list of body literals.
+
+    A fact is a rule with a ground head and an empty body.  The body list is
+    ordered: evaluation and the "cdi" (constructive-domain-independence)
+    safety condition both read it left to right. *)
+
+type t = private { head : Atom.t; body : Literal.t list }
+
+val make : Atom.t -> Literal.t list -> t
+val fact : Atom.t -> t
+(** @raise Invalid_argument if the atom is not ground. *)
+
+val head : t -> Atom.t
+val body : t -> Literal.t list
+val is_fact : t -> bool
+
+val head_vars : t -> string list
+val body_vars : t -> string list
+val vars : t -> string list
+(** Distinct variables of the whole rule, in order of first occurrence. *)
+
+val positive_body : t -> Atom.t list
+val negative_body : t -> Atom.t list
+
+val body_preds : t -> Pred.Set.t
+(** Predicates of positive and negative body atoms (not built-ins). *)
+
+val apply : Subst.t -> t -> t
+
+val rename : suffix:string -> t -> t
+(** Rename every variable by appending [suffix]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+module M = Map.Make (String)
+
+type t = Term.t M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+
+let rec resolve s t =
+  match t with
+  | Term.Const _ -> t
+  | Term.Var v -> (
+    match M.find_opt v s with
+    | None -> t
+    | Some t' -> if Term.equal t t' then t else resolve s t')
+
+let find v s =
+  match resolve s (Term.Var v) with
+  | Term.Var v' when String.equal v v' -> None
+  | t -> Some t
+
+let bind v t s =
+  let t = resolve s t in
+  (match t with
+  | Term.Var v' when String.equal v v' ->
+    invalid_arg (Printf.sprintf "Subst.bind: %s bound to itself" v)
+  | Term.Var _ | Term.Const _ -> ());
+  (* Re-resolve existing bindings that point at [v] so the substitution
+     stays idempotent. *)
+  let s = M.map (fun u -> if Term.equal u (Term.Var v) then t else u) s in
+  M.add v t s
+
+let of_list l = List.fold_left (fun s (v, t) -> bind v t s) empty l
+let to_list s = M.bindings s
+let domain s = List.map fst (M.bindings s)
+
+let apply_term s t = resolve s t
+
+let apply_atom s a =
+  Atom.make (Atom.pred a) (Array.map (apply_term s) (Atom.args a))
+
+let apply_literal s = function
+  | Literal.Pos a -> Literal.Pos (apply_atom s a)
+  | Literal.Neg a -> Literal.Neg (apply_atom s a)
+  | Literal.Cmp (op, t1, t2) ->
+    Literal.Cmp (op, apply_term s t1, apply_term s t2)
+
+let restrict keep s = M.filter (fun v _ -> keep v) s
+
+let compose s1 s2 =
+  let s1' = M.map (fun t -> apply_term s2 t) s1 in
+  M.union (fun _ t1 _ -> Some t1) s1' s2
+
+let is_ground s = M.for_all (fun _ t -> Term.is_ground t) s
+
+let equal = M.equal Term.equal
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (v, t) -> Format.fprintf ppf "%s -> %a" v Term.pp t))
+    (M.bindings s)

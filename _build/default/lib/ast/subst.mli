@@ -1,0 +1,41 @@
+(** Substitutions: finite maps from variables to terms.
+
+    Substitutions here are kept {e idempotent}: binding a variable walks the
+    existing bindings first, so applying a substitution once fully resolves
+    every variable in its domain. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val find : string -> t -> Term.t option
+(** Fully resolved binding of a variable ([None] if unbound). *)
+
+val bind : string -> Term.t -> t -> t
+(** [bind v t s] adds [v -> t] (with [t] resolved through [s]).  Does not
+    check for conflicts: callers use {!Unify} for that.
+    @raise Invalid_argument if [t] resolves to the variable [v] itself. *)
+
+val of_list : (string * Term.t) list -> t
+val to_list : t -> (string * Term.t) list
+(** Bindings sorted by variable name. *)
+
+val domain : t -> string list
+
+val apply_term : t -> Term.t -> Term.t
+val apply_atom : t -> Atom.t -> Atom.t
+val apply_literal : t -> Literal.t -> Literal.t
+
+val restrict : (string -> bool) -> t -> t
+(** Keep only the bindings of variables satisfying the predicate. *)
+
+val compose : t -> t -> t
+(** [compose s1 s2] behaves as "apply [s1], then [s2]":
+    [apply (compose s1 s2) t = apply s2 (apply s1 t)]. *)
+
+val is_ground : t -> bool
+(** All bindings map to constants. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

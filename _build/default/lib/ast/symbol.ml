@@ -1,0 +1,29 @@
+type t = { id : int; name : string }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 1024
+let counter = ref 0
+
+let intern name =
+  match Hashtbl.find_opt table name with
+  | Some s -> s
+  | None ->
+    let s = { id = !counter; name } in
+    incr counter;
+    Hashtbl.add table name s;
+    s
+
+let name s = s.name
+let id s = s.id
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash s = s.id
+
+let fresh prefix =
+  let rec try_at i =
+    let candidate = Printf.sprintf "%s_%d" prefix i in
+    if Hashtbl.mem table candidate then try_at (i + 1) else intern candidate
+  in
+  if Hashtbl.mem table prefix then try_at 0 else intern prefix
+
+let pp ppf s = Format.pp_print_string ppf s.name
+let interned_count () = !counter

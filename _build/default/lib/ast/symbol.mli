@@ -1,0 +1,29 @@
+(** Interned identifiers.
+
+    Symbols give O(1) equality and hashing to the constant and predicate
+    names that flood a bottom-up fixpoint.  Interning is global and
+    process-wide: two symbols with the same name are physically the same
+    value. *)
+
+type t = private { id : int; name : string }
+
+val intern : string -> t
+(** [intern name] returns the unique symbol for [name]. *)
+
+val name : t -> string
+val id : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val fresh : string -> t
+(** [fresh prefix] interns a symbol whose name starts with [prefix] and is
+    distinct from every symbol interned so far (used to generate auxiliary
+    predicate names that cannot clash with user names). *)
+
+val pp : Format.formatter -> t -> unit
+
+val interned_count : unit -> int
+(** Number of distinct symbols interned so far (diagnostics). *)

@@ -1,0 +1,30 @@
+type t =
+  | Var of string
+  | Const of Value.t
+
+let var v = Var v
+let sym name = Const (Value.sym name)
+let int i = Const (Value.int i)
+let const v = Const v
+
+let is_var = function Var _ -> true | Const _ -> false
+let is_ground = function Var _ -> false | Const _ -> true
+
+let equal a b =
+  match a, b with
+  | Var x, Var y -> String.equal x y
+  | Const x, Const y -> Value.equal x y
+  | Var _, Const _ | Const _, Var _ -> false
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Const x, Const y -> Value.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let vars = function Var v -> [ v ] | Const _ -> []
+
+let pp ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> Value.pp ppf c

@@ -1,0 +1,23 @@
+(** Terms of function-free Datalog: variables and constants. *)
+
+type t =
+  | Var of string  (** a variable, conventionally capitalised: [X] *)
+  | Const of Value.t  (** a ground constant *)
+
+val var : string -> t
+val sym : string -> t
+(** [sym name] is the constant term for the symbolic constant [name]. *)
+
+val int : int -> t
+val const : Value.t -> t
+
+val is_var : t -> bool
+val is_ground : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val vars : t -> string list
+(** The (zero or one) variables of the term. *)
+
+val pp : Format.formatter -> t -> unit

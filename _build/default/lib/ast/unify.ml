@@ -1,0 +1,56 @@
+let unify_terms t1 t2 s =
+  let t1 = Subst.apply_term s t1 and t2 = Subst.apply_term s t2 in
+  match t1, t2 with
+  | Term.Const a, Term.Const b -> if Value.equal a b then Some s else None
+  | Term.Var v, Term.Var w when String.equal v w -> Some s
+  | Term.Var v, t | t, Term.Var v -> Some (Subst.bind v t s)
+
+let unify ?(init = Subst.empty) a b =
+  if not (Pred.equal (Atom.pred a) (Atom.pred b)) then None
+  else
+    let args_a = Atom.args a and args_b = Atom.args b in
+    let n = Array.length args_a in
+    let rec go i s =
+      if i >= n then Some s
+      else
+        match unify_terms args_a.(i) args_b.(i) s with
+        | None -> None
+        | Some s' -> go (i + 1) s'
+    in
+    go 0 init
+
+let matches ~pattern ~ground =
+  if not (Atom.is_ground ground) then
+    invalid_arg "Unify.matches: second atom not ground";
+  unify pattern ground
+
+let variant a b =
+  match unify a b with
+  | None -> false
+  | Some s ->
+    (* A variant unifier must be a bijective variable renaming. *)
+    let bindings = Subst.to_list s in
+    let all_vars =
+      List.for_all (fun (_, t) -> Term.is_var t) bindings
+    in
+    let images =
+      List.filter_map
+        (fun (_, t) -> match t with Term.Var v -> Some v | _ -> None)
+        bindings
+    in
+    all_vars
+    && List.length (List.sort_uniq String.compare images)
+       = List.length images
+
+let rename_apart ~suffix vars =
+  List.fold_left
+    (fun s v -> Subst.bind v (Term.Var (v ^ suffix)) s)
+    Subst.empty vars
+
+let compatible s1 s2 =
+  List.fold_left
+    (fun acc (v, t) ->
+      match acc with
+      | None -> None
+      | Some s -> unify_terms (Term.Var v) t s)
+    (Some s1) (Subst.to_list s2)

@@ -1,0 +1,25 @@
+(** Unification and matching for function-free atoms. *)
+
+val unify_terms : Term.t -> Term.t -> Subst.t -> Subst.t option
+(** Extend a substitution so the two terms become equal, or [None]. *)
+
+val unify : ?init:Subst.t -> Atom.t -> Atom.t -> Subst.t option
+(** Most general unifier of two atoms (same predicate required).
+    Function-free unification cannot loop, so no occurs-check is needed
+    beyond the variable-to-itself case. *)
+
+val matches : pattern:Atom.t -> ground:Atom.t -> Subst.t option
+(** One-sided matching: bind variables of [pattern] so it equals the ground
+    atom [ground]; constants must coincide.  [ground] must be ground. *)
+
+val variant : Atom.t -> Atom.t -> bool
+(** The two atoms are equal up to a renaming of variables (a bijection). *)
+
+val rename_apart : suffix:string -> string list -> Subst.t
+(** A renaming substitution mapping each given variable [v] to the fresh
+    variable [v ^ suffix]. *)
+
+val compatible : Subst.t -> Subst.t -> Subst.t option
+(** Merge two substitutions if they agree (unifying where both bind the same
+    variable); [None] when they conflict.  This is the compatibility notion
+    used for loose stratification. *)

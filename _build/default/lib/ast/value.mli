@@ -1,0 +1,20 @@
+(** Ground constants of the (function-free) Datalog universe.
+
+    A value is either an interned symbolic constant or a machine integer.
+    Strings in the surface syntax are interned as symbols. *)
+
+type t =
+  | Sym of Symbol.t  (** symbolic constant, e.g. [tom] *)
+  | Int of int  (** integer constant, e.g. [42] *)
+
+val sym : string -> t
+(** [sym name] is the symbolic constant [name] (interned). *)
+
+val int : int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

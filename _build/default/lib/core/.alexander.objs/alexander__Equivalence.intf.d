@@ -1,0 +1,1 @@
+lib/core/equivalence.mli: Atom Datalog_ast Datalog_rewrite Format Pred Program

@@ -1,0 +1,1 @@
+lib/core/formula.mli: Atom Datalog_ast Datalog_storage Format Literal Options Program Term Tuple

@@ -1,0 +1,1 @@
+lib/core/preprocess.ml: Array Atom Datalog_analysis Datalog_ast Format Hashtbl List Literal Pred Printf Program Rule Term Unify

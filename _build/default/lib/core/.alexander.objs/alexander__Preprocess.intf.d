@@ -1,0 +1,1 @@
+lib/core/preprocess.mli: Atom Datalog_ast Program

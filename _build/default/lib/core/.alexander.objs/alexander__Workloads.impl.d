@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Atom Datalog_ast Datalog_parser Hashtbl Int64 List Printf Program Term

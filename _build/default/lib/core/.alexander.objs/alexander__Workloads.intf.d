@@ -1,0 +1,1 @@
+lib/core/workloads.mli: Atom Datalog_ast Program Rule Term

@@ -1,0 +1,72 @@
+(** First-order query formulas over a Datalog program.
+
+    This is the practical payoff of {e constructive domain independence}:
+    quantifiers and connectives can be admitted into queries as long as
+    every negated or universally-quantified subformula is {e ranged} by a
+    positive part that binds its variables (the ordered-conjunction
+    discipline checked by {!Datalog_analysis.Safety}).  Formulas satisfying
+    the discipline compile into stratified auxiliary rules and are answered
+    by the ordinary engine; formulas violating it are rejected with an
+    explanation instead of producing a domain-dependent answer.
+
+    {[
+      (* employees all of whose projects are on budget *)
+      let f =
+        forall [ "P" ]
+          (imp
+             (atom (A.app "assigned" [ v "E"; v "P" ]))
+             (atom (A.app "on_budget" [ v "P" ])))
+      in
+      let f = conj (atom (A.app "employee" [ v "E" ])) f in
+      Formula.eval program f
+    ]} *)
+
+open Datalog_ast
+open Datalog_storage
+
+type t =
+  | Atom of Atom.t
+  | Cmp of Literal.cmp * Term.t * Term.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Exists of string list * t
+  | Forall of string list * t
+
+(** {1 Constructors} *)
+
+val atom : Atom.t -> t
+val cmp : Literal.cmp -> Term.t -> Term.t -> t
+val conj : t -> t -> t
+val disj : t -> t -> t
+val neg : t -> t
+val exists : string list -> t -> t
+val forall : string list -> t -> t
+
+val imp : t -> t -> t
+(** [imp f g] is [neg (conj f (neg g))] — the ranged implication used
+    under [forall]. *)
+
+val free_vars : t -> string list
+(** In order of first occurrence. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Compilation and evaluation} *)
+
+val compile :
+  Program.t -> t -> (Program.t * Atom.t, string) result
+(** [compile program f] extends the program with auxiliary rules defining
+    an answer predicate over [f]'s free variables and returns the query
+    atom.  [Error] when the formula is not constructively domain
+    independent (an [Or] whose branches have different free variables, or
+    a negated / universal subformula whose variables no positive context
+    binds). *)
+
+val eval :
+  ?options:Options.t ->
+  Program.t ->
+  t ->
+  (string list * Tuple.t list, string) result
+(** Compile and run: returns the free variables (answer-column names) and
+    the satisfying bindings as tuples, sorted. *)

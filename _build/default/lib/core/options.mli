@@ -1,0 +1,38 @@
+(** Query-evaluation options: which rewriting, which SIP strategy, which
+    negation semantics. *)
+
+type strategy =
+  | Naive  (** no rewriting, naive fixpoint (baseline of baselines) *)
+  | Seminaive  (** no rewriting, semi-naive fixpoint *)
+  | Magic  (** generalized magic sets, semi-naive evaluation *)
+  | Supplementary  (** supplementary magic sets *)
+  | Supplementary_idb
+      (** supplementary magic cutting only at intensional subgoals — the
+          variant isomorphic to Alexander templates *)
+  | Alexander  (** Alexander templates *)
+  | Tabled
+      (** no rewriting: top-down OLDT/QSQR-style tabled evaluation — the
+          procedural counterpart of the Alexander rewriting *)
+
+type negation =
+  | Auto
+      (** stratified evaluation when the (rewritten) program is stratified,
+          otherwise the conditional fixpoint *)
+  | Stratified_only  (** fail on non-stratified programs *)
+  | Conditional  (** always use the conditional fixpoint *)
+  | Well_founded  (** alternating fixpoint (answers = well-founded true) *)
+
+type t = {
+  strategy : strategy;
+  sips : Datalog_rewrite.Sips.strategy;
+  negation : negation;
+}
+
+val default : t
+(** [Alexander] strategy, left-to-right SIP, [Auto] negation. *)
+
+val strategy_name : strategy -> string
+val strategy_of_string : string -> strategy option
+val negation_name : negation -> string
+val negation_of_string : string -> negation option
+val all_strategies : strategy list

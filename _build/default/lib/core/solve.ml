@@ -1,0 +1,293 @@
+open Datalog_ast
+open Datalog_storage
+open Datalog_engine
+open Datalog_rewrite
+module Analysis = Datalog_analysis
+
+type report = {
+  options : Options.t;
+  rewritten : Rewritten.t option;
+  db : Database.t;
+  answers : Tuple.t list;
+  undefined : Atom.t list;
+  counters : Counters.t;
+  evaluator : string;
+  wall_time_s : float;
+}
+
+let ( let* ) r f = Result.bind r f
+
+(* Tuples of [pred] in [db] matching the (possibly non-ground) [pattern]. *)
+let matching_tuples db pred pattern =
+  match Database.find db pred with
+  | None -> []
+  | Some rel ->
+    let bindings = ref [] in
+    Array.iteri
+      (fun i t ->
+        match t with
+        | Term.Const v -> bindings := (i, v) :: !bindings
+        | Term.Var _ -> ())
+      (Atom.args pattern);
+    Relation.select rel !bindings
+    |> List.filter (fun t ->
+           Option.is_some
+             (Unify.matches ~pattern ~ground:(Atom.of_tuple pred t)))
+    |> List.sort Tuple.compare
+
+let matching_atoms atoms pattern =
+  List.filter
+    (fun a ->
+      Pred.equal (Atom.pred a) (Atom.pred pattern)
+      && Option.is_some (Unify.matches ~pattern ~ground:a))
+    atoms
+
+let has_negation program =
+  List.exists (fun r -> Rule.negative_body r <> []) (Program.rules program)
+
+(* Evaluate [program] (rules + facts) under the requested negation
+   semantics; answers are read from [answer_pred]/[pattern]. *)
+let evaluate options program answer_pred pattern =
+  let stratified_eval ~use_naive () =
+    let* outcome =
+      Stratified.run ~use_naive program
+    in
+    Ok
+      ( outcome.Stratified.db,
+        outcome.Stratified.counters,
+        [],
+        if use_naive then "naive" else "seminaive" )
+  in
+  let conditional_eval () =
+    let outcome = Conditional.run program in
+    Ok
+      ( outcome.Conditional.true_db,
+        outcome.Conditional.counters,
+        outcome.Conditional.undefined,
+        "conditional" )
+  in
+  let wellfounded_eval () =
+    let outcome = Wellfounded.run program in
+    Ok
+      ( outcome.Wellfounded.true_db,
+        outcome.Wellfounded.counters,
+        outcome.Wellfounded.undefined,
+        "wellfounded" )
+  in
+  let use_naive = options.Options.strategy = Options.Naive in
+  let* db, counters, undefined_atoms, evaluator =
+    match options.Options.negation with
+    | Options.Auto ->
+      if (not (has_negation program)) || Analysis.Stratify.is_stratified program
+      then stratified_eval ~use_naive ()
+      else conditional_eval ()
+    | Options.Stratified_only -> stratified_eval ~use_naive ()
+    | Options.Conditional -> conditional_eval ()
+    | Options.Well_founded -> wellfounded_eval ()
+  in
+  let answers = matching_tuples db answer_pred pattern in
+  let undefined = matching_atoms undefined_atoms pattern in
+  Ok (db, counters, answers, undefined, evaluator)
+
+let run ?(options = Options.default) program query =
+  let start = Unix.gettimeofday () in
+  let finish rewritten (db, counters, answers, undefined, evaluator) =
+    { options;
+      rewritten;
+      db;
+      answers;
+      undefined;
+      counters;
+      evaluator;
+      wall_time_s = Unix.gettimeofday () -. start
+    }
+  in
+  let* () =
+    Result.map_error (String.concat "\n") (Analysis.Safety.check_program program)
+  in
+  let qpred = Atom.pred query in
+  if not (Pred.Set.mem qpred (Program.preds program)) then
+    (* unknown predicate: the query has no matching facts at all *)
+    let db = Database.of_facts (Program.facts program) in
+    Ok (finish None (db, Counters.create (), [], [], "lookup"))
+  else if not (Program.is_idb program qpred) then
+    (* extensional query: a direct indexed lookup *)
+    let db = Database.of_facts (Program.facts program) in
+    let answers = matching_tuples db qpred query in
+    Ok (finish None (db, Counters.create (), answers, [], "lookup"))
+  else
+    match options.Options.strategy with
+    | Options.Naive | Options.Seminaive ->
+      let* result = evaluate options program qpred query in
+      Ok (finish None result)
+    | Options.Tabled ->
+      let* outcome = Tabled.run program query in
+      (* expose the tables as a database, alongside the EDB *)
+      let db = Database.of_facts (Program.facts program) in
+      List.iter
+        (fun (c, tuples) ->
+          List.iter
+            (fun t -> ignore (Database.add db c.Tabled.call_pred t))
+            tuples)
+        outcome.Tabled.tables;
+      Ok
+        (finish None
+           ( db,
+             outcome.Tabled.counters,
+             outcome.Tabled.answers,
+             [],
+             "tabled" ))
+    | Options.Magic | Options.Supplementary | Options.Supplementary_idb
+    | Options.Alexander -> (
+      let program = Preprocess.split_idb_facts program in
+      match Adorn.adorn ~strategy:options.Options.sips program query with
+      | exception Adorn.Unbound_negation a ->
+        Error
+          (Format.asprintf
+             "negated call %a has unbound arguments under this SIP; use the \
+              seminaive strategy or bind the variables earlier in the rule"
+             Atom.pp a)
+      | adorned ->
+        let rw =
+          match options.Options.strategy with
+          | Options.Magic -> Magic.transform adorned
+          | Options.Supplementary -> Supplementary.transform adorned
+          | Options.Supplementary_idb -> Supplementary_idb.transform adorned
+          | Options.Alexander | Options.Naive | Options.Seminaive
+          | Options.Tabled ->
+            Alexander_templates.transform adorned
+        in
+        let full =
+          Program.make
+            ~facts:(Program.facts program @ rw.Rewritten.seeds)
+            rw.Rewritten.rules
+        in
+        let* result =
+          evaluate options full (Rewritten.answer_pred rw) rw.Rewritten.answer_atom
+        in
+        Ok (finish (Some rw) result))
+
+(* group queries by (predicate, binding pattern) so one rewriting serves
+   the whole group through multiple seed facts *)
+let binding_key query =
+  let pattern =
+    String.concat ""
+      (Array.to_list
+         (Array.map
+            (function Term.Const _ -> "b" | Term.Var _ -> "f")
+            (Atom.args query)))
+  in
+  (Pred.name (Atom.pred query), Pred.arity (Atom.pred query), pattern)
+
+let run_many ?(options = Options.default) program queries =
+  match options.Options.strategy with
+  | Options.Naive | Options.Seminaive | Options.Tabled ->
+    (* a single full evaluation answers everything *)
+    let ( let* ) r f = Result.bind r f in
+    let rec answer_all acc db = function
+      | [] -> Ok (List.rev acc)
+      | query :: rest ->
+        let answers = matching_tuples db (Atom.pred query) query in
+        answer_all ((query, answers) :: acc) db rest
+    in
+    (match queries with
+    | [] -> Ok []
+    | first :: _ ->
+      let* report = run ~options program first in
+      answer_all [] report.db queries)
+  | Options.Magic | Options.Supplementary | Options.Supplementary_idb
+  | Options.Alexander ->
+    let groups = Hashtbl.create 8 in
+    List.iteri
+      (fun i query ->
+        let key = binding_key query in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+        Hashtbl.replace groups key ((i, query) :: existing))
+      queries;
+    let program' = Preprocess.split_idb_facts program in
+    let results = Hashtbl.create 8 in
+    let evaluate_group (_, group) =
+      let group = List.rev group in
+      match group with
+      | [] -> Ok ()
+      | (_, representative) :: _ -> (
+        match Adorn.adorn ~strategy:options.Options.sips program' representative with
+        | exception Adorn.Unbound_negation a ->
+          Error (Format.asprintf "unbound negated call %a" Atom.pp a)
+        | adorned ->
+          let rw =
+            match options.Options.strategy with
+            | Options.Magic -> Magic.transform adorned
+            | Options.Supplementary -> Supplementary.transform adorned
+            | Options.Supplementary_idb -> Supplementary_idb.transform adorned
+            | _ -> Alexander_templates.transform adorned
+          in
+          (* one seed per query of the group: replace the representative's
+             constants in the seed atom *)
+          let seed_pred =
+            Atom.pred (List.hd rw.Rewritten.seeds)
+          in
+          let seeds =
+            List.map
+              (fun (_, query) ->
+                let consts =
+                  Array.to_list (Atom.args query)
+                  |> List.filter (function
+                       | Term.Const _ -> true
+                       | Term.Var _ -> false)
+                in
+                Atom.make seed_pred (Array.of_list consts))
+              group
+          in
+          let full =
+            Program.make
+              ~facts:(Program.facts program' @ seeds)
+              rw.Rewritten.rules
+          in
+          Result.map
+            (fun (db, _, _, _, _) ->
+              List.iter
+                (fun (i, query) ->
+                  (* read this query's answers from the shared database *)
+                  let pattern =
+                    Atom.make (Rewritten.answer_pred rw) (Atom.args query)
+                  in
+                  let answers =
+                    matching_tuples db (Rewritten.answer_pred rw) pattern
+                  in
+                  Hashtbl.replace results i (query, answers))
+                group)
+            (evaluate options full (Rewritten.answer_pred rw)
+               (Atom.make (Rewritten.answer_pred rw)
+                  (Array.mapi
+                     (fun i _ -> Term.var (Printf.sprintf "_Any%d" i))
+                     (Atom.args representative)))))
+    in
+    let rec eval_groups = function
+      | [] -> Ok ()
+      | g :: rest -> (
+        match evaluate_group g with
+        | Ok () -> eval_groups rest
+        | Error _ as e -> e)
+    in
+    (match Result.map_error (String.concat "\n") (Analysis.Safety.check_program program) with
+    | Error _ as e -> e
+    | Ok () -> (
+      match eval_groups (Hashtbl.fold (fun k v acc -> (k, v) :: acc) groups []) with
+      | Error msg -> Error msg
+      | Ok () ->
+        Ok
+          (List.mapi
+             (fun i query ->
+               match Hashtbl.find_opt results i with
+               | Some r -> r
+               | None -> (query, []))
+             queries)))
+
+let run_exn ?options program query =
+  match run ?options program query with
+  | Ok report -> report
+  | Error msg -> failwith msg
+
+let answer_atoms _program query report =
+  List.map (fun t -> Atom.of_tuple (Atom.pred query) t) report.answers

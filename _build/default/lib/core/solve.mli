@@ -1,0 +1,57 @@
+(** The query planner and runner — the library's main entry point.
+
+    {[
+      let program = Datalog_parser.Parser.program_of_string "
+        anc(X, Y) :- parent(X, Y).
+        anc(X, Y) :- parent(X, Z), anc(Z, Y).
+        parent(ann, bob).  parent(bob, cal).
+      " in
+      let query = Datalog_parser.Parser.atom_of_string "anc(ann, X)" in
+      match Solve.run program query with
+      | Ok report -> List.iter print_tuple report.Solve.answers
+      | Error msg -> prerr_endline msg
+    ]} *)
+
+open Datalog_ast
+open Datalog_storage
+
+type report = {
+  options : Options.t;
+  rewritten : Datalog_rewrite.Rewritten.t option;
+      (** the rewriting, when a magic-family strategy ran *)
+  db : Database.t;  (** the fully evaluated database *)
+  answers : Tuple.t list;
+      (** tuples of the query predicate satisfying the goal, sorted *)
+  undefined : Atom.t list;
+      (** goal instances with undefined truth value (conditional /
+          well-founded evaluation of non-stratified programs) *)
+  counters : Datalog_engine.Counters.t;
+  evaluator : string;
+      (** which fixpoint ran: "seminaive", "naive", "stratified",
+          "conditional" or "wellfounded" *)
+  wall_time_s : float;
+}
+
+val run : ?options:Options.t -> Program.t -> Atom.t -> (report, string) result
+(** Evaluate a query.  Validation errors (range restriction), stratification
+    errors under [Stratified_only], and unbound negated calls under a
+    magic-family strategy are reported as [Error]. *)
+
+val run_exn : ?options:Options.t -> Program.t -> Atom.t -> report
+(** @raise Failure on [Error]. *)
+
+val run_many :
+  ?options:Options.t ->
+  Program.t ->
+  Atom.t list ->
+  ((Atom.t * Tuple.t list) list, string) result
+(** Answer several queries over the same predicate-and-binding pattern in
+    one evaluation: the rewritten program is built once, every query
+    contributes its seed fact, and the answers are split per query
+    afterwards.  Queries whose predicate or constant positions differ are
+    evaluated separately (still within this one call).  Under [Naive] /
+    [Seminaive] / [Tabled] the program is simply evaluated once and each
+    query filtered from the result. *)
+
+val answer_atoms : Program.t -> Atom.t -> report -> Atom.t list
+(** The answers as ground atoms over the source query predicate. *)

@@ -1,0 +1,131 @@
+open Datalog_ast
+
+(* A small deterministic PRNG (numerical-recipes LCG), so workloads do not
+   depend on the global Random state. *)
+module Lcg = struct
+  type t = { mutable state : int64 }
+
+  let make seed = { state = Int64.of_int (seed land 0x3fffffff) }
+
+  let next t =
+    t.state <-
+      Int64.add (Int64.mul t.state 6364136223846793005L) 1442695040888963407L;
+    Int64.to_int (Int64.shift_right_logical t.state 33)
+
+  let below t n = if n <= 0 then 0 else next t mod n
+end
+
+let node i = Term.int i
+
+let fact2 pred a b = Atom.app pred [ node a; node b ]
+let fact1 pred a = Atom.app pred [ node a ]
+
+let chain ~pred n = List.init n (fun i -> fact2 pred i (i + 1))
+
+let cycle ~pred n =
+  if n <= 0 then []
+  else List.init n (fun i -> fact2 pred i ((i + 1) mod n))
+
+let full_tree ~pred ~depth ~fanout =
+  (* nodes are numbered breadth-first from the root = 0 *)
+  let acc = ref [] in
+  let rec go node_id level next_free =
+    if level >= depth then next_free
+    else begin
+      let children = List.init fanout (fun k -> next_free + k) in
+      List.iter (fun c -> acc := fact2 pred node_id c :: !acc) children;
+      List.fold_left (fun free c -> go c (level + 1) free) (next_free + fanout)
+        children
+    end
+  in
+  ignore (go 0 0 1);
+  List.rev !acc
+
+let random_graph ~pred ~nodes ~edges ~seed =
+  let rng = Lcg.make seed in
+  let seen = Hashtbl.create (2 * edges) in
+  let rec draw acc remaining attempts =
+    if remaining = 0 || attempts > 50 * edges then acc
+    else
+      let a = Lcg.below rng nodes and b = Lcg.below rng nodes in
+      if Hashtbl.mem seen (a, b) then draw acc remaining (attempts + 1)
+      else begin
+        Hashtbl.add seen (a, b) ();
+        draw (fact2 pred a b :: acc) (remaining - 1) (attempts + 1)
+      end
+  in
+  List.rev (draw [] edges 0)
+
+let sg_cylinder ~layers ~width =
+  (* node id of column c in layer l *)
+  let id l c = (l * width) + c in
+  let up = ref [] and down = ref [] and flat = ref [] in
+  for l = 0 to layers - 2 do
+    for c = 0 to width - 1 do
+      (* each node connects to its own column and the next column (mod
+         width) one layer deeper, giving plenty of same-generation pairs *)
+      up := fact2 "up" (id l c) (id (l + 1) c) :: !up;
+      up := fact2 "up" (id l c) (id (l + 1) ((c + 1) mod width)) :: !up;
+      down := fact2 "down" (id (l + 1) c) (id l c) :: !down;
+      down := fact2 "down" (id (l + 1) ((c + 1) mod width)) (id l c) :: !down
+    done
+  done;
+  let deepest = layers - 1 in
+  for c = 0 to width - 1 do
+    flat := fact2 "flat" (id deepest c) (id deepest ((c + 1) mod width)) :: !flat
+  done;
+  List.rev_append !up (List.rev_append !down (List.rev !flat))
+
+let r = Datalog_parser.Parser.rule_of_string
+
+let ancestor_rules ?(anc = "anc") ?(edge = "edge") () =
+  [ r (Printf.sprintf "%s(X, Y) :- %s(X, Y)." anc edge);
+    r (Printf.sprintf "%s(X, Y) :- %s(X, Z), %s(Z, Y)." anc edge anc)
+  ]
+
+let ancestor_rules_right ?(anc = "anc") ?(edge = "edge") () =
+  [ r (Printf.sprintf "%s(X, Y) :- %s(X, Y)." anc edge);
+    r (Printf.sprintf "%s(X, Y) :- %s(X, Z), %s(Z, Y)." anc anc edge)
+  ]
+
+let tc_nonlinear_rules ?(tc = "tc") ?(edge = "edge") () =
+  [ r (Printf.sprintf "%s(X, Y) :- %s(X, Y)." tc edge);
+    r (Printf.sprintf "%s(X, Y) :- %s(X, Z), %s(Z, Y)." tc tc tc)
+  ]
+
+let same_generation_rules () =
+  [ r "sg(X, Y) :- flat(X, Y).";
+    r "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y)."
+  ]
+
+let reverse_same_generation_rules () =
+  [ r "rsg(X, Y) :- flat(X, Y).";
+    r "rsg(X, Y) :- up(X, U), rsg(V, U), down(V, Y)."
+  ]
+
+let win_move_rules () = [ r "win(X) :- move(X, Y), not win(Y)." ]
+
+let ancestor_chain n =
+  Program.make ~facts:(chain ~pred:"edge" n) (ancestor_rules ())
+
+let ancestor_tree ~depth ~fanout =
+  Program.make ~facts:(full_tree ~pred:"edge" ~depth ~fanout) (ancestor_rules ())
+
+let same_generation ~layers ~width =
+  Program.make ~facts:(sg_cylinder ~layers ~width) (same_generation_rules ())
+
+let reverse_same_generation ~layers ~width =
+  Program.make ~facts:(sg_cylinder ~layers ~width)
+    (reverse_same_generation_rules ())
+
+let win_move_random ~nodes ~edges ~seed =
+  Program.make
+    ~facts:(random_graph ~pred:"move" ~nodes ~edges ~seed)
+    (win_move_rules ())
+
+let win_move_dag n =
+  Program.make ~facts:(chain ~pred:"move" n) (win_move_rules ())
+
+let query name args = Atom.app name args
+
+let _ = fact1

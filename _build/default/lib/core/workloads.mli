@@ -1,0 +1,75 @@
+(** Deterministic workload generators: the benchmark EDBs and rule sets of
+    the recursive-query-processing literature (Bancilhon–Ramakrishnan's
+    "bench wars" suite), reused by the examples, tests and benchmarks.
+
+    All randomness comes from an explicit seed through a local linear
+    congruential generator, so every caller sees identical data. *)
+
+open Datalog_ast
+
+(** {1 EDB generators} *)
+
+val chain : pred:string -> int -> Atom.t list
+(** [chain ~pred n]: facts [pred(0,1), ..., pred(n-1,n)]. *)
+
+val cycle : pred:string -> int -> Atom.t list
+(** A chain whose last node points back to node 0. *)
+
+val full_tree : pred:string -> depth:int -> fanout:int -> Atom.t list
+(** Edges parent→child of a complete [fanout]-ary tree; node 0 is the
+    root. *)
+
+val random_graph :
+  pred:string -> nodes:int -> edges:int -> seed:int -> Atom.t list
+(** [edges] distinct directed edges over [nodes] vertices (self-loops
+    allowed), drawn deterministically from [seed]. *)
+
+val sg_cylinder : layers:int -> width:int -> Atom.t list
+(** The same-generation "cylinder" EDB: [layers] layers of [width] nodes;
+    [up] edges from layer [i] to [i+1], [down] edges back, and [flat]
+    edges within the deepest layer. *)
+
+(** {1 Rule sets} *)
+
+val ancestor_rules : ?anc:string -> ?edge:string -> unit -> Rule.t list
+(** Linear ancestor: [anc(X,Y) :- e(X,Y).  anc(X,Y) :- e(X,Z), anc(Z,Y).] *)
+
+val ancestor_rules_right : ?anc:string -> ?edge:string -> unit -> Rule.t list
+(** Right-linear variant: [anc(X,Y) :- anc(X,Z), e(Z,Y).] plus the base. *)
+
+val tc_nonlinear_rules : ?tc:string -> ?edge:string -> unit -> Rule.t list
+(** Non-linear transitive closure: [tc(X,Y) :- tc(X,Z), tc(Z,Y).] *)
+
+val same_generation_rules : unit -> Rule.t list
+(** [sg(X,Y) :- flat(X,Y).  sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).] *)
+
+val reverse_same_generation_rules : unit -> Rule.t list
+(** The RSG program of Bancilhon–Ramakrishnan:
+    [rsg(X,Y) :- flat(X,Y).  rsg(X,Y) :- up(X,U), rsg(V,U), down(V,Y).] *)
+
+val win_move_rules : unit -> Rule.t list
+(** The game program: [win(X) :- move(X,Y), not win(Y).] *)
+
+(** {1 Assembled programs} *)
+
+val ancestor_chain : int -> Program.t
+(** Linear ancestor over [chain ~pred:"edge" n]. *)
+
+val ancestor_tree : depth:int -> fanout:int -> Program.t
+
+val same_generation : layers:int -> width:int -> Program.t
+
+val reverse_same_generation : layers:int -> width:int -> Program.t
+
+val win_move_random : nodes:int -> edges:int -> seed:int -> Program.t
+(** Win–move over a random move graph (generally not stratified). *)
+
+val win_move_dag : int -> Program.t
+(** Win–move over a chain (acyclic, therefore locally stratified). *)
+
+(** {1 Query helpers} *)
+
+val node : int -> Term.t
+(** The term for node [i] (an integer constant). *)
+
+val query : string -> Term.t list -> Atom.t

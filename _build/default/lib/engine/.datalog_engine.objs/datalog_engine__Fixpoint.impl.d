@@ -1,0 +1,1 @@
+lib/engine/fixpoint.ml: Atom Counters Database Datalog_ast Datalog_storage Eval List Literal Pred Rule

@@ -1,0 +1,1 @@
+lib/engine/fixpoint.mli: Atom Counters Database Datalog_ast Datalog_storage Pred Rule

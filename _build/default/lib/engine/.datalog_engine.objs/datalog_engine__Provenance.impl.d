@@ -1,0 +1,1 @@
+lib/engine/provenance.ml: Array Atom Counters Database Datalog_analysis Datalog_ast Datalog_storage Eval Format List Literal Program Rule Subst

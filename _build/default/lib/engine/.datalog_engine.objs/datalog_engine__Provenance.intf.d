@@ -1,0 +1,1 @@
+lib/engine/provenance.mli: Atom Datalog_ast Format Literal Program Rule Subst

@@ -1,0 +1,1 @@
+lib/engine/stratified.mli: Counters Database Datalog_ast Datalog_storage Program

@@ -1,0 +1,1 @@
+lib/engine/wellfounded.ml: Atom Counters Database Datalog_ast Datalog_storage Fixpoint List Program Relation

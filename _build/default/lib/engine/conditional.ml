@@ -1,0 +1,221 @@
+open Datalog_ast
+open Datalog_storage
+
+type outcome = {
+  true_db : Database.t;
+  undefined : Atom.t list;
+  residual : (Atom.t * Atom.t list) list;
+  statements_generated : int;
+  counters : Counters.t;
+}
+
+(* The store maps each derived ground atom to a minimal antichain of
+   condition sets (sets of atoms whose absence the derivation awaits).
+   An unconditional fact is an entry containing the empty condition set. *)
+module Store = struct
+  type t = {
+    by_pred : Atom.Set.t list ref Tuple.Tbl.t Pred.Tbl.t;
+    mutable inserts : int;
+  }
+
+  let create () = { by_pred = Pred.Tbl.create 32; inserts = 0 }
+
+  let table store pred =
+    match Pred.Tbl.find_opt store.by_pred pred with
+    | Some t -> t
+    | None ->
+      let t = Tuple.Tbl.create 64 in
+      Pred.Tbl.add store.by_pred pred t;
+      t
+
+  (* Insert with subsumption; returns true when the store grew (a new
+     tuple, or a condition set not subsumed by an existing one). *)
+  let insert store pred tuple cond =
+    let t = table store pred in
+    match Tuple.Tbl.find_opt t tuple with
+    | None ->
+      Tuple.Tbl.add t tuple (ref [ cond ]);
+      store.inserts <- store.inserts + 1;
+      true
+    | Some conds ->
+      if List.exists (fun c -> Atom.Set.subset c cond) !conds then false
+      else begin
+        conds := cond :: List.filter (fun c -> not (Atom.Set.subset cond c)) !conds;
+        store.inserts <- store.inserts + 1;
+        true
+      end
+
+  let candidates store pred =
+    match Pred.Tbl.find_opt store.by_pred pred with
+    | None -> []
+    | Some t -> Tuple.Tbl.fold (fun tuple conds acc -> (tuple, !conds) :: acc) t []
+
+  let fold store f init =
+    Pred.Tbl.fold
+      (fun pred t acc ->
+        Tuple.Tbl.fold (fun tuple conds acc -> f pred tuple !conds acc) t acc)
+      store.by_pred init
+end
+
+(* Solve a rule body against the store.  Positive literals branch over the
+   (tuple, condition-set) choices; negative literals over IDB predicates are
+   delayed into the accumulated condition; negative EDB literals and
+   comparisons are decided immediately. *)
+let solve_body cnt store ~is_idb ~edb_mem body subst cond emit =
+  let rec go body subst cond =
+    match body with
+    | [] -> emit subst cond
+    | Literal.Pos atom :: rest ->
+      cnt.Counters.probes <- cnt.Counters.probes + 1;
+      List.iter
+        (fun (tuple, conds) ->
+          cnt.Counters.scanned <- cnt.Counters.scanned + 1;
+          match
+            (* reuse the matching of Eval via a manual walk *)
+            let args = Atom.args atom in
+            let n = Array.length args in
+            let rec m i subst =
+              if i >= n then Some subst
+              else
+                match Subst.apply_term subst args.(i) with
+                | Term.Const v ->
+                  if Value.equal v tuple.(i) then m (i + 1) subst else None
+                | Term.Var v ->
+                  m (i + 1) (Subst.bind v (Term.const tuple.(i)) subst)
+            in
+            m 0 subst
+          with
+          | None -> ()
+          | Some subst' ->
+            List.iter
+              (fun c -> go rest subst' (Atom.Set.union cond c))
+              conds)
+        (Store.candidates store (Atom.pred atom))
+    | Literal.Neg atom :: rest ->
+      let a = Subst.apply_atom subst atom in
+      if not (Atom.is_ground a) then
+        raise
+          (Eval.Unsafe_rule
+             (Format.asprintf "negative literal %a not ground" Atom.pp a));
+      if is_idb (Atom.pred a) then go rest subst (Atom.Set.add a cond)
+      else if not (edb_mem a) then go rest subst cond
+    | Literal.Cmp (op, t1, t2) :: rest -> (
+      let r1 = Subst.apply_term subst t1 and r2 = Subst.apply_term subst t2 in
+      match op, r1, r2 with
+      | _, Term.Const v1, Term.Const v2 ->
+        if Literal.eval_cmp op v1 v2 then go rest subst cond
+      | Literal.Eq, Term.Var v, Term.Const c
+      | Literal.Eq, Term.Const c, Term.Var v ->
+        go rest (Subst.bind v (Term.const c) subst) cond
+      | _, _, _ ->
+        raise
+          (Eval.Unsafe_rule
+             (Format.asprintf "comparison with unbound variable in %a"
+                Literal.pp (Literal.Cmp (op, r1, r2)))))
+  in
+  go body subst cond
+
+let run ?db program =
+  let counters = Counters.create () in
+  let store = Store.create () in
+  let seed = match db with Some db -> db | None -> Database.create () in
+  List.iter (fun a -> ignore (Database.add_atom seed a)) (Program.facts program);
+  Database.iter
+    (fun pred rel ->
+      Relation.iter
+        (fun tuple -> ignore (Store.insert store pred tuple Atom.Set.empty))
+        rel)
+    seed;
+  let is_idb p = Program.is_idb program p in
+  let edb_mem a = Database.mem_atom seed a in
+  let statements = ref 0 in
+  (* Monotone fixpoint of the conditional immediate-consequence operator. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    counters.Counters.iterations <- counters.Counters.iterations + 1;
+    List.iter
+      (fun rule ->
+        solve_body counters store ~is_idb ~edb_mem (Rule.body rule)
+          Subst.empty Atom.Set.empty (fun subst cond ->
+            counters.Counters.firings <- counters.Counters.firings + 1;
+            let h = Subst.apply_atom subst (Rule.head rule) in
+            if not (Atom.is_ground h) then
+              raise
+                (Eval.Unsafe_rule
+                   (Format.asprintf "derived non-ground head %a" Atom.pp h));
+            if not (Atom.Set.is_empty cond) then incr statements;
+            if Store.insert store (Atom.pred h) (Tuple.of_atom h) cond then begin
+              counters.Counters.facts_derived <-
+                counters.Counters.facts_derived + 1;
+              changed := true
+            end))
+      (Program.rules program)
+  done;
+  (* Reduction phase. *)
+  let facts : unit Atom.Tbl.t = Atom.Tbl.create 256 in
+  let pending = ref [] in
+  ignore
+    (Store.fold store
+       (fun pred tuple conds () ->
+         let atom = Atom.of_tuple pred tuple in
+         if List.exists Atom.Set.is_empty conds then Atom.Tbl.replace facts atom ()
+         else List.iter (fun c -> pending := (atom, c) :: !pending) conds;
+         ())
+       ());
+  let reduce_step () =
+    let heads = Atom.Tbl.create 64 in
+    List.iter (fun (a, _) -> Atom.Tbl.replace heads a ()) !pending;
+    let changed = ref false in
+    let keep =
+      List.filter_map
+        (fun (a, cond) ->
+          if Atom.Tbl.mem facts a then begin
+            (* head already true; statement redundant *)
+            changed := true;
+            None
+          end
+          else if Atom.Set.exists (fun c -> Atom.Tbl.mem facts c) cond then begin
+            (* some required absence is violated: dead statement *)
+            changed := true;
+            None
+          end
+          else begin
+            let cond' =
+              Atom.Set.filter
+                (fun c -> Atom.Tbl.mem facts c || Atom.Tbl.mem heads c)
+                cond
+            in
+            if Atom.Set.cardinal cond' < Atom.Set.cardinal cond then
+              changed := true;
+            if Atom.Set.is_empty cond' then begin
+              Atom.Tbl.replace facts a ();
+              changed := true;
+              None
+            end
+            else Some (a, cond')
+          end)
+        !pending
+    in
+    pending := keep;
+    !changed
+  in
+  while reduce_step () do
+    ()
+  done;
+  let true_db = Database.create () in
+  Atom.Tbl.iter (fun a () -> ignore (Database.add_atom true_db a)) facts;
+  let residual =
+    List.map (fun (a, c) -> (a, Atom.Set.elements c)) !pending
+  in
+  let undefined =
+    List.sort_uniq Atom.compare (List.map fst residual)
+  in
+  { true_db;
+    undefined;
+    residual;
+    statements_generated = !statements;
+    counters
+  }
+
+let holds outcome atom = Database.mem_atom outcome.true_db atom

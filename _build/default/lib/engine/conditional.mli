@@ -1,0 +1,40 @@
+(** The conditional fixpoint procedure.
+
+    The immediate-consequence operator of a program with negation is not
+    monotonic; the conditional operator [T_c] restores monotonicity by
+    {e delaying} negative literals: instead of facts it derives ground
+    {e conditional statements} [H <- not A1, ..., not Ak].  After the (now
+    monotone) fixpoint is reached, a reduction phase — in the style of the
+    Davis–Putnam procedure — simplifies the statements:
+
+    - a condition [not A] is removed when [A] is neither a fact nor the
+      head of a remaining statement (negation as failure);
+    - a statement is deleted when some condition [not A] has [A] a fact;
+    - a statement whose conditions are exhausted promotes its head to a
+      fact.
+
+    On (loosely/locally) stratified programs the reduction leaves no
+    residual statements and the facts form the natural (perfect) model.  On
+    other programs the residual statement heads are reported as
+    {e undefined}; on the classic win–move game they coincide with the
+    undefined atoms of the well-founded model (see {!Wellfounded}). *)
+
+open Datalog_ast
+open Datalog_storage
+
+type outcome = {
+  true_db : Database.t;  (** atoms proved true *)
+  undefined : Atom.t list;  (** heads of residual conditional statements *)
+  residual : (Atom.t * Atom.t list) list;
+      (** the residual statements: head and the atoms whose absence it
+          still awaits *)
+  statements_generated : int;  (** conditional statements produced by [T_c] *)
+  counters : Counters.t;
+}
+
+val run : ?db:Database.t -> Program.t -> outcome
+(** Evaluate the program under the conditional fixpoint.  [db] optionally
+    pre-seeds extra EDB facts. *)
+
+val holds : outcome -> Atom.t -> bool
+(** Is the ground atom true in the computed model? *)

@@ -1,0 +1,29 @@
+type t = {
+  mutable facts_derived : int;
+  mutable firings : int;
+  mutable probes : int;
+  mutable scanned : int;
+  mutable iterations : int;
+}
+
+let create () =
+  { facts_derived = 0; firings = 0; probes = 0; scanned = 0; iterations = 0 }
+
+let reset c =
+  c.facts_derived <- 0;
+  c.firings <- 0;
+  c.probes <- 0;
+  c.scanned <- 0;
+  c.iterations <- 0
+
+let add acc c =
+  acc.facts_derived <- acc.facts_derived + c.facts_derived;
+  acc.firings <- acc.firings + c.firings;
+  acc.probes <- acc.probes + c.probes;
+  acc.scanned <- acc.scanned + c.scanned;
+  acc.iterations <- acc.iterations + c.iterations
+
+let pp ppf c =
+  Format.fprintf ppf
+    "facts=%d firings=%d probes=%d scanned=%d iterations=%d" c.facts_derived
+    c.firings c.probes c.scanned c.iterations

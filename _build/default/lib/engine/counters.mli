@@ -1,0 +1,22 @@
+(** Instrumentation counters shared by the evaluators.
+
+    These are the machine-independent cost measures the benchmarks report:
+    a {e firing} is one successful full match of a rule body, a {e probe} is
+    one indexed lookup into a relation, {e scanned} counts the candidate
+    tuples those probes returned, and {e iterations} counts fixpoint
+    rounds. *)
+
+type t = {
+  mutable facts_derived : int;  (** new tuples inserted by rules *)
+  mutable firings : int;  (** rule bodies satisfied (incl. duplicates) *)
+  mutable probes : int;  (** relation lookups *)
+  mutable scanned : int;  (** candidate tuples inspected *)
+  mutable iterations : int;  (** fixpoint rounds *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** [add acc c] accumulates [c] into [acc]. *)
+
+val pp : Format.formatter -> t -> unit

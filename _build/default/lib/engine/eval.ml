@@ -1,0 +1,90 @@
+open Datalog_ast
+open Datalog_storage
+
+exception Unsafe_rule of string
+
+let unsafe fmt = Format.kasprintf (fun s -> raise (Unsafe_rule s)) fmt
+
+(* Split an atom's arguments under a substitution into index constraints
+   (bound positions) and the residual pattern to match. *)
+let bound_positions subst atom =
+  let args = Atom.args atom in
+  let bindings = ref [] in
+  Array.iteri
+    (fun i t ->
+      match Subst.apply_term subst t with
+      | Term.Const v -> bindings := (i, v) :: !bindings
+      | Term.Var _ -> ())
+    args;
+  List.rev !bindings
+
+(* Extend [subst] so that [atom] matches [tuple]; [None] on clash (a
+   repeated variable or a constant that differs). *)
+let match_tuple subst atom (tuple : Tuple.t) =
+  let args = Atom.args atom in
+  let n = Array.length args in
+  let rec go i subst =
+    if i >= n then Some subst
+    else
+      match Subst.apply_term subst args.(i) with
+      | Term.Const v ->
+        if Value.equal v tuple.(i) then go (i + 1) subst else None
+      | Term.Var v -> go (i + 1) (Subst.bind v (Term.const tuple.(i)) subst)
+  in
+  go 0 subst
+
+let ground_atom subst atom =
+  let a = Subst.apply_atom subst atom in
+  if Atom.is_ground a then a
+  else unsafe "negative literal %a not ground at evaluation time" Atom.pp a
+
+let solve_body cnt ~rel_of ~neg body subst emit =
+  let rec go i body subst =
+    match body with
+    | [] -> emit subst
+    | Literal.Pos atom :: rest -> (
+      match rel_of i (Atom.pred atom) with
+      | None -> ()
+      | Some rel ->
+        let bound = bound_positions subst atom in
+        cnt.Counters.probes <- cnt.Counters.probes + 1;
+        let candidates = Relation.select rel bound in
+        List.iter
+          (fun tuple ->
+            cnt.Counters.scanned <- cnt.Counters.scanned + 1;
+            match match_tuple subst atom tuple with
+            | Some subst' -> go (i + 1) rest subst'
+            | None -> ())
+          candidates)
+    | Literal.Neg atom :: rest ->
+      if neg (ground_atom subst atom) then go (i + 1) rest subst
+    | Literal.Cmp (op, t1, t2) :: rest -> (
+      let r1 = Subst.apply_term subst t1 and r2 = Subst.apply_term subst t2 in
+      match op, r1, r2 with
+      | _, Term.Const v1, Term.Const v2 ->
+        if Literal.eval_cmp op v1 v2 then go (i + 1) rest subst
+      | Literal.Eq, Term.Var v, Term.Const c
+      | Literal.Eq, Term.Const c, Term.Var v ->
+        go (i + 1) rest (Subst.bind v (Term.const c) subst)
+      | Literal.Eq, Term.Var v, (Term.Var w as t) ->
+        (* aliasing two unbound variables is allowed for [=] *)
+        if String.equal v w then go (i + 1) rest subst
+        else go (i + 1) rest (Subst.bind v t subst)
+      | _, _, _ ->
+        unsafe "comparison %a with unbound variable" Literal.pp
+          (Literal.Cmp (op, r1, r2)))
+  in
+  go 0 body subst
+
+let apply_rule cnt ~rel_of ~neg rule emit =
+  let head = Rule.head rule in
+  solve_body cnt ~rel_of ~neg (Rule.body rule) Subst.empty (fun subst ->
+      cnt.Counters.firings <- cnt.Counters.firings + 1;
+      let h = Subst.apply_atom subst head in
+      if not (Atom.is_ground h) then
+        unsafe "derived non-ground head %a in rule %a" Atom.pp h Rule.pp rule;
+      emit (Atom.pred h) (Atom.to_tuple h))
+
+let db_rel_of db _i pred = Database.find db pred
+
+let closed_world_neg db atom = not (Database.mem_atom db atom)

@@ -1,0 +1,55 @@
+(** Rule-body evaluation: index-backed nested-loop join with backtracking.
+
+    This is the shared kernel of every evaluator.  A body is solved left to
+    right under a substitution environment; positive literals enumerate
+    matching tuples through {!Datalog_storage.Relation.select} (which uses a
+    hash index on the bound columns), negative literals test the absence of
+    the — by then ground — atom, and comparisons filter (or, for [=] with
+    one unbound side, bind). *)
+
+open Datalog_ast
+open Datalog_storage
+
+exception Unsafe_rule of string
+(** Raised when evaluation meets a negative literal or comparison with
+    unbound variables, or derives a non-ground head: the rule violates the
+    ordered safety condition (see {!Datalog_analysis.Safety}). *)
+
+val solve_body :
+  Counters.t ->
+  rel_of:(int -> Pred.t -> Relation.t option) ->
+  neg:(Atom.t -> bool) ->
+  Literal.t list ->
+  Subst.t ->
+  (Subst.t -> unit) ->
+  unit
+(** [solve_body cnt ~rel_of ~neg body subst emit] calls [emit] once per
+    substitution extending [subst] that satisfies [body].  [rel_of i pred]
+    supplies the relation scanned by the positive literal at body position
+    [i] ([None] = empty) — semi-naive evaluation substitutes a delta
+    relation at one position.  [neg atom] decides ground negated atoms. *)
+
+val apply_rule :
+  Counters.t ->
+  rel_of:(int -> Pred.t -> Relation.t option) ->
+  neg:(Atom.t -> bool) ->
+  Rule.t ->
+  (Pred.t -> Tuple.t -> unit) ->
+  unit
+(** Fire a rule for every body match, handing the ground head tuple to the
+    callback. *)
+
+val bound_positions : Subst.t -> Atom.t -> (int * Value.t) list
+(** The argument positions of the atom that are ground under the
+    substitution, with their values — the index constraints a lookup can
+    use. *)
+
+val match_tuple : Subst.t -> Atom.t -> Tuple.t -> Subst.t option
+(** Extend the substitution so the atom matches the tuple ([None] on a
+    constant clash or an inconsistent repeated variable). *)
+
+val db_rel_of : Database.t -> int -> Pred.t -> Relation.t option
+(** The ordinary [rel_of]: every position reads the database. *)
+
+val closed_world_neg : Database.t -> Atom.t -> bool
+(** [not mem]: the negated atom holds iff absent from the database. *)

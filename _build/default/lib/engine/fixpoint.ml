@@ -1,0 +1,81 @@
+open Datalog_ast
+open Datalog_storage
+
+let naive cnt ~db ~neg rules =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+    List.iter
+      (fun rule ->
+        Eval.apply_rule cnt ~rel_of:(Eval.db_rel_of db) ~neg rule
+          (fun pred tuple ->
+            if Database.add db pred tuple then begin
+              cnt.Counters.facts_derived <- cnt.Counters.facts_derived + 1;
+              changed := true
+            end))
+      rules
+  done
+
+let head_preds rules =
+  List.fold_left
+    (fun acc r -> Pred.Set.add (Atom.pred (Rule.head r)) acc)
+    Pred.Set.empty rules
+
+(* Positions of positive body literals over recursive predicates. *)
+let delta_positions recursive rule =
+  List.filteri
+    (fun _ _ -> true)
+    (List.mapi (fun i lit -> (i, lit)) (Rule.body rule))
+  |> List.filter_map (fun (i, lit) ->
+         match lit with
+         | Literal.Pos a when Pred.Set.mem (Atom.pred a) recursive -> Some i
+         | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> None)
+
+let seminaive cnt ~db ~neg ?recursive rules =
+  let recursive =
+    match recursive with Some s -> s | None -> head_preds rules
+  in
+  let fresh_delta () : Database.t = Database.create () in
+  (* First round: full evaluation, recording the new tuples as the delta. *)
+  let delta = ref (fresh_delta ()) in
+  cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+  List.iter
+    (fun rule ->
+      Eval.apply_rule cnt ~rel_of:(Eval.db_rel_of db) ~neg rule
+        (fun pred tuple ->
+          if Database.add db pred tuple then begin
+            cnt.Counters.facts_derived <- cnt.Counters.facts_derived + 1;
+            ignore (Database.add !delta pred tuple)
+          end))
+    rules;
+  let delta_rules =
+    List.filter_map
+      (fun rule ->
+        match delta_positions recursive rule with
+        | [] -> None
+        | positions -> Some (rule, positions))
+      rules
+  in
+  while Database.total_facts !delta > 0 do
+    cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+    let next = fresh_delta () in
+    let current = !delta in
+    List.iter
+      (fun (rule, positions) ->
+        List.iter
+          (fun delta_pos ->
+            let rel_of i pred =
+              if i = delta_pos then Database.find current pred
+              else Database.find db pred
+            in
+            Eval.apply_rule cnt ~rel_of ~neg rule (fun pred tuple ->
+                if Database.add db pred tuple then begin
+                  cnt.Counters.facts_derived <-
+                    cnt.Counters.facts_derived + 1;
+                  ignore (Database.add next pred tuple)
+                end))
+          positions)
+      delta_rules;
+    delta := next
+  done

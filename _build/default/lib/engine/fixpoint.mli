@@ -1,0 +1,25 @@
+(** Naive and semi-naive bottom-up fixpoints over one set of rules.
+
+    Both evaluate the given rules to saturation against a database that is
+    mutated in place.  The negation callback decides ground negated atoms;
+    for stratified evaluation it is the closed-world test against the
+    already-complete lower strata. *)
+
+open Datalog_ast
+open Datalog_storage
+
+val naive :
+  Counters.t -> db:Database.t -> neg:(Atom.t -> bool) -> Rule.t list -> unit
+(** Rounds of full re-evaluation of every rule until no new fact appears. *)
+
+val seminaive :
+  Counters.t ->
+  db:Database.t ->
+  neg:(Atom.t -> bool) ->
+  ?recursive:Pred.Set.t ->
+  Rule.t list ->
+  unit
+(** Delta-driven evaluation: after a first full round, each subsequent round
+    only joins through tuples produced in the previous round.  [recursive]
+    names the predicates to drive with deltas; it defaults to the head
+    predicates of the given rules. *)

@@ -1,0 +1,124 @@
+open Datalog_ast
+open Datalog_storage
+
+let ensure_positive program =
+  if List.exists (fun r -> Rule.negative_body r <> []) (Program.rules program)
+  then
+    Error
+      "incremental maintenance requires a positive program (negation can \
+       retract under additions); recompute instead"
+  else Ok ()
+
+(* Delta-driven propagation: fire every rule with one body position
+   reading the delta and the rest reading the full database, inserting
+   consequences into both the database and the next delta. *)
+let propagate cnt program db delta =
+  let inserted = ref 0 in
+  let current = ref delta in
+  while Database.total_facts !current > 0 do
+    cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+    let next = Database.create () in
+    List.iter
+      (fun rule ->
+        let body = Rule.body rule in
+        List.iteri
+          (fun i lit ->
+            match lit with
+            | Literal.Pos a
+              when Database.cardinal !current (Atom.pred a) > 0 ->
+              let rel_of j pred =
+                if j = i then Database.find !current pred
+                else Database.find db pred
+              in
+              Eval.apply_rule cnt ~rel_of
+                ~neg:(Eval.closed_world_neg db)
+                rule
+                (fun pred tuple ->
+                  if Database.add db pred tuple then begin
+                    incr inserted;
+                    cnt.Counters.facts_derived <-
+                      cnt.Counters.facts_derived + 1;
+                    ignore (Database.add next pred tuple)
+                  end)
+            | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> ())
+          body)
+      (Program.rules program);
+    current := next
+  done;
+  !inserted
+
+let add_facts cnt program db facts =
+  match ensure_positive program with
+  | Error _ as e -> e
+  | Ok () ->
+    let delta = Database.create () in
+    let base_added = ref 0 in
+    List.iter
+      (fun a ->
+        if Database.add_atom db a then begin
+          incr base_added;
+          ignore (Database.add_atom delta a)
+        end)
+      facts;
+    let derived = propagate cnt program db delta in
+    Ok (!base_added + derived)
+
+let remove_facts cnt program db facts =
+  match ensure_positive program with
+  | Error _ as e -> e
+  | Ok () ->
+    let before = Database.total_facts db in
+    (* Base facts of the program (and only the explicitly requested base
+       deletions) are protected from over-deletion: the DRed re-derivation
+       phase can only restore tuples that some rule derives. *)
+    let protected = Atom.Tbl.create 64 in
+    List.iter (fun a -> Atom.Tbl.replace protected a ()) (Program.facts program);
+    List.iter (fun a -> Atom.Tbl.remove protected a) facts;
+    (* Phase 1: over-delete.  Any head tuple one of whose derivations (in
+       the PRE-deletion database) consumed a deleted tuple is marked. *)
+    let deleted = Database.create () in
+    List.iter
+      (fun a ->
+        if Database.mem_atom db a then ignore (Database.add_atom deleted a))
+      facts;
+    let frontier = ref (Database.copy deleted) in
+    while Database.total_facts !frontier > 0 do
+      cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+      let next = Database.create () in
+      List.iter
+        (fun rule ->
+          List.iteri
+            (fun i lit ->
+              match lit with
+              | Literal.Pos a
+                when Database.cardinal !frontier (Atom.pred a) > 0 ->
+                let rel_of j pred =
+                  if j = i then Database.find !frontier pred
+                  else Database.find db pred
+                in
+                Eval.apply_rule cnt ~rel_of
+                  ~neg:(Eval.closed_world_neg db)
+                  rule
+                  (fun pred tuple ->
+                    let atom = Atom.of_tuple pred tuple in
+                    if
+                      Database.mem db pred tuple
+                      && (not (Atom.Tbl.mem protected atom))
+                      && Database.add deleted pred tuple
+                    then ignore (Database.add next pred tuple))
+              | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> ())
+            (Rule.body rule))
+        (Program.rules program);
+      frontier := next
+    done;
+    (* Phase 2: physically remove the over-deleted tuples. *)
+    Database.iter
+      (fun pred rel ->
+        Relation.iter (fun t -> ignore (Database.remove db pred t)) rel)
+      deleted;
+    (* Phase 3: re-derive — anything with an alternative derivation from
+       the remaining facts comes back (semi-naive to fixpoint). *)
+    Fixpoint.seminaive cnt ~db
+      ~neg:(Eval.closed_world_neg db)
+      (Program.rules program);
+    Ok (before - Database.total_facts db)

@@ -1,0 +1,33 @@
+(** Incremental maintenance of a saturated database.
+
+    Additions are monotone for positive programs, so they propagate by
+    resuming the semi-naive fixpoint with the new facts as the first
+    delta.  Deletions use DRed (delete and re-derive, Gupta–Mumick–
+    Subrahmanian): first over-delete everything whose some derivation used
+    a deleted fact, then re-derive what still has an alternative
+    derivation from the remainder.
+
+    Both operations currently require a {e positive} program (no
+    negation): under negation additions can retract derived facts and
+    vice versa, which DRed alone does not handle.  The facade falls back
+    to recomputation in that case. *)
+
+open Datalog_ast
+open Datalog_storage
+
+val add_facts :
+  Counters.t -> Program.t -> Database.t -> Atom.t list -> (int, string) result
+(** [add_facts cnt program db facts] inserts the (ground, extensional)
+    [facts] into the saturated [db] and propagates their consequences.
+    Returns the number of new tuples (base + derived), or [Error] on a
+    program with negation. *)
+
+val remove_facts :
+  Counters.t -> Program.t -> Database.t -> Atom.t list -> (int, string) result
+(** [remove_facts cnt program db facts] deletes the given extensional
+    facts and every derived tuple that no longer has a derivation.
+    Returns the number of tuples removed, or [Error] on a program with
+    negation.
+
+    Note: [db] is rebuilt in place (relations are replaced), so aliased
+    references to its relations must be re-fetched afterwards. *)

@@ -1,0 +1,141 @@
+open Datalog_ast
+open Datalog_storage
+
+type proof =
+  | Fact of Atom.t
+  | Derived of {
+      conclusion : Atom.t;
+      rule : Rule.t;
+      subst : Subst.t;
+      premises : premise list;
+    }
+
+and premise =
+  | Proved of proof
+  | Absent of Atom.t
+  | Holds of Literal.t
+
+let conclusion = function
+  | Fact a -> a
+  | Derived { conclusion; _ } -> conclusion
+
+let rec depth = function
+  | Fact _ -> 1
+  | Derived { premises; _ } ->
+    1
+    + List.fold_left
+        (fun acc p ->
+          match p with
+          | Proved sub -> max acc (depth sub)
+          | Absent _ | Holds _ -> acc)
+        0 premises
+
+let rec size = function
+  | Fact _ -> 1
+  | Derived { premises; _ } ->
+    1
+    + List.fold_left
+        (fun acc p ->
+          match p with
+          | Proved sub -> acc + size sub
+          | Absent _ | Holds _ -> acc)
+        0 premises
+
+(* A justification records the FIRST derivation of each fact during a
+   saturation run.  Because a rule instance only consumes facts that are
+   already in the database when it fires, following justifications can
+   never loop: every premise was derived strictly before its conclusion.
+   This makes proof extraction linear and the proofs rank-minimal in the
+   fixpoint sense, with no atom repeating along any root-to-leaf path. *)
+type justification = {
+  j_rule : Rule.t;
+  j_subst : Subst.t;
+}
+
+let saturate_with_justifications program =
+  let db = Database.create () in
+  List.iter (fun a -> ignore (Database.add_atom db a)) (Program.facts program);
+  let justif : justification Atom.Tbl.t = Atom.Tbl.create 256 in
+  let counters = Counters.create () in
+  let neg = Eval.closed_world_neg db in
+  let record rule =
+    Eval.solve_body counters ~rel_of:(Eval.db_rel_of db) ~neg (Rule.body rule)
+      Subst.empty (fun subst ->
+        let head = Subst.apply_atom subst (Rule.head rule) in
+        if Atom.is_ground head && Database.add_atom db head then
+          Atom.Tbl.replace justif head { j_rule = rule; j_subst = subst })
+  in
+  let evaluate rules =
+    let changed = ref true in
+    while !changed do
+      let before = Database.total_facts db in
+      List.iter record rules;
+      changed := Database.total_facts db <> before
+    done
+  in
+  (match Datalog_analysis.Stratify.stratification program with
+  | Some strata ->
+    Array.iteri
+      (fun s _ ->
+        match Datalog_analysis.Stratify.rules_of_stratum program strata s with
+        | [] -> ()
+        | rules -> evaluate rules)
+      strata.Datalog_analysis.Stratify.groups
+  | None ->
+    (* not stratified: best effort on the positive part *)
+    evaluate (Program.rules program));
+  (db, justif)
+
+let explain ?(max_depth = 10_000) program atom =
+  if not (Atom.is_ground atom) then
+    invalid_arg "Provenance.explain: atom not ground";
+  let db, justif = saturate_with_justifications program in
+  let given = Atom.Tbl.create 64 in
+  List.iter (fun a -> Atom.Tbl.replace given a ()) (Program.facts program);
+  let memo : proof Atom.Tbl.t = Atom.Tbl.create 256 in
+  let exception Failed in
+  let rec build fuel atom =
+    if fuel <= 0 then raise Failed;
+    match Atom.Tbl.find_opt memo atom with
+    | Some proof -> proof
+    | None ->
+      let proof =
+        if Atom.Tbl.mem given atom then Fact atom
+        else
+          match Atom.Tbl.find_opt justif atom with
+          | None -> raise Failed
+          | Some { j_rule; j_subst } ->
+            let premises =
+              List.map
+                (fun lit ->
+                  match Subst.apply_literal j_subst lit with
+                  | Literal.Pos a -> Proved (build (fuel - 1) a)
+                  | Literal.Neg a -> Absent a
+                  | Literal.Cmp (_, _, _) as c -> Holds c)
+                (Rule.body j_rule)
+            in
+            Derived
+              { conclusion = atom; rule = j_rule; subst = j_subst; premises }
+      in
+      Atom.Tbl.replace memo atom proof;
+      proof
+  in
+  if not (Database.mem_atom db atom) then None
+  else match build max_depth atom with
+    | proof -> Some proof
+    | exception Failed -> None
+
+let rec pp ppf proof =
+  match proof with
+  | Fact a -> Format.fprintf ppf "%a  [fact]" Atom.pp a
+  | Derived { conclusion; rule; premises; _ } ->
+    Format.fprintf ppf "@[<v 2>%a  [by %a]" Atom.pp conclusion Rule.pp rule;
+    List.iter
+      (fun premise ->
+        Format.pp_print_cut ppf ();
+        match premise with
+        | Proved sub -> pp ppf sub
+        | Absent a -> Format.fprintf ppf "not %a  [absent]" Atom.pp a
+        | Holds lit -> Format.fprintf ppf "%a  [holds]" Literal.pp lit)
+      premises;
+    Format.fprintf ppf "@]"

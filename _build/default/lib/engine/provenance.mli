@@ -1,0 +1,45 @@
+(** Proof-tree extraction (why-provenance).
+
+    Proofs in the sense of the constructive proof theory: a ground atom is
+    proved either because it is a given fact, or by a rule instance whose
+    positive premises are proved in turn and whose negative premises are
+    {e absent} from the (already computed) model.  [explain] reconstructs
+    such a tree by replaying a stratified saturation of the program while
+    recording each fact's first derivation: premises are always derived
+    strictly before their conclusion, so the extracted proofs are
+    well-founded (no atom repeats along a root-to-leaf path) and
+    extraction is linear in the proof size. *)
+
+open Datalog_ast
+
+type proof =
+  | Fact of Atom.t  (** a fact of the program (EDB or given) *)
+  | Derived of {
+      conclusion : Atom.t;
+      rule : Rule.t;  (** the source rule used *)
+      subst : Subst.t;  (** its grounding substitution *)
+      premises : premise list;  (** one per body literal, in order *)
+    }
+
+and premise =
+  | Proved of proof  (** a positive premise with its own proof *)
+  | Absent of Atom.t  (** a negative premise: the atom is not in the model *)
+  | Holds of Literal.t  (** a ground comparison that evaluates to true *)
+
+val explain : ?max_depth:int -> Program.t -> Atom.t -> proof option
+(** [explain program atom] builds a proof of the ground [atom].  Returns
+    [None] when the atom is not derivable or [max_depth] (default 10_000)
+    is exceeded.  On non-stratified programs only the positive part is
+    replayed (negative premises are then best-effort).
+    @raise Invalid_argument if [atom] is not ground. *)
+
+val depth : proof -> int
+(** Height of the proof tree (a fact has depth 1). *)
+
+val size : proof -> int
+(** Number of nodes (facts + rule applications). *)
+
+val conclusion : proof -> Atom.t
+
+val pp : Format.formatter -> proof -> unit
+(** Indented tree rendering. *)

@@ -1,0 +1,40 @@
+open Datalog_ast
+open Datalog_storage
+open Datalog_analysis
+
+type outcome = {
+  db : Database.t;
+  counters : Counters.t;
+  strata_count : int;
+}
+
+let run ?db ?(use_naive = false) program =
+  match Stratify.stratification program with
+  | None ->
+    Error
+      (Format.asprintf "program is not stratified: %a"
+         (Format.pp_print_list ~pp_sep:Format.pp_print_space Pred.pp)
+         (Option.value ~default:[] (Stratify.negative_cycle program)))
+  | Some strata ->
+    let db =
+      match db with
+      | Some db -> db
+      | None -> Database.create ()
+    in
+    List.iter (fun a -> ignore (Database.add_atom db a)) (Program.facts program);
+    let counters = Counters.create () in
+    let neg = Eval.closed_world_neg db in
+    let strata_count = Array.length strata.Stratify.groups in
+    for s = 0 to strata_count - 1 do
+      match Stratify.rules_of_stratum program strata s with
+      | [] -> ()
+      | rules ->
+        if use_naive then Fixpoint.naive counters ~db ~neg rules
+        else Fixpoint.seminaive counters ~db ~neg rules
+    done;
+    Ok { db; counters; strata_count }
+
+let run_exn ?db ?use_naive program =
+  match run ?db ?use_naive program with
+  | Ok outcome -> outcome
+  | Error msg -> failwith msg

@@ -1,0 +1,25 @@
+(** Stratified evaluation: strata are computed from the dependency graph
+    and evaluated bottom-up in order, so every negated predicate is fully
+    known before it is consulted. *)
+
+open Datalog_ast
+open Datalog_storage
+
+type outcome = {
+  db : Database.t;  (** EDB plus all derived facts *)
+  counters : Counters.t;
+  strata_count : int;
+}
+
+val run :
+  ?db:Database.t ->
+  ?use_naive:bool ->
+  Program.t ->
+  (outcome, string) result
+(** Evaluate the whole program.  [db] optionally supplies a pre-seeded
+    database (the program's facts are always added); [use_naive] switches
+    the per-stratum fixpoint from semi-naive to naive (for the ablation
+    benchmarks).  [Error _] when the program is not stratified. *)
+
+val run_exn : ?db:Database.t -> ?use_naive:bool -> Program.t -> outcome
+(** @raise Failure on a non-stratified program. *)

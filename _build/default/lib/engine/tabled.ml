@@ -1,0 +1,308 @@
+open Datalog_ast
+open Datalog_storage
+open Datalog_analysis
+
+type call = {
+  call_pred : Pred.t;
+  bound : (int * Value.t) list;
+}
+
+let call_binding c =
+  String.init (Pred.arity c.call_pred) (fun i ->
+      if List.mem_assoc i c.bound then 'b' else 'f')
+
+let call_equal a b =
+  Pred.equal a.call_pred b.call_pred
+  && List.length a.bound = List.length b.bound
+  && List.for_all2
+       (fun (i, v) (j, w) -> i = j && Value.equal v w)
+       a.bound b.bound
+
+let call_hash c =
+  List.fold_left
+    (fun acc (i, v) -> (acc * 31) + (i * 7) + Value.hash v)
+    (Pred.hash c.call_pred) c.bound
+
+module CallTbl = Hashtbl.Make (struct
+  type t = call
+  let equal = call_equal
+  let hash = call_hash
+end)
+
+type outcome = {
+  answers : Tuple.t list;
+  calls : call list;
+  tables : (call * Tuple.t list) list;
+  counters : Counters.t;
+}
+
+type state = {
+  program : Program.t;
+  edb : Database.t;
+  counters : Counters.t;
+  tables : Relation.t CallTbl.t;
+  consumers : call list ref CallTbl.t;
+      (* calls whose rules read a given call's table: when the table grows
+         they must be re-solved *)
+  dirty : unit CallTbl.t;  (* members of the agenda *)
+  mutable agenda : call list;
+  mutable order : call list;  (* reverse creation order *)
+  neg_memo : bool Atom.Tbl.t;  (* shared across nested evaluations *)
+}
+
+let schedule st c =
+  if not (CallTbl.mem st.dirty c) then begin
+    CallTbl.add st.dirty c ();
+    st.agenda <- c :: st.agenda
+  end
+
+let call_of_atom subst atom =
+  { call_pred = Atom.pred atom; bound = Eval.bound_positions subst atom }
+
+let rec ensure_call st c =
+  match CallTbl.find_opt st.tables c with
+  | Some rel -> rel
+  | None ->
+    let rel = Relation.create (Pred.arity c.call_pred) in
+    CallTbl.add st.tables c rel;
+    st.order <- c :: st.order;
+    schedule st c;
+    rel
+
+(* the consumer must be re-solved whenever [producer]'s table grows *)
+and register_consumer st ~producer ~consumer =
+  let bucket =
+    match CallTbl.find_opt st.consumers producer with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      CallTbl.add st.consumers producer b;
+      b
+  in
+  if not (List.exists (call_equal consumer) !bucket) then
+    bucket := consumer :: !bucket
+
+(* Decide a ground negated intensional atom by a nested, memoised tabled
+   evaluation: sound because the planner only admits stratified programs,
+   so the nested goal cannot depend on the current tables. *)
+and decide_negation st atom =
+  match Atom.Tbl.find_opt st.neg_memo atom with
+  | Some holds -> not holds
+  | None ->
+    let sub =
+      { program = st.program;
+        edb = st.edb;
+        counters = st.counters;
+        tables = CallTbl.create 32;
+        consumers = CallTbl.create 32;
+        dirty = CallTbl.create 32;
+        agenda = [];
+        order = [];
+        neg_memo = st.neg_memo
+      }
+    in
+    let c = call_of_atom Subst.empty atom in
+    ignore (ensure_call sub c);
+    saturate sub;
+    let holds =
+      match CallTbl.find_opt sub.tables c with
+      | None -> false
+      | Some rel -> Relation.mem rel (Atom.to_tuple atom)
+    in
+    Atom.Tbl.add st.neg_memo atom holds;
+    not holds
+
+and solve_body st ~consumer body subst emit =
+  match body with
+  | [] -> emit subst
+  | Literal.Pos atom :: rest ->
+    let pred = Atom.pred atom in
+    let candidates =
+      if Program.is_idb st.program pred then begin
+        let c = call_of_atom subst atom in
+        let rel = ensure_call st c in
+        register_consumer st ~producer:c ~consumer;
+        st.counters.Counters.probes <- st.counters.Counters.probes + 1;
+        Relation.to_list rel
+      end
+      else begin
+        st.counters.Counters.probes <- st.counters.Counters.probes + 1;
+        match Database.find st.edb pred with
+        | None -> []
+        | Some rel -> Relation.select rel (Eval.bound_positions subst atom)
+      end
+    in
+    List.iter
+      (fun tuple ->
+        st.counters.Counters.scanned <- st.counters.Counters.scanned + 1;
+        match Eval.match_tuple subst atom tuple with
+        | Some subst' -> solve_body st ~consumer rest subst' emit
+        | None -> ())
+      candidates
+  | Literal.Neg atom :: rest ->
+    let a = Subst.apply_atom subst atom in
+    if not (Atom.is_ground a) then
+      raise
+        (Eval.Unsafe_rule
+           (Format.asprintf "negative literal %a not ground at evaluation time"
+              Atom.pp a));
+    let pred = Atom.pred a in
+    let holds =
+      if Program.is_idb st.program pred then decide_negation st a
+      else not (Database.mem_atom st.edb a)
+    in
+    if holds then solve_body st ~consumer rest subst emit
+  | Literal.Cmp (op, t1, t2) :: rest -> (
+    let r1 = Subst.apply_term subst t1 and r2 = Subst.apply_term subst t2 in
+    match op, r1, r2 with
+    | _, Term.Const v1, Term.Const v2 ->
+      if Literal.eval_cmp op v1 v2 then solve_body st ~consumer rest subst emit
+    | Literal.Eq, Term.Var v, Term.Const c
+    | Literal.Eq, Term.Const c, Term.Var v ->
+      solve_body st ~consumer rest (Subst.bind v (Term.const c) subst) emit
+    | _, _, _ ->
+      raise
+        (Eval.Unsafe_rule
+           (Format.asprintf "comparison with unbound variable: %a" Literal.pp
+              (Literal.Cmp (op, r1, r2)))))
+
+and solve_call st c =
+  let rel = ensure_call st c in
+  List.iter
+    (fun rule ->
+      (* rename apart from any variables the call could mention (calls are
+         ground on their bound positions, so a plain fresh copy suffices) *)
+      let rule = Rule.rename ~suffix:"#t" rule in
+      let head = Rule.head rule in
+      (* constrain the head by the call's bound values *)
+      let subst0 =
+        List.fold_left
+          (fun acc (i, v) ->
+            match acc with
+            | None -> None
+            | Some s -> Unify.unify_terms (Atom.args head).(i) (Term.const v) s)
+          (Some Subst.empty) c.bound
+      in
+      match subst0 with
+      | None -> ()
+      | Some subst0 ->
+        solve_body st ~consumer:c (Rule.body rule) subst0 (fun subst ->
+            st.counters.Counters.firings <- st.counters.Counters.firings + 1;
+            let h = Subst.apply_atom subst head in
+            if not (Atom.is_ground h) then
+              raise
+                (Eval.Unsafe_rule
+                   (Format.asprintf "derived non-ground answer %a" Atom.pp h));
+            if Relation.insert rel (Atom.to_tuple h) then begin
+              st.counters.Counters.facts_derived <-
+                st.counters.Counters.facts_derived + 1;
+              (* wake everyone who read this table *)
+              match CallTbl.find_opt st.consumers c with
+              | None -> ()
+              | Some bucket -> List.iter (schedule st) !bucket
+            end))
+    (Program.rules_for st.program c.call_pred)
+
+and saturate st =
+  let rec drain () =
+    match st.agenda with
+    | [] -> ()
+    | c :: rest ->
+      st.agenda <- rest;
+      CallTbl.remove st.dirty c;
+      st.counters.Counters.iterations <- st.counters.Counters.iterations + 1;
+      solve_call st c;
+      drain ()
+  in
+  drain ()
+
+let run ?db program query =
+  let has_negation =
+    List.exists (fun r -> Rule.negative_body r <> []) (Program.rules program)
+  in
+  if has_negation && not (Stratify.is_stratified program) then
+    Error "tabled evaluation requires a stratified program"
+  else begin
+    let edb = match db with Some db -> db | None -> Database.create () in
+    List.iter (fun a -> ignore (Database.add_atom edb a)) (Program.facts program);
+    let st =
+      { program;
+        edb;
+        counters = Counters.create ();
+        tables = CallTbl.create 64;
+        consumers = CallTbl.create 64;
+        dirty = CallTbl.create 64;
+        agenda = [];
+        order = [];
+        neg_memo = Atom.Tbl.create 64
+      }
+    in
+    let root = call_of_atom Subst.empty query in
+    let qpred = Atom.pred query in
+    if not (Program.is_idb program qpred) then begin
+      (* extensional query: answer directly, no tables *)
+      let answers =
+        match Database.find edb qpred with
+        | None -> []
+        | Some rel ->
+          Relation.select rel root.bound
+          |> List.filter (fun t ->
+                 Option.is_some
+                   (Unify.matches ~pattern:query ~ground:(Atom.of_tuple qpred t)))
+          |> List.sort Tuple.compare
+      in
+      Ok { answers; calls = []; tables = []; counters = st.counters }
+    end
+    else
+      match
+        ignore (ensure_call st root);
+        saturate st
+      with
+      | () ->
+        let answers =
+          match CallTbl.find_opt st.tables root with
+          | None -> []
+          | Some rel ->
+            Relation.to_list rel
+            |> List.filter (fun t ->
+                   Option.is_some
+                     (Unify.matches ~pattern:query
+                        ~ground:(Atom.of_tuple qpred t)))
+            |> List.sort Tuple.compare
+        in
+        let calls = List.rev st.order in
+        let tables =
+          List.map
+            (fun c ->
+              ( c,
+                match CallTbl.find_opt st.tables c with
+                | None -> []
+                | Some rel -> Relation.to_list rel ))
+            calls
+        in
+        Ok { answers; calls; tables; counters = st.counters }
+      | exception Eval.Unsafe_rule msg -> Error msg
+  end
+
+let run_exn ?db program query =
+  match run ?db program query with
+  | Ok outcome -> outcome
+  | Error msg -> failwith msg
+
+let calls_for outcome pred binding =
+  List.length
+    (List.filter
+       (fun c -> Pred.equal c.call_pred pred && call_binding c = binding)
+       outcome.calls)
+
+(* distinct answers across all calls of the adornment: different calls can
+   in principle produce overlapping answer tuples, and the rewritten
+   program's ans_p^a relation is their set union *)
+let answers_for (outcome : outcome) pred binding =
+  let seen = Tuple.Tbl.create 64 in
+  List.iter
+    (fun (c, tuples) ->
+      if Pred.equal c.call_pred pred && call_binding c = binding then
+        List.iter (fun t -> Tuple.Tbl.replace seen t ()) tuples)
+    outcome.tables;
+  Tuple.Tbl.length seen

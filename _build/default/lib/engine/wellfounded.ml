@@ -1,0 +1,69 @@
+open Datalog_ast
+open Datalog_storage
+
+type outcome = {
+  true_db : Database.t;
+  undefined : Atom.t list;
+  rounds : int;
+  counters : Counters.t;
+}
+
+let db_subset a b =
+  let ok = ref true in
+  Database.iter
+    (fun pred rel ->
+      Relation.iter (fun t -> if not (Database.mem b pred t) then ok := false) rel)
+    a;
+  !ok
+
+let db_equal a b = db_subset a b && db_subset b a
+
+let run ?db program =
+  let counters = Counters.create () in
+  let seed = match db with Some db -> db | None -> Database.create () in
+  List.iter (fun a -> ignore (Database.add_atom seed a)) (Program.facts program);
+  let rules = Program.rules program in
+  (* S(I): least fixpoint with negation decided against seed ∪ I. *)
+  let s_operator i =
+    let db = Database.copy seed in
+    (* The negation oracle is frozen on [seed ∪ i]: it must not observe the
+       facts derived during this very run (those live in [db] only).  EDB
+       atoms are true in every candidate interpretation, so testing the
+       seed directly is sound and avoids deriving junk in the first
+       over-approximation. *)
+    let neg atom =
+      not (Database.mem_atom seed atom || Database.mem_atom i atom)
+    in
+    Fixpoint.seminaive counters ~db ~neg rules;
+    db
+  in
+  let empty = Database.create () in
+  let rec iterate current rounds =
+    let over = s_operator current in
+    let under = s_operator over in
+    if db_equal under current then (current, over, rounds + 1)
+    else iterate under (rounds + 1)
+  in
+  let true_set, possible, rounds = iterate empty 0 in
+  (* [true_set] misses the very first under-approximation only when the
+     loop exits immediately; it is S(S(∅))-limit either way. *)
+  let true_db = Database.copy seed in
+  Database.iter
+    (fun pred rel ->
+      Relation.iter (fun t -> ignore (Database.add true_db pred t)) rel)
+    true_set;
+  let undefined =
+    Database.preds possible
+    |> List.concat_map (fun pred ->
+           Database.tuples possible pred
+           |> List.filter_map (fun t ->
+                  if Database.mem true_db pred t then None
+                  else Some (Atom.of_tuple pred t)))
+    |> List.sort Atom.compare
+  in
+  { true_db; undefined; rounds; counters }
+
+let holds outcome atom = Database.mem_atom outcome.true_db atom
+
+let is_undefined outcome atom =
+  List.exists (Atom.equal atom) outcome.undefined

@@ -1,0 +1,26 @@
+(** Well-founded semantics via Van Gelder's alternating fixpoint.
+
+    Let [S(I)] be the least fixpoint of the program where a negated atom
+    holds iff it is absent from [I] (and from the EDB).  [S] is
+    anti-monotone, so [S o S] is monotone: iterating [I := S(S(I))] from
+    the empty set climbs to the set of {e well-founded true} atoms, and one
+    more application of [S] yields the {e possible} atoms.  Atoms possible
+    but not true are {e undefined}; everything else is false.
+
+    On stratified programs the undefined set is empty and the true set is
+    the perfect model, which the tests check against {!Stratified}. *)
+
+open Datalog_ast
+open Datalog_storage
+
+type outcome = {
+  true_db : Database.t;  (** EDB plus well-founded-true IDB atoms *)
+  undefined : Atom.t list;  (** atoms with truth value unknown *)
+  rounds : int;  (** alternating-fixpoint outer iterations *)
+  counters : Counters.t;
+}
+
+val run : ?db:Database.t -> Program.t -> outcome
+
+val holds : outcome -> Atom.t -> bool
+val is_undefined : outcome -> Atom.t -> bool

@@ -1,0 +1,1 @@
+lib/parser/parser.ml: Atom Datalog_ast Format In_channel Lexer List Literal Printf Program Rule Term

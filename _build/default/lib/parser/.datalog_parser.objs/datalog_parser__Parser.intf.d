@@ -1,0 +1,1 @@
+lib/parser/parser.mli: Atom Datalog_ast Lexer Program Rule

@@ -1,0 +1,1 @@
+lib/rewrite/adorn.ml: Array Atom Binding Datalog_ast Hashtbl List Literal Pred Printf Program Registry Rule Set Sips String Term

@@ -1,0 +1,1 @@
+lib/rewrite/adorn.mli: Atom Binding Datalog_ast Literal Pred Program Registry Rule Sips

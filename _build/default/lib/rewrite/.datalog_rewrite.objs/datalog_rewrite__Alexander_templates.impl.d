@@ -1,0 +1,1 @@
+lib/rewrite/alexander_templates.ml: Adorn Array Atom Binding Datalog_ast Fun List Literal Pred Printf Registry Rewrite_common Rewritten Rule

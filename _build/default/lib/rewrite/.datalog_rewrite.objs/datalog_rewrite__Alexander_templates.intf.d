@@ -1,0 +1,1 @@
+lib/rewrite/alexander_templates.mli: Adorn Rewritten

@@ -1,0 +1,1 @@
+lib/rewrite/binding.ml: Array Atom Datalog_ast Format List Printf Stdlib String Term

@@ -1,0 +1,1 @@
+lib/rewrite/binding.mli: Datalog_ast Format

@@ -1,0 +1,1 @@
+lib/rewrite/magic.ml: Adorn Array Atom Binding Datalog_ast List Literal Pred Registry Rewrite_common Rewritten Rule

@@ -1,0 +1,1 @@
+lib/rewrite/magic.mli: Adorn Rewritten

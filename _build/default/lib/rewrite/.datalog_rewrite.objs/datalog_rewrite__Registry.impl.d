@@ -1,0 +1,1 @@
+lib/rewrite/registry.ml: Binding Datalog_ast Format List Pred

@@ -1,0 +1,1 @@
+lib/rewrite/registry.mli: Binding Datalog_ast Format Pred

@@ -1,0 +1,1 @@
+lib/rewrite/rewrite_common.ml: Adorn Array Atom Binding Datalog_ast Hashtbl List Literal Pred String Term

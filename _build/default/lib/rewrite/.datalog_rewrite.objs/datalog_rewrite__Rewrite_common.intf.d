@@ -1,0 +1,1 @@
+lib/rewrite/rewrite_common.mli: Adorn Atom Binding Datalog_ast Pred Term

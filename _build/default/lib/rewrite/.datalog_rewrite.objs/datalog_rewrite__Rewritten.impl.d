@@ -1,0 +1,1 @@
+lib/rewrite/rewritten.ml: Adorn Atom Datalog_ast Format List Pred Program Registry Rule

@@ -1,0 +1,1 @@
+lib/rewrite/rewritten.mli: Adorn Atom Datalog_ast Format Pred Program Registry Rule

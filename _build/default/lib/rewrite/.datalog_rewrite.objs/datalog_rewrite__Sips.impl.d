@@ -1,0 +1,1 @@
+lib/rewrite/sips.ml: Array Atom Datalog_ast List Literal Set String Term

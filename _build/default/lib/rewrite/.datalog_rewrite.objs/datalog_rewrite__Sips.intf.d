@@ -1,0 +1,1 @@
+lib/rewrite/sips.mli: Datalog_ast Literal

@@ -1,0 +1,1 @@
+lib/rewrite/supplementary.ml: Adorn Array Atom Binding Datalog_ast List Literal Pred Printf Registry Rewrite_common Rewritten Rule

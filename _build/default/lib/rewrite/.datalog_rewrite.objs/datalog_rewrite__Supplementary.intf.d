@@ -1,0 +1,1 @@
+lib/rewrite/supplementary.mli: Adorn Rewritten

@@ -1,0 +1,1 @@
+lib/rewrite/supplementary_idb.ml: Adorn Array Atom Binding Datalog_ast Fun List Literal Pred Printf Registry Rewrite_common Rewritten Rule

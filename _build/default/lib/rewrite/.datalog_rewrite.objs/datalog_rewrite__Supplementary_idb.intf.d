@@ -1,0 +1,1 @@
+lib/rewrite/supplementary_idb.mli: Adorn Rewritten

@@ -1,0 +1,141 @@
+open Datalog_ast
+
+let transform (adorned : Adorn.t) =
+  let registry = adorned.Adorn.registry in
+  let call_pred adorned_p source binding =
+    let p =
+      Pred.make ("call_" ^ Pred.name adorned_p) (Binding.bound_count binding)
+    in
+    Registry.register registry p (Registry.Call (source, binding));
+    p
+  in
+  let ans_pred adorned_p source binding =
+    let p = Pred.make ("ans_" ^ Pred.name adorned_p) (Pred.arity adorned_p) in
+    Registry.register registry p (Registry.Answer (source, binding));
+    p
+  in
+  let rules =
+    List.concat_map
+      (fun (r : Adorn.adorned_rule) ->
+        let call_head =
+          Atom.make
+            (call_pred (Atom.pred r.head) r.source_pred r.head_binding)
+            (Array.of_list
+               (Rewrite_common.bound_arg_terms r.head r.head_binding))
+        in
+        let ans_head =
+          Atom.make
+            (ans_pred (Atom.pred r.head) r.source_pred r.head_binding)
+            (Atom.args r.head)
+        in
+        let body = Array.of_list r.body in
+        let n = Array.length body in
+        (* positions of intensional (adorned) subgoals, in order *)
+        let idb_positions =
+          List.filteri (fun _ _ -> true) (List.init n Fun.id)
+          |> List.filter (fun i ->
+                 match body.(i) with
+                 | Literal.Pos a | Literal.Neg a -> (
+                   match Registry.kind_of registry (Atom.pred a) with
+                   | Some (Registry.Adorned _) -> true
+                   | Some _ | None -> false)
+                 | Literal.Cmp _ -> false)
+        in
+        let segment lo hi =
+          (* body literals in [lo, hi) *)
+          List.init (max 0 (hi - lo)) (fun k -> body.(lo + k))
+        in
+        match idb_positions with
+        | [] ->
+          [ Rule.make ans_head (Literal.pos call_head :: segment 0 n) ]
+        | _ ->
+          let k = List.length idb_positions in
+          let cont_atom j pos =
+            (* continuation materialised just before body position [pos] *)
+            let vars = Rewrite_common.carried r pos in
+            let p =
+              Pred.make
+                (Printf.sprintf "cont_%d_%d" r.index j)
+                (List.length vars)
+            in
+            Registry.register registry p (Registry.Cont (r.index, j));
+            Atom.make p (Rewrite_common.var_terms vars)
+          in
+          let subgoal_parts i =
+            (* the call atom and the ans literal of the subgoal at [i] *)
+            match body.(i) with
+            | Literal.Pos a | Literal.Neg a ->
+              let source, binding =
+                match Registry.kind_of registry (Atom.pred a) with
+                | Some (Registry.Adorned (s, b)) -> (s, b)
+                | Some _ | None -> assert false
+              in
+              let call =
+                Atom.make
+                  (call_pred (Atom.pred a) source binding)
+                  (Array.of_list (Rewrite_common.bound_arg_terms a binding))
+              in
+              let ans =
+                Atom.make (ans_pred (Atom.pred a) source binding) (Atom.args a)
+              in
+              let ans_lit =
+                match body.(i) with
+                | Literal.Neg _ -> Literal.neg ans
+                | Literal.Pos _ | Literal.Cmp _ -> Literal.pos ans
+              in
+              (call, ans_lit)
+            | Literal.Cmp _ -> assert false
+          in
+          let positions = Array.of_list idb_positions in
+          let out = ref [] in
+          let emit rule = out := rule :: !out in
+          (* cont_1 from the call and the extensional prefix *)
+          let first = positions.(0) in
+          let cont1 = cont_atom 1 first in
+          emit
+            (Rule.make cont1 (Literal.pos call_head :: segment 0 first));
+          let call1, _ = subgoal_parts first in
+          emit (Rule.make call1 [ Literal.pos cont1 ]);
+          (* middle continuations *)
+          for j = 1 to k - 1 do
+            let prev_pos = positions.(j - 1) in
+            let pos = positions.(j) in
+            let prev_cont = cont_atom j prev_pos in
+            let cont = cont_atom (j + 1) pos in
+            let _, ans_lit = subgoal_parts prev_pos in
+            emit
+              (Rule.make cont
+                 ((Literal.pos prev_cont :: ans_lit :: [])
+                 @ segment (prev_pos + 1) pos));
+            let call, _ = subgoal_parts pos in
+            emit (Rule.make call [ Literal.pos cont ])
+          done;
+          (* final: consume the last subgoal's answers and the suffix *)
+          let last = positions.(k - 1) in
+          let last_cont = cont_atom k last in
+          let _, last_ans = subgoal_parts last in
+          emit
+            (Rule.make ans_head
+               ((Literal.pos last_cont :: last_ans :: [])
+               @ segment (last + 1) n));
+          List.rev !out)
+      adorned.Adorn.rules
+  in
+  let seed = Rewrite_common.seed_for ~prefix:"call_" adorned in
+  Registry.register registry seed.Rewrite_common.seed_pred
+    (Registry.Call (Atom.pred adorned.Adorn.query, adorned.Adorn.query_binding));
+  let ans_query =
+    Pred.make
+      ("ans_" ^ Pred.name adorned.Adorn.query_pred)
+      (Pred.arity adorned.Adorn.query_pred)
+  in
+  Registry.register registry ans_query
+    (Registry.Answer
+       (Atom.pred adorned.Adorn.query, adorned.Adorn.query_binding));
+  { Rewritten.name = "alexander";
+    rules;
+    seeds = [ seed.Rewrite_common.seed_atom ];
+    answer_atom = Atom.make ans_query (Atom.args adorned.Adorn.query);
+    registry;
+    adorned
+  }

@@ -1,0 +1,29 @@
+(** The Alexander templates rewriting (Rohmer–Lescoeur–Kerisit, 1986) — the
+    subject of Seki's PODS '89 power comparison.
+
+    Each adorned rule is split at its {e intensional} subgoals into
+    templates over three families of predicates: [call_p] ("problem")
+    tuples represent subqueries to solve, [ans_p] ("solution") tuples their
+    answers, and [cont_r_j] continuations save the join state between two
+    intensional subgoals (extensional literals between them are evaluated
+    inline).  For a rule [H :- E0, Q1, E1, Q2, E2] with intensional [Qj]
+    and extensional segments [Ej]:
+
+    {v
+      cont_r_1(W1) :- call_H, E0.
+      call_Q1      :- cont_r_1(W1).
+      cont_r_2(W2) :- cont_r_1(W1), ans_Q1, E1.
+      call_Q2      :- cont_r_2(W2).
+      ans_H        :- cont_r_2(W2), ans_Q2, E2.
+    v}
+
+    The query contributes a ground [call] seed; answers accumulate in the
+    query's [ans] predicate.
+
+    Compared with supplementary magic, the continuation chain cuts only at
+    intensional subgoals (supplementary predicates cut at every literal),
+    but the call/answer tuple sets coincide exactly with the
+    magic/adorned-predicate tuple sets under the same SIP — Seki's
+    equivalence, checked by the test-suite and the T3 benchmark. *)
+
+val transform : Adorn.t -> Rewritten.t

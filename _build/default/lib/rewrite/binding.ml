@@ -1,0 +1,43 @@
+open Datalog_ast
+
+type t = bool array
+
+let make flags = Array.copy flags
+
+let of_string s =
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | 'b' -> true
+      | 'f' -> false
+      | c -> invalid_arg (Printf.sprintf "Binding.of_string: %C" c))
+
+let to_string b =
+  String.init (Array.length b) (fun i -> if b.(i) then 'b' else 'f')
+
+let arity = Array.length
+let is_bound b i = b.(i)
+
+let all_free n = Array.make n false
+let all_bound n = Array.make n true
+
+let bound_count b = Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 b
+
+let positions keep b =
+  let acc = ref [] in
+  Array.iteri (fun i f -> if f = keep then acc := i :: !acc) b;
+  List.rev !acc
+
+let bound_positions = positions true
+let free_positions = positions false
+
+let of_atom ~bound atom =
+  Array.map
+    (function
+      | Term.Const _ -> true
+      | Term.Var v -> bound v)
+    (Atom.args atom)
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let pp ppf b = Format.pp_print_string ppf (to_string b)

@@ -1,0 +1,31 @@
+(** Binding patterns (adornments): one flag per argument position,
+    [b]ound or [f]ree, written e.g. ["bf"]. *)
+
+type t
+
+val make : bool array -> t
+(** [true] = bound. *)
+
+val of_string : string -> t
+(** @raise Invalid_argument on characters other than 'b' and 'f'. *)
+
+val to_string : t -> string
+
+val arity : t -> int
+val is_bound : t -> int -> bool
+
+val all_free : int -> t
+val all_bound : int -> t
+
+val bound_count : t -> int
+val bound_positions : t -> int list
+val free_positions : t -> int list
+
+val of_atom : bound:(string -> bool) -> Datalog_ast.Atom.t -> t
+(** The adornment an atom receives in a context: a position is bound when
+    its term is a constant or a variable satisfying [bound]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(** The generalized magic sets rewriting (Beeri–Ramakrishnan, PODS '87;
+    Bancilhon–Maier–Sagiv–Ullman, PODS '86).
+
+    Every adorned rule [H :- L1, ..., Ln] becomes a {e modified rule}
+    guarded by its magic atom,
+
+    {v H :- m_H, L1, ..., Ln. v}
+
+    and contributes one {e magic rule} per intensional body atom [Li],
+
+    {v m_Li :- m_H, L1, ..., L(i-1). v}
+
+    whose body repeats the rule prefix — the O(n²) duplication that the
+    supplementary variant eliminates.  The query contributes a ground seed
+    magic fact. *)
+
+val transform : Adorn.t -> Rewritten.t

@@ -1,0 +1,31 @@
+open Datalog_ast
+
+type kind =
+  | Adorned of Pred.t * Binding.t
+  | Magic of Pred.t * Binding.t
+  | Call of Pred.t * Binding.t
+  | Answer of Pred.t * Binding.t
+  | Sup of int * int
+  | SupIdb of int * int
+  | Cont of int * int
+
+type t = kind Pred.Tbl.t
+
+let create () : t = Pred.Tbl.create 32
+let register t p kind = Pred.Tbl.replace t p kind
+let kind_of t p = Pred.Tbl.find_opt t p
+
+let preds_of_kind t keep =
+  Pred.Tbl.fold (fun p k acc -> if keep k then p :: acc else acc) t []
+  |> List.sort Pred.compare
+
+let fold f t init = Pred.Tbl.fold f t init
+
+let pp_kind ppf = function
+  | Adorned (p, b) -> Format.fprintf ppf "adorned %a^%a" Pred.pp p Binding.pp b
+  | Magic (p, b) -> Format.fprintf ppf "magic %a^%a" Pred.pp p Binding.pp b
+  | Call (p, b) -> Format.fprintf ppf "call %a^%a" Pred.pp p Binding.pp b
+  | Answer (p, b) -> Format.fprintf ppf "answer %a^%a" Pred.pp p Binding.pp b
+  | Sup (r, i) -> Format.fprintf ppf "sup(rule %d, pos %d)" r i
+  | SupIdb (r, j) -> Format.fprintf ppf "sup-idb(rule %d, subgoal %d)" r j
+  | Cont (r, i) -> Format.fprintf ppf "cont(rule %d, pos %d)" r i

@@ -1,0 +1,31 @@
+(** Metadata about the predicates a rewriting generates.
+
+    Every auxiliary predicate (adorned, magic, supplementary, call, answer,
+    continuation) is recorded with its origin, so results can be reported
+    in source terms and so the Alexander/supplementary-magic equivalence
+    checker can pair corresponding predicates across the two rewritings. *)
+
+open Datalog_ast
+
+type kind =
+  | Adorned of Pred.t * Binding.t
+      (** the adorned version [p__a] of a source predicate *)
+  | Magic of Pred.t * Binding.t  (** generalized/supplementary magic guard *)
+  | Call of Pred.t * Binding.t  (** Alexander problem predicate *)
+  | Answer of Pred.t * Binding.t  (** Alexander solution predicate *)
+  | Sup of int * int  (** supplementary predicate (rule index, position) *)
+  | SupIdb of int * int
+      (** supplementary predicate of the IDB-cut variant
+          (rule index, ordinal of the intensional subgoal) *)
+  | Cont of int * int  (** Alexander continuation (rule index, ordinal) *)
+
+type t
+
+val create : unit -> t
+val register : t -> Pred.t -> kind -> unit
+val kind_of : t -> Pred.t -> kind option
+val preds_of_kind : t -> (kind -> bool) -> Pred.t list
+(** Sorted list of predicates whose kind satisfies the filter. *)
+
+val fold : (Pred.t -> kind -> 'a -> 'a) -> t -> 'a -> 'a
+val pp_kind : Format.formatter -> kind -> unit

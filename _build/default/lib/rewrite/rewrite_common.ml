@@ -1,0 +1,69 @@
+open Datalog_ast
+
+let bound_arg_terms atom binding =
+  List.map
+    (fun i -> (Atom.args atom).(i))
+    (Binding.bound_positions binding)
+
+let dedup vars =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    vars
+
+let canonical_vars (rule : Adorn.adorned_rule) =
+  dedup
+    (Atom.var_set rule.head
+    @ List.concat_map Literal.vars rule.body)
+
+let head_bound_vars (rule : Adorn.adorned_rule) =
+  List.filter_map
+    (fun t -> match t with Term.Var v -> Some v | Term.Const _ -> None)
+    (bound_arg_terms rule.head rule.head_binding)
+
+let lit_binds = function
+  | Literal.Pos a -> Atom.var_set a
+  | Literal.Neg _ -> []
+  | Literal.Cmp (Literal.Eq, t1, t2) -> Term.vars t1 @ Term.vars t2
+  | Literal.Cmp (_, _, _) -> []
+
+let bound_before (rule : Adorn.adorned_rule) i =
+  let from_body =
+    List.concat_map lit_binds (List.filteri (fun j _ -> j < i) rule.body)
+  in
+  dedup (head_bound_vars rule @ from_body)
+
+let needed_from (rule : Adorn.adorned_rule) i =
+  let from_body =
+    List.concat_map Literal.vars
+      (List.filteri (fun j _ -> j >= i) rule.body)
+  in
+  dedup (Atom.var_set rule.head @ from_body)
+
+let carried rule i =
+  let bound = bound_before rule i in
+  let needed = needed_from rule i in
+  let in_needed v = List.exists (String.equal v) needed in
+  let in_bound v = List.exists (String.equal v) bound in
+  List.filter (fun v -> in_bound v && in_needed v) (canonical_vars rule)
+
+let var_terms vars = Array.of_list (List.map Term.var vars)
+
+type query_seed = {
+  seed_pred : Pred.t;
+  seed_atom : Atom.t;
+}
+
+let seed_for ~prefix (adorned : Adorn.t) =
+  let consts = bound_arg_terms adorned.query adorned.query_binding in
+  let pred =
+    Pred.make
+      (prefix ^ Pred.name adorned.query_pred)
+      (List.length consts)
+  in
+  { seed_pred = pred; seed_atom = Atom.make pred (Array.of_list consts) }

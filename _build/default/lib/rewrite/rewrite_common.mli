@@ -1,0 +1,38 @@
+(** Helpers shared by the magic, supplementary-magic and Alexander-template
+    generators: canonical variable orders and the "variables still needed
+    downstream" computation that determines what supplementary /
+    continuation predicates carry. *)
+
+open Datalog_ast
+
+val bound_arg_terms : Atom.t -> Binding.t -> Term.t list
+(** The atom's terms at the binding's bound positions, in position order. *)
+
+val canonical_vars : Adorn.adorned_rule -> string list
+(** All variables of the adorned rule, head first then body in SIP order —
+    the order in which auxiliary predicates list their arguments. *)
+
+val bound_before : Adorn.adorned_rule -> int -> string list
+(** Variables bound before body position [i] (0-based): the head's
+    bound-position variables plus the variables bound by literals
+    [0..i-1]. *)
+
+val needed_from : Adorn.adorned_rule -> int -> string list
+(** Variables needed at or after body position [i]: the head's variables
+    plus the variables of literals [i..]. *)
+
+val carried : Adorn.adorned_rule -> int -> string list
+(** [bound_before ∩ needed_from] at position [i], in canonical order: what
+    a supplementary/continuation predicate materialised just before
+    position [i] must carry. *)
+
+val var_terms : string list -> Term.t array
+
+type query_seed = {
+  seed_pred : Pred.t;
+  seed_atom : Atom.t;  (** the ground seed fact *)
+}
+
+val seed_for : prefix:string -> Adorn.t -> query_seed
+(** The seed fact [prefix_q__a(c1, ..., ck)] built from the query's
+    constants. *)

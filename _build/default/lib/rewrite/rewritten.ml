@@ -1,0 +1,30 @@
+open Datalog_ast
+
+type t = {
+  name : string;
+  rules : Rule.t list;
+  seeds : Atom.t list;
+  answer_atom : Atom.t;
+  registry : Registry.t;
+  adorned : Adorn.t;
+}
+
+let program t = Program.make ~facts:t.seeds t.rules
+
+let answer_pred t = Atom.pred t.answer_atom
+
+let num_rules t = List.length t.rules
+
+let num_preds t =
+  let preds =
+    List.fold_left
+      (fun acc r ->
+        Pred.Set.add (Atom.pred (Rule.head r)) (Pred.Set.union acc (Rule.body_preds r)))
+      Pred.Set.empty t.rules
+  in
+  Pred.Set.cardinal preds
+
+let pp ppf t =
+  Format.fprintf ppf "%% %s rewriting (%d rules)@." t.name (num_rules t);
+  List.iter (fun r -> Format.fprintf ppf "%a@." Rule.pp r) t.rules;
+  List.iter (fun a -> Format.fprintf ppf "%a.@." Atom.pp a) t.seeds

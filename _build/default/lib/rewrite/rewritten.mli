@@ -1,0 +1,29 @@
+(** The common shape of a rewriting's output. *)
+
+open Datalog_ast
+
+type t = {
+  name : string;
+      (** "magic", "supplementary", "supplementary-idb" or "alexander" *)
+  rules : Rule.t list;
+  seeds : Atom.t list;  (** ground seed facts (the query's magic/call) *)
+  answer_atom : Atom.t;
+      (** match this atom against the evaluated database to read the
+          query's answers (its predicate is the adorned query predicate or
+          the Alexander answer predicate) *)
+  registry : Registry.t;
+  adorned : Adorn.t;  (** the adorned program the rewriting consumed *)
+}
+
+val program : t -> Program.t
+(** Rules plus seed facts, as an evaluable program (EDB facts are supplied
+    separately at evaluation time). *)
+
+val answer_pred : t -> Pred.t
+
+val num_rules : t -> int
+val num_preds : t -> int
+(** Distinct predicates occurring in the rewritten rules (program-size
+    measure for the F3 benchmark). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+open Datalog_ast
+
+type strategy =
+  | Left_to_right
+  | Greedy_bound
+
+let strategy_name = function
+  | Left_to_right -> "ltr"
+  | Greedy_bound -> "greedy"
+
+let strategy_of_string = function
+  | "ltr" | "left_to_right" -> Some Left_to_right
+  | "greedy" | "greedy_bound" -> Some Greedy_bound
+  | _ -> None
+
+module SSet = Set.Make (String)
+
+let ready bound = function
+  | Literal.Pos _ -> true
+  | Literal.Neg a -> List.for_all (fun v -> SSet.mem v bound) (Atom.var_set a)
+  | Literal.Cmp (op, t1, t2) -> (
+    let b = function Term.Const _ -> true | Term.Var v -> SSet.mem v bound in
+    match op with
+    | Literal.Eq -> b t1 || b t2
+    | _ -> b t1 && b t2)
+
+let bind bound = function
+  | Literal.Pos a -> SSet.union bound (SSet.of_list (Atom.var_set a))
+  | Literal.Neg _ -> bound
+  | Literal.Cmp (Literal.Eq, t1, t2) ->
+    let add acc = function Term.Var v -> SSet.add v acc | Term.Const _ -> acc in
+    add (add bound t1) t2
+  | Literal.Cmp (_, _, _) -> bound
+
+let score_greedy bound lit =
+  match lit with
+  | Literal.Pos a ->
+    let vs = Atom.var_set a in
+    let shared = List.length (List.filter (fun v -> SSet.mem v bound) vs) in
+    let consts =
+      Array.fold_left
+        (fun acc t -> if Term.is_ground t then acc + 1 else acc)
+        0 (Atom.args a)
+    in
+    (shared, consts)
+  | Literal.Neg _ | Literal.Cmp _ -> (-1, -1)
+
+let order strategy ~bound body =
+  let bound0 =
+    List.fold_left
+      (fun acc lit ->
+        List.fold_left
+          (fun acc v -> if bound v then SSet.add v acc else acc)
+          acc (Literal.vars lit))
+      SSet.empty body
+  in
+  let rec go bound acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | _ -> (
+      (* 1. flush any ready non-positive literal (original order) *)
+      let rec find_filter seen = function
+        | [] -> None
+        | lit :: rest ->
+          if (not (Literal.is_positive lit)) && ready bound lit then
+            Some (lit, List.rev_append seen rest)
+          else find_filter (lit :: seen) rest
+      in
+      match find_filter [] remaining with
+      | Some (lit, rest) -> go (bind bound lit) (lit :: acc) rest
+      | None -> (
+        (* 2. pick a positive literal per strategy *)
+        let pick =
+          match strategy with
+          | Left_to_right ->
+            let rec first seen = function
+              | [] -> None
+              | lit :: rest ->
+                if Literal.is_positive lit then
+                  Some (lit, List.rev_append seen rest)
+                else first (lit :: seen) rest
+            in
+            first [] remaining
+          | Greedy_bound ->
+            let best = ref None in
+            List.iteri
+              (fun i lit ->
+                if Literal.is_positive lit then
+                  let s = score_greedy bound lit in
+                  match !best with
+                  | Some (s', i', _) when (s', -i') >= (s, -i) -> ()
+                  | _ -> best := Some (s, i, lit))
+              remaining;
+            (match !best with
+            | None -> None
+            | Some (_, i, lit) ->
+              let rest = List.filteri (fun j _ -> j <> i) remaining in
+              Some (lit, rest))
+        in
+        match pick with
+        | Some (lit, rest) -> go (bind bound lit) (lit :: acc) rest
+        | None ->
+          (* only unready negations/comparisons remain; emit them as-is
+             and let the safety check reject the rule *)
+          List.rev_append acc remaining))
+  in
+  go bound0 [] body

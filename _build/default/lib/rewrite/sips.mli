@@ -1,0 +1,29 @@
+(** Sideways-information-passing strategies: how a rule body is ordered for
+    a given set of initially-bound variables.
+
+    All three rewritings (generalized magic, supplementary magic, Alexander
+    templates) consume the body order a strategy produces, which is what
+    makes them comparable: Seki's equivalence theorem assumes a common
+    SIP. *)
+
+open Datalog_ast
+
+type strategy =
+  | Left_to_right
+      (** keep the body as written (negations and comparisons are still
+          postponed until their variables are bound) *)
+  | Greedy_bound
+      (** repeatedly pick the positive literal sharing the most variables
+          with the bound set (ties: more constant arguments, then textual
+          order) — a simple selectivity heuristic *)
+
+val strategy_name : strategy -> string
+val strategy_of_string : string -> strategy option
+
+val order :
+  strategy -> bound:(string -> bool) -> Literal.t list -> Literal.t list
+(** Reorder a body.  Negative literals and comparisons are emitted as soon
+    as all their variables are bound (preserving their relative order);
+    when none is ready, the strategy picks the next positive literal.  Any
+    literal that never becomes ready is appended at the end, where the
+    safety check will reject it. *)

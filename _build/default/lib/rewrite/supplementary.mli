@@ -1,0 +1,17 @@
+(** The supplementary magic sets rewriting (Beeri–Ramakrishnan, PODS '87).
+
+    Instead of repeating rule prefixes inside magic rules, each adorned rule
+    [H :- L1, ..., Ln] materialises its partial joins in a chain of
+    {e supplementary} predicates:
+
+    {v
+      sup_r_0(V0)  :- m_H.
+      sup_r_i(Vi)  :- sup_r_(i-1)(V(i-1)), Li.       (1 <= i <= n)
+      m_Li         :- sup_r_(i-1)(V(i-1)).           (Li intensional)
+      H            :- sup_r_n(Vn).
+    v}
+
+    [Vi] carries exactly the variables bound so far that are still needed
+    by the head or the remaining literals. *)
+
+val transform : Adorn.t -> Rewritten.t

@@ -1,0 +1,22 @@
+(** Supplementary magic sets, cutting only at intensional subgoals.
+
+    The optimised variant of {!Supplementary}: extensional literals are
+    evaluated inline inside the chain rules instead of each getting a
+    supplementary predicate of its own.  For a rule [H :- E0, Q1, E1, Q2, E2]
+    with intensional [Qj] and extensional segments [Ej]:
+
+    {v
+      sup_r_1(W1) :- m_H, E0.
+      m_Q1        :- sup_r_1(W1).
+      sup_r_2(W2) :- sup_r_1(W1), Q1, E1.
+      m_Q2        :- sup_r_2(W2).
+      H           :- sup_r_2(W2), Q2, E2.
+    v}
+
+    This program is {e isomorphic} to the Alexander templates rewriting
+    under the renaming [m_p <-> call_p], [p <-> ans_p],
+    [sup_r_j <-> cont_r_j] — which is exactly the shape of Seki's
+    equivalence proof.  The equivalence checker pairs the [supi_r_j]
+    relations of this variant with Alexander's continuations. *)
+
+val transform : Adorn.t -> Rewritten.t

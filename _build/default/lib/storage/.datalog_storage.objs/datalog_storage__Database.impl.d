@@ -1,0 +1,1 @@
+lib/storage/database.ml: Atom Datalog_ast Format List Pred Relation Tuple

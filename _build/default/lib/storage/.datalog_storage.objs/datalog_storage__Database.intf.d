@@ -1,0 +1,1 @@
+lib/storage/database.mli: Atom Datalog_ast Format Pred Relation Tuple

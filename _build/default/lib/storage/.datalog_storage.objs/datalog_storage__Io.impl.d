@@ -1,0 +1,1 @@
+lib/storage/io.ml: Array Atom Database Datalog_ast Filename In_channel List Out_channel Pred Printf String Symbol Sys Value

@@ -1,0 +1,1 @@
+lib/storage/io.mli: Atom Database Datalog_ast Pred Value

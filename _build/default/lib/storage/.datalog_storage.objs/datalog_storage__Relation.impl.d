@@ -1,0 +1,1 @@
+lib/storage/relation.ml: Array Format Hashtbl Int List Printf Tuple

@@ -1,0 +1,1 @@
+lib/storage/relation.mli: Datalog_ast Format Tuple Value

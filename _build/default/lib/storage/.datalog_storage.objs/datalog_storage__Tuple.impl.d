@@ -1,0 +1,1 @@
+lib/storage/tuple.ml: Array Atom Datalog_ast Format Hashtbl Int Set Value

@@ -1,0 +1,1 @@
+lib/storage/tuple.mli: Atom Datalog_ast Format Hashtbl Set Value

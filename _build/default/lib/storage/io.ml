@@ -1,0 +1,104 @@
+open Datalog_ast
+
+let parse_field s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some i -> Value.int i
+  | None -> Value.sym s
+
+let split_line delimiter line = String.split_on_char delimiter line
+
+let default_delimiter path =
+  if Filename.check_suffix path ".tsv" then '\t' else ','
+
+let load_file ?delimiter ~pred path =
+  let delimiter =
+    match delimiter with Some d -> d | None -> default_delimiter path
+  in
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error msg -> Error msg
+  | lines ->
+    let lines =
+      List.mapi (fun i l -> (i + 1, l)) lines
+      |> List.filter (fun (_, l) -> String.trim l <> "")
+    in
+    let lines =
+      match lines with
+      | (_, first) :: rest when String.length first > 0 && first.[0] = '#' ->
+        rest
+      | all -> all
+    in
+    (match lines with
+    | [] -> Ok []
+    | (_, first) :: _ ->
+      let arity = List.length (split_line delimiter first) in
+      let pred_t = Pred.make pred arity in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (lineno, line) :: rest ->
+          let fields = split_line delimiter line in
+          if List.length fields <> arity then
+            Error
+              (Printf.sprintf "%s:%d: expected %d fields, found %d" path
+                 lineno arity (List.length fields))
+          else
+            let tuple =
+              Array.of_list (List.map parse_field fields)
+            in
+            go (Atom.of_tuple pred_t tuple :: acc) rest
+      in
+      go [] lines)
+
+let load_directory dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> Error msg
+  | entries ->
+    let data_files =
+      Array.to_list entries
+      |> List.filter (fun f ->
+             Filename.check_suffix f ".csv" || Filename.check_suffix f ".tsv")
+      |> List.sort String.compare
+    in
+    List.fold_left
+      (fun acc file ->
+        match acc with
+        | Error _ as e -> e
+        | Ok atoms -> (
+          let pred = Filename.remove_extension file in
+          match load_file ~pred (Filename.concat dir file) with
+          | Ok more -> Ok (atoms @ more)
+          | Error _ as e -> e))
+      (Ok []) data_files
+
+let field_to_string = function
+  | Value.Int i -> string_of_int i
+  | Value.Sym s -> Symbol.name s
+
+let save_relation ?(delimiter = ',') db pred path =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        List.iter
+          (fun tuple ->
+            let row =
+              String.concat (String.make 1 delimiter)
+                (Array.to_list (Array.map field_to_string tuple))
+            in
+            Out_channel.output_string oc row;
+            Out_channel.output_char oc '\n')
+          (Database.tuples db pred))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+let save_database db dir =
+  match (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755) with
+  | exception Sys_error msg -> Error msg
+  | () ->
+    List.fold_left
+      (fun acc pred ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () ->
+          save_relation db pred
+            (Filename.concat dir (Pred.name pred ^ ".csv")))
+      (Ok ()) (Database.preds db)

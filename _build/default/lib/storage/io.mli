@@ -1,0 +1,32 @@
+(** Loading and saving extensional data as delimited text files.
+
+    A data directory maps each file [pred.csv] (or [.tsv]) to the
+    extensional predicate [pred/n], where [n] is the column count of the
+    file's first row.  Fields that parse as integers become integer
+    constants; everything else becomes a symbolic constant.  A [#]-prefixed
+    first line is treated as a header and skipped. *)
+
+open Datalog_ast
+
+val parse_field : string -> Value.t
+(** ["42"] is the integer 42; ["x"] the symbol [x]; quotes are not
+    required (fields are split on the delimiter only). *)
+
+val load_file :
+  ?delimiter:char -> pred:string -> string -> (Atom.t list, string) result
+(** [load_file ~pred path] reads one relation; the delimiter defaults by
+    extension ([.tsv] = tab, otherwise comma).  Errors mention line
+    numbers; ragged rows (a different column count than the first row)
+    are errors. *)
+
+val load_directory : string -> (Atom.t list, string) result
+(** Load every [*.csv] / [*.tsv] file of a directory; the predicate name
+    is the file's basename. *)
+
+val save_relation :
+  ?delimiter:char -> Database.t -> Pred.t -> string -> (unit, string) result
+(** Write one predicate's tuples, one row per tuple. *)
+
+val save_database : Database.t -> string -> (unit, string) result
+(** Write every predicate of the database into [dir/pred.csv] files
+    (creates the directory if missing). *)

@@ -1,0 +1,116 @@
+type index = {
+  cols : int array;  (* strictly increasing column numbers *)
+  map : Tuple.t list ref Tuple.Tbl.t;  (* projected key -> matching tuples *)
+}
+
+type t = {
+  name : string;
+  arity : int;
+  tuples : unit Tuple.Tbl.t;
+  mutable ordered : Tuple.t list;  (* reverse insertion order *)
+  mutable size : int;
+  indexes : (int list, index) Hashtbl.t;
+}
+
+let create ?(name = "?") arity =
+  { name;
+    arity;
+    tuples = Tuple.Tbl.create 64;
+    ordered = [];
+    size = 0;
+    indexes = Hashtbl.create 4
+  }
+
+let arity r = r.arity
+
+let index_add idx tuple =
+  let key = Tuple.project idx.cols tuple in
+  match Tuple.Tbl.find_opt idx.map key with
+  | Some bucket -> bucket := tuple :: !bucket
+  | None -> Tuple.Tbl.add idx.map key (ref [ tuple ])
+
+let insert r tuple =
+  if Array.length tuple <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation.insert(%s): arity %d, tuple of width %d"
+         r.name r.arity (Array.length tuple));
+  if Tuple.Tbl.mem r.tuples tuple then false
+  else begin
+    Tuple.Tbl.add r.tuples tuple ();
+    r.ordered <- tuple :: r.ordered;
+    r.size <- r.size + 1;
+    Hashtbl.iter (fun _ idx -> index_add idx tuple) r.indexes;
+    true
+  end
+
+let remove r tuple =
+  if not (Tuple.Tbl.mem r.tuples tuple) then false
+  else begin
+    Tuple.Tbl.remove r.tuples tuple;
+    r.ordered <- List.filter (fun t -> not (Tuple.equal t tuple)) r.ordered;
+    r.size <- r.size - 1;
+    Hashtbl.iter
+      (fun _ idx ->
+        let key = Tuple.project idx.cols tuple in
+        match Tuple.Tbl.find_opt idx.map key with
+        | None -> ()
+        | Some bucket ->
+          bucket := List.filter (fun t -> not (Tuple.equal t tuple)) !bucket)
+      r.indexes;
+    true
+  end
+
+let mem r tuple = Tuple.Tbl.mem r.tuples tuple
+let cardinal r = r.size
+let is_empty r = r.size = 0
+
+let to_list r = List.rev r.ordered
+let iter f r = List.iter f (to_list r)
+let fold f r init = List.fold_left (fun acc t -> f t acc) init (to_list r)
+
+let get_index r cols_list =
+  match Hashtbl.find_opt r.indexes cols_list with
+  | Some idx -> idx
+  | None ->
+    let idx = { cols = Array.of_list cols_list; map = Tuple.Tbl.create 64 } in
+    List.iter (fun t -> index_add idx t) r.ordered;
+    Hashtbl.add r.indexes cols_list idx;
+    idx
+
+let select r bindings =
+  match bindings with
+  | [] -> to_list r
+  | _ ->
+    let sorted = List.sort (fun (i, _) (j, _) -> Int.compare i j) bindings in
+    let cols = List.map fst sorted in
+    (match cols with
+    | _ when List.length (List.sort_uniq Int.compare cols) <> List.length cols
+      ->
+      invalid_arg "Relation.select: duplicate column"
+    | _ -> ());
+    let key = Array.of_list (List.map snd sorted) in
+    let idx = get_index r cols in
+    (match Tuple.Tbl.find_opt idx.map key with
+    | None -> []
+    | Some bucket -> !bucket)
+
+let copy r =
+  let fresh = create ~name:r.name r.arity in
+  List.iter (fun t -> ignore (insert fresh t)) (to_list r);
+  fresh
+
+let clear r =
+  Tuple.Tbl.reset r.tuples;
+  r.ordered <- [];
+  r.size <- 0;
+  Hashtbl.reset r.indexes
+
+let union_into ~src ~dst =
+  fold (fun t acc -> if insert dst t then acc + 1 else acc) src 0
+
+let index_count r = Hashtbl.length r.indexes
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Tuple.pp)
+    (to_list r)

@@ -1,0 +1,52 @@
+(** In-memory relations with on-demand hash indexes.
+
+    A relation stores a set of tuples of a fixed arity.  Lookups with a
+    partial binding ([select]) create (once) and then maintain a hash index
+    keyed on the bound columns, which makes the nested-loop joins of the
+    evaluators index-backed. *)
+
+open Datalog_ast
+
+type t
+
+val create : ?name:string -> int -> t
+(** [create arity] is an empty relation. [name] is used in error messages. *)
+
+val arity : t -> int
+
+val insert : t -> Tuple.t -> bool
+(** Add a tuple; returns [true] iff it was not already present.
+    @raise Invalid_argument on arity mismatch. *)
+
+val remove : t -> Tuple.t -> bool
+(** Delete a tuple; returns [true] iff it was present.  O(size) worst case
+    (the insertion-order list is rebuilt). *)
+
+val mem : t -> Tuple.t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val iter : (Tuple.t -> unit) -> t -> unit
+(** Iterate in insertion order (deterministic). *)
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Tuple.t list
+(** Tuples in insertion order. *)
+
+val select : t -> (int * Value.t) list -> Tuple.t list
+(** [select r bindings] returns the tuples agreeing with the given
+    [(column, value)] constraints, using (and building if necessary) a hash
+    index on those columns.  [select r []] returns all tuples. *)
+
+val copy : t -> t
+(** A fresh relation with the same tuples (indexes are not copied). *)
+
+val clear : t -> unit
+
+val union_into : src:t -> dst:t -> int
+(** Insert every tuple of [src] into [dst]; returns how many were new. *)
+
+val index_count : t -> int
+(** Number of secondary indexes currently built (diagnostics). *)
+
+val pp : Format.formatter -> t -> unit

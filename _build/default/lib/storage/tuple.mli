@@ -1,0 +1,20 @@
+(** Ground tuples: arrays of constants, the rows stored in relations. *)
+
+open Datalog_ast
+
+type t = Value.t array
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val of_atom : Atom.t -> t
+(** @raise Invalid_argument if the atom is not ground. *)
+
+val project : int array -> t -> t
+(** [project cols t] extracts the listed columns, in order. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,1 @@
+test/gen.ml: Array Atom Datalog_analysis Datalog_ast Datalog_storage Format List Literal Pred Program QCheck Rule Term

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Atom Datalog_analysis Datalog_ast Datalog_engine Datalog_parser Depgraph Format Gen List Loose Pred Program QCheck QCheck_alcotest Result Safety Stratify

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Alexander Atom Datalog_analysis Datalog_ast Datalog_engine Datalog_parser Datalog_rewrite Gen List Option Pred Printf Program QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Alexander Array Atom Datalog_ast Datalog_parser Datalog_storage Format Gen List Program QCheck Random Rule Term Value

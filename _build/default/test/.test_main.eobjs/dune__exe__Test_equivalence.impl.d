@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Alexander Datalog_analysis Datalog_ast Datalog_parser Datalog_rewrite Gen List Program QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest Alexander Array Datalog_ast Datalog_parser List Literal Program String Symbol Term Value

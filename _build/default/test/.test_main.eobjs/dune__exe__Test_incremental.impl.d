@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Alexander Atom Database Datalog_ast Datalog_engine Datalog_parser Datalog_storage Gen List Pred Program QCheck QCheck_alcotest Result Term

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Alexander Atom Datalog_analysis Datalog_ast Datalog_engine Datalog_parser Datalog_rewrite Format List Program Result String Symbol Term

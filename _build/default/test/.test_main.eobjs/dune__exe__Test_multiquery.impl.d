@@ -1,0 +1,1 @@
+test/test_multiquery.ml: Alcotest Alexander Atom Datalog_ast Datalog_parser Gen List Program QCheck QCheck_alcotest Term

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Atom Datalog_ast Datalog_parser Format List Literal Pred Program Rule String Term Value

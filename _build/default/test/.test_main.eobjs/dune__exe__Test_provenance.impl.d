@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest Alexander Atom Datalog_ast Datalog_engine Datalog_parser Datalog_storage Format Gen List Pred Program QCheck QCheck_alcotest

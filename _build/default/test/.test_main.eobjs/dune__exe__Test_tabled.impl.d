@@ -1,0 +1,1 @@
+test/test_tabled.ml: Alcotest Alexander Database Datalog_ast Datalog_engine Datalog_parser Datalog_rewrite Datalog_storage Format Gen List Option Pred Program QCheck QCheck_alcotest

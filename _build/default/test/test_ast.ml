@@ -1,0 +1,294 @@
+(* Unit and property tests for the AST layer: symbols, values, predicates,
+   terms, atoms, substitutions, unification, rules, programs. *)
+
+open Datalog_ast
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstring = Alcotest.string
+
+(* -------------------------------------------------------------------- *)
+(* Symbols and values *)
+
+let test_symbol_interning () =
+  let a = Symbol.intern "foo" and b = Symbol.intern "foo" in
+  check tbool "same symbol physically equal" true (a == b);
+  check tbool "equal" true (Symbol.equal a b);
+  let c = Symbol.intern "bar" in
+  check tbool "distinct symbols differ" false (Symbol.equal a c);
+  check tstring "name round-trips" "foo" (Symbol.name a)
+
+let test_symbol_fresh () =
+  let f1 = Symbol.fresh "aux" in
+  let f2 = Symbol.fresh (Symbol.name f1) in
+  check tbool "fresh never collides" false (Symbol.equal f1 f2)
+
+let test_value_compare () =
+  check tbool "int < sym by convention" true
+    (Value.compare (Value.int 3) (Value.sym "a") > 0
+    || Value.compare (Value.int 3) (Value.sym "a") < 0);
+  check tbool "int equality" true (Value.equal (Value.int 5) (Value.int 5));
+  check tbool "int/sym never equal" false
+    (Value.equal (Value.int 5) (Value.sym "5"));
+  check tbool "compare consistent with equal" true
+    (Value.compare (Value.sym "x") (Value.sym "x") = 0)
+
+let test_value_hash_consistent () =
+  let pairs =
+    [ (Value.int 1, Value.int 1); (Value.sym "v", Value.sym "v") ]
+  in
+  List.iter
+    (fun (a, b) ->
+      check tbool "equal values hash equally" true
+        (Value.hash a = Value.hash b))
+    pairs
+
+(* -------------------------------------------------------------------- *)
+(* Predicates and atoms *)
+
+let test_pred_arity_distinguishes () =
+  let p1 = Pred.make "p" 1 and p2 = Pred.make "p" 2 in
+  check tbool "p/1 <> p/2" false (Pred.equal p1 p2)
+
+let test_atom_arity_mismatch () =
+  let p = Pred.make "p" 2 in
+  Alcotest.check_raises "arity mismatch rejected"
+    (Invalid_argument "Atom.make: p/2 applied to 1 arguments") (fun () ->
+      ignore (Atom.make p [| Term.var "X" |]))
+
+let test_atom_vars () =
+  let a = Atom.app "p" [ Term.var "X"; Term.sym "c"; Term.var "X"; Term.var "Y" ] in
+  check (Alcotest.list tstring) "vars with duplicates" [ "X"; "X"; "Y" ]
+    (Atom.vars a);
+  check (Alcotest.list tstring) "var_set dedups in order" [ "X"; "Y" ]
+    (Atom.var_set a)
+
+let test_atom_tuple_roundtrip () =
+  let a = Atom.app "p" [ Term.int 1; Term.sym "x" ] in
+  let t = Atom.to_tuple a in
+  let a' = Atom.of_tuple (Atom.pred a) t in
+  check tbool "tuple round-trip" true (Atom.equal a a')
+
+let test_atom_to_tuple_nonground () =
+  let a = Atom.app "p" [ Term.var "X" ] in
+  check tbool "is_ground false" false (Atom.is_ground a);
+  Alcotest.check_raises "to_tuple rejects variables"
+    (Invalid_argument "Atom.to_tuple: free variable X") (fun () ->
+      ignore (Atom.to_tuple a))
+
+(* -------------------------------------------------------------------- *)
+(* Substitutions *)
+
+let test_subst_basic () =
+  let s = Subst.bind "X" (Term.int 1) Subst.empty in
+  check tbool "find bound" true (Subst.find "X" s = Some (Term.int 1));
+  check tbool "find unbound" true (Subst.find "Y" s = None)
+
+let test_subst_chain_resolution () =
+  (* X -> Y, then Y -> c must make X resolve to c *)
+  let s = Subst.bind "X" (Term.var "Y") Subst.empty in
+  let s = Subst.bind "Y" (Term.sym "c") s in
+  check tbool "chain resolves" true
+    (Subst.apply_term s (Term.var "X") = Term.sym "c")
+
+let test_subst_self_binding_rejected () =
+  Alcotest.check_raises "self binding"
+    (Invalid_argument "Subst.bind: X bound to itself") (fun () ->
+      ignore (Subst.bind "X" (Term.var "X") Subst.empty))
+
+let test_subst_apply_atom () =
+  let a = Atom.app "p" [ Term.var "X"; Term.var "Y" ] in
+  let s = Subst.of_list [ ("X", Term.int 7) ] in
+  let a' = Subst.apply_atom s a in
+  check tbool "X substituted" true
+    (Atom.equal a' (Atom.app "p" [ Term.int 7; Term.var "Y" ]))
+
+let test_subst_compose () =
+  let s1 = Subst.of_list [ ("X", Term.var "Y") ] in
+  let s2 = Subst.of_list [ ("Y", Term.int 3) ] in
+  let c = Subst.compose s1 s2 in
+  check tbool "compose = apply s1 then s2" true
+    (Subst.apply_term c (Term.var "X") = Term.int 3);
+  check tbool "s2 bindings kept" true
+    (Subst.apply_term c (Term.var "Y") = Term.int 3)
+
+let test_subst_restrict () =
+  let s = Subst.of_list [ ("X", Term.int 1); ("Y", Term.int 2) ] in
+  let s' = Subst.restrict (String.equal "X") s in
+  check tbool "kept" true (Subst.find "X" s' <> None);
+  check tbool "dropped" true (Subst.find "Y" s' = None)
+
+(* -------------------------------------------------------------------- *)
+(* Unification *)
+
+let atom = Datalog_parser.Parser.atom_of_string
+
+let test_unify_basic () =
+  let a = atom "p(X, a)" and b = atom "p(b, Y)" in
+  match Unify.unify a b with
+  | None -> Alcotest.fail "should unify"
+  | Some s ->
+    check tbool "X -> b" true (Subst.apply_term s (Term.var "X") = Term.sym "b");
+    check tbool "Y -> a" true (Subst.apply_term s (Term.var "Y") = Term.sym "a")
+
+let test_unify_clash () =
+  check tbool "constant clash" true (Unify.unify (atom "p(a)") (atom "p(b)") = None);
+  check tbool "pred clash" true (Unify.unify (atom "p(a)") (atom "q(a)") = None)
+
+let test_unify_shared_var () =
+  (* p(X, X) with p(a, b) must fail; with p(a, a) must succeed *)
+  check tbool "conflicting shared var" true
+    (Unify.unify (atom "p(X, X)") (atom "p(a, b)") = None);
+  check tbool "consistent shared var" true
+    (Unify.unify (atom "p(X, X)") (atom "p(a, a)") <> None)
+
+let test_unify_var_var () =
+  match Unify.unify (atom "p(X, Y)") (atom "p(Y, a)") with
+  | None -> Alcotest.fail "should unify"
+  | Some s ->
+    check tbool "X resolves to a through Y" true
+      (Subst.apply_term s (Term.var "X") = Term.sym "a")
+
+let test_matches () =
+  (match Unify.matches ~pattern:(atom "p(X, a)") ~ground:(atom "p(c, a)") with
+  | Some s -> check tbool "X -> c" true (Subst.apply_term s (Term.var "X") = Term.sym "c")
+  | None -> Alcotest.fail "should match");
+  check tbool "mismatch" true
+    (Unify.matches ~pattern:(atom "p(X, a)") ~ground:(atom "p(c, b)") = None)
+
+let test_variant () =
+  check tbool "renaming is a variant" true
+    (Unify.variant (atom "p(X, Y)") (atom "p(A, B)"));
+  check tbool "collapsing is not" false
+    (Unify.variant (atom "p(X, Y)") (atom "p(A, A)"));
+  check tbool "grounding is not" false
+    (Unify.variant (atom "p(X)") (atom "p(a)"))
+
+let test_compatible () =
+  let s1 = Subst.of_list [ ("X", Term.int 1) ] in
+  let s2 = Subst.of_list [ ("X", Term.int 1); ("Y", Term.int 2) ] in
+  let s3 = Subst.of_list [ ("X", Term.int 9) ] in
+  check tbool "agreeing substs compatible" true (Unify.compatible s1 s2 <> None);
+  check tbool "conflicting substs incompatible" true (Unify.compatible s1 s3 = None)
+
+(* -------------------------------------------------------------------- *)
+(* Rules and programs *)
+
+let rule = Datalog_parser.Parser.rule_of_string
+
+let test_rule_accessors () =
+  let r = rule "p(X, Y) :- e(X, Z), not q(Z), Z < 5, p(Z, Y)." in
+  check tint "two positive atoms" 2 (List.length (Rule.positive_body r));
+  check tint "one negative atom" 1 (List.length (Rule.negative_body r));
+  check (Alcotest.list tstring) "vars in order" [ "X"; "Y"; "Z" ] (Rule.vars r)
+
+let test_rule_rename () =
+  let r = rule "p(X) :- e(X, Y)." in
+  let r' = Rule.rename ~suffix:"_1" r in
+  check (Alcotest.list tstring) "renamed" [ "X_1"; "Y_1" ] (Rule.vars r');
+  check tbool "original untouched" true (Rule.vars r = [ "X"; "Y" ])
+
+let test_program_idb_edb () =
+  let p =
+    Datalog_parser.Parser.program_of_string
+      "p(X) :- e(X, Y), q(Y). q(X) :- e(X, X). e(1, 2)."
+  in
+  let name s = Pred.name s in
+  check (Alcotest.list tstring) "idb" [ "p"; "q" ]
+    (List.map name (Pred.Set.elements (Program.idb p)));
+  check (Alcotest.list tstring) "edb" [ "e" ]
+    (List.map name (Pred.Set.elements (Program.edb p)));
+  check tint "rules_for q" 1 (List.length (Program.rules_for p (Pred.make "q" 1)))
+
+let test_program_facts_validation () =
+  Alcotest.check_raises "non-ground fact rejected"
+    (Invalid_argument "Program.make: non-ground fact p(X)") (fun () ->
+      ignore (Program.make ~facts:[ Atom.app "p" [ Term.var "X" ] ] []))
+
+(* -------------------------------------------------------------------- *)
+(* Properties *)
+
+let gen_term =
+  QCheck.Gen.(
+    frequency
+      [ (2, map (fun i -> Term.var (Printf.sprintf "V%d" i)) (int_bound 3));
+        (2, map Term.int (int_bound 4));
+        (1, map (fun i -> Term.sym (Printf.sprintf "c%d" i)) (int_bound 2))
+      ])
+
+let gen_atom =
+  QCheck.Gen.(
+    let* arity = int_range 1 3 in
+    let* args = list_repeat arity gen_term in
+    return (Atom.make (Pred.make "g" arity) (Array.of_list args)))
+  [@@warning "-8"]
+
+let arb_atom = QCheck.make ~print:(Format.asprintf "%a" Atom.pp) gen_atom
+
+let prop_unify_gives_unifier =
+  QCheck.Test.make ~name:"unify result actually unifies" ~count:500
+    (QCheck.pair arb_atom arb_atom) (fun (a, b) ->
+      match Unify.unify a b with
+      | None -> QCheck.assume_fail ()
+      | Some s -> Atom.equal (Subst.apply_atom s a) (Subst.apply_atom s b))
+
+let prop_unify_symmetric =
+  QCheck.Test.make ~name:"unifiability is symmetric" ~count:500
+    (QCheck.pair arb_atom arb_atom) (fun (a, b) ->
+      Option.is_some (Unify.unify a b) = Option.is_some (Unify.unify b a))
+
+let prop_match_is_unify_on_ground =
+  QCheck.Test.make ~name:"matches agrees with unify on ground targets"
+    ~count:500 (QCheck.pair arb_atom arb_atom) (fun (pat, g) ->
+      QCheck.assume (Atom.is_ground g);
+      Option.is_some (Unify.matches ~pattern:pat ~ground:g)
+      = Option.is_some (Unify.unify pat g))
+
+let prop_subst_idempotent =
+  QCheck.Test.make ~name:"applying a substitution twice is identity" ~count:500
+    arb_atom (fun a ->
+      let s = Subst.of_list [ ("V0", Term.int 0); ("V1", Term.var "V2") ] in
+      let once = Subst.apply_atom s a in
+      Atom.equal once (Subst.apply_atom s once))
+
+let suite =
+  [ ( "ast:unit",
+      [ Alcotest.test_case "symbol interning" `Quick test_symbol_interning;
+        Alcotest.test_case "symbol fresh" `Quick test_symbol_fresh;
+        Alcotest.test_case "value compare" `Quick test_value_compare;
+        Alcotest.test_case "value hash" `Quick test_value_hash_consistent;
+        Alcotest.test_case "pred arity" `Quick test_pred_arity_distinguishes;
+        Alcotest.test_case "atom arity mismatch" `Quick test_atom_arity_mismatch;
+        Alcotest.test_case "atom vars" `Quick test_atom_vars;
+        Alcotest.test_case "atom tuple roundtrip" `Quick test_atom_tuple_roundtrip;
+        Alcotest.test_case "atom to_tuple nonground" `Quick
+          test_atom_to_tuple_nonground;
+        Alcotest.test_case "subst basic" `Quick test_subst_basic;
+        Alcotest.test_case "subst chains" `Quick test_subst_chain_resolution;
+        Alcotest.test_case "subst self-binding" `Quick
+          test_subst_self_binding_rejected;
+        Alcotest.test_case "subst apply atom" `Quick test_subst_apply_atom;
+        Alcotest.test_case "subst compose" `Quick test_subst_compose;
+        Alcotest.test_case "subst restrict" `Quick test_subst_restrict;
+        Alcotest.test_case "unify basic" `Quick test_unify_basic;
+        Alcotest.test_case "unify clash" `Quick test_unify_clash;
+        Alcotest.test_case "unify shared var" `Quick test_unify_shared_var;
+        Alcotest.test_case "unify var-var" `Quick test_unify_var_var;
+        Alcotest.test_case "matches" `Quick test_matches;
+        Alcotest.test_case "variant" `Quick test_variant;
+        Alcotest.test_case "compatible" `Quick test_compatible;
+        Alcotest.test_case "rule accessors" `Quick test_rule_accessors;
+        Alcotest.test_case "rule rename" `Quick test_rule_rename;
+        Alcotest.test_case "program idb/edb" `Quick test_program_idb_edb;
+        Alcotest.test_case "program fact validation" `Quick
+          test_program_facts_validation
+      ] );
+    ( "ast:properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_unify_gives_unifier;
+          prop_unify_symmetric;
+          prop_match_is_unify_on_ground;
+          prop_subst_idempotent
+        ] )
+  ]

@@ -1,0 +1,128 @@
+(* End-to-end tests of the command-line binary: every subcommand is run
+   against the shipped sample programs and its output inspected. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let cli = "../bin/alexander_cli.exe"
+let samples = "../examples/programs"
+
+let run_cli args =
+  let cmd = Filename.quote_command cli args in
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let output = In_channel.input_all ic in
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED n -> n | _ -> -1 in
+  (code, output)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let sample name = Filename.concat samples name
+
+let test_run_file_queries () =
+  let code, out = run_cli [ "run"; sample "ancestor.dl" ] in
+  check tint "exit 0" 0 code;
+  check tbool "answers printed" true (contains ~sub:"anc(ann, fay)" out);
+  check tbool "second query too" true (contains ~sub:"anc(cal, fay)" out)
+
+let test_run_explicit_query_and_stats () =
+  let code, out =
+    run_cli
+      [ "run"; sample "ancestor.dl"; "-q"; "anc(bob, X)"; "-s"; "magic";
+        "--stats" ]
+  in
+  check tint "exit 0" 0 code;
+  check tbool "strategy echoed" true (contains ~sub:"strategy:  magic" out);
+  check tbool "counters shown" true (contains ~sub:"facts=" out)
+
+let test_run_every_strategy () =
+  List.iter
+    (fun s ->
+      let code, out =
+        run_cli [ "run"; sample "ancestor.dl"; "-q"; "anc(ann, X)"; "-s"; s ]
+      in
+      check tint (s ^ " exits 0") 0 code;
+      check tbool (s ^ " finds fay") true (contains ~sub:"anc(ann, fay)" out))
+    [ "naive"; "seminaive"; "magic"; "supplementary"; "supplementary-idb";
+      "alexander"; "tabled" ]
+
+let test_analyze () =
+  let code, out = run_cli [ "analyze"; sample "flights.dl" ] in
+  check tint "exit 0" 0 code;
+  check tbool "stratified report" true (contains ~sub:"stratified: yes" out);
+  let code2, out2 = run_cli [ "analyze"; sample "win_move.dl" ] in
+  check tint "exit 0 for win-move" 0 code2;
+  check tbool "not stratified" true (contains ~sub:"stratified: no" out2);
+  check tbool "loose check reported" true
+    (contains ~sub:"loosely stratified: no" out2)
+
+let test_analyze_dot () =
+  let code, out = run_cli [ "analyze"; sample "flights.dl"; "--dot" ] in
+  check tint "exit 0" 0 code;
+  check tbool "graphviz" true (contains ~sub:"digraph dependencies" out);
+  check tbool "negative edge styled" true (contains ~sub:"style=dashed" out)
+
+let test_rewrite_outputs_rules () =
+  let code, out =
+    run_cli
+      [ "rewrite"; sample "same_generation.dl"; "-q"; "sg(a, X)"; "-s";
+        "alexander" ]
+  in
+  check tint "exit 0" 0 code;
+  check tbool "call predicate" true (contains ~sub:"call_sg__bf" out);
+  check tbool "continuation" true (contains ~sub:"cont_" out);
+  check tbool "seed" true (contains ~sub:"call_sg__bf(a)." out)
+
+let test_equiv_reports_equal () =
+  let code, out =
+    run_cli [ "equiv"; sample "ancestor.dl"; "-q"; "anc(ann, X)" ]
+  in
+  check tint "exit 0 = equivalent" 0 code;
+  check tbool "summary line" true (contains ~sub:"equivalent: true" out)
+
+let test_explain_prints_tree () =
+  let code, out =
+    run_cli [ "explain"; sample "ancestor.dl"; "-q"; "anc(ann, eve)" ]
+  in
+  check tint "exit 0" 0 code;
+  check tbool "rule cited" true (contains ~sub:"[by anc(X, Y)" out);
+  check tbool "leaf cited" true (contains ~sub:"[fact]" out);
+  (* underivable goal: non-zero exit *)
+  let code2, out2 =
+    run_cli [ "explain"; sample "ancestor.dl"; "-q"; "anc(fay, ann)" ]
+  in
+  check tint "exit 1" 1 code2;
+  check tbool "says not derivable" true (contains ~sub:"not derivable" out2)
+
+let test_wellfounded_flag () =
+  let code, out =
+    run_cli
+      [ "run"; sample "win_move.dl"; "-q"; "win(X)"; "-s"; "seminaive";
+        "--negation"; "wellfounded" ]
+  in
+  check tint "exit 0" 0 code;
+  check tbool "true answers" true (contains ~sub:"win(a)" out);
+  check tbool "draws reported" true (contains ~sub:"undefined: win(g)" out)
+
+let test_bad_query_reports_error () =
+  let code, _ = run_cli [ "run"; sample "ancestor.dl"; "-q"; "anc(" ] in
+  check tbool "non-zero exit" true (code <> 0)
+
+let suite =
+  [ ( "cli",
+      [ Alcotest.test_case "run file queries" `Quick test_run_file_queries;
+        Alcotest.test_case "run with stats" `Quick test_run_explicit_query_and_stats;
+        Alcotest.test_case "every strategy" `Quick test_run_every_strategy;
+        Alcotest.test_case "analyze" `Quick test_analyze;
+        Alcotest.test_case "analyze --dot" `Quick test_analyze_dot;
+        Alcotest.test_case "rewrite" `Quick test_rewrite_outputs_rules;
+        Alcotest.test_case "equiv" `Quick test_equiv_reports_equal;
+        Alcotest.test_case "explain" `Quick test_explain_prints_tree;
+        Alcotest.test_case "wellfounded flag" `Quick test_wellfounded_flag;
+        Alcotest.test_case "bad query" `Quick test_bad_query_reports_error
+      ] )
+  ]

@@ -1,0 +1,252 @@
+(* Edge cases across the whole stack: degenerate programs, unusual
+   queries, boundary shapes the main suites do not hit. *)
+
+open Datalog_ast
+module S = Alexander.Solve
+module O = Alexander.Options
+module W = Alexander.Workloads
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let prog = Datalog_parser.Parser.program_of_string
+let atom = Datalog_parser.Parser.atom_of_string
+
+let answers ?(strategy = O.Seminaive) ?(negation = O.Auto) program q =
+  let options = { O.default with O.strategy; negation } in
+  (S.run_exn ~options program (atom q)).S.answers
+
+(* ---------------- degenerate programs ---------------- *)
+
+let test_empty_program () =
+  let program = Program.empty in
+  List.iter
+    (fun strategy ->
+      let options = { O.default with O.strategy } in
+      match S.run ~options program (atom "p(X)") with
+      | Ok report -> check tint "no answers" 0 (List.length report.S.answers)
+      | Error e -> Alcotest.fail e)
+    O.all_strategies
+
+let test_facts_only_program () =
+  let program = prog "e(1, 2). e(2, 3)." in
+  check tint "edb lookup" 1 (List.length (answers program "e(1, X)"))
+
+let test_rule_with_no_facts () =
+  let program = prog "p(X) :- e(X)." in
+  List.iter
+    (fun strategy ->
+      let options = { O.default with O.strategy } in
+      match S.run ~options program (atom "p(X)") with
+      | Ok report -> check tint "empty fixpoint" 0 (List.length report.S.answers)
+      | Error e -> Alcotest.fail e)
+    O.all_strategies
+
+let test_self_loop_edge () =
+  let program =
+    Program.make
+      ~facts:[ Atom.app "edge" [ Term.int 7; Term.int 7 ] ]
+      (W.ancestor_rules ())
+  in
+  List.iter
+    (fun strategy ->
+      check tint
+        (O.strategy_name strategy ^ ": self loop")
+        1
+        (List.length
+           (answers ~strategy program "anc(7, X)")))
+    [ O.Seminaive; O.Magic; O.Alexander; O.Tabled ]
+
+(* ---------------- unusual queries ---------------- *)
+
+let test_all_free_magic_query () =
+  (* an all-free query degenerates magic to full evaluation but must stay
+     correct (0-ary magic seed) *)
+  let program = W.ancestor_chain 6 in
+  let base = answers program "anc(X, Y)" in
+  check tint "full closure" 21 (List.length base);
+  List.iter
+    (fun strategy ->
+      check tbool (O.strategy_name strategy ^ ": all free") true
+        (answers ~strategy program "anc(X, Y)" = base))
+    [ O.Magic; O.Supplementary; O.Supplementary_idb; O.Alexander; O.Tabled ]
+
+let test_all_bound_queries () =
+  let program = W.same_generation ~layers:3 ~width:3 in
+  List.iter
+    (fun strategy ->
+      check tint
+        (O.strategy_name strategy ^ ": true ground goal")
+        1
+        (List.length (answers ~strategy program "sg(0, 0)"));
+      check tint
+        (O.strategy_name strategy ^ ": false ground goal")
+        0
+        (List.length (answers ~strategy program "sg(0, 100)")))
+    [ O.Seminaive; O.Magic; O.Supplementary; O.Alexander; O.Tabled ]
+
+let test_repeated_constant_args () =
+  let program = prog "p(X, Y, Z) :- e(X, Y), e(Y, Z). e(1, 1). e(1, 2)." in
+  (* query with the same constant twice *)
+  List.iter
+    (fun strategy ->
+      check tint
+        (O.strategy_name strategy ^ ": p(1,1,X)")
+        2
+        (List.length (answers ~strategy program "p(1, 1, X)")))
+    [ O.Seminaive; O.Magic; O.Alexander ]
+
+let test_query_variable_repeated_three_times () =
+  let program = prog "t(X, Y, Z) :- a(X), b(Y), c(Z). a(1). b(1). c(1). b(2)." in
+  check tint "t(W,W,W)" 1 (List.length (answers program "t(W, W, W)"))
+
+(* ---------------- rules with only built-ins after one atom ------------ *)
+
+let test_comparison_chains () =
+  let program =
+    prog "mid(X) :- n(X), X > 2, X < 7, X != 5. n(1). n(3). n(5). n(6). n(9)."
+  in
+  check tint "filtered to {3, 6}" 2 (List.length (answers program "mid(X)"))
+
+let test_eq_alias_in_rule () =
+  let program = prog "pair(X, Y) :- e(X), Y = X. e(1). e(2)." in
+  let result = answers program "pair(X, Y)" in
+  check tint "diagonal" 2 (List.length result);
+  check tbool "aliased" true
+    (List.for_all (fun t -> Value.equal t.(0) t.(1)) result)
+
+let test_cmp_between_symbols () =
+  (* ordering comparisons on symbols follow Value.compare (by intern id);
+     equality/inequality are the portable ones *)
+  let program = prog "diff(X, Y) :- e(X), e(Y), X != Y. e(a). e(b)." in
+  check tint "two ordered pairs" 2 (List.length (answers program "diff(X, Y)"))
+
+(* ---------------- mutual recursion ---------------- *)
+
+let test_mutual_recursion () =
+  let program =
+    prog
+      "even_path(X, Y) :- edge(X, Z), odd_path(Z, Y).\n\
+       odd_path(X, Y) :- edge(X, Y).\n\
+       odd_path(X, Y) :- edge(X, Z), even_path(Z, Y).\n\
+       edge(0, 1). edge(1, 2). edge(2, 3). edge(3, 4)."
+  in
+  let odd = answers program "odd_path(0, X)" in
+  let even = answers program "even_path(0, X)" in
+  (* paths from 0 of odd length end at 1, 3; even length at 2, 4 *)
+  check tint "odd ends" 2 (List.length odd);
+  check tint "even ends" 2 (List.length even);
+  List.iter
+    (fun strategy ->
+      check tbool
+        (O.strategy_name strategy ^ ": mutual recursion")
+        true
+        (answers ~strategy program "odd_path(0, X)" = odd))
+    [ O.Magic; O.Supplementary; O.Supplementary_idb; O.Alexander; O.Tabled ]
+
+let test_long_chain_deep_recursion () =
+  (* exercise many fixpoint rounds *)
+  let program = W.ancestor_chain 1000 in
+  check tint "answers from 990" 10
+    (List.length (answers ~strategy:O.Alexander program "anc(990, X)"))
+
+(* ---------------- negation corners ---------------- *)
+
+let test_negation_of_empty_relation () =
+  let program = prog "ok(X) :- n(X), not bad(X). bad(X) :- b(X). n(1). n(2)." in
+  (* bad/1 has a rule but no supporting facts: everything is ok *)
+  check tint "all pass" 2 (List.length (answers program "ok(X)"))
+
+let test_double_negation_via_two_preds () =
+  let program =
+    prog
+      "visible(X) :- n(X), not hidden(X).\n\
+       hidden(X) :- n(X), not shown(X).\n\
+       shown(1). n(1). n(2)."
+  in
+  (* hidden = {2}; visible = {1} *)
+  check tint "one visible" 1 (List.length (answers program "visible(X)"));
+  check tbool "it is 1" true
+    (List.hd (answers program "visible(X)") = [| Value.int 1 |])
+
+let test_negated_zero_arity () =
+  let program = prog "go :- ready, not blocked. ready." in
+  check tint "fires" 1 (List.length (answers program "go"));
+  let program2 = prog "go :- ready, not blocked. ready. blocked." in
+  check tint "blocked" 0 (List.length (answers program2 "go"))
+
+(* ---------------- parser / printer corners ---------------- *)
+
+let test_parse_deeply_nested_terms_not_supported () =
+  (* function symbols are not part of the language: f(g(x)) must fail *)
+  match Datalog_parser.Parser.parse_string "p(f(g)) :- q." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nested terms must be rejected"
+
+let test_parse_big_integers () =
+  let program = prog "big(1073741823). big(-1073741823)." in
+  check tint "two facts" 2 (Program.num_facts program)
+
+let test_print_parse_random_programs () =
+  (* deterministic round-trip over the generator's output *)
+  let gen = QCheck.Gen.generate ~rand:(Random.State.make [| 7 |]) ~n:20
+      Gen.positive_program_gen
+  in
+  List.iter
+    (fun program ->
+      let printed = Format.asprintf "%a" Program.pp program in
+      let reparsed = Datalog_parser.Parser.program_of_string printed in
+      check tbool "round-trip" true
+        (List.equal Rule.equal (Program.rules program) (Program.rules reparsed)
+        && List.equal Atom.equal (Program.facts program)
+             (Program.facts reparsed)))
+    gen
+
+(* ---------------- report invariants ---------------- *)
+
+let test_report_answers_sorted_and_unique () =
+  let program = W.ancestor_tree ~depth:3 ~fanout:3 in
+  List.iter
+    (fun strategy ->
+      let options = { O.default with O.strategy } in
+      let report = S.run_exn ~options program (atom "anc(0, X)") in
+      let sorted =
+        List.sort_uniq Datalog_storage.Tuple.compare report.S.answers
+      in
+      check tbool
+        (O.strategy_name strategy ^ ": sorted unique answers")
+        true
+        (report.S.answers = sorted))
+    O.all_strategies
+
+let suite =
+  [ ( "edge-cases",
+      [ Alcotest.test_case "empty program" `Quick test_empty_program;
+        Alcotest.test_case "facts only" `Quick test_facts_only_program;
+        Alcotest.test_case "rule without facts" `Quick test_rule_with_no_facts;
+        Alcotest.test_case "self loop" `Quick test_self_loop_edge;
+        Alcotest.test_case "all-free magic query" `Quick test_all_free_magic_query;
+        Alcotest.test_case "all-bound queries" `Quick test_all_bound_queries;
+        Alcotest.test_case "repeated constants" `Quick test_repeated_constant_args;
+        Alcotest.test_case "thrice-repeated variable" `Quick
+          test_query_variable_repeated_three_times;
+        Alcotest.test_case "comparison chains" `Quick test_comparison_chains;
+        Alcotest.test_case "= alias" `Quick test_eq_alias_in_rule;
+        Alcotest.test_case "symbol comparisons" `Quick test_cmp_between_symbols;
+        Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+        Alcotest.test_case "deep recursion" `Slow test_long_chain_deep_recursion;
+        Alcotest.test_case "negation of empty" `Quick
+          test_negation_of_empty_relation;
+        Alcotest.test_case "double negation" `Quick
+          test_double_negation_via_two_preds;
+        Alcotest.test_case "negated zero arity" `Quick test_negated_zero_arity;
+        Alcotest.test_case "no nested terms" `Quick
+          test_parse_deeply_nested_terms_not_supported;
+        Alcotest.test_case "big integers" `Quick test_parse_big_integers;
+        Alcotest.test_case "print/parse random" `Quick
+          test_print_parse_random_programs;
+        Alcotest.test_case "sorted answers" `Quick
+          test_report_answers_sorted_and_unique
+      ] )
+  ]

@@ -1,0 +1,163 @@
+(* Quantified formula queries (the constructive-domain-independence
+   application). *)
+
+open Datalog_ast
+module F = Alexander.Formula
+module O = Alexander.Options
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let prog = Datalog_parser.Parser.program_of_string
+let a = Datalog_parser.Parser.atom_of_string
+let v = Term.var
+
+let company =
+  prog
+    "employee(ann). employee(bob). employee(cal). employee(dan).\n\
+     assigned(ann, p1). assigned(ann, p2).\n\
+     assigned(bob, p1). assigned(bob, p3).\n\
+     assigned(cal, p3).\n\
+     on_budget(p1). on_budget(p2).\n\
+     senior(ann). senior(cal)."
+
+let names tuples =
+  List.map
+    (fun t -> match t.(0) with Value.Sym s -> Symbol.name s | _ -> "?")
+    tuples
+  |> List.sort String.compare
+
+let eval ?options program f =
+  match F.eval ?options program f with
+  | Ok (vars, tuples) -> (vars, tuples)
+  | Error msg -> Alcotest.failf "formula rejected: %s" msg
+
+let test_conjunction () =
+  let f =
+    F.conj (F.atom (a "employee(E)")) (F.atom (a "senior(E)"))
+  in
+  let _, tuples = eval company f in
+  check (Alcotest.list Alcotest.string) "senior employees" [ "ann"; "cal" ]
+    (names tuples)
+
+let test_negation_ranged () =
+  (* employees with no assignment at all *)
+  let f =
+    F.conj
+      (F.atom (a "employee(E)"))
+      (F.neg (F.exists [ "P" ] (F.atom (a "assigned(E, P)"))))
+  in
+  let _, tuples = eval company f in
+  check (Alcotest.list Alcotest.string) "unassigned" [ "dan" ] (names tuples)
+
+let test_forall () =
+  (* employees all of whose projects are on budget (vacuously includes the
+     unassigned) *)
+  let f =
+    F.conj
+      (F.atom (a "employee(E)"))
+      (F.forall [ "P" ]
+         (F.imp (F.atom (a "assigned(E, P)")) (F.atom (a "on_budget(P)"))))
+  in
+  let _, tuples = eval company f in
+  check (Alcotest.list Alcotest.string) "all on budget" [ "ann"; "dan" ]
+    (names tuples)
+
+let test_disjunction () =
+  let f =
+    F.conj
+      (F.atom (a "employee(E)"))
+      (F.disj (F.atom (a "senior(E)")) (F.atom (a "assigned(E, p3)")))
+  in
+  let _, tuples = eval company f in
+  check (Alcotest.list Alcotest.string) "senior or on p3"
+    [ "ann"; "bob"; "cal" ] (names tuples)
+
+let test_exists_projection () =
+  let f = F.exists [ "P" ] (F.atom (a "assigned(E, P)")) in
+  let vars, tuples = eval company f in
+  check (Alcotest.list Alcotest.string) "free variable" [ "E" ] vars;
+  check tint "three assigned employees" 3 (List.length tuples)
+
+let test_comparison_in_formula () =
+  let program = prog "score(ann, 80). score(bob, 45). score(cal, 62)." in
+  let f =
+    F.conj (F.atom (a "score(S, N)")) (F.cmp Literal.Geq (v "N") (Term.int 60))
+  in
+  let vars, tuples = eval program f in
+  check tint "two columns" 2 (List.length vars);
+  check tint "two passing" 2 (List.length tuples)
+
+let test_formula_over_idb () =
+  (* formulas compose with recursive predicates: nodes that reach 4 but
+     not 2 *)
+  let program = Alexander.Workloads.ancestor_chain 6 in
+  let program =
+    Program.make
+      ~facts:(Program.facts program @ Program.facts (prog "branch(9, 4)."))
+      (Program.rules program
+      @ Program.rules (prog "anc(X, Y) :- branch(X, Y)."))
+  in
+  let f =
+    F.conj (F.atom (a "anc(X, 4)")) (F.neg (F.atom (a "anc(X, 2)")))
+  in
+  let _, tuples = eval program f in
+  (* reachers of 4: 0,1,2,3,9; of those, 0 and 1 also reach 2; 2 doesn't
+     reach itself; so {2, 3, 9} *)
+  check tint "three answers" 3 (List.length tuples)
+
+let test_unranged_negation_rejected () =
+  let f = F.neg (F.atom (a "senior(E)")) in
+  match F.eval company f with
+  | Error msg -> check tbool "explains" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "bare negation is domain dependent"
+
+let test_mismatched_disjunction_rejected () =
+  let f = F.disj (F.atom (a "senior(E)")) (F.atom (a "on_budget(P)")) in
+  match F.eval company f with
+  | Error msg -> check tbool "explains" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "free-variable mismatch must be rejected"
+
+let test_forall_unranged_rejected () =
+  (* forall with no positive range for E *)
+  let f = F.forall [ "P" ] (F.atom (a "assigned(E, P)")) in
+  match F.eval company f with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unranged forall must be rejected"
+
+let test_strategies_agree_on_formulas () =
+  let f =
+    F.conj
+      (F.atom (a "employee(E)"))
+      (F.forall [ "P" ]
+         (F.imp (F.atom (a "assigned(E, P)")) (F.atom (a "on_budget(P)"))))
+  in
+  let base = snd (eval ~options:{ O.default with O.strategy = O.Seminaive } company f) in
+  List.iter
+    (fun strategy ->
+      let tuples =
+        snd (eval ~options:{ O.default with O.strategy } company f)
+      in
+      check tbool (O.strategy_name strategy ^ " agrees") true (tuples = base))
+    [ O.Magic; O.Supplementary_idb; O.Alexander ]
+
+let suite =
+  [ ( "formula",
+      [ Alcotest.test_case "conjunction" `Quick test_conjunction;
+        Alcotest.test_case "ranged negation" `Quick test_negation_ranged;
+        Alcotest.test_case "forall" `Quick test_forall;
+        Alcotest.test_case "disjunction" `Quick test_disjunction;
+        Alcotest.test_case "exists projection" `Quick test_exists_projection;
+        Alcotest.test_case "comparisons" `Quick test_comparison_in_formula;
+        Alcotest.test_case "over recursive idb" `Quick test_formula_over_idb;
+        Alcotest.test_case "bare negation rejected" `Quick
+          test_unranged_negation_rejected;
+        Alcotest.test_case "disjunction mismatch rejected" `Quick
+          test_mismatched_disjunction_rejected;
+        Alcotest.test_case "unranged forall rejected" `Quick
+          test_forall_unranged_rejected;
+        Alcotest.test_case "strategies agree" `Quick
+          test_strategies_agree_on_formulas
+      ] )
+  ]

@@ -1,0 +1,101 @@
+(* Delimited-file loading/saving of extensional data. *)
+
+open Datalog_ast
+open Datalog_storage
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let tmpdir () =
+  let dir = Filename.temp_file "alexio" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let write path contents =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc contents)
+
+let test_parse_field () =
+  check tbool "int" true (Value.equal (Io.parse_field "42") (Value.int 42));
+  check tbool "negative int" true
+    (Value.equal (Io.parse_field "-7") (Value.int (-7)));
+  check tbool "symbol" true (Value.equal (Io.parse_field "tokyo") (Value.sym "tokyo"));
+  check tbool "trimmed" true (Value.equal (Io.parse_field " x ") (Value.sym "x"))
+
+let test_load_csv () =
+  let dir = tmpdir () in
+  write (Filename.concat dir "edge.csv") "0,1\n1,2\n\n2,3\n";
+  match Io.load_file ~pred:"edge" (Filename.concat dir "edge.csv") with
+  | Error e -> Alcotest.fail e
+  | Ok atoms ->
+    check tint "three rows (blank skipped)" 3 (List.length atoms);
+    check tbool "typed as ints" true
+      (Atom.equal (List.hd atoms)
+         (Atom.app "edge" [ Term.int 0; Term.int 1 ]))
+
+let test_load_tsv_and_header () =
+  let dir = tmpdir () in
+  write (Filename.concat dir "city.tsv") "# name\tcountry\nparis\tfr\nosaka\tjp\n";
+  match Io.load_file ~pred:"city" (Filename.concat dir "city.tsv") with
+  | Error e -> Alcotest.fail e
+  | Ok atoms ->
+    check tint "header skipped" 2 (List.length atoms);
+    check tbool "symbols" true
+      (Atom.equal (List.hd atoms)
+         (Atom.app "city" [ Term.sym "paris"; Term.sym "fr" ]))
+
+let test_ragged_row_rejected () =
+  let dir = tmpdir () in
+  write (Filename.concat dir "bad.csv") "1,2\n3\n";
+  match Io.load_file ~pred:"bad" (Filename.concat dir "bad.csv") with
+  | Error msg -> check tbool "line number named" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "ragged rows must be rejected"
+
+let test_load_directory_and_query () =
+  let dir = tmpdir () in
+  write (Filename.concat dir "edge.csv") "0,1\n1,2\n2,3\n";
+  write (Filename.concat dir "label.csv") "1,hub\n";
+  match Io.load_directory dir with
+  | Error e -> Alcotest.fail e
+  | Ok atoms ->
+    check tint "four facts total" 4 (List.length atoms);
+    let program =
+      Program.make ~facts:atoms (Alexander.Workloads.ancestor_rules ())
+    in
+    let report =
+      Alexander.Solve.run_exn program
+        (Datalog_parser.Parser.atom_of_string "anc(0, X)")
+    in
+    check tint "queryable" 3 (List.length report.Alexander.Solve.answers)
+
+let test_roundtrip_save_load () =
+  let dir = tmpdir () in
+  let db = Database.create () in
+  List.iter
+    (fun (a, b) ->
+      ignore (Database.add db (Pred.make "e" 2) [| Value.int a; Value.sym b |]))
+    [ (1, "x"); (2, "y") ];
+  (match Io.save_database db dir with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Io.load_directory dir with
+  | Error e -> Alcotest.fail e
+  | Ok atoms ->
+    check tint "both rows back" 2 (List.length atoms);
+    check tbool "values preserved" true
+      (List.exists
+         (fun a -> Atom.equal a (Atom.app "e" [ Term.int 2; Term.sym "y" ]))
+         atoms)
+
+let suite =
+  [ ( "io",
+      [ Alcotest.test_case "field typing" `Quick test_parse_field;
+        Alcotest.test_case "csv" `Quick test_load_csv;
+        Alcotest.test_case "tsv + header" `Quick test_load_tsv_and_header;
+        Alcotest.test_case "ragged rows" `Quick test_ragged_row_rejected;
+        Alcotest.test_case "directory" `Quick test_load_directory_and_query;
+        Alcotest.test_case "save/load round-trip" `Quick test_roundtrip_save_load
+      ] )
+  ]

@@ -1,0 +1,155 @@
+(* Coverage for the utility surfaces: workload generators, counters,
+   registry metadata, rewritten-program accessors. *)
+
+open Datalog_ast
+module W = Alexander.Workloads
+module C = Datalog_engine.Counters
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* ---------------- workload generators ---------------- *)
+
+let test_chain_shape () =
+  let facts = W.chain ~pred:"e" 5 in
+  check tint "five edges" 5 (List.length facts);
+  check tbool "first edge" true
+    (Atom.equal (List.hd facts) (Atom.app "e" [ Term.int 0; Term.int 1 ]))
+
+let test_cycle_shape () =
+  let facts = W.cycle ~pred:"e" 4 in
+  check tint "four edges" 4 (List.length facts);
+  check tbool "wraps around" true
+    (List.exists
+       (fun a -> Atom.equal a (Atom.app "e" [ Term.int 3; Term.int 0 ]))
+       facts);
+  check tint "empty cycle" 0 (List.length (W.cycle ~pred:"e" 0))
+
+let test_full_tree_shape () =
+  (* depth d fanout f: (f^(d+1) - 1)/(f - 1) nodes, nodes - 1 edges *)
+  let facts = W.full_tree ~pred:"e" ~depth:3 ~fanout:2 in
+  check tint "15-node binary tree has 14 edges" 14 (List.length facts);
+  let facts3 = W.full_tree ~pred:"e" ~depth:2 ~fanout:3 in
+  check tint "13-node ternary tree has 12 edges" 12 (List.length facts3)
+
+let test_random_graph_deterministic_and_distinct () =
+  let g1 = W.random_graph ~pred:"e" ~nodes:20 ~edges:30 ~seed:5 in
+  let g2 = W.random_graph ~pred:"e" ~nodes:20 ~edges:30 ~seed:5 in
+  let g3 = W.random_graph ~pred:"e" ~nodes:20 ~edges:30 ~seed:6 in
+  check tbool "same seed, same graph" true (List.equal Atom.equal g1 g2);
+  check tbool "different seed, different graph" false
+    (List.equal Atom.equal g1 g3);
+  check tint "requested edge count" 30 (List.length g1);
+  check tint "edges are distinct" 30
+    (List.length (List.sort_uniq Atom.compare g1))
+
+let test_sg_cylinder_shape () =
+  let facts = W.sg_cylinder ~layers:3 ~width:4 in
+  (* per non-deepest layer: 2*width up + 2*width down; deepest: width flat *)
+  check tint "fact count" ((2 * (2 * 4)) * 2 + 4) (List.length facts)
+
+let test_workload_programs_are_safe () =
+  List.iter
+    (fun (name, program) ->
+      check tbool (name ^ " is range-restricted") true
+        (Result.is_ok (Datalog_analysis.Safety.check_program program)))
+    [ ("ancestor", W.ancestor_chain 3);
+      ("tree", W.ancestor_tree ~depth:2 ~fanout:2);
+      ("sg", W.same_generation ~layers:2 ~width:2);
+      ("rsg", W.reverse_same_generation ~layers:2 ~width:2);
+      ("win-move", W.win_move_dag 2)
+    ]
+
+(* ---------------- counters ---------------- *)
+
+let test_counters_reset_add () =
+  let a = C.create () in
+  a.C.facts_derived <- 5;
+  a.C.probes <- 7;
+  let b = C.create () in
+  b.C.facts_derived <- 2;
+  b.C.iterations <- 3;
+  C.add a b;
+  check tint "facts accumulated" 7 a.C.facts_derived;
+  check tint "iterations accumulated" 3 a.C.iterations;
+  C.reset a;
+  check tint "reset clears" 0 a.C.facts_derived;
+  check tbool "pp renders" true
+    (String.length (Format.asprintf "%a" C.pp a) > 0)
+
+(* ---------------- registry / rewritten accessors ---------------- *)
+
+let test_registry_kinds () =
+  let program = W.ancestor_chain 4 in
+  let query = Datalog_parser.Parser.atom_of_string "anc(0, X)" in
+  let adorned = Datalog_rewrite.Adorn.adorn program query in
+  let rw = Datalog_rewrite.Alexander_templates.transform adorned in
+  let registry = rw.Datalog_rewrite.Rewritten.registry in
+  let kinds =
+    Datalog_rewrite.Registry.fold
+      (fun _ kind acc -> Format.asprintf "%a" Datalog_rewrite.Registry.pp_kind kind :: acc)
+      registry []
+  in
+  check tbool "adorned registered" true
+    (List.exists (fun k -> String.length k >= 7 && String.sub k 0 7 = "adorned") kinds);
+  check tbool "call registered" true
+    (List.exists (fun k -> String.length k >= 4 && String.sub k 0 4 = "call") kinds);
+  check tbool "answer registered" true
+    (List.exists (fun k -> String.length k >= 6 && String.sub k 0 6 = "answer") kinds);
+  check tbool "cont registered" true
+    (List.exists (fun k -> String.length k >= 4 && String.sub k 0 4 = "cont") kinds)
+
+let test_rewritten_accessors () =
+  let program = W.ancestor_chain 4 in
+  let query = Datalog_parser.Parser.atom_of_string "anc(0, X)" in
+  let adorned = Datalog_rewrite.Adorn.adorn program query in
+  let rw = Datalog_rewrite.Supplementary.transform adorned in
+  check tbool "num_rules positive" true
+    (Datalog_rewrite.Rewritten.num_rules rw > 0);
+  check tbool "num_preds positive" true
+    (Datalog_rewrite.Rewritten.num_preds rw > 0);
+  let printed = Format.asprintf "%a" Datalog_rewrite.Rewritten.pp rw in
+  check tbool "pp shows the seed" true
+    (let sub = "m_anc__bf(0)." in
+     let n = String.length sub and m = String.length printed in
+     let rec go i = i + n <= m && (String.sub printed i n = sub || go (i + 1)) in
+     go 0);
+  let evaluable = Datalog_rewrite.Rewritten.program rw in
+  check tint "program carries the seed as a fact" 1
+    (Program.num_facts evaluable)
+
+(* ---------------- symbol/pred table growth sanity ---------------- *)
+
+let test_interning_is_stable_across_repeats () =
+  let before = Symbol.interned_count () in
+  (* repeating an identical pipeline must not leak fresh symbols *)
+  let run () =
+    let program = W.ancestor_chain 4 in
+    let query = Datalog_parser.Parser.atom_of_string "anc(0, X)" in
+    ignore (Alexander.Solve.run_exn program query)
+  in
+  run ();
+  let mid = Symbol.interned_count () in
+  run ();
+  run ();
+  let after = Symbol.interned_count () in
+  check tbool "no growth on repetition" true (after = mid);
+  check tbool "monotone" true (mid >= before)
+
+let suite =
+  [ ( "misc",
+      [ Alcotest.test_case "chain" `Quick test_chain_shape;
+        Alcotest.test_case "cycle" `Quick test_cycle_shape;
+        Alcotest.test_case "full tree" `Quick test_full_tree_shape;
+        Alcotest.test_case "random graph" `Quick
+          test_random_graph_deterministic_and_distinct;
+        Alcotest.test_case "sg cylinder" `Quick test_sg_cylinder_shape;
+        Alcotest.test_case "workloads safe" `Quick test_workload_programs_are_safe;
+        Alcotest.test_case "counters" `Quick test_counters_reset_add;
+        Alcotest.test_case "registry kinds" `Quick test_registry_kinds;
+        Alcotest.test_case "rewritten accessors" `Quick test_rewritten_accessors;
+        Alcotest.test_case "interning stable" `Quick
+          test_interning_is_stable_across_repeats
+      ] )
+  ]

@@ -1,0 +1,106 @@
+(* Multi-query evaluation: one shared rewriting, several seeds. *)
+
+open Datalog_ast
+module S = Alexander.Solve
+module O = Alexander.Options
+module W = Alexander.Workloads
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let atom = Datalog_parser.Parser.atom_of_string
+
+let single options program query =
+  (S.run_exn ~options program query).S.answers
+
+let test_batch_matches_singles () =
+  let program = W.ancestor_chain 20 in
+  let queries =
+    List.map atom [ "anc(3, X)"; "anc(10, X)"; "anc(15, X)"; "anc(18, X)" ]
+  in
+  List.iter
+    (fun strategy ->
+      let options = { O.default with O.strategy } in
+      match S.run_many ~options program queries with
+      | Error e -> Alcotest.fail e
+      | Ok results ->
+        check tint "one result per query" (List.length queries)
+          (List.length results);
+        List.iter2
+          (fun query (q, answers) ->
+            check tbool "query preserved" true (Atom.equal q query);
+            check tbool
+              (O.strategy_name strategy ^ " batch = single")
+              true
+              (answers = single options program query))
+          queries results)
+    [ O.Seminaive; O.Magic; O.Supplementary; O.Alexander; O.Tabled ]
+
+let test_mixed_binding_patterns () =
+  let program = W.ancestor_chain 12 in
+  let queries =
+    List.map atom [ "anc(2, X)"; "anc(X, 9)"; "anc(3, 7)"; "anc(11, 2)" ]
+  in
+  let options = { O.default with O.strategy = O.Alexander } in
+  match S.run_many ~options program queries with
+  | Error e -> Alcotest.fail e
+  | Ok results ->
+    List.iter2
+      (fun query (_, answers) ->
+        check tbool "matches single run" true
+          (answers = single options program query))
+      queries results
+
+let test_multiple_predicates () =
+  let program = W.same_generation ~layers:3 ~width:3 in
+  let program =
+    Program.make
+      ~facts:(Program.facts program)
+      (Program.rules program
+      @ [ Datalog_parser.Parser.rule_of_string "peer(X, Y) :- sg(X, Y), X != Y." ])
+  in
+  let queries = List.map atom [ "sg(0, X)"; "peer(0, X)" ] in
+  match S.run_many program queries with
+  | Error e -> Alcotest.fail e
+  | Ok results ->
+    List.iter2
+      (fun query (_, answers) ->
+        check tbool "each predicate answered" true
+          (answers = single O.default program query))
+      queries results
+
+let test_empty_batch () =
+  match S.run_many (W.ancestor_chain 3) [] with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "expected empty"
+  | Error e -> Alcotest.fail e
+
+let prop_batch_equals_singles =
+  QCheck.Test.make ~name:"run_many = n x run on random programs" ~count:30
+    (QCheck.pair Gen.arb_positive_program
+       (QCheck.make QCheck.Gen.(list_size (int_range 1 4) (int_bound 5))))
+    (fun (program, consts) ->
+      let queries =
+        List.map
+          (fun c -> Atom.app "p0" [ Term.int c; Term.var "Q" ])
+          consts
+      in
+      match S.run_many program queries with
+      | Error _ -> false
+      | Ok results ->
+        List.for_all2
+          (fun query (_, answers) ->
+            answers = single O.default program query)
+          queries results)
+
+let suite =
+  [ ( "multiquery",
+      [ Alcotest.test_case "batch = singles" `Quick test_batch_matches_singles;
+        Alcotest.test_case "mixed bindings" `Quick test_mixed_binding_patterns;
+        Alcotest.test_case "multiple predicates" `Quick test_multiple_predicates;
+        Alcotest.test_case "empty batch" `Quick test_empty_batch
+      ] );
+    ( "multiquery:properties",
+      List.map QCheck_alcotest.to_alcotest [ prop_batch_equals_singles ] )
+  ]

@@ -1,0 +1,182 @@
+(* Preprocessing passes: IDB-fact splitting, body reordering, reachability
+   pruning, duplicate elimination — plus integration over the shipped
+   sample programs. *)
+
+open Datalog_ast
+module Pre = Alexander.Preprocess
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let prog = Datalog_parser.Parser.program_of_string
+let atom = Datalog_parser.Parser.atom_of_string
+
+let test_prune_unreachable () =
+  let program =
+    prog
+      "a(X) :- e(X). b(X) :- a(X), f(X). c(X) :- g(X).\n\
+       e(1). f(1). g(2). h(3)."
+  in
+  let pruned = Pre.prune_unreachable program (atom "b(X)") in
+  let names = List.map Pred.name (Pred.Set.elements (Program.preds pruned)) in
+  check (Alcotest.list Alcotest.string) "only b's cone kept"
+    [ "a"; "b"; "e"; "f" ] (List.sort String.compare names);
+  check tint "two rules kept" 2 (Program.num_rules pruned);
+  check tint "two facts kept" 2 (Program.num_facts pruned)
+
+let test_prune_preserves_answers () =
+  let program =
+    prog
+      "a(X) :- e(X). b(X) :- a(X). junk(X) :- bigjunk(X, Y).\n\
+       bigjunk(1, 2). e(1). e(2)."
+  in
+  let query = atom "b(X)" in
+  let before = (Alexander.Solve.run_exn program query).Alexander.Solve.answers in
+  let pruned = Pre.prune_unreachable program query in
+  let after = (Alexander.Solve.run_exn pruned query).Alexander.Solve.answers in
+  check tbool "same answers" true (before = after)
+
+let test_dedup_rules () =
+  let program =
+    prog "a(X) :- e(X). a(X) :- e(X). a(X) :- f(X). e(1). e(1). f(2)."
+  in
+  let deduped = Pre.dedup_rules program in
+  check tint "two distinct rules" 2 (Program.num_rules deduped);
+  check tint "two distinct facts" 2 (Program.num_facts deduped)
+
+let test_domain_guards_preserve_answers () =
+  let program =
+    prog
+      "anc(X, Y) :- e(X, Y). anc(X, Y) :- e(X, Z), anc(Z, Y).\n\
+       isolated(X) :- n(X), not touched(X). touched(X) :- e(X, Y).\n\
+       touched(Y) :- e(X, Y).\n\
+       e(1, 2). e(2, 3). n(1). n(5)."
+  in
+  let guarded = Pre.add_domain_guards program in
+  List.iter
+    (fun q ->
+      let query = atom q in
+      let options =
+        { Alexander.Options.default with
+          Alexander.Options.strategy = Alexander.Options.Seminaive
+        }
+      in
+      let before = (Alexander.Solve.run_exn ~options program query).Alexander.Solve.answers in
+      let after = (Alexander.Solve.run_exn ~options guarded query).Alexander.Solve.answers in
+      check tbool (q ^ " unchanged") true (before = after))
+    [ "anc(1, X)"; "isolated(X)" ];
+  (* the guarded program pays: it derives dom facts too *)
+  check tbool "guarded program is bigger" true
+    (Program.num_rules guarded > Program.num_rules program)
+
+let test_unfold_inlines_single_rule_pred () =
+  let program =
+    prog
+      "result(X, Y) :- hop2(X, Y).\n\
+       hop2(X, Y) :- edge(X, Z), edge(Z, Y).\n\
+       edge(1, 2). edge(2, 3). edge(3, 4)."
+  in
+  let unfolded = Pre.unfold ~protect:[ Pred.make "result" 2 ] program in
+  (* hop2 disappears; result is defined directly over edge *)
+  check tbool "hop2 gone" false
+    (Pred.Set.mem (Pred.make "hop2" 2) (Program.idb unfolded));
+  check tint "one rule left" 1 (Program.num_rules unfolded);
+  let query = atom "result(1, X)" in
+  check tbool "answers preserved" true
+    ((Alexander.Solve.run_exn program query).Alexander.Solve.answers
+    = (Alexander.Solve.run_exn unfolded query).Alexander.Solve.answers)
+
+let test_unfold_keeps_recursive_and_negated () =
+  let program =
+    prog
+      "anc(X, Y) :- edge(X, Y). anc(X, Y) :- edge(X, Z), anc(Z, Y).\n\
+       single(X) :- node(X), not linked(X). linked(X) :- edge(X, Y).\n\
+       edge(1, 2). node(3)."
+  in
+  let unfolded = Pre.unfold program in
+  (* anc is recursive; linked occurs negated: both must survive *)
+  check tbool "anc kept" true
+    (Pred.Set.mem (Pred.make "anc" 2) (Program.idb unfolded));
+  check tbool "linked kept" true
+    (Pred.Set.mem (Pred.make "linked" 1) (Program.idb unfolded))
+
+let test_unfold_double_occurrence () =
+  (* two occurrences of the inlined predicate in one body *)
+  let program =
+    prog
+      "square(X, Y) :- hop(X, Z), hop(Z, Y).\n\
+       hop(X, Y) :- edge(X, Y).\n\
+       edge(1, 2). edge(2, 3). edge(3, 4)."
+  in
+  let query = atom "square(1, X)" in
+  let unfolded = Pre.unfold ~protect:[ Pred.make "square" 2 ] program in
+  check tbool "hop fully eliminated" false
+    (Pred.Set.mem (Pred.make "hop" 2) (Program.idb unfolded));
+  check tbool "answers preserved" true
+    ((Alexander.Solve.run_exn program query).Alexander.Solve.answers
+    = (Alexander.Solve.run_exn unfolded query).Alexander.Solve.answers)
+
+let prop_unfold_preserves_answers =
+  QCheck.Test.make ~name:"unfolding preserves answers" ~count:40
+    Gen.arb_positive_program_query (fun (program, query) ->
+      let unfolded = Pre.unfold ~protect:[ Atom.pred query ] program in
+      (Alexander.Solve.run_exn program query).Alexander.Solve.answers
+      = (Alexander.Solve.run_exn unfolded query).Alexander.Solve.answers)
+
+(* every shipped sample program must parse, analyse, and answer its
+   queries without error under the default options *)
+let test_sample_programs () =
+  let dir = "../examples/programs" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".dl")
+    |> List.sort String.compare
+  in
+  check tbool "samples present" true (List.length files >= 5);
+  List.iter
+    (fun file ->
+      match Datalog_parser.Parser.parse_file (Filename.concat dir file) with
+      | Error msg -> Alcotest.failf "%s: %s" file msg
+      | Ok parsed ->
+        let program = parsed.Datalog_parser.Parser.program in
+        check tbool (file ^ " has queries") true
+          (parsed.Datalog_parser.Parser.queries <> []);
+        List.iter
+          (fun query ->
+            match Alexander.Solve.run program query with
+            | Ok _ -> ()
+            | Error msg ->
+              (* non-stratified samples need a three-valued semantics *)
+              let options =
+                { Alexander.Options.default with
+                  Alexander.Options.strategy = Alexander.Options.Seminaive;
+                  negation = Alexander.Options.Well_founded
+                }
+              in
+              (match Alexander.Solve.run ~options program query with
+              | Ok _ -> ()
+              | Error msg2 ->
+                Alcotest.failf "%s: %s / %s" file msg msg2))
+          parsed.Datalog_parser.Parser.queries)
+    files
+
+let suite =
+  [ ( "preprocess",
+      [ Alcotest.test_case "prune unreachable" `Quick test_prune_unreachable;
+        Alcotest.test_case "prune preserves answers" `Quick
+          test_prune_preserves_answers;
+        Alcotest.test_case "dedup" `Quick test_dedup_rules;
+        Alcotest.test_case "domain guards" `Quick
+          test_domain_guards_preserve_answers;
+        Alcotest.test_case "unfold inlines" `Quick
+          test_unfold_inlines_single_rule_pred;
+        Alcotest.test_case "unfold keeps recursion/negation" `Quick
+          test_unfold_keeps_recursive_and_negated;
+        Alcotest.test_case "unfold double occurrence" `Quick
+          test_unfold_double_occurrence;
+        Alcotest.test_case "sample programs" `Quick test_sample_programs
+      ] );
+    ( "preprocess:properties",
+      List.map QCheck_alcotest.to_alcotest [ prop_unfold_preserves_answers ] )
+  ]

@@ -1,0 +1,134 @@
+(* Proof-tree extraction tests. *)
+
+open Datalog_ast
+module P = Datalog_engine.Provenance
+module W = Alexander.Workloads
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let prog = Datalog_parser.Parser.program_of_string
+let atom = Datalog_parser.Parser.atom_of_string
+
+let test_fact_proof () =
+  let program = W.ancestor_chain 5 in
+    match P.explain program (atom "edge(2, 3)") with
+  | Some (P.Fact a) -> check tbool "fact node" true (Atom.equal a (atom "edge(2, 3)"))
+  | Some _ -> Alcotest.fail "expected a fact leaf"
+  | None -> Alcotest.fail "edge(2,3) is a fact"
+
+let test_derived_proof_depth () =
+  let program = W.ancestor_chain 6 in
+    (* anc(0, 4) needs the recursive rule 3 times + base: proof height 5,
+     counting the edge facts at each step as leaves *)
+  match P.explain program (atom "anc(0, 4)") with
+  | None -> Alcotest.fail "derivable"
+  | Some proof ->
+    check tbool "conclusion correct" true
+      (Atom.equal (P.conclusion proof) (atom "anc(0, 4)"));
+    check tint "proof height" 5 (P.depth proof);
+    (* 4 rule applications + 4 edge facts *)
+    check tint "proof size" 8 (P.size proof)
+
+let test_proof_is_well_founded_on_cycles () =
+  let program =
+    Program.make ~facts:(W.cycle ~pred:"edge" 4) (W.ancestor_rules ())
+  in
+    (* anc(0, 0) goes all the way around the cycle; the proof must not be
+     circular (each anc atom proved from strictly smaller subproofs) *)
+  match P.explain program (atom "anc(0, 0)") with
+  | None -> Alcotest.fail "derivable"
+  | Some proof ->
+    let rec assert_no_repeat seen proof =
+      match proof with
+      | P.Fact _ -> ()
+      | P.Derived { conclusion; premises; _ } ->
+        check tbool "no atom repeats on a path" false
+          (List.exists (Atom.equal conclusion) seen);
+        List.iter
+          (fun premise ->
+            match premise with
+            | P.Proved sub -> assert_no_repeat (conclusion :: seen) sub
+            | P.Absent _ | P.Holds _ -> ())
+          premises
+    in
+    assert_no_repeat [] proof
+
+let test_negative_premise () =
+  let program =
+    prog
+      "lonely(X) :- node(X), not linked(X). linked(X) :- edge(X, Y).\n\
+       node(1). node(2). edge(1, 2)."
+  in
+    match P.explain program (atom "lonely(2)") with
+  | None -> Alcotest.fail "derivable"
+  | Some (P.Derived { premises; _ }) ->
+    check tbool "has an Absent premise" true
+      (List.exists
+         (function P.Absent a -> Atom.equal a (atom "linked(2)") | _ -> false)
+         premises)
+  | Some (P.Fact _) -> Alcotest.fail "not a fact"
+
+let test_comparison_premise () =
+  let program = prog "big(X) :- size(X, N), N >= 10. size(a, 12). size(b, 3)." in
+    (match P.explain program (atom "big(a)") with
+  | Some (P.Derived { premises; _ }) ->
+    check tbool "has a Holds premise" true
+      (List.exists (function P.Holds _ -> true | _ -> false) premises)
+  | _ -> Alcotest.fail "derivable");
+  check tbool "underivable atom unexplained" true
+    (P.explain program (atom "big(b)") = None)
+
+let test_not_in_model () =
+  let program = W.ancestor_chain 4 in
+    check tbool "absent atom has no proof" true
+    (P.explain program (atom "anc(3, 0)") = None)
+
+let test_proofs_exist_for_every_derived_fact () =
+  let program = W.same_generation ~layers:3 ~width:3 in
+  let db =
+    (Datalog_engine.Stratified.run_exn program).Datalog_engine.Stratified.db
+  in
+  let sg = Pred.make "sg" 2 in
+  List.iter
+    (fun t ->
+      let a = Atom.of_tuple sg t in
+      match P.explain program a with
+      | Some proof ->
+        check tbool
+          (Format.asprintf "proof concludes %a" Atom.pp a)
+          true
+          (Atom.equal (P.conclusion proof) a)
+      | None -> Alcotest.failf "no proof for %a" Atom.pp a)
+    (Datalog_storage.Database.tuples db sg)
+
+let prop_every_fact_explainable =
+  QCheck.Test.make ~name:"every derived fact has a well-founded proof"
+    ~count:40 Gen.arb_positive_program (fun program ->
+      let db =
+        (Datalog_engine.Stratified.run_exn program)
+          .Datalog_engine.Stratified.db
+      in
+      List.for_all
+        (fun pred ->
+          List.for_all
+            (fun t -> P.explain program (Atom.of_tuple pred t) <> None)
+            (Datalog_storage.Database.tuples db pred))
+        (Gen.idb_preds program))
+
+let suite =
+  [ ( "provenance",
+      [ Alcotest.test_case "fact leaf" `Quick test_fact_proof;
+        Alcotest.test_case "derived proof" `Quick test_derived_proof_depth;
+        Alcotest.test_case "well-founded on cycles" `Quick
+          test_proof_is_well_founded_on_cycles;
+        Alcotest.test_case "negative premise" `Quick test_negative_premise;
+        Alcotest.test_case "comparison premise" `Quick test_comparison_premise;
+        Alcotest.test_case "absent atom" `Quick test_not_in_model;
+        Alcotest.test_case "all derived facts" `Quick
+          test_proofs_exist_for_every_derived_fact
+      ] );
+    ( "provenance:properties",
+      List.map QCheck_alcotest.to_alcotest [ prop_every_fact_explainable ] )
+  ]

@@ -1,0 +1,184 @@
+(* Storage tests: tuples, relations (with index consistency), databases. *)
+
+open Datalog_ast
+open Datalog_storage
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let tup l = Array.of_list (List.map Value.int l)
+
+let test_tuple_equal_hash () =
+  let a = tup [ 1; 2 ] and b = tup [ 1; 2 ] and c = tup [ 2; 1 ] in
+  check tbool "equal" true (Tuple.equal a b);
+  check tbool "hash agrees" true (Tuple.hash a = Tuple.hash b);
+  check tbool "different" false (Tuple.equal a c);
+  check tbool "width matters" false (Tuple.equal a (tup [ 1; 2; 3 ]))
+
+let test_tuple_project () =
+  let t = tup [ 10; 20; 30 ] in
+  check tbool "projection" true (Tuple.equal (Tuple.project [| 2; 0 |] t) (tup [ 30; 10 ]))
+
+let test_relation_insert_dedup () =
+  let r = Relation.create 2 in
+  check tbool "first insert new" true (Relation.insert r (tup [ 1; 2 ]));
+  check tbool "duplicate rejected" false (Relation.insert r (tup [ 1; 2 ]));
+  check tint "cardinal" 1 (Relation.cardinal r);
+  check tbool "mem" true (Relation.mem r (tup [ 1; 2 ]))
+
+let test_relation_arity_check () =
+  let r = Relation.create ~name:"r" 2 in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Relation.insert(r): arity 2, tuple of width 3")
+    (fun () -> ignore (Relation.insert r (tup [ 1; 2; 3 ])))
+
+let test_relation_insertion_order () =
+  let r = Relation.create 1 in
+  List.iter (fun i -> ignore (Relation.insert r (tup [ i ]))) [ 3; 1; 2 ];
+  check (Alcotest.list tint) "insertion order preserved" [ 3; 1; 2 ]
+    (List.map (fun t -> match t.(0) with Value.Int i -> i | _ -> -1)
+       (Relation.to_list r))
+
+let test_relation_select () =
+  let r = Relation.create 2 in
+  List.iter
+    (fun (a, b) -> ignore (Relation.insert r (tup [ a; b ])))
+    [ (1, 10); (1, 20); (2, 10); (3, 30) ];
+  check tint "select col0=1" 2 (List.length (Relation.select r [ (0, Value.int 1) ]));
+  check tint "select col1=10" 2 (List.length (Relation.select r [ (1, Value.int 10) ]));
+  check tint "select both" 1
+    (List.length (Relation.select r [ (0, Value.int 1); (1, Value.int 20) ]));
+  check tint "select nothing bound = all" 4 (List.length (Relation.select r []));
+  check tint "select miss" 0 (List.length (Relation.select r [ (0, Value.int 9) ]))
+
+let test_relation_index_maintained_after_insert () =
+  let r = Relation.create 2 in
+  ignore (Relation.insert r (tup [ 1; 10 ]));
+  (* force index creation *)
+  ignore (Relation.select r [ (0, Value.int 1) ]);
+  check tint "one index" 1 (Relation.index_count r);
+  (* subsequent inserts must be visible through the existing index *)
+  ignore (Relation.insert r (tup [ 1; 20 ]));
+  check tint "index sees new tuple" 2
+    (List.length (Relation.select r [ (0, Value.int 1) ]))
+
+let test_relation_copy_independent () =
+  let r = Relation.create 1 in
+  ignore (Relation.insert r (tup [ 1 ]));
+  let c = Relation.copy r in
+  ignore (Relation.insert c (tup [ 2 ]));
+  check tint "copy grew" 2 (Relation.cardinal c);
+  check tint "original untouched" 1 (Relation.cardinal r)
+
+let test_relation_union_into () =
+  let a = Relation.create 1 and b = Relation.create 1 in
+  ignore (Relation.insert a (tup [ 1 ]));
+  ignore (Relation.insert a (tup [ 2 ]));
+  ignore (Relation.insert b (tup [ 2 ]));
+  check tint "one new" 1 (Relation.union_into ~src:a ~dst:b);
+  check tint "dst has both" 2 (Relation.cardinal b)
+
+let test_database_basics () =
+  let db = Database.create () in
+  let p = Pred.make "p" 2 in
+  check tbool "add new" true (Database.add db p (tup [ 1; 2 ]));
+  check tbool "add dup" false (Database.add db p (tup [ 1; 2 ]));
+  check tbool "mem" true (Database.mem db p (tup [ 1; 2 ]));
+  check tint "cardinal" 1 (Database.cardinal db p);
+  check tint "total" 1 (Database.total_facts db);
+  check tint "missing pred card" 0 (Database.cardinal db (Pred.make "q" 1))
+
+let test_database_of_facts_atoms () =
+  let atoms =
+    [ Atom.app "e" [ Term.int 1; Term.int 2 ];
+      Atom.app "e" [ Term.int 2; Term.int 3 ];
+      Atom.app "n" [ Term.sym "x" ]
+    ]
+  in
+  let db = Database.of_facts atoms in
+  check tint "two preds" 2 (List.length (Database.preds db));
+  check tbool "atom mem" true
+    (Database.mem_atom db (Atom.app "e" [ Term.int 2; Term.int 3 ]));
+  check tbool "atom not mem" false
+    (Database.mem_atom db (Atom.app "e" [ Term.int 3; Term.int 2 ]))
+
+let test_database_copy_independent () =
+  let db = Database.create () in
+  ignore (Database.add_atom db (Atom.app "p" [ Term.int 1 ]));
+  let c = Database.copy db in
+  ignore (Database.add_atom c (Atom.app "p" [ Term.int 2 ]));
+  check tint "copy grew" 2 (Database.cardinal c (Pred.make "p" 1));
+  check tint "original untouched" 1 (Database.cardinal db (Pred.make "p" 1))
+
+(* Property: select over any binding pattern agrees with a linear scan. *)
+let prop_select_agrees_with_scan =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 0 60 in
+      let* tuples = list_repeat n (pair (int_bound 5) (int_bound 5)) in
+      let* q = pair (int_bound 5) (int_bound 5) in
+      let* mask = int_range 0 3 in
+      return (tuples, q, mask))
+  in
+  QCheck.Test.make ~name:"Relation.select agrees with linear scan" ~count:300
+    (QCheck.make gen) (fun (tuples, (qa, qb), mask) ->
+      let r = Relation.create 2 in
+      List.iter (fun (a, b) -> ignore (Relation.insert r (tup [ a; b ]))) tuples;
+      let bindings =
+        (if mask land 1 <> 0 then [ (0, Value.int qa) ] else [])
+        @ if mask land 2 <> 0 then [ (1, Value.int qb) ] else []
+      in
+      let selected = Relation.select r bindings |> List.sort Tuple.compare in
+      let scanned =
+        Relation.to_list r
+        |> List.filter (fun t ->
+               List.for_all (fun (i, v) -> Value.equal t.(i) v) bindings)
+        |> List.sort Tuple.compare
+      in
+      List.equal Tuple.equal selected scanned)
+
+(* Property: insert-then-query through an index created at an arbitrary
+   point in the insertion sequence stays consistent. *)
+let prop_index_creation_point_irrelevant =
+  let gen =
+    QCheck.Gen.(
+      let* before = list_size (int_bound 20) (pair (int_bound 4) (int_bound 4)) in
+      let* after = list_size (int_bound 20) (pair (int_bound 4) (int_bound 4)) in
+      let* key = int_bound 4 in
+      return (before, after, key))
+  in
+  QCheck.Test.make ~name:"index creation point is irrelevant" ~count:300
+    (QCheck.make gen) (fun (before, after, key) ->
+      let with_early = Relation.create 2 in
+      ignore (Relation.select with_early [ (0, Value.int key) ]);
+      let with_late = Relation.create 2 in
+      List.iter
+        (fun (a, b) ->
+          ignore (Relation.insert with_early (tup [ a; b ]));
+          ignore (Relation.insert with_late (tup [ a; b ])))
+        (before @ after);
+      let se = Relation.select with_early [ (0, Value.int key) ] in
+      let sl = Relation.select with_late [ (0, Value.int key) ] in
+      List.sort Tuple.compare se = List.sort Tuple.compare sl)
+
+let suite =
+  [ ( "storage",
+      [ Alcotest.test_case "tuple equal/hash" `Quick test_tuple_equal_hash;
+        Alcotest.test_case "tuple project" `Quick test_tuple_project;
+        Alcotest.test_case "relation dedup" `Quick test_relation_insert_dedup;
+        Alcotest.test_case "relation arity" `Quick test_relation_arity_check;
+        Alcotest.test_case "insertion order" `Quick test_relation_insertion_order;
+        Alcotest.test_case "select" `Quick test_relation_select;
+        Alcotest.test_case "index maintenance" `Quick
+          test_relation_index_maintained_after_insert;
+        Alcotest.test_case "relation copy" `Quick test_relation_copy_independent;
+        Alcotest.test_case "union_into" `Quick test_relation_union_into;
+        Alcotest.test_case "database basics" `Quick test_database_basics;
+        Alcotest.test_case "database of_facts" `Quick test_database_of_facts_atoms;
+        Alcotest.test_case "database copy" `Quick test_database_copy_independent
+      ] );
+    ( "storage:properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_select_agrees_with_scan; prop_index_creation_point_irrelevant ] )
+  ]

@@ -1,0 +1,214 @@
+(* Tabled (OLDT/QSQR-style) top-down evaluation: answer correctness and
+   the call/answer correspondence with the Alexander templates rewriting
+   (the procedural side of Seki's comparison). *)
+
+open Datalog_ast
+open Datalog_storage
+module T = Datalog_engine.Tabled
+module W = Alexander.Workloads
+module O = Alexander.Options
+module S = Alexander.Solve
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let prog = Datalog_parser.Parser.program_of_string
+let atom = Datalog_parser.Parser.atom_of_string
+
+let direct_answers program query =
+  (S.run_exn ~options:{ O.default with O.strategy = O.Seminaive } program query)
+    .S.answers
+
+let test_tabled_ancestor () =
+  let program = W.ancestor_chain 12 in
+  let query = atom "anc(4, X)" in
+  let outcome = T.run_exn program query in
+  check tbool "answers agree with direct" true
+    (outcome.T.answers = direct_answers program query);
+  (* calls: one per node reachable from 4 along edges (nodes 4..12) *)
+  check tint "calls tabled" 9
+    (T.calls_for outcome (Pred.make "anc" 2) "bf")
+
+let test_tabled_same_generation () =
+  let program = W.same_generation ~layers:4 ~width:4 in
+  let query = atom "sg(0, X)" in
+  let outcome = T.run_exn program query in
+  check tbool "answers agree" true
+    (outcome.T.answers = direct_answers program query)
+
+let test_tabled_ground_query () =
+  let program = W.ancestor_chain 10 in
+  check tint "provable ground goal" 1
+    (List.length (T.run_exn program (atom "anc(2, 7)")).T.answers);
+  check tint "unprovable ground goal" 0
+    (List.length (T.run_exn program (atom "anc(7, 2)")).T.answers)
+
+let test_tabled_cycle_terminates () =
+  (* plain SLD loops on cyclic data; tabling must terminate *)
+  let program =
+    Program.make ~facts:(W.cycle ~pred:"edge" 6) (W.ancestor_rules ())
+  in
+  let outcome = T.run_exn program (atom "anc(0, X)") in
+  check tint "all six nodes reachable" 6 (List.length outcome.T.answers)
+
+let test_tabled_left_recursion_terminates () =
+  (* left-recursive rule: anc(X,Y) :- anc(X,Z), edge(Z,Y) — Prolog would
+     loop immediately, tabling does not *)
+  let program =
+    Program.make
+      ~facts:(W.chain ~pred:"edge" 8)
+      (W.ancestor_rules_right ())
+  in
+  let outcome = T.run_exn program (atom "anc(2, X)") in
+  check tint "six answers" 6 (List.length outcome.T.answers)
+
+let test_tabled_stratified_negation () =
+  let program =
+    prog
+      "link(X, Y) :- edge(X, Y). link(X, Y) :- edge(X, Z), link(Z, Y).\n\
+       broken(X, Y) :- pair(X, Y), not link(X, Y).\n\
+       edge(1, 2). edge(2, 3). edge(4, 5).\n\
+       pair(1, 3). pair(1, 5). pair(4, 2)."
+  in
+  let query = atom "broken(1, Y)" in
+  let outcome = T.run_exn program query in
+  check tbool "negation handled" true
+    (outcome.T.answers = direct_answers program query)
+
+let test_tabled_rejects_unstratified () =
+  let program = W.win_move_dag 3 in
+  match T.run program (atom "win(X)") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "win-move must be rejected by the tabled engine"
+
+let test_tabled_edb_query () =
+  let program = W.ancestor_chain 5 in
+  let outcome = T.run_exn program (atom "edge(2, X)") in
+  check tint "edb answered directly" 1 (List.length outcome.T.answers);
+  check tint "no tables created" 0 (List.length outcome.T.calls)
+
+(* The OLDT <-> Alexander correspondence: the tabled calls are exactly the
+   call_p^a tuples and the (distinct) table answers exactly the ans_p^a
+   tuples of the Alexander-rewritten program under the same left-to-right
+   selection. *)
+let assert_corresponds program query =
+  let outcome = T.run_exn program query in
+  let report =
+    S.run_exn ~options:{ O.default with O.strategy = O.Alexander } program query
+  in
+  let rw = Option.get report.S.rewritten in
+  let registry = rw.Datalog_rewrite.Rewritten.registry in
+  Datalog_rewrite.Registry.fold
+    (fun p kind () ->
+      match kind with
+      | Datalog_rewrite.Registry.Call (src, b) ->
+        let binding = Datalog_rewrite.Binding.to_string b in
+        let at_calls = Database.cardinal report.S.db p in
+        (* skip the duplicate registration of the seed predicate *)
+        if Pred.arity p = Datalog_rewrite.Binding.bound_count b then
+          check tint
+            (Format.asprintf "calls of %a^%s" Pred.pp src binding)
+            at_calls
+            (T.calls_for outcome src binding)
+      | Datalog_rewrite.Registry.Answer (src, b) ->
+        let binding = Datalog_rewrite.Binding.to_string b in
+        let at_answers = Database.cardinal report.S.db p in
+        check tint
+          (Format.asprintf "answers of %a^%s" Pred.pp src binding)
+          at_answers
+          (T.answers_for outcome src binding)
+      | _ -> ())
+    registry ()
+
+let test_correspondence_ancestor () =
+  assert_corresponds (W.ancestor_chain 15) (atom "anc(5, X)")
+
+let test_correspondence_sg () =
+  assert_corresponds (W.same_generation ~layers:4 ~width:3) (atom "sg(0, X)")
+
+let test_correspondence_nonlinear () =
+  assert_corresponds
+    (Program.make ~facts:(W.chain ~pred:"edge" 10) (W.tc_nonlinear_rules ()))
+    (atom "tc(3, X)")
+
+let test_correspondence_multipred () =
+  let program =
+    prog
+      "buys(X, Y) :- trendy(X), likes(X, Y).\n\
+       likes(X, Y) :- knows(X, Z), likes(Z, Y).\n\
+       likes(X, Y) :- owns(X, Y).\n\
+       trendy(X) :- knows(X, Z), trendy(Z).\n\
+       trendy(X) :- founder(X).\n\
+       knows(1, 2). knows(2, 3). knows(3, 4). knows(4, 2).\n\
+       owns(4, 9). owns(3, 8). founder(3).\n"
+  in
+  assert_corresponds program (atom "buys(1, X)")
+
+let prop_tabled_agrees_with_seminaive =
+  QCheck.Test.make ~name:"tabled answers = semi-naive answers" ~count:50
+    Gen.arb_positive_program_query (fun (program, query) ->
+      match T.run program query with
+      | Error _ -> false
+      | Ok outcome -> outcome.T.answers = direct_answers program query)
+
+let prop_tabled_corresponds_to_alexander =
+  QCheck.Test.make
+    ~name:"tabled calls/answers = Alexander call/ans relations" ~count:40
+    Gen.arb_positive_program_query (fun (program, query) ->
+      let outcome = T.run_exn program query in
+      let report =
+        S.run_exn
+          ~options:{ O.default with O.strategy = O.Alexander }
+          program query
+      in
+      let rw = Option.get report.S.rewritten in
+      let ok = ref true in
+      Datalog_rewrite.Registry.fold
+        (fun p kind () ->
+          match kind with
+          | Datalog_rewrite.Registry.Call (src, b)
+            when Pred.arity p = Datalog_rewrite.Binding.bound_count b ->
+            let binding = Datalog_rewrite.Binding.to_string b in
+            if
+              Database.cardinal report.S.db p
+              <> T.calls_for outcome src binding
+            then ok := false
+          | Datalog_rewrite.Registry.Answer (src, b) ->
+            let binding = Datalog_rewrite.Binding.to_string b in
+            if
+              Database.cardinal report.S.db p
+              <> T.answers_for outcome src binding
+            then ok := false
+          | _ -> ())
+        rw.Datalog_rewrite.Rewritten.registry ();
+      !ok)
+
+let suite =
+  [ ( "tabled",
+      [ Alcotest.test_case "ancestor" `Quick test_tabled_ancestor;
+        Alcotest.test_case "same generation" `Quick test_tabled_same_generation;
+        Alcotest.test_case "ground queries" `Quick test_tabled_ground_query;
+        Alcotest.test_case "cycles terminate" `Quick test_tabled_cycle_terminates;
+        Alcotest.test_case "left recursion terminates" `Quick
+          test_tabled_left_recursion_terminates;
+        Alcotest.test_case "stratified negation" `Quick
+          test_tabled_stratified_negation;
+        Alcotest.test_case "rejects unstratified" `Quick
+          test_tabled_rejects_unstratified;
+        Alcotest.test_case "edb query" `Quick test_tabled_edb_query;
+        Alcotest.test_case "corresponds: ancestor" `Quick
+          test_correspondence_ancestor;
+        Alcotest.test_case "corresponds: same generation" `Quick
+          test_correspondence_sg;
+        Alcotest.test_case "corresponds: nonlinear tc" `Quick
+          test_correspondence_nonlinear;
+        Alcotest.test_case "corresponds: multi-predicate" `Quick
+          test_correspondence_multipred
+      ] );
+    ( "tabled:properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_tabled_agrees_with_seminaive;
+          prop_tabled_corresponds_to_alexander
+        ] )
+  ]
