@@ -15,6 +15,11 @@ module C = Datalog_engine.Counters
 
 let atom = Datalog_parser.Parser.atom_of_string
 
+(* A wedged experiment must not hang the harness (or CI) forever: every
+   evaluation in here runs under a generous wall-clock budget.  At normal
+   workload sizes nothing comes close to it. *)
+let bench_limits = Datalog_engine.Limits.make ~timeout_s:120. ()
+
 (* ------------------------------------------------------------------ *)
 (* Table printing *)
 
@@ -78,7 +83,13 @@ let itoa = string_of_int
 (* Shared runners *)
 
 let run_strategy ?(negation = O.Auto) strategy program query =
-  let options = { O.strategy; negation; sips = Datalog_rewrite.Sips.Left_to_right } in
+  let options =
+    { O.strategy;
+      negation;
+      sips = Datalog_rewrite.Sips.Left_to_right;
+      limits = bench_limits
+    }
+  in
   S.run_exn ~options program query
 
 let strategy_row strategy report =
@@ -342,10 +353,10 @@ let t6 () =
       (fun (nodes, edges, seed) ->
         let program = W.win_move_random ~nodes ~edges ~seed in
         let t0 = Unix.gettimeofday () in
-        let cond = Datalog_engine.Conditional.run program in
+        let cond = Datalog_engine.Conditional.run ~limits:bench_limits program in
         let t_cond = Unix.gettimeofday () -. t0 in
         let t0 = Unix.gettimeofday () in
-        let wf = Datalog_engine.Wellfounded.run program in
+        let wf = Datalog_engine.Wellfounded.run ~limits:bench_limits program in
         let t_wf = Unix.gettimeofday () -. t0 in
         let cond_true =
           Datalog_storage.Database.cardinal
@@ -424,7 +435,11 @@ let t7 () =
   (* and the exact structural correspondence on one workload *)
   let program = W.ancestor_chain 100 in
   let query = atom "anc(30, X)" in
-  let tab = Datalog_engine.Tabled.run_exn program query in
+  let tab =
+    match Datalog_engine.Tabled.run ~limits:bench_limits program query with
+    | Ok outcome -> outcome
+    | Error msg -> failwith msg
+  in
   let at = run_strategy O.Alexander program query in
   let anc = Pred.make "anc" 2 in
   Printf.printf
@@ -633,7 +648,9 @@ let t8 () =
       (fun (sips_name, sips) ->
         List.map
           (fun strategy ->
-            let options = { O.strategy; negation = O.Auto; sips } in
+            let options =
+              { O.strategy; negation = O.Auto; sips; limits = bench_limits }
+            in
             let report = S.run_exn ~options program query in
             let c = report.S.counters in
             [ sips_name;
@@ -686,7 +703,8 @@ let bechamel_tests () =
     Test.make ~name:"T5/negation-magic"
       (Staged.stage (t O.Magic t5_prog "broken(0, Y)"));
     Test.make ~name:"T6/winmove-wellfounded"
-      (Staged.stage (fun () -> ignore (Datalog_engine.Wellfounded.run wm)));
+      (Staged.stage (fun () ->
+           ignore (Datalog_engine.Wellfounded.run ~limits:bench_limits wm)));
     Test.make ~name:"T7/anc-chain-tabled"
       (Staged.stage (t O.Tabled anc "anc(90, X)"));
     Test.make ~name:"F1/anc-chain-seminaive"
@@ -706,7 +724,8 @@ let bechamel_tests () =
                 ~options:
                   { O.strategy = O.Alexander;
                     negation = O.Auto;
-                    sips = Datalog_rewrite.Sips.Greedy_bound
+                    sips = Datalog_rewrite.Sips.Greedy_bound;
+                    limits = bench_limits
                   }
                 sg (atom "sg(0, X)"))));
     Test.make ~name:"F4/dom-guarded"

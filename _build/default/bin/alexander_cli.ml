@@ -80,6 +80,51 @@ let sips_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print evaluation statistics")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Stop evaluation after this much wall-clock time and report the \
+           partial answers (exit code 3)")
+
+let max_facts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-facts" ] ~docv:"N"
+        ~doc:
+          "Stop evaluation after deriving N facts and report the partial \
+           answers (exit code 4)")
+
+let max_iterations_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-iterations" ] ~docv:"N"
+        ~doc:
+          "Stop evaluation after N fixpoint iterations and report the \
+           partial answers (exit code 5)")
+
+let max_tuples_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-tuples" ] ~docv:"N"
+        ~doc:
+          "Stop evaluation when any single relation exceeds N tuples and \
+           report the partial answers (exit code 6)")
+
+let limits_term =
+  let make timeout_s max_facts max_iterations max_tuples =
+    Datalog_engine.Limits.make ?timeout_s ?max_facts ?max_iterations
+      ?max_tuples ()
+  in
+  Term.(
+    const make $ timeout_arg $ max_facts_arg $ max_iterations_arg
+    $ max_tuples_arg)
+
 let data_arg =
   Arg.(
     value
@@ -118,6 +163,12 @@ let print_report query report ~stats =
   List.iter
     (fun a -> Format.printf "undefined: %a@." Atom.pp a)
     report.undefined;
+  (match report.status with
+  | Datalog_engine.Limits.Complete -> ()
+  | Datalog_engine.Limits.Exhausted reason ->
+    Format.printf "%% incomplete (%s): %d partial answer(s)@."
+      (Datalog_engine.Limits.reason_name reason)
+      (List.length report.answers));
   if stats then begin
     Format.printf "%% strategy:  %s@." (O.strategy_name report.options.O.strategy);
     Format.printf "%% evaluator: %s@." report.evaluator;
@@ -133,7 +184,7 @@ let print_report query report ~stats =
   end
 
 let run_cmd =
-  let action file query strategy negation sips stats data =
+  let action file query strategy negation sips stats data limits =
     match
       Result.bind (read_program file) (fun parsed ->
           Result.map (fun p -> (parsed, p))
@@ -159,23 +210,31 @@ let run_cmd =
         prerr_endline msg;
         1
       | Ok queries ->
-        let options = { O.strategy; negation; sips } in
+        let options = { O.strategy; negation; sips; limits } in
+        (* the first abnormal condition decides the exit code: 1 for
+           errors, 3-7 for the exhaustion reasons (see Errors) *)
         List.fold_left
           (fun code query ->
             Format.printf "?- %a.@." Atom.pp query;
             match S.run ~options program query with
             | Ok report ->
               print_report query report ~stats;
-              code
-            | Error msg ->
-              prerr_endline msg;
-              1)
+              let this =
+                match report.S.status with
+                | Datalog_engine.Limits.Complete -> 0
+                | Datalog_engine.Limits.Exhausted reason ->
+                  Alexander.Errors.exhaustion_exit_code reason
+              in
+              if code <> 0 then code else this
+            | Error e ->
+              prerr_endline (Alexander.Errors.message e);
+              if code <> 0 then code else Alexander.Errors.exit_code e)
           0 queries)
   in
   let term =
     Term.(
       const action $ file_arg $ query_arg $ strategy_arg $ negation_arg
-      $ sips_arg $ stats_arg $ data_arg)
+      $ sips_arg $ stats_arg $ data_arg $ limits_term)
   in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate queries against a program") term
 
@@ -343,7 +402,7 @@ let explain_cmd =
     Term.(const action $ file_arg $ query_arg)
 
 let repl_cmd =
-  let action file strategy negation sips stats =
+  let action file strategy negation sips stats limits =
     let program =
       match file with
       | None -> Ok Datalog_ast.Program.empty
@@ -356,7 +415,7 @@ let repl_cmd =
       1
     | Ok program ->
       let program = ref program in
-      let options = ref { O.strategy; negation; sips } in
+      let options = ref { O.strategy; negation; sips; limits } in
       let stats = ref stats in
       print_endline
         "alexander repl - enter clauses to assert, '?- goal.' to query,";
@@ -387,7 +446,7 @@ let repl_cmd =
               (fun query ->
                 match S.run ~options:!options !program query with
                 | Ok report -> print_report query report ~stats:!stats
-                | Error msg -> prerr_endline msg)
+                | Error e -> prerr_endline (Alexander.Errors.message e))
               queries;
             loop ()
           | exception Datalog_parser.Parser.Parse_error (msg, pos) ->
@@ -431,7 +490,7 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive session")
     Term.(
       const action $ optional_file $ strategy_arg $ negation_arg $ sips_arg
-      $ stats_arg)
+      $ stats_arg $ limits_term)
 
 let () =
   let doc = "Alexander templates deductive database engine" in

@@ -15,10 +15,17 @@ let atom = Datalog_parser.Parser.atom_of_string
 let show db label =
   Format.printf "%-38s anc has %4d tuples@." label (Database.cardinal db anc)
 
+let stratified_exn program =
+  match Datalog_engine.Stratified.run program with
+  | Ok outcome -> outcome
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
 let () =
   (* a 200-node chain, saturated once *)
   let program = W.ancestor_chain 200 in
-  let outcome = Datalog_engine.Stratified.run_exn program in
+  let outcome = stratified_exn program in
   let db = outcome.Datalog_engine.Stratified.db in
   show db "initial saturation (200-chain):";
 
@@ -47,8 +54,7 @@ let () =
     @ [ atom "edge(0, 150)" ]
   in
   let fresh =
-    Datalog_engine.Stratified.run_exn
-      (Program.make ~facts (Program.rules program))
+    stratified_exn (Program.make ~facts (Program.rules program))
   in
   Format.printf "matches full recomputation: %b@."
     (Database.cardinal fresh.Datalog_engine.Stratified.db anc

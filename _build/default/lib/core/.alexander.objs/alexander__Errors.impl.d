@@ -1,0 +1,1 @@
+lib/core/errors.ml: Datalog_engine Format String

@@ -1,1 +1,1 @@
-lib/core/formula.ml: Array Atom Datalog_analysis Datalog_ast Format Hashtbl List Literal Pred Program Result Rule Solve String Term
+lib/core/formula.ml: Array Atom Datalog_analysis Datalog_ast Errors Format Hashtbl List Literal Pred Program Result Rule Solve String Term

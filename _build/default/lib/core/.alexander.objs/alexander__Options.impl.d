@@ -1,1 +1,1 @@
-lib/core/options.ml: Datalog_rewrite
+lib/core/options.ml: Datalog_engine Datalog_rewrite

@@ -1,1 +1,1 @@
-lib/core/options.mli: Datalog_rewrite
+lib/core/options.mli: Datalog_engine Datalog_rewrite

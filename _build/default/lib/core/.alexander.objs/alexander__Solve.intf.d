@@ -1,1 +1,1 @@
-lib/core/solve.mli: Atom Database Datalog_ast Datalog_engine Datalog_rewrite Datalog_storage Options Program Tuple
+lib/core/solve.mli: Atom Database Datalog_ast Datalog_engine Datalog_rewrite Datalog_storage Errors Options Program Tuple

@@ -133,4 +133,4 @@ let eval ?options program formula =
   | Ok (extended, query) ->
     Result.map
       (fun report -> (free_vars formula, report.Solve.answers))
-      (Solve.run ?options extended query)
+      (Result.map_error Errors.message (Solve.run ?options extended query))

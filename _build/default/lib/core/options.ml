@@ -17,12 +17,14 @@ type t = {
   strategy : strategy;
   sips : Datalog_rewrite.Sips.strategy;
   negation : negation;
+  limits : Datalog_engine.Limits.t;
 }
 
 let default =
   { strategy = Alexander;
     sips = Datalog_rewrite.Sips.Left_to_right;
-    negation = Auto
+    negation = Auto;
+    limits = Datalog_engine.Limits.none
   }
 
 let strategy_name = function

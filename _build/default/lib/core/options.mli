@@ -26,10 +26,13 @@ type t = {
   strategy : strategy;
   sips : Datalog_rewrite.Sips.strategy;
   negation : negation;
+  limits : Datalog_engine.Limits.t;
+      (** resource budgets for the evaluation; {!Datalog_engine.Limits.none}
+          (the default) imposes no bounds and adds no per-tuple overhead *)
 }
 
 val default : t
-(** [Alexander] strategy, left-to-right SIP, [Auto] negation. *)
+(** [Alexander] strategy, left-to-right SIP, [Auto] negation, no limits. *)
 
 val strategy_name : strategy -> string
 val strategy_of_string : string -> strategy option

@@ -12,8 +12,14 @@ type report = {
   undefined : Atom.t list;
   counters : Counters.t;
   evaluator : string;
+  status : Limits.status;
   wall_time_s : float;
 }
+
+let incomplete report =
+  match report.status with
+  | Limits.Complete -> false
+  | Limits.Exhausted _ -> true
 
 let ( let* ) r f = Result.bind r f
 
@@ -45,37 +51,48 @@ let matching_atoms atoms pattern =
 let has_negation program =
   List.exists (fun r -> Rule.negative_body r <> []) (Program.rules program)
 
+let check_safety program =
+  Result.map_error
+    (fun msgs -> Errors.Unsafe_program msgs)
+    (Analysis.Safety.check_program program)
+
 (* Evaluate [program] (rules + facts) under the requested negation
    semantics; answers are read from [answer_pred]/[pattern]. *)
 let evaluate options program answer_pred pattern =
+  let limits = options.Options.limits in
   let stratified_eval ~use_naive () =
     let* outcome =
-      Stratified.run ~use_naive program
+      Result.map_error
+        (fun msg -> Errors.Not_stratified msg)
+        (Stratified.run ~limits ~use_naive program)
     in
     Ok
       ( outcome.Stratified.db,
         outcome.Stratified.counters,
         [],
-        if use_naive then "naive" else "seminaive" )
+        (if use_naive then "naive" else "seminaive"),
+        outcome.Stratified.status )
   in
   let conditional_eval () =
-    let outcome = Conditional.run program in
+    let outcome = Conditional.run ~limits program in
     Ok
       ( outcome.Conditional.true_db,
         outcome.Conditional.counters,
         outcome.Conditional.undefined,
-        "conditional" )
+        "conditional",
+        outcome.Conditional.status )
   in
   let wellfounded_eval () =
-    let outcome = Wellfounded.run program in
+    let outcome = Wellfounded.run ~limits program in
     Ok
       ( outcome.Wellfounded.true_db,
         outcome.Wellfounded.counters,
         outcome.Wellfounded.undefined,
-        "wellfounded" )
+        "wellfounded",
+        outcome.Wellfounded.status )
   in
   let use_naive = options.Options.strategy = Options.Naive in
-  let* db, counters, undefined_atoms, evaluator =
+  let* db, counters, undefined_atoms, evaluator, status =
     match options.Options.negation with
     | Options.Auto ->
       if (not (has_negation program)) || Analysis.Stratify.is_stratified program
@@ -87,11 +104,11 @@ let evaluate options program answer_pred pattern =
   in
   let answers = matching_tuples db answer_pred pattern in
   let undefined = matching_atoms undefined_atoms pattern in
-  Ok (db, counters, answers, undefined, evaluator)
+  Ok (db, counters, answers, undefined, evaluator, status)
 
 let run ?(options = Options.default) program query =
   let start = Unix.gettimeofday () in
-  let finish rewritten (db, counters, answers, undefined, evaluator) =
+  let finish rewritten (db, counters, answers, undefined, evaluator, status) =
     { options;
       rewritten;
       db;
@@ -99,29 +116,36 @@ let run ?(options = Options.default) program query =
       undefined;
       counters;
       evaluator;
+      status;
       wall_time_s = Unix.gettimeofday () -. start
     }
   in
-  let* () =
-    Result.map_error (String.concat "\n") (Analysis.Safety.check_program program)
-  in
+  let* () = check_safety program in
   let qpred = Atom.pred query in
   if not (Pred.Set.mem qpred (Program.preds program)) then
     (* unknown predicate: the query has no matching facts at all *)
     let db = Database.of_facts (Program.facts program) in
-    Ok (finish None (db, Counters.create (), [], [], "lookup"))
+    Ok
+      (finish None
+         (db, Counters.create (), [], [], "lookup", Limits.Complete))
   else if not (Program.is_idb program qpred) then
     (* extensional query: a direct indexed lookup *)
     let db = Database.of_facts (Program.facts program) in
     let answers = matching_tuples db qpred query in
-    Ok (finish None (db, Counters.create (), answers, [], "lookup"))
+    Ok
+      (finish None
+         (db, Counters.create (), answers, [], "lookup", Limits.Complete))
   else
     match options.Options.strategy with
     | Options.Naive | Options.Seminaive ->
       let* result = evaluate options program qpred query in
       Ok (finish None result)
     | Options.Tabled ->
-      let* outcome = Tabled.run program query in
+      let* outcome =
+        Result.map_error
+          (fun msg -> Errors.Evaluation msg)
+          (Tabled.run ~limits:options.Options.limits program query)
+      in
       (* expose the tables as a database, alongside the EDB *)
       let db = Database.of_facts (Program.facts program) in
       List.iter
@@ -136,17 +160,20 @@ let run ?(options = Options.default) program query =
              outcome.Tabled.counters,
              outcome.Tabled.answers,
              [],
-             "tabled" ))
+             "tabled",
+             outcome.Tabled.status ))
     | Options.Magic | Options.Supplementary | Options.Supplementary_idb
     | Options.Alexander -> (
       let program = Preprocess.split_idb_facts program in
       match Adorn.adorn ~strategy:options.Options.sips program query with
       | exception Adorn.Unbound_negation a ->
         Error
-          (Format.asprintf
-             "negated call %a has unbound arguments under this SIP; use the \
-              seminaive strategy or bind the variables earlier in the rule"
-             Atom.pp a)
+          (Errors.Unbound_negation
+             (Format.asprintf
+                "negated call %a has unbound arguments under this SIP; use \
+                 the seminaive strategy or bind the variables earlier in the \
+                 rule"
+                Atom.pp a))
       | adorned ->
         let rw =
           match options.Options.strategy with
@@ -183,7 +210,6 @@ let run_many ?(options = Options.default) program queries =
   match options.Options.strategy with
   | Options.Naive | Options.Seminaive | Options.Tabled ->
     (* a single full evaluation answers everything *)
-    let ( let* ) r f = Result.bind r f in
     let rec answer_all acc db = function
       | [] -> Ok (List.rev acc)
       | query :: rest ->
@@ -213,7 +239,9 @@ let run_many ?(options = Options.default) program queries =
       | (_, representative) :: _ -> (
         match Adorn.adorn ~strategy:options.Options.sips program' representative with
         | exception Adorn.Unbound_negation a ->
-          Error (Format.asprintf "unbound negated call %a" Atom.pp a)
+          Error
+            (Errors.Unbound_negation
+               (Format.asprintf "unbound negated call %a" Atom.pp a))
         | adorned ->
           let rw =
             match options.Options.strategy with
@@ -245,7 +273,7 @@ let run_many ?(options = Options.default) program queries =
               rw.Rewritten.rules
           in
           Result.map
-            (fun (db, _, _, _, _) ->
+            (fun (db, _, _, _, _, _) ->
               List.iter
                 (fun (i, query) ->
                   (* read this query's answers from the shared database *)
@@ -270,11 +298,11 @@ let run_many ?(options = Options.default) program queries =
         | Ok () -> eval_groups rest
         | Error _ as e -> e)
     in
-    (match Result.map_error (String.concat "\n") (Analysis.Safety.check_program program) with
+    (match check_safety program with
     | Error _ as e -> e
     | Ok () -> (
       match eval_groups (Hashtbl.fold (fun k v acc -> (k, v) :: acc) groups []) with
-      | Error msg -> Error msg
+      | Error _ as e -> e
       | Ok () ->
         Ok
           (List.mapi
@@ -287,7 +315,7 @@ let run_many ?(options = Options.default) program queries =
 let run_exn ?options program query =
   match run ?options program query with
   | Ok report -> report
-  | Error msg -> failwith msg
+  | Error e -> failwith (Errors.message e)
 
 let answer_atoms _program query report =
   List.map (fun t -> Atom.of_tuple (Atom.pred query) t) report.answers

@@ -9,7 +9,7 @@
       let query = Datalog_parser.Parser.atom_of_string "anc(ann, X)" in
       match Solve.run program query with
       | Ok report -> List.iter print_tuple report.Solve.answers
-      | Error msg -> prerr_endline msg
+      | Error e -> prerr_endline (Errors.message e)
     ]} *)
 
 open Datalog_ast
@@ -29,22 +29,35 @@ type report = {
   evaluator : string;
       (** which fixpoint ran: "seminaive", "naive", "stratified",
           "conditional" or "wellfounded" *)
+  status : Datalog_engine.Limits.status;
+      (** [Complete] for a full evaluation; [Exhausted reason] when one of
+          [options.limits]'s budgets ran out, in which case [answers] is a
+          partial (for positive programs: sound but possibly incomplete)
+          answer set *)
   wall_time_s : float;
 }
 
-val run : ?options:Options.t -> Program.t -> Atom.t -> (report, string) result
+val incomplete : report -> bool
+(** [true] iff the evaluation stopped on a budget ([status = Exhausted _])
+    and the answers may be missing tuples. *)
+
+val run :
+  ?options:Options.t -> Program.t -> Atom.t -> (report, Errors.t) result
 (** Evaluate a query.  Validation errors (range restriction), stratification
     errors under [Stratified_only], and unbound negated calls under a
-    magic-family strategy are reported as [Error]. *)
+    magic-family strategy are reported as [Error].  Budget exhaustion is
+    {e not} an error: the report comes back [Ok] with
+    [status = Exhausted _] and whatever answers were derived. *)
 
 val run_exn : ?options:Options.t -> Program.t -> Atom.t -> report
-(** @raise Failure on [Error]. *)
+(** @raise Failure with {!Errors.message} on [Error].  The only
+    raising entry point of the library. *)
 
 val run_many :
   ?options:Options.t ->
   Program.t ->
   Atom.t list ->
-  ((Atom.t * Tuple.t list) list, string) result
+  ((Atom.t * Tuple.t list) list, Errors.t) result
 (** Answer several queries over the same predicate-and-binding pattern in
     one evaluation: the rewritten program is built once, every query
     contributes its seed fact, and the answers are split per query

@@ -1,0 +1,1 @@
+lib/engine/limits.ml: Counters Datalog_storage Format List Option Printf Relation String Unix

@@ -1,0 +1,1 @@
+lib/engine/limits.mli: Counters Datalog_storage Format Relation

@@ -7,6 +7,7 @@ type outcome = {
   residual : (Atom.t * Atom.t list) list;
   statements_generated : int;
   counters : Counters.t;
+  status : Limits.status;
 }
 
 (* The store maps each derived ground atom to a minimal antichain of
@@ -61,7 +62,7 @@ end
    (tuple, condition-set) choices; negative literals over IDB predicates are
    delayed into the accumulated condition; negative EDB literals and
    comparisons are decided immediately. *)
-let solve_body cnt store ~is_idb ~edb_mem body subst cond emit =
+let solve_body cnt ~guard store ~is_idb ~edb_mem body subst cond emit =
   let rec go body subst cond =
     match body with
     | [] -> emit subst cond
@@ -69,6 +70,7 @@ let solve_body cnt store ~is_idb ~edb_mem body subst cond emit =
       cnt.Counters.probes <- cnt.Counters.probes + 1;
       List.iter
         (fun (tuple, conds) ->
+          Limits.check guard;
           cnt.Counters.scanned <- cnt.Counters.scanned + 1;
           match
             (* reuse the matching of Eval via a manual walk *)
@@ -115,8 +117,9 @@ let solve_body cnt store ~is_idb ~edb_mem body subst cond emit =
   in
   go body subst cond
 
-let run ?db program =
+let run ?(limits = Limits.none) ?db program =
   let counters = Counters.create () in
+  let guard = Limits.guard limits counters in
   let store = Store.create () in
   let seed = match db with Some db -> db | None -> Database.create () in
   List.iter (fun a -> ignore (Database.add_atom seed a)) (Program.facts program);
@@ -129,29 +132,42 @@ let run ?db program =
   let is_idb p = Program.is_idb program p in
   let edb_mem a = Database.mem_atom seed a in
   let statements = ref 0 in
-  (* Monotone fixpoint of the conditional immediate-consequence operator. *)
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    counters.Counters.iterations <- counters.Counters.iterations + 1;
-    List.iter
-      (fun rule ->
-        solve_body counters store ~is_idb ~edb_mem (Rule.body rule)
-          Subst.empty Atom.Set.empty (fun subst cond ->
-            counters.Counters.firings <- counters.Counters.firings + 1;
-            let h = Subst.apply_atom subst (Rule.head rule) in
-            if not (Atom.is_ground h) then
-              raise
-                (Eval.Unsafe_rule
-                   (Format.asprintf "derived non-ground head %a" Atom.pp h));
-            if not (Atom.Set.is_empty cond) then incr statements;
-            if Store.insert store (Atom.pred h) (Tuple.of_atom h) cond then begin
-              counters.Counters.facts_derived <-
-                counters.Counters.facts_derived + 1;
-              changed := true
-            end))
-      (Program.rules program)
-  done;
+  (* Monotone fixpoint of the conditional immediate-consequence operator.
+     On budget exhaustion the statements derived so far still go through
+     the reduction phase, so the partial outcome is well-formed — but note
+     that a truncated store can under-populate conditions, so partial
+     truth values of non-stratified programs are best-effort (see
+     docs/ROBUSTNESS.md). *)
+  let status =
+    match
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        counters.Counters.iterations <- counters.Counters.iterations + 1;
+        Limits.check_round guard;
+        List.iter
+          (fun rule ->
+            solve_body counters ~guard store ~is_idb ~edb_mem (Rule.body rule)
+              Subst.empty Atom.Set.empty (fun subst cond ->
+                counters.Counters.firings <- counters.Counters.firings + 1;
+                let h = Subst.apply_atom subst (Rule.head rule) in
+                if not (Atom.is_ground h) then
+                  raise
+                    (Eval.Unsafe_rule
+                       (Format.asprintf "derived non-ground head %a" Atom.pp h));
+                if not (Atom.Set.is_empty cond) then incr statements;
+                if Store.insert store (Atom.pred h) (Tuple.of_atom h) cond
+                then begin
+                  counters.Counters.facts_derived <-
+                    counters.Counters.facts_derived + 1;
+                  changed := true
+                end))
+          (Program.rules program)
+      done
+    with
+    | () -> Limits.Complete
+    | exception Limits.Out_of_budget reason -> Limits.Exhausted reason
+  in
   (* Reduction phase. *)
   let facts : unit Atom.Tbl.t = Atom.Tbl.create 256 in
   let pending = ref [] in
@@ -200,9 +216,20 @@ let run ?db program =
     pending := keep;
     !changed
   in
-  while reduce_step () do
-    ()
-  done;
+  (* The reduction is polynomial in the store, but the wall clock and the
+     cancellation hook still apply; the first exhaustion reason wins. *)
+  let status =
+    match
+      while reduce_step () do
+        Limits.check_clock guard
+      done
+    with
+    | () -> status
+    | exception Limits.Out_of_budget reason -> (
+      match status with
+      | Limits.Complete -> Limits.Exhausted reason
+      | Limits.Exhausted _ -> status)
+  in
   let true_db = Database.create () in
   Atom.Tbl.iter (fun a () -> ignore (Database.add_atom true_db a)) facts;
   let residual =
@@ -215,7 +242,8 @@ let run ?db program =
     undefined;
     residual;
     statements_generated = !statements;
-    counters
+    counters;
+    status
   }
 
 let holds outcome atom = Database.mem_atom outcome.true_db atom

@@ -30,11 +30,17 @@ type outcome = {
           still awaits *)
   statements_generated : int;  (** conditional statements produced by [T_c] *)
   counters : Counters.t;
+  status : Limits.status;
+      (** [Exhausted _] when a budget ran out mid-derivation.  The
+          reduction phase still runs over the truncated store, but a
+          truncated store can miss conditions, so under negation the
+          partial truth values are best-effort (positive programs remain a
+          sound under-approximation) *)
 }
 
-val run : ?db:Database.t -> Program.t -> outcome
+val run : ?limits:Limits.t -> ?db:Database.t -> Program.t -> outcome
 (** Evaluate the program under the conditional fixpoint.  [db] optionally
-    pre-seeds extra EDB facts. *)
+    pre-seeds extra EDB facts; [limits] bounds the evaluation. *)
 
 val holds : outcome -> Atom.t -> bool
 (** Is the ground atom true in the computed model? *)

@@ -38,7 +38,7 @@ let ground_atom subst atom =
   if Atom.is_ground a then a
   else unsafe "negative literal %a not ground at evaluation time" Atom.pp a
 
-let solve_body cnt ~rel_of ~neg body subst emit =
+let solve_body cnt ?(guard = Limits.no_guard) ~rel_of ~neg body subst emit =
   let rec go i body subst =
     match body with
     | [] -> emit subst
@@ -51,6 +51,7 @@ let solve_body cnt ~rel_of ~neg body subst emit =
         let candidates = Relation.select rel bound in
         List.iter
           (fun tuple ->
+            Limits.check guard;
             cnt.Counters.scanned <- cnt.Counters.scanned + 1;
             match match_tuple subst atom tuple with
             | Some subst' -> go (i + 1) rest subst'
@@ -76,9 +77,9 @@ let solve_body cnt ~rel_of ~neg body subst emit =
   in
   go 0 body subst
 
-let apply_rule cnt ~rel_of ~neg rule emit =
+let apply_rule cnt ?guard ~rel_of ~neg rule emit =
   let head = Rule.head rule in
-  solve_body cnt ~rel_of ~neg (Rule.body rule) Subst.empty (fun subst ->
+  solve_body cnt ?guard ~rel_of ~neg (Rule.body rule) Subst.empty (fun subst ->
       cnt.Counters.firings <- cnt.Counters.firings + 1;
       let h = Subst.apply_atom subst head in
       if not (Atom.is_ground h) then

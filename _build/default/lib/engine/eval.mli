@@ -17,6 +17,7 @@ exception Unsafe_rule of string
 
 val solve_body :
   Counters.t ->
+  ?guard:Limits.guard ->
   rel_of:(int -> Pred.t -> Relation.t option) ->
   neg:(Atom.t -> bool) ->
   Literal.t list ->
@@ -27,17 +28,21 @@ val solve_body :
     substitution extending [subst] that satisfies [body].  [rel_of i pred]
     supplies the relation scanned by the positive literal at body position
     [i] ([None] = empty) — semi-naive evaluation substitutes a delta
-    relation at one position.  [neg atom] decides ground negated atoms. *)
+    relation at one position.  [neg atom] decides ground negated atoms.
+    [guard] is consulted once per candidate tuple, so even a join that
+    derives nothing stays interruptible;
+    it may raise {!Limits.Out_of_budget}. *)
 
 val apply_rule :
   Counters.t ->
+  ?guard:Limits.guard ->
   rel_of:(int -> Pred.t -> Relation.t option) ->
   neg:(Atom.t -> bool) ->
   Rule.t ->
   (Pred.t -> Tuple.t -> unit) ->
   unit
 (** Fire a rule for every body match, handing the ground head tuple to the
-    callback. *)
+    callback.  [guard] as in {!solve_body}. *)
 
 val bound_positions : Subst.t -> Atom.t -> (int * Value.t) list
 (** The argument positions of the atom that are ground under the

@@ -1,17 +1,20 @@
 open Datalog_ast
 open Datalog_storage
 
-let naive cnt ~db ~neg rules =
+let naive cnt ?(guard = Limits.no_guard) ~db ~neg rules =
   let changed = ref true in
   while !changed do
     changed := false;
     cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+    Limits.check_round guard;
     List.iter
       (fun rule ->
-        Eval.apply_rule cnt ~rel_of:(Eval.db_rel_of db) ~neg rule
+        Eval.apply_rule cnt ~guard ~rel_of:(Eval.db_rel_of db) ~neg rule
           (fun pred tuple ->
             if Database.add db pred tuple then begin
               cnt.Counters.facts_derived <- cnt.Counters.facts_derived + 1;
+              if Limits.is_active guard then
+                Limits.check_relation guard (Database.rel db pred);
               changed := true
             end))
       rules
@@ -24,15 +27,13 @@ let head_preds rules =
 
 (* Positions of positive body literals over recursive predicates. *)
 let delta_positions recursive rule =
-  List.filteri
-    (fun _ _ -> true)
-    (List.mapi (fun i lit -> (i, lit)) (Rule.body rule))
+  List.mapi (fun i lit -> (i, lit)) (Rule.body rule)
   |> List.filter_map (fun (i, lit) ->
          match lit with
          | Literal.Pos a when Pred.Set.mem (Atom.pred a) recursive -> Some i
          | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> None)
 
-let seminaive cnt ~db ~neg ?recursive rules =
+let seminaive cnt ?(guard = Limits.no_guard) ~db ~neg ?recursive rules =
   let recursive =
     match recursive with Some s -> s | None -> head_preds rules
   in
@@ -40,12 +41,15 @@ let seminaive cnt ~db ~neg ?recursive rules =
   (* First round: full evaluation, recording the new tuples as the delta. *)
   let delta = ref (fresh_delta ()) in
   cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+  Limits.check_round guard;
   List.iter
     (fun rule ->
-      Eval.apply_rule cnt ~rel_of:(Eval.db_rel_of db) ~neg rule
+      Eval.apply_rule cnt ~guard ~rel_of:(Eval.db_rel_of db) ~neg rule
         (fun pred tuple ->
           if Database.add db pred tuple then begin
             cnt.Counters.facts_derived <- cnt.Counters.facts_derived + 1;
+            if Limits.is_active guard then
+              Limits.check_relation guard (Database.rel db pred);
             ignore (Database.add !delta pred tuple)
           end))
     rules;
@@ -59,6 +63,7 @@ let seminaive cnt ~db ~neg ?recursive rules =
   in
   while Database.total_facts !delta > 0 do
     cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+    Limits.check_round guard;
     let next = fresh_delta () in
     let current = !delta in
     List.iter
@@ -69,10 +74,12 @@ let seminaive cnt ~db ~neg ?recursive rules =
               if i = delta_pos then Database.find current pred
               else Database.find db pred
             in
-            Eval.apply_rule cnt ~rel_of ~neg rule (fun pred tuple ->
+            Eval.apply_rule cnt ~guard ~rel_of ~neg rule (fun pred tuple ->
                 if Database.add db pred tuple then begin
                   cnt.Counters.facts_derived <-
                     cnt.Counters.facts_derived + 1;
+                  if Limits.is_active guard then
+                    Limits.check_relation guard (Database.rel db pred);
                   ignore (Database.add next pred tuple)
                 end))
           positions)

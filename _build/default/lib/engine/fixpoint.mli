@@ -3,17 +3,30 @@
     Both evaluate the given rules to saturation against a database that is
     mutated in place.  The negation callback decides ground negated atoms;
     for stratified evaluation it is the closed-world test against the
-    already-complete lower strata. *)
+    already-complete lower strata.
+
+    Both loops consult the [guard] once per round and once per candidate
+    tuple inside the joins; on budget exhaustion they raise
+    {!Limits.Out_of_budget}, leaving the database with every fact derived
+    so far — the engine entry points catch the exception and report a
+    partial outcome. *)
 
 open Datalog_ast
 open Datalog_storage
 
 val naive :
-  Counters.t -> db:Database.t -> neg:(Atom.t -> bool) -> Rule.t list -> unit
-(** Rounds of full re-evaluation of every rule until no new fact appears. *)
+  Counters.t ->
+  ?guard:Limits.guard ->
+  db:Database.t ->
+  neg:(Atom.t -> bool) ->
+  Rule.t list ->
+  unit
+(** Rounds of full re-evaluation of every rule until no new fact appears.
+    @raise Limits.Out_of_budget when the guard's budget is exhausted. *)
 
 val seminaive :
   Counters.t ->
+  ?guard:Limits.guard ->
   db:Database.t ->
   neg:(Atom.t -> bool) ->
   ?recursive:Pred.Set.t ->
@@ -22,4 +35,5 @@ val seminaive :
 (** Delta-driven evaluation: after a first full round, each subsequent round
     only joins through tuples produced in the previous round.  [recursive]
     names the predicates to drive with deltas; it defaults to the head
-    predicates of the given rules. *)
+    predicates of the given rules.
+    @raise Limits.Out_of_budget when the guard's budget is exhausted. *)

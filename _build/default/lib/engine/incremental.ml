@@ -12,11 +12,12 @@ let ensure_positive program =
 (* Delta-driven propagation: fire every rule with one body position
    reading the delta and the rest reading the full database, inserting
    consequences into both the database and the next delta. *)
-let propagate cnt program db delta =
+let propagate cnt guard program db delta =
   let inserted = ref 0 in
   let current = ref delta in
   while Database.total_facts !current > 0 do
     cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+    Limits.check_round guard;
     let next = Database.create () in
     List.iter
       (fun rule ->
@@ -30,7 +31,7 @@ let propagate cnt program db delta =
                 if j = i then Database.find !current pred
                 else Database.find db pred
               in
-              Eval.apply_rule cnt ~rel_of
+              Eval.apply_rule cnt ~guard ~rel_of
                 ~neg:(Eval.closed_world_neg db)
                 rule
                 (fun pred tuple ->
@@ -38,6 +39,8 @@ let propagate cnt program db delta =
                     incr inserted;
                     cnt.Counters.facts_derived <-
                       cnt.Counters.facts_derived + 1;
+                    if Limits.is_active guard then
+                      Limits.check_relation guard (Database.rel db pred);
                     ignore (Database.add next pred tuple)
                   end)
             | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> ())
@@ -47,10 +50,18 @@ let propagate cnt program db delta =
   done;
   !inserted
 
-let add_facts cnt program db facts =
+let exhausted_error reason =
+  Error
+    (Printf.sprintf
+       "incremental maintenance exhausted its budget (%s); the database is \
+        only partially maintained - recompute from the program"
+       (Limits.reason_name reason))
+
+let add_facts cnt ?(limits = Limits.none) program db facts =
   match ensure_positive program with
   | Error _ as e -> e
-  | Ok () ->
+  | Ok () -> (
+    let guard = Limits.guard limits cnt in
     let delta = Database.create () in
     let base_added = ref 0 in
     List.iter
@@ -60,13 +71,16 @@ let add_facts cnt program db facts =
           ignore (Database.add_atom delta a)
         end)
       facts;
-    let derived = propagate cnt program db delta in
-    Ok (!base_added + derived)
+    match propagate cnt guard program db delta with
+    | derived -> Ok (!base_added + derived)
+    | exception Limits.Out_of_budget reason -> exhausted_error reason)
 
-let remove_facts cnt program db facts =
+let remove_facts cnt ?(limits = Limits.none) program db facts =
   match ensure_positive program with
   | Error _ as e -> e
   | Ok () ->
+    let guard = Limits.guard limits cnt in
+    try
     let before = Database.total_facts db in
     (* Base facts of the program (and only the explicitly requested base
        deletions) are protected from over-deletion: the DRed re-derivation
@@ -84,6 +98,7 @@ let remove_facts cnt program db facts =
     let frontier = ref (Database.copy deleted) in
     while Database.total_facts !frontier > 0 do
       cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+      Limits.check_round guard;
       let next = Database.create () in
       List.iter
         (fun rule ->
@@ -96,7 +111,7 @@ let remove_facts cnt program db facts =
                   if j = i then Database.find !frontier pred
                   else Database.find db pred
                 in
-                Eval.apply_rule cnt ~rel_of
+                Eval.apply_rule cnt ~guard ~rel_of
                   ~neg:(Eval.closed_world_neg db)
                   rule
                   (fun pred tuple ->
@@ -118,7 +133,8 @@ let remove_facts cnt program db facts =
       deleted;
     (* Phase 3: re-derive — anything with an alternative derivation from
        the remaining facts comes back (semi-naive to fixpoint). *)
-    Fixpoint.seminaive cnt ~db
+    Fixpoint.seminaive cnt ~guard ~db
       ~neg:(Eval.closed_world_neg db)
       (Program.rules program);
     Ok (before - Database.total_facts db)
+    with Limits.Out_of_budget reason -> exhausted_error reason

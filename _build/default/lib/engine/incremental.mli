@@ -16,18 +16,33 @@ open Datalog_ast
 open Datalog_storage
 
 val add_facts :
-  Counters.t -> Program.t -> Database.t -> Atom.t list -> (int, string) result
+  Counters.t ->
+  ?limits:Limits.t ->
+  Program.t ->
+  Database.t ->
+  Atom.t list ->
+  (int, string) result
 (** [add_facts cnt program db facts] inserts the (ground, extensional)
     [facts] into the saturated [db] and propagates their consequences.
     Returns the number of new tuples (base + derived), or [Error] on a
-    program with negation. *)
+    program with negation.
+
+    [limits] bounds the propagation.  Unlike the query engines, exhaustion
+    here is an [Error]: a half-propagated database no longer equals the
+    recomputed one, so the caller must recompute from the program. *)
 
 val remove_facts :
-  Counters.t -> Program.t -> Database.t -> Atom.t list -> (int, string) result
+  Counters.t ->
+  ?limits:Limits.t ->
+  Program.t ->
+  Database.t ->
+  Atom.t list ->
+  (int, string) result
 (** [remove_facts cnt program db facts] deletes the given extensional
     facts and every derived tuple that no longer has a derivation.
     Returns the number of tuples removed, or [Error] on a program with
-    negation.
+    negation.  [limits] as in {!add_facts} (exhaustion leaves [db]
+    partially maintained and is reported as [Error]).
 
     Note: [db] is rebuilt in place (relations are replaced), so aliased
     references to its relations must be re-fetched afterwards. *)

@@ -6,9 +6,10 @@ type outcome = {
   db : Database.t;
   counters : Counters.t;
   strata_count : int;
+  status : Limits.status;
 }
 
-let run ?db ?(use_naive = false) program =
+let run ?(limits = Limits.none) ?db ?(use_naive = false) program =
   match Stratify.stratification program with
   | None ->
     Error
@@ -23,18 +24,20 @@ let run ?db ?(use_naive = false) program =
     in
     List.iter (fun a -> ignore (Database.add_atom db a)) (Program.facts program);
     let counters = Counters.create () in
+    let guard = Limits.guard limits counters in
     let neg = Eval.closed_world_neg db in
     let strata_count = Array.length strata.Stratify.groups in
-    for s = 0 to strata_count - 1 do
-      match Stratify.rules_of_stratum program strata s with
-      | [] -> ()
-      | rules ->
-        if use_naive then Fixpoint.naive counters ~db ~neg rules
-        else Fixpoint.seminaive counters ~db ~neg rules
-    done;
-    Ok { db; counters; strata_count }
-
-let run_exn ?db ?use_naive program =
-  match run ?db ?use_naive program with
-  | Ok outcome -> outcome
-  | Error msg -> failwith msg
+    let status =
+      match
+        for s = 0 to strata_count - 1 do
+          match Stratify.rules_of_stratum program strata s with
+          | [] -> ()
+          | rules ->
+            if use_naive then Fixpoint.naive counters ~guard ~db ~neg rules
+            else Fixpoint.seminaive counters ~guard ~db ~neg rules
+        done
+      with
+      | () -> Limits.Complete
+      | exception Limits.Out_of_budget reason -> Limits.Exhausted reason
+    in
+    Ok { db; counters; strata_count; status }

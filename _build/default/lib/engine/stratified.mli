@@ -9,9 +9,15 @@ type outcome = {
   db : Database.t;  (** EDB plus all derived facts *)
   counters : Counters.t;
   strata_count : int;
+  status : Limits.status;
+      (** [Exhausted _] when a budget ran out: [db] then holds the facts
+          of the completed strata plus a partial last stratum — a sound
+          under-approximation, since lower strata are complete before a
+          higher stratum starts *)
 }
 
 val run :
+  ?limits:Limits.t ->
   ?db:Database.t ->
   ?use_naive:bool ->
   Program.t ->
@@ -19,7 +25,6 @@ val run :
 (** Evaluate the whole program.  [db] optionally supplies a pre-seeded
     database (the program's facts are always added); [use_naive] switches
     the per-stratum fixpoint from semi-naive to naive (for the ablation
-    benchmarks).  [Error _] when the program is not stratified. *)
-
-val run_exn : ?db:Database.t -> ?use_naive:bool -> Program.t -> outcome
-(** @raise Failure on a non-stratified program. *)
+    benchmarks).  [limits] bounds the evaluation (see {!Limits}); on
+    exhaustion the outcome is still [Ok] with [status = Exhausted _].
+    [Error _] when the program is not stratified. *)

@@ -34,12 +34,14 @@ type outcome = {
   calls : call list;
   tables : (call * Tuple.t list) list;
   counters : Counters.t;
+  status : Limits.status;
 }
 
 type state = {
   program : Program.t;
   edb : Database.t;
   counters : Counters.t;
+  guard : Limits.guard;  (* shared with nested negation evaluations *)
   tables : Relation.t CallTbl.t;
   consumers : call list ref CallTbl.t;
       (* calls whose rules read a given call's table: when the table grows
@@ -93,6 +95,7 @@ and decide_negation st atom =
       { program = st.program;
         edb = st.edb;
         counters = st.counters;
+        guard = st.guard;
         tables = CallTbl.create 32;
         consumers = CallTbl.create 32;
         dirty = CallTbl.create 32;
@@ -134,6 +137,7 @@ and solve_body st ~consumer body subst emit =
     in
     List.iter
       (fun tuple ->
+        Limits.check st.guard;
         st.counters.Counters.scanned <- st.counters.Counters.scanned + 1;
         match Eval.match_tuple subst atom tuple with
         | Some subst' -> solve_body st ~consumer rest subst' emit
@@ -196,6 +200,8 @@ and solve_call st c =
             if Relation.insert rel (Atom.to_tuple h) then begin
               st.counters.Counters.facts_derived <-
                 st.counters.Counters.facts_derived + 1;
+              if Limits.is_active st.guard then
+                Limits.check_relation st.guard rel;
               (* wake everyone who read this table *)
               match CallTbl.find_opt st.consumers c with
               | None -> ()
@@ -211,12 +217,39 @@ and saturate st =
       st.agenda <- rest;
       CallTbl.remove st.dirty c;
       st.counters.Counters.iterations <- st.counters.Counters.iterations + 1;
+      Limits.check_round st.guard;
       solve_call st c;
       drain ()
   in
   drain ()
 
-let run ?db program query =
+(* Read the query's answers and the accumulated tables out of a state —
+   shared by the completed and the budget-exhausted paths. *)
+let collect st root query status =
+  let qpred = Atom.pred query in
+  let answers =
+    match CallTbl.find_opt st.tables root with
+    | None -> []
+    | Some rel ->
+      Relation.to_list rel
+      |> List.filter (fun t ->
+             Option.is_some
+               (Unify.matches ~pattern:query ~ground:(Atom.of_tuple qpred t)))
+      |> List.sort Tuple.compare
+  in
+  let calls = List.rev st.order in
+  let tables =
+    List.map
+      (fun c ->
+        ( c,
+          match CallTbl.find_opt st.tables c with
+          | None -> []
+          | Some rel -> Relation.to_list rel ))
+      calls
+  in
+  { answers; calls; tables; counters = st.counters; status }
+
+let run ?(limits = Limits.none) ?db program query =
   let has_negation =
     List.exists (fun r -> Rule.negative_body r <> []) (Program.rules program)
   in
@@ -225,10 +258,12 @@ let run ?db program query =
   else begin
     let edb = match db with Some db -> db | None -> Database.create () in
     List.iter (fun a -> ignore (Database.add_atom edb a)) (Program.facts program);
+    let counters = Counters.create () in
     let st =
       { program;
         edb;
-        counters = Counters.create ();
+        counters;
+        guard = Limits.guard limits counters;
         tables = CallTbl.create 64;
         consumers = CallTbl.create 64;
         dirty = CallTbl.create 64;
@@ -251,43 +286,26 @@ let run ?db program query =
                    (Unify.matches ~pattern:query ~ground:(Atom.of_tuple qpred t)))
           |> List.sort Tuple.compare
       in
-      Ok { answers; calls = []; tables = []; counters = st.counters }
+      Ok
+        { answers;
+          calls = [];
+          tables = [];
+          counters = st.counters;
+          status = Limits.Complete
+        }
     end
     else
       match
         ignore (ensure_call st root);
         saturate st
       with
-      | () ->
-        let answers =
-          match CallTbl.find_opt st.tables root with
-          | None -> []
-          | Some rel ->
-            Relation.to_list rel
-            |> List.filter (fun t ->
-                   Option.is_some
-                     (Unify.matches ~pattern:query
-                        ~ground:(Atom.of_tuple qpred t)))
-            |> List.sort Tuple.compare
-        in
-        let calls = List.rev st.order in
-        let tables =
-          List.map
-            (fun c ->
-              ( c,
-                match CallTbl.find_opt st.tables c with
-                | None -> []
-                | Some rel -> Relation.to_list rel ))
-            calls
-        in
-        Ok { answers; calls; tables; counters = st.counters }
+      | () -> Ok (collect st root query Limits.Complete)
+      | exception Limits.Out_of_budget reason ->
+        (* tables are monotone, so everything accumulated so far is a
+           sound partial answer set *)
+        Ok (collect st root query (Limits.Exhausted reason))
       | exception Eval.Unsafe_rule msg -> Error msg
   end
-
-let run_exn ?db program query =
-  match run ?db program query with
-  | Ok outcome -> outcome
-  | Error msg -> failwith msg
 
 let calls_for outcome pred binding =
   List.length

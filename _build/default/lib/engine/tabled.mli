@@ -34,14 +34,22 @@ type outcome = {
   calls : call list;  (** every distinct tabled call, in creation order *)
   tables : (call * Tuple.t list) list;  (** answers accumulated per call *)
   counters : Counters.t;
+  status : Limits.status;
+      (** tables grow monotonically, so on [Exhausted _] the answers and
+          tables accumulated so far are a sound partial result *)
 }
 
-val run : ?db:Database.t -> Program.t -> Atom.t -> (outcome, string) result
+val run :
+  ?limits:Limits.t ->
+  ?db:Database.t ->
+  Program.t ->
+  Atom.t ->
+  (outcome, string) result
 (** Evaluate a query top-down with tabling.  [Error] when the program is
     not stratified (negation would be unsound) or a negated subgoal is
-    reached unbound. *)
-
-val run_exn : ?db:Database.t -> Program.t -> Atom.t -> outcome
+    reached unbound.  [limits] bounds the evaluation; note that for this
+    engine an {e iteration} is one agenda step (a call being re-solved),
+    not a fixpoint round. *)
 
 val calls_for : outcome -> Pred.t -> string -> int
 (** Number of distinct tabled calls to a predicate under a given

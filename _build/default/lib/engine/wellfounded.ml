@@ -6,6 +6,7 @@ type outcome = {
   undefined : Atom.t list;
   rounds : int;
   counters : Counters.t;
+  status : Limits.status;
 }
 
 let db_subset a b =
@@ -18,8 +19,9 @@ let db_subset a b =
 
 let db_equal a b = db_subset a b && db_subset b a
 
-let run ?db program =
+let run ?(limits = Limits.none) ?db program =
   let counters = Counters.create () in
+  let guard = Limits.guard limits counters in
   let seed = match db with Some db -> db | None -> Database.create () in
   List.iter (fun a -> ignore (Database.add_atom seed a)) (Program.facts program);
   let rules = Program.rules program in
@@ -34,17 +36,30 @@ let run ?db program =
     let neg atom =
       not (Database.mem_atom seed atom || Database.mem_atom i atom)
     in
-    Fixpoint.seminaive counters ~db ~neg rules;
+    Fixpoint.seminaive counters ~guard ~db ~neg rules;
     db
   in
   let empty = Database.create () in
-  let rec iterate current rounds =
-    let over = s_operator current in
-    let under = s_operator over in
-    if db_equal under current then (current, over, rounds + 1)
-    else iterate under (rounds + 1)
+  (* On exhaustion, fall back to the last COMPLETED alternation: the
+     under-approximations climb monotonically toward the well-founded true
+     set, so [current] is always a sound set of true atoms, while a
+     half-finished [s_operator] run would not be. *)
+  let rec iterate current last_over rounds =
+    match
+      let over = s_operator current in
+      let under = s_operator over in
+      (over, under)
+    with
+    | over, under ->
+      if db_equal under current then (current, over, rounds + 1, Limits.Complete)
+      else iterate under (Some over) (rounds + 1)
+    | exception Limits.Out_of_budget reason ->
+      ( current,
+        Option.value ~default:current last_over,
+        rounds,
+        Limits.Exhausted reason )
   in
-  let true_set, possible, rounds = iterate empty 0 in
+  let true_set, possible, rounds, status = iterate empty None 0 in
   (* [true_set] misses the very first under-approximation only when the
      loop exits immediately; it is S(S(∅))-limit either way. *)
   let true_db = Database.copy seed in
@@ -61,7 +76,7 @@ let run ?db program =
                   else Some (Atom.of_tuple pred t)))
     |> List.sort Atom.compare
   in
-  { true_db; undefined; rounds; counters }
+  { true_db; undefined; rounds; counters; status }
 
 let holds outcome atom = Database.mem_atom outcome.true_db atom
 

@@ -18,9 +18,16 @@ type outcome = {
   undefined : Atom.t list;  (** atoms with truth value unknown *)
   rounds : int;  (** alternating-fixpoint outer iterations *)
   counters : Counters.t;
+  status : Limits.status;
+      (** on [Exhausted _] the outcome is taken from the last {e completed}
+          alternation: [true_db] is a sound under-approximation of the
+          well-founded true set, and [undefined] an over-approximation of
+          the undefined set *)
 }
 
-val run : ?db:Database.t -> Program.t -> outcome
+val run : ?limits:Limits.t -> ?db:Database.t -> Program.t -> outcome
+(** [limits] bounds the evaluation (all inner fixpoints share one
+    budget). *)
 
 val holds : outcome -> Atom.t -> bool
 val is_undefined : outcome -> Atom.t -> bool

@@ -1,0 +1,1 @@
+test/test_limits.ml: Alcotest Alexander Atom Datalog_ast Datalog_engine Datalog_parser Gen List Program QCheck QCheck_alcotest String Term Unix

@@ -1,1 +1,1 @@
-test/test_preprocess.ml: Alcotest Alexander Array Atom Datalog_ast Datalog_parser Filename Gen List Pred Program QCheck QCheck_alcotest String Sys
+test/test_preprocess.ml: Alcotest Alexander Array Atom Datalog_ast Datalog_engine Datalog_parser Filename Gen List Pred Program QCheck QCheck_alcotest String Sys

@@ -112,6 +112,35 @@ let test_bad_query_reports_error () =
   let code, _ = run_cli [ "run"; sample "ancestor.dl"; "-q"; "anc(" ] in
   check tbool "non-zero exit" true (code <> 0)
 
+let test_fact_cap_exit_code () =
+  let code, out =
+    run_cli [ "run"; sample "explosive.dl"; "--max-facts"; "100" ]
+  in
+  check tint "exit 4 on the fact cap" 4 code;
+  check tbool "incomplete banner" true
+    (contains ~sub:"incomplete (max-facts)" out);
+  check tbool "partial answer count" true
+    (contains ~sub:"partial answer(s)" out)
+
+let test_timeout_exit_code () =
+  let code, out =
+    run_cli [ "run"; sample "explosive.dl"; "--timeout"; "0.2" ]
+  in
+  check tint "exit 3 on timeout" 3 code;
+  check tbool "incomplete banner" true
+    (contains ~sub:"incomplete (timeout)" out)
+
+let test_limits_unbinding_by_default () =
+  (* generous limits on a small program change nothing *)
+  let code, out =
+    run_cli
+      [ "run"; sample "ancestor.dl"; "-q"; "anc(ann, X)"; "--timeout"; "60";
+        "--max-facts"; "1000000" ]
+  in
+  check tint "exit 0" 0 code;
+  check tbool "complete answers" true (contains ~sub:"anc(ann, fay)" out);
+  check tbool "no incomplete banner" false (contains ~sub:"incomplete" out)
+
 let suite =
   [ ( "cli",
       [ Alcotest.test_case "run file queries" `Quick test_run_file_queries;
@@ -123,6 +152,10 @@ let suite =
         Alcotest.test_case "equiv" `Quick test_equiv_reports_equal;
         Alcotest.test_case "explain" `Quick test_explain_prints_tree;
         Alcotest.test_case "wellfounded flag" `Quick test_wellfounded_flag;
-        Alcotest.test_case "bad query" `Quick test_bad_query_reports_error
+        Alcotest.test_case "bad query" `Quick test_bad_query_reports_error;
+        Alcotest.test_case "fact-cap exit code" `Quick test_fact_cap_exit_code;
+        Alcotest.test_case "timeout exit code" `Quick test_timeout_exit_code;
+        Alcotest.test_case "non-binding limits" `Quick
+          test_limits_unbinding_by_default
       ] )
   ]

@@ -87,7 +87,9 @@ let test_repeated_variable_query () =
 let test_unsafe_program_rejected () =
   let program = prog "p(X, Y) :- e(X). e(1)." in
   match S.run program (atom "p(1, X)") with
-  | Error msg -> check tbool "names the variable" true (String.length msg > 0)
+  | Error e ->
+    check tbool "names the variable" true
+      (String.length (Alexander.Errors.message e) > 0)
   | Ok _ -> Alcotest.fail "unsafe program accepted"
 
 let test_stratified_only_rejects_winmove () =

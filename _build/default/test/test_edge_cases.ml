@@ -26,7 +26,7 @@ let test_empty_program () =
       let options = { O.default with O.strategy } in
       match S.run ~options program (atom "p(X)") with
       | Ok report -> check tint "no answers" 0 (List.length report.S.answers)
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Alexander.Errors.message e))
     O.all_strategies
 
 let test_facts_only_program () =
@@ -40,7 +40,7 @@ let test_rule_with_no_facts () =
       let options = { O.default with O.strategy } in
       match S.run ~options program (atom "p(X)") with
       | Ok report -> check tint "empty fixpoint" 0 (List.length report.S.answers)
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Alexander.Errors.message e))
     O.all_strategies
 
 let test_self_loop_edge () =

@@ -14,6 +14,11 @@ let tint = Alcotest.int
 let prog = Datalog_parser.Parser.program_of_string
 let atom = Datalog_parser.Parser.atom_of_string
 
+let stratified_exn program =
+  match Stratified.run program with
+  | Ok outcome -> outcome
+  | Error msg -> Alcotest.fail msg
+
 let eval_naive program =
   let db = Database.of_facts (Program.facts program) in
   let cnt = Counters.create () in
@@ -101,7 +106,7 @@ let test_stratified_reach_unreach () =
        src(0). edge(0, 1). edge(1, 2). edge(3, 4).\n\
        node(0). node(1). node(2). node(3). node(4)."
   in
-  let outcome = Stratified.run_exn program in
+  let outcome = stratified_exn program in
   let db = outcome.Stratified.db in
   check tint "reach" 3 (Database.cardinal db (Pred.make "reach" 1));
   check tint "unreach" 2 (Database.cardinal db (Pred.make "unreach" 1));
@@ -120,7 +125,7 @@ let test_stratified_multiple_negations () =
       "a(X) :- e(X). b(X) :- e(X), not a(X).\n\
        c(X) :- e(X), not b(X). e(1). e(2)."
   in
-  let outcome = Stratified.run_exn program in
+  let outcome = stratified_exn program in
   let db = outcome.Stratified.db in
   (* a = {1,2}; b = {} ; c = {1,2} *)
   check tint "a" 2 (Database.cardinal db (Pred.make "a" 1));
@@ -228,7 +233,7 @@ let prop_stratified_equals_conditional =
     ~name:"stratified = conditional fixpoint on stratified programs" ~count:40
     Gen.arb_stratified_program (fun program ->
       QCheck.assume (Datalog_analysis.Stratify.is_stratified program);
-      let strat = Stratified.run_exn program in
+      let strat = stratified_exn program in
       let cond = Conditional.run program in
       Gen.db_facts_of (Gen.idb_preds program) strat.Stratified.db
       = Gen.db_facts_of (Gen.idb_preds program) cond.Conditional.true_db
@@ -239,7 +244,7 @@ let prop_stratified_equals_wellfounded =
     ~name:"stratified = well-founded on stratified programs" ~count:40
     Gen.arb_stratified_program (fun program ->
       QCheck.assume (Datalog_analysis.Stratify.is_stratified program);
-      let strat = Stratified.run_exn program in
+      let strat = stratified_exn program in
       let wf = Wellfounded.run program in
       Gen.db_facts_of (Gen.idb_preds program) strat.Stratified.db
       = Gen.db_facts_of (Gen.idb_preds program) wf.Wellfounded.true_db

@@ -14,7 +14,9 @@ let atom = Datalog_parser.Parser.atom_of_string
 let prog = Datalog_parser.Parser.program_of_string
 
 let saturate program =
-  (Datalog_engine.Stratified.run_exn program).Datalog_engine.Stratified.db
+  match Datalog_engine.Stratified.run program with
+  | Ok outcome -> outcome.Datalog_engine.Stratified.db
+  | Error msg -> Alcotest.fail msg
 
 let db_facts db = Gen.db_facts_of (Database.preds db) db
 

@@ -23,7 +23,7 @@ let test_batch_matches_singles () =
     (fun strategy ->
       let options = { O.default with O.strategy } in
       match S.run_many ~options program queries with
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Alexander.Errors.message e)
       | Ok results ->
         check tint "one result per query" (List.length queries)
           (List.length results);
@@ -44,7 +44,7 @@ let test_mixed_binding_patterns () =
   in
   let options = { O.default with O.strategy = O.Alexander } in
   match S.run_many ~options program queries with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Alexander.Errors.message e)
   | Ok results ->
     List.iter2
       (fun query (_, answers) ->
@@ -62,7 +62,7 @@ let test_multiple_predicates () =
   in
   let queries = List.map atom [ "sg(0, X)"; "peer(0, X)" ] in
   match S.run_many program queries with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Alexander.Errors.message e)
   | Ok results ->
     List.iter2
       (fun query (_, answers) ->
@@ -74,7 +74,7 @@ let test_empty_batch () =
   match S.run_many (W.ancestor_chain 3) [] with
   | Ok [] -> ()
   | Ok _ -> Alcotest.fail "expected empty"
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Alexander.Errors.message e)
 
 let prop_batch_equals_singles =
   QCheck.Test.make ~name:"run_many = n x run on random programs" ~count:30

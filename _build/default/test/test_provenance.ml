@@ -11,6 +11,11 @@ let tint = Alcotest.int
 let prog = Datalog_parser.Parser.program_of_string
 let atom = Datalog_parser.Parser.atom_of_string
 
+let saturated_db program =
+  match Datalog_engine.Stratified.run program with
+  | Ok outcome -> outcome.Datalog_engine.Stratified.db
+  | Error msg -> Alcotest.fail msg
+
 let test_fact_proof () =
   let program = W.ancestor_chain 5 in
     match P.explain program (atom "edge(2, 3)") with
@@ -87,9 +92,7 @@ let test_not_in_model () =
 
 let test_proofs_exist_for_every_derived_fact () =
   let program = W.same_generation ~layers:3 ~width:3 in
-  let db =
-    (Datalog_engine.Stratified.run_exn program).Datalog_engine.Stratified.db
-  in
+  let db = saturated_db program in
   let sg = Pred.make "sg" 2 in
   List.iter
     (fun t ->
@@ -106,10 +109,7 @@ let test_proofs_exist_for_every_derived_fact () =
 let prop_every_fact_explainable =
   QCheck.Test.make ~name:"every derived fact has a well-founded proof"
     ~count:40 Gen.arb_positive_program (fun program ->
-      let db =
-        (Datalog_engine.Stratified.run_exn program)
-          .Datalog_engine.Stratified.db
-      in
+      let db = saturated_db program in
       List.for_all
         (fun pred ->
           List.for_all

@@ -221,8 +221,13 @@ let test_supplementary_cuts_everywhere () =
 (* -------------------------------------------------------------------- *)
 (* Answer correctness: every rewriting = direct evaluation *)
 
+let stratified_exn program =
+  match Stratified.run program with
+  | Ok outcome -> outcome
+  | Error msg -> Alcotest.fail msg
+
 let direct_answers program query =
-  let outcome = Stratified.run_exn program in
+  let outcome = stratified_exn program in
   let pred = Atom.pred query in
   Database.tuples outcome.Stratified.db pred
   |> List.filter (fun t ->
@@ -238,7 +243,7 @@ let rewritten_answers transform program query =
       ~facts:(Program.facts program @ rw.Rewritten.seeds)
       rw.Rewritten.rules
   in
-  let outcome = Stratified.run_exn full in
+  let outcome = stratified_exn full in
   let pattern = rw.Rewritten.answer_atom in
   let pred = Atom.pred pattern in
   Database.tuples outcome.Stratified.db pred

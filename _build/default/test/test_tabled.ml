@@ -20,10 +20,15 @@ let direct_answers program query =
   (S.run_exn ~options:{ O.default with O.strategy = O.Seminaive } program query)
     .S.answers
 
+let t_run_exn ?limits program query =
+  match T.run ?limits program query with
+  | Ok outcome -> outcome
+  | Error msg -> Alcotest.fail msg
+
 let test_tabled_ancestor () =
   let program = W.ancestor_chain 12 in
   let query = atom "anc(4, X)" in
-  let outcome = T.run_exn program query in
+  let outcome = t_run_exn program query in
   check tbool "answers agree with direct" true
     (outcome.T.answers = direct_answers program query);
   (* calls: one per node reachable from 4 along edges (nodes 4..12) *)
@@ -33,23 +38,23 @@ let test_tabled_ancestor () =
 let test_tabled_same_generation () =
   let program = W.same_generation ~layers:4 ~width:4 in
   let query = atom "sg(0, X)" in
-  let outcome = T.run_exn program query in
+  let outcome = t_run_exn program query in
   check tbool "answers agree" true
     (outcome.T.answers = direct_answers program query)
 
 let test_tabled_ground_query () =
   let program = W.ancestor_chain 10 in
   check tint "provable ground goal" 1
-    (List.length (T.run_exn program (atom "anc(2, 7)")).T.answers);
+    (List.length (t_run_exn program (atom "anc(2, 7)")).T.answers);
   check tint "unprovable ground goal" 0
-    (List.length (T.run_exn program (atom "anc(7, 2)")).T.answers)
+    (List.length (t_run_exn program (atom "anc(7, 2)")).T.answers)
 
 let test_tabled_cycle_terminates () =
   (* plain SLD loops on cyclic data; tabling must terminate *)
   let program =
     Program.make ~facts:(W.cycle ~pred:"edge" 6) (W.ancestor_rules ())
   in
-  let outcome = T.run_exn program (atom "anc(0, X)") in
+  let outcome = t_run_exn program (atom "anc(0, X)") in
   check tint "all six nodes reachable" 6 (List.length outcome.T.answers)
 
 let test_tabled_left_recursion_terminates () =
@@ -60,7 +65,7 @@ let test_tabled_left_recursion_terminates () =
       ~facts:(W.chain ~pred:"edge" 8)
       (W.ancestor_rules_right ())
   in
-  let outcome = T.run_exn program (atom "anc(2, X)") in
+  let outcome = t_run_exn program (atom "anc(2, X)") in
   check tint "six answers" 6 (List.length outcome.T.answers)
 
 let test_tabled_stratified_negation () =
@@ -72,7 +77,7 @@ let test_tabled_stratified_negation () =
        pair(1, 3). pair(1, 5). pair(4, 2)."
   in
   let query = atom "broken(1, Y)" in
-  let outcome = T.run_exn program query in
+  let outcome = t_run_exn program query in
   check tbool "negation handled" true
     (outcome.T.answers = direct_answers program query)
 
@@ -84,7 +89,7 @@ let test_tabled_rejects_unstratified () =
 
 let test_tabled_edb_query () =
   let program = W.ancestor_chain 5 in
-  let outcome = T.run_exn program (atom "edge(2, X)") in
+  let outcome = t_run_exn program (atom "edge(2, X)") in
   check tint "edb answered directly" 1 (List.length outcome.T.answers);
   check tint "no tables created" 0 (List.length outcome.T.calls)
 
@@ -93,7 +98,7 @@ let test_tabled_edb_query () =
    tuples of the Alexander-rewritten program under the same left-to-right
    selection. *)
 let assert_corresponds program query =
-  let outcome = T.run_exn program query in
+  let outcome = t_run_exn program query in
   let report =
     S.run_exn ~options:{ O.default with O.strategy = O.Alexander } program query
   in
@@ -156,7 +161,7 @@ let prop_tabled_corresponds_to_alexander =
   QCheck.Test.make
     ~name:"tabled calls/answers = Alexander call/ans relations" ~count:40
     Gen.arb_positive_program_query (fun (program, query) ->
-      let outcome = T.run_exn program query in
+      let outcome = t_run_exn program query in
       let report =
         S.run_exn
           ~options:{ O.default with O.strategy = O.Alexander }
