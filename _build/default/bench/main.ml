@@ -82,12 +82,15 @@ let itoa = string_of_int
 (* ------------------------------------------------------------------ *)
 (* Shared runners *)
 
-let run_strategy ?(negation = O.Auto) strategy program query =
+let run_strategy ?(negation = O.Auto) ?(profile = false) strategy program
+    query =
   let options =
     { O.strategy;
       negation;
       sips = Datalog_rewrite.Sips.Left_to_right;
-      limits = bench_limits
+      limits = bench_limits;
+      profile;
+      trace = None
     }
   in
   S.run_exn ~options program query
@@ -649,7 +652,13 @@ let t8 () =
         List.map
           (fun strategy ->
             let options =
-              { O.strategy; negation = O.Auto; sips; limits = bench_limits }
+              { O.strategy;
+                negation = O.Auto;
+                sips;
+                limits = bench_limits;
+                profile = false;
+                trace = None
+              }
             in
             let report = S.run_exn ~options program query in
             let c = report.S.counters in
@@ -725,7 +734,9 @@ let bechamel_tests () =
                   { O.strategy = O.Alexander;
                     negation = O.Auto;
                     sips = Datalog_rewrite.Sips.Greedy_bound;
-                    limits = bench_limits
+                    limits = bench_limits;
+                    profile = false;
+                    trace = None
                   }
                 sg (atom "sg(0, X)"))));
     Test.make ~name:"F4/dom-guarded"
@@ -765,6 +776,59 @@ let run_bechamel () =
     (List.sort String.compare names)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable baseline: the per-strategy join-work comparison the
+   paper's cost claim rests on, as schema-stable JSON for future perf PRs
+   to diff against (see docs/OBSERVABILITY.md). *)
+
+module J = Datalog_engine.Json
+
+let json_workloads () =
+  [ ("anc_chain_400", W.ancestor_chain 400, "anc(300, X)");
+    ("same_generation_8x12", W.same_generation ~layers:8 ~width:12, "sg(0, X)");
+    ( "reverse_sg_6x8",
+      W.reverse_same_generation ~layers:6 ~width:8,
+      "rsg(0, X)" );
+    ( "nonlinear_tc_60",
+      Program.make ~facts:(W.chain ~pred:"edge" 60) (W.tc_nonlinear_rules ()),
+      "tc(10, X)" )
+  ]
+
+let json_strategies =
+  [ O.Seminaive; O.Magic; O.Supplementary; O.Supplementary_idb; O.Alexander;
+    O.Tabled ]
+
+let json_baseline out =
+  let workloads =
+    List.map
+      (fun (name, program, q) ->
+        let query = atom q in
+        let strategies =
+          List.map
+            (fun strategy ->
+              let report = run_strategy ~profile:true strategy program query in
+              S.report_json ~query report)
+            json_strategies
+        in
+        J.Obj
+          [ ("workload", J.String name);
+            ("query", J.String q);
+            ("strategies", J.List strategies)
+          ])
+      (json_workloads ())
+  in
+  let doc =
+    J.Obj
+      [ ("schema_version", J.Int 1);
+        ("suite", J.String "alexander-bench-baseline");
+        ("workloads", J.List workloads)
+      ]
+  in
+  Out_channel.with_open_text out (fun oc -> J.to_channel oc doc);
+  Printf.printf "wrote %s (%d workloads x %d strategies)\n" out
+    (List.length workloads)
+    (List.length json_strategies)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5); ("T6", t6);
@@ -774,22 +838,32 @@ let experiments =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let no_bechamel = List.mem "--no-bechamel" args in
-  let rec extract_csv acc = function
+  let json_mode = List.mem "--json" args in
+  let json_out = ref "BENCH_baseline.json" in
+  let rec extract_opts acc = function
     | [] -> List.rev acc
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
-      extract_csv acc rest
-    | a :: rest -> extract_csv (a :: acc) rest
+      extract_opts acc rest
+    | "--json-out" :: path :: rest ->
+      json_out := path;
+      extract_opts acc rest
+    | a :: rest -> extract_opts (a :: acc) rest
   in
-  let args = extract_csv [] args in
-  let selected = List.filter (fun a -> a <> "--no-bechamel") args in
-  let to_run =
-    match selected with
-    | [] -> experiments
-    | names -> List.filter (fun (name, _) -> List.mem name names) experiments
-  in
-  Printf.printf
-    "Alexander templates benchmark harness - regenerating %d experiments\n"
-    (List.length to_run);
-  List.iter (fun (_, f) -> f ()) to_run;
-  if (not no_bechamel) && selected = [] then run_bechamel ()
+  let args = extract_opts [] args in
+  if json_mode then json_baseline !json_out
+  else begin
+    let selected =
+      List.filter (fun a -> a <> "--no-bechamel" && a <> "--json") args
+    in
+    let to_run =
+      match selected with
+      | [] -> experiments
+      | names -> List.filter (fun (name, _) -> List.mem name names) experiments
+    in
+    Printf.printf
+      "Alexander templates benchmark harness - regenerating %d experiments\n"
+      (List.length to_run);
+    List.iter (fun (_, f) -> f ()) to_run;
+    if (not no_bechamel) && selected = [] then run_bechamel ()
+  end

@@ -80,6 +80,24 @@ let sips_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print evaluation statistics")
 
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write per-query evaluation statistics (per-rule and per-predicate \
+           profile, timings, totals) as JSON to FILE ('-' for stdout)")
+
+let trace_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "trace" ]
+        ~doc:
+          "Log each fixpoint round (facts derived, stratum, time) to stderr \
+           while evaluating")
+
 let timeout_arg =
   Arg.(
     value
@@ -180,11 +198,29 @@ let print_report query report ~stats =
         (Datalog_rewrite.Rewritten.num_rules rw)
         (Datalog_rewrite.Rewritten.num_preds rw)
     | None -> ());
+    if Datalog_engine.Profile.is_active report.profile then begin
+      Format.printf "%% per-rule profile:@.";
+      Format.printf "%a@." Datalog_engine.Profile.pp report.profile
+    end;
     Format.printf "%% wall time: %.6f s@." report.wall_time_s
   end
 
+let write_stats_json path file runs =
+  let doc =
+    Datalog_engine.Json.Obj
+      [ ("schema_version", Datalog_engine.Json.Int 1);
+        ("file", Datalog_engine.Json.String file);
+        ("runs", Datalog_engine.Json.List (List.rev runs))
+      ]
+  in
+  if path = "-" then Datalog_engine.Json.to_channel stdout doc
+  else
+    Out_channel.with_open_text path (fun oc ->
+        Datalog_engine.Json.to_channel oc doc)
+
 let run_cmd =
-  let action file query strategy negation sips stats data limits =
+  let action file query strategy negation sips stats stats_json trace data
+      limits =
     match
       Result.bind (read_program file) (fun parsed ->
           Result.map (fun p -> (parsed, p))
@@ -210,31 +246,51 @@ let run_cmd =
         prerr_endline msg;
         1
       | Ok queries ->
-        let options = { O.strategy; negation; sips; limits } in
+        let options =
+          { O.strategy;
+            negation;
+            sips;
+            limits;
+            profile = stats || Option.is_some stats_json;
+            trace =
+              (if trace then
+                 Some (fun line -> Printf.eprintf "%% trace: %s\n%!" line)
+               else None)
+          }
+        in
+        let json_runs = ref [] in
         (* the first abnormal condition decides the exit code: 1 for
            errors, 3-7 for the exhaustion reasons (see Errors) *)
-        List.fold_left
-          (fun code query ->
-            Format.printf "?- %a.@." Atom.pp query;
-            match S.run ~options program query with
-            | Ok report ->
-              print_report query report ~stats;
-              let this =
-                match report.S.status with
-                | Datalog_engine.Limits.Complete -> 0
-                | Datalog_engine.Limits.Exhausted reason ->
-                  Alexander.Errors.exhaustion_exit_code reason
-              in
-              if code <> 0 then code else this
-            | Error e ->
-              prerr_endline (Alexander.Errors.message e);
-              if code <> 0 then code else Alexander.Errors.exit_code e)
-          0 queries)
+        let code =
+          List.fold_left
+            (fun code query ->
+              Format.printf "?- %a.@." Atom.pp query;
+              match S.run ~options program query with
+              | Ok report ->
+                print_report query report ~stats;
+                if Option.is_some stats_json then
+                  json_runs := S.report_json ~query report :: !json_runs;
+                let this =
+                  match report.S.status with
+                  | Datalog_engine.Limits.Complete -> 0
+                  | Datalog_engine.Limits.Exhausted reason ->
+                    Alexander.Errors.exhaustion_exit_code reason
+                in
+                if code <> 0 then code else this
+              | Error e ->
+                prerr_endline (Alexander.Errors.message e);
+                if code <> 0 then code else Alexander.Errors.exit_code e)
+            0 queries
+        in
+        Option.iter (fun path -> write_stats_json path file !json_runs)
+          stats_json;
+        code)
   in
   let term =
     Term.(
       const action $ file_arg $ query_arg $ strategy_arg $ negation_arg
-      $ sips_arg $ stats_arg $ data_arg $ limits_term)
+      $ sips_arg $ stats_arg $ stats_json_arg $ trace_arg $ data_arg
+      $ limits_term)
   in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate queries against a program") term
 
@@ -415,7 +471,9 @@ let repl_cmd =
       1
     | Ok program ->
       let program = ref program in
-      let options = ref { O.strategy; negation; sips; limits } in
+      let options =
+        ref { O.strategy; negation; sips; limits; profile = false; trace = None }
+      in
       let stats = ref stats in
       print_endline
         "alexander repl - enter clauses to assert, '?- goal.' to query,";

@@ -18,13 +18,17 @@ type t = {
   sips : Datalog_rewrite.Sips.strategy;
   negation : negation;
   limits : Datalog_engine.Limits.t;
+  profile : bool;
+  trace : (string -> unit) option;
 }
 
 let default =
   { strategy = Alexander;
     sips = Datalog_rewrite.Sips.Left_to_right;
     negation = Auto;
-    limits = Datalog_engine.Limits.none
+    limits = Datalog_engine.Limits.none;
+    profile = false;
+    trace = None
   }
 
 let strategy_name = function

@@ -29,10 +29,18 @@ type t = {
   limits : Datalog_engine.Limits.t;
       (** resource budgets for the evaluation; {!Datalog_engine.Limits.none}
           (the default) imposes no bounds and adds no per-tuple overhead *)
+  profile : bool;
+      (** collect per-rule / per-predicate / per-round statistics
+          ({!Datalog_engine.Profile}); off by default, zero overhead when
+          off *)
+  trace : (string -> unit) option;
+      (** per-round derivation trace sink (one line per fixpoint round /
+          stratum / alternation); [Some _] implies profiling *)
 }
 
 val default : t
-(** [Alexander] strategy, left-to-right SIP, [Auto] negation, no limits. *)
+(** [Alexander] strategy, left-to-right SIP, [Auto] negation, no limits,
+    no profiling, no trace. *)
 
 val strategy_name : strategy -> string
 val strategy_of_string : string -> strategy option

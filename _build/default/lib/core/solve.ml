@@ -11,10 +11,18 @@ type report = {
   answers : Tuple.t list;
   undefined : Atom.t list;
   counters : Counters.t;
+  profile : Profile.t;
   evaluator : string;
   status : Limits.status;
   wall_time_s : float;
 }
+
+(* An active profile when the caller asked for one — a trace sink implies
+   profiling, since both ride the same instrumentation. *)
+let profile_of_options options =
+  if options.Options.profile || Option.is_some options.Options.trace then
+    Profile.create ?trace:options.Options.trace ()
+  else Profile.none
 
 let incomplete report =
   match report.status with
@@ -58,13 +66,13 @@ let check_safety program =
 
 (* Evaluate [program] (rules + facts) under the requested negation
    semantics; answers are read from [answer_pred]/[pattern]. *)
-let evaluate options program answer_pred pattern =
+let evaluate options profile program answer_pred pattern =
   let limits = options.Options.limits in
   let stratified_eval ~use_naive () =
     let* outcome =
       Result.map_error
         (fun msg -> Errors.Not_stratified msg)
-        (Stratified.run ~limits ~use_naive program)
+        (Stratified.run ~limits ~profile ~use_naive program)
     in
     Ok
       ( outcome.Stratified.db,
@@ -74,7 +82,7 @@ let evaluate options program answer_pred pattern =
         outcome.Stratified.status )
   in
   let conditional_eval () =
-    let outcome = Conditional.run ~limits program in
+    let outcome = Conditional.run ~limits ~profile program in
     Ok
       ( outcome.Conditional.true_db,
         outcome.Conditional.counters,
@@ -83,7 +91,7 @@ let evaluate options program answer_pred pattern =
         outcome.Conditional.status )
   in
   let wellfounded_eval () =
-    let outcome = Wellfounded.run ~limits program in
+    let outcome = Wellfounded.run ~limits ~profile program in
     Ok
       ( outcome.Wellfounded.true_db,
         outcome.Wellfounded.counters,
@@ -108,6 +116,7 @@ let evaluate options program answer_pred pattern =
 
 let run ?(options = Options.default) program query =
   let start = Unix.gettimeofday () in
+  let profile = profile_of_options options in
   let finish rewritten (db, counters, answers, undefined, evaluator, status) =
     { options;
       rewritten;
@@ -115,6 +124,7 @@ let run ?(options = Options.default) program query =
       answers;
       undefined;
       counters;
+      profile;
       evaluator;
       status;
       wall_time_s = Unix.gettimeofday () -. start
@@ -138,13 +148,13 @@ let run ?(options = Options.default) program query =
   else
     match options.Options.strategy with
     | Options.Naive | Options.Seminaive ->
-      let* result = evaluate options program qpred query in
+      let* result = evaluate options profile program qpred query in
       Ok (finish None result)
     | Options.Tabled ->
       let* outcome =
         Result.map_error
           (fun msg -> Errors.Evaluation msg)
-          (Tabled.run ~limits:options.Options.limits program query)
+          (Tabled.run ~limits:options.Options.limits ~profile program query)
       in
       (* expose the tables as a database, alongside the EDB *)
       let db = Database.of_facts (Program.facts program) in
@@ -190,7 +200,8 @@ let run ?(options = Options.default) program query =
             rw.Rewritten.rules
         in
         let* result =
-          evaluate options full (Rewritten.answer_pred rw) rw.Rewritten.answer_atom
+          evaluate options profile full (Rewritten.answer_pred rw)
+            rw.Rewritten.answer_atom
         in
         Ok (finish (Some rw) result))
 
@@ -232,6 +243,8 @@ let run_many ?(options = Options.default) program queries =
       queries;
     let program' = Preprocess.split_idb_facts program in
     let results = Hashtbl.create 8 in
+    (* shared across groups: the rows aggregate over the whole batch *)
+    let profile = profile_of_options options in
     let evaluate_group (_, group) =
       let group = List.rev group in
       match group with
@@ -285,7 +298,7 @@ let run_many ?(options = Options.default) program queries =
                   in
                   Hashtbl.replace results i (query, answers))
                 group)
-            (evaluate options full (Rewritten.answer_pred rw)
+            (evaluate options profile full (Rewritten.answer_pred rw)
                (Atom.make (Rewritten.answer_pred rw)
                   (Array.mapi
                      (fun i _ -> Term.var (Printf.sprintf "_Any%d" i))
@@ -319,3 +332,40 @@ let run_exn ?options program query =
 
 let answer_atoms _program query report =
   List.map (fun t -> Atom.of_tuple (Atom.pred query) t) report.answers
+
+let report_json ~query report =
+  let status, reason =
+    match report.status with
+    | Limits.Complete -> ("complete", Json.Null)
+    | Limits.Exhausted r -> ("exhausted", Json.String (Limits.reason_name r))
+  in
+  let rewritten =
+    match report.rewritten with
+    | None -> Json.Null
+    | Some rw ->
+      Json.Obj
+        [ ("name", Json.String rw.Rewritten.name);
+          ("rules", Json.Int (Rewritten.num_rules rw));
+          ("preds", Json.Int (Rewritten.num_preds rw));
+          ("seeds", Json.Int (List.length rw.Rewritten.seeds))
+        ]
+  in
+  Json.Obj
+    [ ("schema_version", Json.Int 1);
+      ("query", Json.String (Format.asprintf "%a" Atom.pp query));
+      ( "strategy",
+        Json.String (Options.strategy_name report.options.Options.strategy) );
+      ( "sips",
+        Json.String (Sips.strategy_name report.options.Options.sips) );
+      ( "negation",
+        Json.String (Options.negation_name report.options.Options.negation) );
+      ("evaluator", Json.String report.evaluator);
+      ("status", Json.String status);
+      ("exhausted_reason", reason);
+      ("answers", Json.Int (List.length report.answers));
+      ("undefined", Json.Int (List.length report.undefined));
+      ("wall_time_s", Json.Float report.wall_time_s);
+      ("rewritten", rewritten);
+      ("totals", Counters.to_json report.counters);
+      ("profile", Profile.to_json report.profile)
+    ]

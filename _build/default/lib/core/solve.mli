@@ -26,6 +26,10 @@ type report = {
       (** goal instances with undefined truth value (conditional /
           well-founded evaluation of non-stratified programs) *)
   counters : Datalog_engine.Counters.t;
+  profile : Datalog_engine.Profile.t;
+      (** per-rule / per-predicate / per-round statistics; the inactive
+          {!Datalog_engine.Profile.none} unless [options.profile] (or a
+          trace sink) asked for collection *)
   evaluator : string;
       (** which fixpoint ran: "seminaive", "naive", "stratified",
           "conditional" or "wellfounded" *)
@@ -68,3 +72,10 @@ val run_many :
 
 val answer_atoms : Program.t -> Atom.t -> report -> Atom.t list
 (** The answers as ground atoms over the source query predicate. *)
+
+val report_json : query:Atom.t -> report -> Datalog_engine.Json.t
+(** The report as a schema-stable JSON object (schema_version 1): query,
+    strategy/sips/negation, evaluator, status, answer and undefined
+    counts, wall time, rewritten-program size, the five counter totals,
+    and the full profile (empty rows unless profiling was on).  See
+    docs/OBSERVABILITY.md. *)

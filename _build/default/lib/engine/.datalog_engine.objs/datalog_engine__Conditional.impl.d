@@ -1,1 +1,1 @@
-lib/engine/conditional.ml: Array Atom Counters Database Datalog_ast Datalog_storage Eval Format Limits List Literal Pred Program Relation Rule Subst Term Tuple Value
+lib/engine/conditional.ml: Array Atom Counters Database Datalog_ast Datalog_storage Eval Format Limits List Literal Pred Profile Program Relation Rule Subst Term Tuple Value

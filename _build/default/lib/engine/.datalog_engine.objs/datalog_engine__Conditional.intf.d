@@ -1,1 +1,1 @@
-lib/engine/conditional.mli: Atom Counters Database Datalog_ast Datalog_storage Limits Program
+lib/engine/conditional.mli: Atom Counters Database Datalog_ast Datalog_storage Limits Profile Program

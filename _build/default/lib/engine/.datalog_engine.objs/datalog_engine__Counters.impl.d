@@ -1,1 +1,1 @@
-lib/engine/counters.ml: Format
+lib/engine/counters.ml: Format Json

@@ -1,1 +1,1 @@
-lib/engine/counters.mli: Format
+lib/engine/counters.mli: Format Json

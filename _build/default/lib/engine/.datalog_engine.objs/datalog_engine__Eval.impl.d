@@ -1,1 +1,1 @@
-lib/engine/eval.ml: Array Atom Counters Database Datalog_ast Datalog_storage Format Limits List Literal Relation Rule String Subst Term Tuple Value
+lib/engine/eval.ml: Array Atom Counters Database Datalog_ast Datalog_storage Format Limits List Literal Profile Relation Rule String Subst Term Tuple Value

@@ -1,1 +1,1 @@
-lib/engine/eval.mli: Atom Counters Database Datalog_ast Datalog_storage Limits Literal Pred Relation Rule Subst Tuple Value
+lib/engine/eval.mli: Atom Counters Database Datalog_ast Datalog_storage Limits Literal Pred Profile Relation Rule Subst Tuple Value

@@ -1,1 +1,1 @@
-lib/engine/fixpoint.mli: Atom Counters Database Datalog_ast Datalog_storage Limits Pred Rule
+lib/engine/fixpoint.mli: Atom Counters Database Datalog_ast Datalog_storage Limits Pred Profile Rule

@@ -1,1 +1,1 @@
-lib/engine/incremental.ml: Atom Counters Database Datalog_ast Datalog_storage Eval Fixpoint Limits List Literal Printf Program Relation Rule
+lib/engine/incremental.ml: Atom Counters Database Datalog_ast Datalog_storage Eval Fixpoint Limits List Literal Printf Profile Program Relation Rule

@@ -1,0 +1,1 @@
+lib/engine/json.ml: Buffer Char Float Format List Option Printf String

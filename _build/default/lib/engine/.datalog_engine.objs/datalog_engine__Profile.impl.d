@@ -1,0 +1,1 @@
+lib/engine/profile.ml: Counters Datalog_ast Format Hashtbl Json List Pred Printf Rule Unix

@@ -1,0 +1,1 @@
+lib/engine/profile.mli: Counters Datalog_ast Format Json Pred Rule

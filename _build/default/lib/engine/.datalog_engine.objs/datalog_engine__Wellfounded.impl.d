@@ -1,1 +1,1 @@
-lib/engine/wellfounded.ml: Atom Counters Database Datalog_ast Datalog_storage Fixpoint Limits List Option Program Relation
+lib/engine/wellfounded.ml: Atom Counters Database Datalog_ast Datalog_storage Fixpoint Limits List Option Printf Profile Program Relation

@@ -62,12 +62,17 @@ end
    (tuple, condition-set) choices; negative literals over IDB predicates are
    delayed into the accumulated condition; negative EDB literals and
    comparisons are decided immediately. *)
-let solve_body cnt ~guard store ~is_idb ~edb_mem body subst cond emit =
+let solve_body cnt ~guard ~profile store ~is_idb ~edb_mem body subst cond emit
+    =
   let rec go body subst cond =
     match body with
     | [] -> emit subst cond
     | Literal.Pos atom :: rest ->
       cnt.Counters.probes <- cnt.Counters.probes + 1;
+      let choices = Store.candidates store (Atom.pred atom) in
+      if Profile.is_active profile then
+        Profile.probe profile (Atom.pred atom)
+          ~scanned:(List.length choices);
       List.iter
         (fun (tuple, conds) ->
           Limits.check guard;
@@ -92,7 +97,7 @@ let solve_body cnt ~guard store ~is_idb ~edb_mem body subst cond emit =
             List.iter
               (fun c -> go rest subst' (Atom.Set.union cond c))
               conds)
-        (Store.candidates store (Atom.pred atom))
+        choices
     | Literal.Neg atom :: rest ->
       let a = Subst.apply_atom subst atom in
       if not (Atom.is_ground a) then
@@ -117,7 +122,7 @@ let solve_body cnt ~guard store ~is_idb ~edb_mem body subst cond emit =
   in
   go body subst cond
 
-let run ?(limits = Limits.none) ?db program =
+let run ?(limits = Limits.none) ?(profile = Profile.none) ?db program =
   let counters = Counters.create () in
   let guard = Limits.guard limits counters in
   let store = Store.create () in
@@ -145,24 +150,32 @@ let run ?(limits = Limits.none) ?db program =
         changed := false;
         counters.Counters.iterations <- counters.Counters.iterations + 1;
         Limits.check_round guard;
-        List.iter
-          (fun rule ->
-            solve_body counters ~guard store ~is_idb ~edb_mem (Rule.body rule)
-              Subst.empty Atom.Set.empty (fun subst cond ->
-                counters.Counters.firings <- counters.Counters.firings + 1;
-                let h = Subst.apply_atom subst (Rule.head rule) in
-                if not (Atom.is_ground h) then
-                  raise
-                    (Eval.Unsafe_rule
-                       (Format.asprintf "derived non-ground head %a" Atom.pp h));
-                if not (Atom.Set.is_empty cond) then incr statements;
-                if Store.insert store (Atom.pred h) (Tuple.of_atom h) cond
-                then begin
-                  counters.Counters.facts_derived <-
-                    counters.Counters.facts_derived + 1;
-                  changed := true
-                end))
-          (Program.rules program)
+        Profile.with_round profile counters (fun () ->
+            List.iter
+              (fun rule ->
+                Profile.with_rule profile counters rule (fun () ->
+                    solve_body counters ~guard ~profile store ~is_idb
+                      ~edb_mem (Rule.body rule) Subst.empty Atom.Set.empty
+                      (fun subst cond ->
+                        counters.Counters.firings <-
+                          counters.Counters.firings + 1;
+                        let h = Subst.apply_atom subst (Rule.head rule) in
+                        if not (Atom.is_ground h) then
+                          raise
+                            (Eval.Unsafe_rule
+                               (Format.asprintf "derived non-ground head %a"
+                                  Atom.pp h));
+                        if not (Atom.Set.is_empty cond) then incr statements;
+                        if
+                          Store.insert store (Atom.pred h) (Tuple.of_atom h)
+                            cond
+                        then begin
+                          counters.Counters.facts_derived <-
+                            counters.Counters.facts_derived + 1;
+                          Profile.derived profile (Atom.pred h);
+                          changed := true
+                        end)))
+              (Program.rules program))
       done
     with
     | () -> Limits.Complete

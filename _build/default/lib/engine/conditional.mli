@@ -38,9 +38,13 @@ type outcome = {
           sound under-approximation) *)
 }
 
-val run : ?limits:Limits.t -> ?db:Database.t -> Program.t -> outcome
+val run :
+  ?limits:Limits.t -> ?profile:Profile.t -> ?db:Database.t -> Program.t ->
+  outcome
 (** Evaluate the program under the conditional fixpoint.  [db] optionally
-    pre-seeds extra EDB facts; [limits] bounds the evaluation. *)
+    pre-seeds extra EDB facts; [limits] bounds the evaluation; an active
+    [profile] records per-rule and per-round rows of the monotone phase
+    (the reduction phase derives no new atoms and is not attributed). *)
 
 val holds : outcome -> Atom.t -> bool
 (** Is the ground atom true in the computed model? *)

@@ -23,6 +23,15 @@ let add acc c =
   acc.scanned <- acc.scanned + c.scanned;
   acc.iterations <- acc.iterations + c.iterations
 
+let to_json c =
+  Json.Obj
+    [ ("facts_derived", Json.Int c.facts_derived);
+      ("firings", Json.Int c.firings);
+      ("probes", Json.Int c.probes);
+      ("scanned", Json.Int c.scanned);
+      ("iterations", Json.Int c.iterations)
+    ]
+
 let pp ppf c =
   Format.fprintf ppf
     "facts=%d firings=%d probes=%d scanned=%d iterations=%d" c.facts_derived

@@ -19,4 +19,7 @@ val reset : t -> unit
 val add : t -> t -> unit
 (** [add acc c] accumulates [c] into [acc]. *)
 
+val to_json : t -> Json.t
+(** One object with the five counter fields, in declaration order. *)
+
 val pp : Format.formatter -> t -> unit

@@ -38,7 +38,8 @@ let ground_atom subst atom =
   if Atom.is_ground a then a
   else unsafe "negative literal %a not ground at evaluation time" Atom.pp a
 
-let solve_body cnt ?(guard = Limits.no_guard) ~rel_of ~neg body subst emit =
+let solve_body cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
+    ~rel_of ~neg body subst emit =
   let rec go i body subst =
     match body with
     | [] -> emit subst
@@ -49,6 +50,9 @@ let solve_body cnt ?(guard = Limits.no_guard) ~rel_of ~neg body subst emit =
         let bound = bound_positions subst atom in
         cnt.Counters.probes <- cnt.Counters.probes + 1;
         let candidates = Relation.select rel bound in
+        if Profile.is_active profile then
+          Profile.probe profile (Atom.pred atom)
+            ~scanned:(List.length candidates);
         List.iter
           (fun tuple ->
             Limits.check guard;
@@ -77,9 +81,10 @@ let solve_body cnt ?(guard = Limits.no_guard) ~rel_of ~neg body subst emit =
   in
   go 0 body subst
 
-let apply_rule cnt ?guard ~rel_of ~neg rule emit =
+let apply_rule cnt ?guard ?profile ~rel_of ~neg rule emit =
   let head = Rule.head rule in
-  solve_body cnt ?guard ~rel_of ~neg (Rule.body rule) Subst.empty (fun subst ->
+  solve_body cnt ?guard ?profile ~rel_of ~neg (Rule.body rule) Subst.empty
+    (fun subst ->
       cnt.Counters.firings <- cnt.Counters.firings + 1;
       let h = Subst.apply_atom subst head in
       if not (Atom.is_ground h) then

@@ -18,6 +18,7 @@ exception Unsafe_rule of string
 val solve_body :
   Counters.t ->
   ?guard:Limits.guard ->
+  ?profile:Profile.t ->
   rel_of:(int -> Pred.t -> Relation.t option) ->
   neg:(Atom.t -> bool) ->
   Literal.t list ->
@@ -31,11 +32,14 @@ val solve_body :
     relation at one position.  [neg atom] decides ground negated atoms.
     [guard] is consulted once per candidate tuple, so even a join that
     derives nothing stays interruptible;
-    it may raise {!Limits.Out_of_budget}. *)
+    it may raise {!Limits.Out_of_budget}.  An active [profile] records one
+    per-predicate probe (with its scan width) per positive-literal
+    lookup. *)
 
 val apply_rule :
   Counters.t ->
   ?guard:Limits.guard ->
+  ?profile:Profile.t ->
   rel_of:(int -> Pred.t -> Relation.t option) ->
   neg:(Atom.t -> bool) ->
   Rule.t ->

@@ -1,23 +1,28 @@
 open Datalog_ast
 open Datalog_storage
 
-let naive cnt ?(guard = Limits.no_guard) ~db ~neg rules =
+let naive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none) ~db ~neg
+    rules =
   let changed = ref true in
   while !changed do
     changed := false;
     cnt.Counters.iterations <- cnt.Counters.iterations + 1;
     Limits.check_round guard;
-    List.iter
-      (fun rule ->
-        Eval.apply_rule cnt ~guard ~rel_of:(Eval.db_rel_of db) ~neg rule
-          (fun pred tuple ->
-            if Database.add db pred tuple then begin
-              cnt.Counters.facts_derived <- cnt.Counters.facts_derived + 1;
-              if Limits.is_active guard then
-                Limits.check_relation guard (Database.rel db pred);
-              changed := true
-            end))
-      rules
+    Profile.with_round profile cnt (fun () ->
+        List.iter
+          (fun rule ->
+            Profile.with_rule profile cnt rule (fun () ->
+                Eval.apply_rule cnt ~guard ~profile
+                  ~rel_of:(Eval.db_rel_of db) ~neg rule (fun pred tuple ->
+                    if Database.add db pred tuple then begin
+                      cnt.Counters.facts_derived <-
+                        cnt.Counters.facts_derived + 1;
+                      Profile.derived profile pred;
+                      if Limits.is_active guard then
+                        Limits.check_relation guard (Database.rel db pred);
+                      changed := true
+                    end)))
+          rules)
   done
 
 let head_preds rules =
@@ -33,7 +38,8 @@ let delta_positions recursive rule =
          | Literal.Pos a when Pred.Set.mem (Atom.pred a) recursive -> Some i
          | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> None)
 
-let seminaive cnt ?(guard = Limits.no_guard) ~db ~neg ?recursive rules =
+let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none) ~db
+    ~neg ?recursive rules =
   let recursive =
     match recursive with Some s -> s | None -> head_preds rules
   in
@@ -42,17 +48,21 @@ let seminaive cnt ?(guard = Limits.no_guard) ~db ~neg ?recursive rules =
   let delta = ref (fresh_delta ()) in
   cnt.Counters.iterations <- cnt.Counters.iterations + 1;
   Limits.check_round guard;
-  List.iter
-    (fun rule ->
-      Eval.apply_rule cnt ~guard ~rel_of:(Eval.db_rel_of db) ~neg rule
-        (fun pred tuple ->
-          if Database.add db pred tuple then begin
-            cnt.Counters.facts_derived <- cnt.Counters.facts_derived + 1;
-            if Limits.is_active guard then
-              Limits.check_relation guard (Database.rel db pred);
-            ignore (Database.add !delta pred tuple)
-          end))
-    rules;
+  Profile.with_round profile cnt (fun () ->
+      List.iter
+        (fun rule ->
+          Profile.with_rule profile cnt rule (fun () ->
+              Eval.apply_rule cnt ~guard ~profile ~rel_of:(Eval.db_rel_of db)
+                ~neg rule (fun pred tuple ->
+                  if Database.add db pred tuple then begin
+                    cnt.Counters.facts_derived <-
+                      cnt.Counters.facts_derived + 1;
+                    Profile.derived profile pred;
+                    if Limits.is_active guard then
+                      Limits.check_relation guard (Database.rel db pred);
+                    ignore (Database.add !delta pred tuple)
+                  end)))
+        rules);
   let delta_rules =
     List.filter_map
       (fun rule ->
@@ -66,23 +76,28 @@ let seminaive cnt ?(guard = Limits.no_guard) ~db ~neg ?recursive rules =
     Limits.check_round guard;
     let next = fresh_delta () in
     let current = !delta in
-    List.iter
-      (fun (rule, positions) ->
+    Profile.with_round profile cnt (fun () ->
         List.iter
-          (fun delta_pos ->
-            let rel_of i pred =
-              if i = delta_pos then Database.find current pred
-              else Database.find db pred
-            in
-            Eval.apply_rule cnt ~guard ~rel_of ~neg rule (fun pred tuple ->
-                if Database.add db pred tuple then begin
-                  cnt.Counters.facts_derived <-
-                    cnt.Counters.facts_derived + 1;
-                  if Limits.is_active guard then
-                    Limits.check_relation guard (Database.rel db pred);
-                  ignore (Database.add next pred tuple)
-                end))
-          positions)
-      delta_rules;
+          (fun (rule, positions) ->
+            Profile.with_rule profile cnt rule (fun () ->
+                List.iter
+                  (fun delta_pos ->
+                    let rel_of i pred =
+                      if i = delta_pos then Database.find current pred
+                      else Database.find db pred
+                    in
+                    Eval.apply_rule cnt ~guard ~profile ~rel_of ~neg rule
+                      (fun pred tuple ->
+                        if Database.add db pred tuple then begin
+                          cnt.Counters.facts_derived <-
+                            cnt.Counters.facts_derived + 1;
+                          Profile.derived profile pred;
+                          if Limits.is_active guard then
+                            Limits.check_relation guard
+                              (Database.rel db pred);
+                          ignore (Database.add next pred tuple)
+                        end))
+                  positions))
+          delta_rules);
     delta := next
   done

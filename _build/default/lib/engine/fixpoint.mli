@@ -9,7 +9,10 @@
     tuple inside the joins; on budget exhaustion they raise
     {!Limits.Out_of_budget}, leaving the database with every fact derived
     so far — the engine entry points catch the exception and report a
-    partial outcome. *)
+    partial outcome.
+
+    An active [profile] attributes each round, and each rule's share of
+    the counters, to its rows. *)
 
 open Datalog_ast
 open Datalog_storage
@@ -17,6 +20,7 @@ open Datalog_storage
 val naive :
   Counters.t ->
   ?guard:Limits.guard ->
+  ?profile:Profile.t ->
   db:Database.t ->
   neg:(Atom.t -> bool) ->
   Rule.t list ->
@@ -27,6 +31,7 @@ val naive :
 val seminaive :
   Counters.t ->
   ?guard:Limits.guard ->
+  ?profile:Profile.t ->
   db:Database.t ->
   neg:(Atom.t -> bool) ->
   ?recursive:Pred.Set.t ->

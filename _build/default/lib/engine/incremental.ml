@@ -12,40 +12,43 @@ let ensure_positive program =
 (* Delta-driven propagation: fire every rule with one body position
    reading the delta and the rest reading the full database, inserting
    consequences into both the database and the next delta. *)
-let propagate cnt guard program db delta =
+let propagate cnt guard profile program db delta =
   let inserted = ref 0 in
   let current = ref delta in
   while Database.total_facts !current > 0 do
     cnt.Counters.iterations <- cnt.Counters.iterations + 1;
     Limits.check_round guard;
     let next = Database.create () in
-    List.iter
-      (fun rule ->
-        let body = Rule.body rule in
-        List.iteri
-          (fun i lit ->
-            match lit with
-            | Literal.Pos a
-              when Database.cardinal !current (Atom.pred a) > 0 ->
-              let rel_of j pred =
-                if j = i then Database.find !current pred
-                else Database.find db pred
-              in
-              Eval.apply_rule cnt ~guard ~rel_of
-                ~neg:(Eval.closed_world_neg db)
-                rule
-                (fun pred tuple ->
-                  if Database.add db pred tuple then begin
-                    incr inserted;
-                    cnt.Counters.facts_derived <-
-                      cnt.Counters.facts_derived + 1;
-                    if Limits.is_active guard then
-                      Limits.check_relation guard (Database.rel db pred);
-                    ignore (Database.add next pred tuple)
-                  end)
-            | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> ())
-          body)
-      (Program.rules program);
+    Profile.with_round profile cnt (fun () ->
+        List.iter
+          (fun rule ->
+            Profile.with_rule profile cnt rule @@ fun () ->
+            let body = Rule.body rule in
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Literal.Pos a
+                  when Database.cardinal !current (Atom.pred a) > 0 ->
+                  let rel_of j pred =
+                    if j = i then Database.find !current pred
+                    else Database.find db pred
+                  in
+                  Eval.apply_rule cnt ~guard ~profile ~rel_of
+                    ~neg:(Eval.closed_world_neg db)
+                    rule
+                    (fun pred tuple ->
+                      if Database.add db pred tuple then begin
+                        incr inserted;
+                        cnt.Counters.facts_derived <-
+                          cnt.Counters.facts_derived + 1;
+                        Profile.derived profile pred;
+                        if Limits.is_active guard then
+                          Limits.check_relation guard (Database.rel db pred);
+                        ignore (Database.add next pred tuple)
+                      end)
+                | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> ())
+              body)
+          (Program.rules program));
     current := next
   done;
   !inserted
@@ -57,7 +60,8 @@ let exhausted_error reason =
         only partially maintained - recompute from the program"
        (Limits.reason_name reason))
 
-let add_facts cnt ?(limits = Limits.none) program db facts =
+let add_facts cnt ?(limits = Limits.none) ?(profile = Profile.none) program
+    db facts =
   match ensure_positive program with
   | Error _ as e -> e
   | Ok () -> (
@@ -71,11 +75,12 @@ let add_facts cnt ?(limits = Limits.none) program db facts =
           ignore (Database.add_atom delta a)
         end)
       facts;
-    match propagate cnt guard program db delta with
+    match propagate cnt guard profile program db delta with
     | derived -> Ok (!base_added + derived)
     | exception Limits.Out_of_budget reason -> exhausted_error reason)
 
-let remove_facts cnt ?(limits = Limits.none) program db facts =
+let remove_facts cnt ?(limits = Limits.none) ?(profile = Profile.none)
+    program db facts =
   match ensure_positive program with
   | Error _ as e -> e
   | Ok () ->
@@ -133,7 +138,7 @@ let remove_facts cnt ?(limits = Limits.none) program db facts =
       deleted;
     (* Phase 3: re-derive — anything with an alternative derivation from
        the remaining facts comes back (semi-naive to fixpoint). *)
-    Fixpoint.seminaive cnt ~guard ~db
+    Fixpoint.seminaive cnt ~guard ~profile ~db
       ~neg:(Eval.closed_world_neg db)
       (Program.rules program);
     Ok (before - Database.total_facts db)

@@ -18,6 +18,7 @@ open Datalog_storage
 val add_facts :
   Counters.t ->
   ?limits:Limits.t ->
+  ?profile:Profile.t ->
   Program.t ->
   Database.t ->
   Atom.t list ->
@@ -34,6 +35,7 @@ val add_facts :
 val remove_facts :
   Counters.t ->
   ?limits:Limits.t ->
+  ?profile:Profile.t ->
   Program.t ->
   Database.t ->
   Atom.t list ->

@@ -1,0 +1,32 @@
+(** A minimal JSON document type and printer.
+
+    The stats/trace exporters and the benchmark baseline need
+    schema-stable, machine-readable output, and the switch has no JSON
+    library installed — this is the smallest thing that serialises
+    correctly (string escaping, no inf/nan).  There is deliberately no
+    parser: consumers of the exported files are external tools. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** [nan]/[inf] are emitted as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** field order is preserved *)
+
+val to_string : t -> string
+(** Pretty-printed with two-space indentation, no trailing newline. *)
+
+val to_channel : out_channel -> t -> unit
+(** [to_string] plus a trailing newline. *)
+
+val keys : t -> string list
+(** Field names of an [Obj], in order; [[]] for any other constructor
+    (used by the schema-pinning tests). *)
+
+val member : string -> t -> t option
+(** [member name obj] is the field's value, [None] when absent or when
+    the value is not an [Obj]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -9,7 +9,8 @@ type outcome = {
   status : Limits.status;
 }
 
-let run ?(limits = Limits.none) ?db ?(use_naive = false) program =
+let run ?(limits = Limits.none) ?(profile = Profile.none) ?db
+    ?(use_naive = false) program =
   match Stratify.stratification program with
   | None ->
     Error
@@ -33,8 +34,11 @@ let run ?(limits = Limits.none) ?db ?(use_naive = false) program =
           match Stratify.rules_of_stratum program strata s with
           | [] -> ()
           | rules ->
-            if use_naive then Fixpoint.naive counters ~guard ~db ~neg rules
-            else Fixpoint.seminaive counters ~guard ~db ~neg rules
+            Profile.with_stratum profile counters s (fun () ->
+                if use_naive then
+                  Fixpoint.naive counters ~guard ~profile ~db ~neg rules
+                else
+                  Fixpoint.seminaive counters ~guard ~profile ~db ~neg rules)
         done
       with
       | () -> Limits.Complete

@@ -18,6 +18,7 @@ type outcome = {
 
 val run :
   ?limits:Limits.t ->
+  ?profile:Profile.t ->
   ?db:Database.t ->
   ?use_naive:bool ->
   Program.t ->
@@ -25,6 +26,7 @@ val run :
 (** Evaluate the whole program.  [db] optionally supplies a pre-seeded
     database (the program's facts are always added); [use_naive] switches
     the per-stratum fixpoint from semi-naive to naive (for the ablation
-    benchmarks).  [limits] bounds the evaluation (see {!Limits}); on
+    benchmarks).  An active [profile] records per-stratum, per-round and
+    per-rule rows (see {!Profile}).  [limits] bounds the evaluation (see {!Limits}); on
     exhaustion the outcome is still [Ok] with [status = Exhausted _].
     [Error _] when the program is not stratified. *)

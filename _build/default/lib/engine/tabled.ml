@@ -42,6 +42,7 @@ type state = {
   edb : Database.t;
   counters : Counters.t;
   guard : Limits.guard;  (* shared with nested negation evaluations *)
+  profile : Profile.t;  (* likewise shared, so nested work is attributed *)
   tables : Relation.t CallTbl.t;
   consumers : call list ref CallTbl.t;
       (* calls whose rules read a given call's table: when the table grows
@@ -96,6 +97,7 @@ and decide_negation st atom =
         edb = st.edb;
         counters = st.counters;
         guard = st.guard;
+        profile = st.profile;
         tables = CallTbl.create 32;
         consumers = CallTbl.create 32;
         dirty = CallTbl.create 32;
@@ -135,6 +137,8 @@ and solve_body st ~consumer body subst emit =
         | Some rel -> Relation.select rel (Eval.bound_positions subst atom)
       end
     in
+    if Profile.is_active st.profile then
+      Profile.probe st.profile pred ~scanned:(List.length candidates);
     List.iter
       (fun tuple ->
         Limits.check st.guard;
@@ -173,10 +177,13 @@ and solve_body st ~consumer body subst emit =
 and solve_call st c =
   let rel = ensure_call st c in
   List.iter
-    (fun rule ->
+    (fun src_rule ->
+      (* profile rows are keyed on the source rule, not its renamed copy,
+         so re-solvings of different calls aggregate onto one row *)
+      Profile.with_rule st.profile st.counters src_rule @@ fun () ->
       (* rename apart from any variables the call could mention (calls are
          ground on their bound positions, so a plain fresh copy suffices) *)
-      let rule = Rule.rename ~suffix:"#t" rule in
+      let rule = Rule.rename ~suffix:"#t" src_rule in
       let head = Rule.head rule in
       (* constrain the head by the call's bound values *)
       let subst0 =
@@ -200,6 +207,7 @@ and solve_call st c =
             if Relation.insert rel (Atom.to_tuple h) then begin
               st.counters.Counters.facts_derived <-
                 st.counters.Counters.facts_derived + 1;
+              Profile.derived st.profile c.call_pred;
               if Limits.is_active st.guard then
                 Limits.check_relation st.guard rel;
               (* wake everyone who read this table *)
@@ -249,7 +257,7 @@ let collect st root query status =
   in
   { answers; calls; tables; counters = st.counters; status }
 
-let run ?(limits = Limits.none) ?db program query =
+let run ?(limits = Limits.none) ?(profile = Profile.none) ?db program query =
   let has_negation =
     List.exists (fun r -> Rule.negative_body r <> []) (Program.rules program)
   in
@@ -264,6 +272,7 @@ let run ?(limits = Limits.none) ?db program query =
         edb;
         counters;
         guard = Limits.guard limits counters;
+        profile;
         tables = CallTbl.create 64;
         consumers = CallTbl.create 64;
         dirty = CallTbl.create 64;

@@ -41,6 +41,7 @@ type outcome = {
 
 val run :
   ?limits:Limits.t ->
+  ?profile:Profile.t ->
   ?db:Database.t ->
   Program.t ->
   Atom.t ->
@@ -49,7 +50,9 @@ val run :
     not stratified (negation would be unsound) or a negated subgoal is
     reached unbound.  [limits] bounds the evaluation; note that for this
     engine an {e iteration} is one agenda step (a call being re-solved),
-    not a fixpoint round. *)
+    not a fixpoint round.  An active [profile] keys rule rows on the
+    source rules (aggregating across calls and nested negation runs);
+    there are no round or stratum rows — tabling has no global rounds. *)
 
 val calls_for : outcome -> Pred.t -> string -> int
 (** Number of distinct tabled calls to a predicate under a given

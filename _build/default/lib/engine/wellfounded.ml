@@ -19,14 +19,16 @@ let db_subset a b =
 
 let db_equal a b = db_subset a b && db_subset b a
 
-let run ?(limits = Limits.none) ?db program =
+let run ?(limits = Limits.none) ?(profile = Profile.none) ?db program =
   let counters = Counters.create () in
   let guard = Limits.guard limits counters in
   let seed = match db with Some db -> db | None -> Database.create () in
   List.iter (fun a -> ignore (Database.add_atom seed a)) (Program.facts program);
   let rules = Program.rules program in
   (* S(I): least fixpoint with negation decided against seed ∪ I. *)
-  let s_operator i =
+  let s_operator kind i =
+    Profile.note profile (fun () ->
+        Printf.sprintf "well-founded alternation: %s approximation" kind);
     let db = Database.copy seed in
     (* The negation oracle is frozen on [seed ∪ i]: it must not observe the
        facts derived during this very run (those live in [db] only).  EDB
@@ -36,7 +38,7 @@ let run ?(limits = Limits.none) ?db program =
     let neg atom =
       not (Database.mem_atom seed atom || Database.mem_atom i atom)
     in
-    Fixpoint.seminaive counters ~guard ~db ~neg rules;
+    Fixpoint.seminaive counters ~guard ~profile ~db ~neg rules;
     db
   in
   let empty = Database.create () in
@@ -46,8 +48,8 @@ let run ?(limits = Limits.none) ?db program =
      half-finished [s_operator] run would not be. *)
   let rec iterate current last_over rounds =
     match
-      let over = s_operator current in
-      let under = s_operator over in
+      let over = s_operator "over" current in
+      let under = s_operator "under" over in
       (over, under)
     with
     | over, under ->

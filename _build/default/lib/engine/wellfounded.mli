@@ -25,9 +25,12 @@ type outcome = {
           the undefined set *)
 }
 
-val run : ?limits:Limits.t -> ?db:Database.t -> Program.t -> outcome
+val run :
+  ?limits:Limits.t -> ?profile:Profile.t -> ?db:Database.t -> Program.t ->
+  outcome
 (** [limits] bounds the evaluation (all inner fixpoints share one
-    budget). *)
+    budget).  An active [profile] accumulates rule/round rows across every
+    inner fixpoint and traces each alternation step. *)
 
 val holds : outcome -> Atom.t -> bool
 val is_undefined : outcome -> Atom.t -> bool

@@ -32,7 +32,7 @@ let transform (adorned : Adorn.t) =
         let n = Array.length body in
         (* positions of intensional (adorned) subgoals, in order *)
         let idb_positions =
-          List.filteri (fun _ _ -> true) (List.init n Fun.id)
+          List.init n Fun.id
           |> List.filter (fun i ->
                  match body.(i) with
                  | Literal.Pos a | Literal.Neg a -> (

@@ -3,20 +3,27 @@ type index = {
   map : Tuple.t list ref Tuple.Tbl.t;  (* projected key -> matching tuples *)
 }
 
+(* Tuples live in a growable array in insertion order; [slots] maps each
+   live tuple to its array slot.  A removal tombstones the slot ([None])
+   instead of rebuilding a list, and the array is compacted once
+   tombstones dominate — so [remove] is O(indexes) amortised and
+   [iter]/[fold] walk the array without allocating. *)
 type t = {
   name : string;
   arity : int;
-  tuples : unit Tuple.Tbl.t;
-  mutable ordered : Tuple.t list;  (* reverse insertion order *)
-  mutable size : int;
+  slots : int Tuple.Tbl.t;
+  mutable order : Tuple.t option array;
+  mutable filled : int;  (* slots in use, live or tombstoned *)
+  mutable size : int;  (* live tuples *)
   indexes : (int list, index) Hashtbl.t;
 }
 
 let create ?(name = "?") arity =
   { name;
     arity;
-    tuples = Tuple.Tbl.create 64;
-    ordered = [];
+    slots = Tuple.Tbl.create 64;
+    order = [||];
+    filled = 0;
     size = 0;
     indexes = Hashtbl.create 4
   }
@@ -29,51 +36,91 @@ let index_add idx tuple =
   | Some bucket -> bucket := tuple :: !bucket
   | None -> Tuple.Tbl.add idx.map key (ref [ tuple ])
 
+let grow r =
+  let cap = Array.length r.order in
+  let cap' = if cap = 0 then 16 else 2 * cap in
+  let order' = Array.make cap' None in
+  Array.blit r.order 0 order' 0 cap;
+  r.order <- order'
+
 let insert r tuple =
   if Array.length tuple <> r.arity then
     invalid_arg
       (Printf.sprintf "Relation.insert(%s): arity %d, tuple of width %d"
          r.name r.arity (Array.length tuple));
-  if Tuple.Tbl.mem r.tuples tuple then false
+  if Tuple.Tbl.mem r.slots tuple then false
   else begin
-    Tuple.Tbl.add r.tuples tuple ();
-    r.ordered <- tuple :: r.ordered;
+    if r.filled = Array.length r.order then grow r;
+    r.order.(r.filled) <- Some tuple;
+    Tuple.Tbl.add r.slots tuple r.filled;
+    r.filled <- r.filled + 1;
     r.size <- r.size + 1;
     Hashtbl.iter (fun _ idx -> index_add idx tuple) r.indexes;
     true
   end
 
+let compact r =
+  let j = ref 0 in
+  for i = 0 to r.filled - 1 do
+    match r.order.(i) with
+    | None -> ()
+    | Some tuple as slot ->
+      r.order.(!j) <- slot;
+      Tuple.Tbl.replace r.slots tuple !j;
+      incr j
+  done;
+  Array.fill r.order !j (r.filled - !j) None;
+  r.filled <- !j
+
 let remove r tuple =
-  if not (Tuple.Tbl.mem r.tuples tuple) then false
-  else begin
-    Tuple.Tbl.remove r.tuples tuple;
-    r.ordered <- List.filter (fun t -> not (Tuple.equal t tuple)) r.ordered;
+  match Tuple.Tbl.find_opt r.slots tuple with
+  | None -> false
+  | Some slot ->
+    Tuple.Tbl.remove r.slots tuple;
+    r.order.(slot) <- None;
     r.size <- r.size - 1;
     Hashtbl.iter
       (fun _ idx ->
         let key = Tuple.project idx.cols tuple in
         match Tuple.Tbl.find_opt idx.map key with
         | None -> ()
-        | Some bucket ->
-          bucket := List.filter (fun t -> not (Tuple.equal t tuple)) !bucket)
+        | Some bucket -> (
+          match List.filter (fun t -> not (Tuple.equal t tuple)) !bucket with
+          | [] -> Tuple.Tbl.remove idx.map key  (* no dead buckets *)
+          | rest -> bucket := rest))
       r.indexes;
+    if r.filled > 64 && r.filled > 2 * r.size then compact r;
     true
-  end
 
-let mem r tuple = Tuple.Tbl.mem r.tuples tuple
+let mem r tuple = Tuple.Tbl.mem r.slots tuple
 let cardinal r = r.size
 let is_empty r = r.size = 0
 
-let to_list r = List.rev r.ordered
-let iter f r = List.iter f (to_list r)
-let fold f r init = List.fold_left (fun acc t -> f t acc) init (to_list r)
+let iter f r =
+  for i = 0 to r.filled - 1 do
+    match r.order.(i) with None -> () | Some tuple -> f tuple
+  done
+
+let fold f r init =
+  let acc = ref init in
+  for i = 0 to r.filled - 1 do
+    match r.order.(i) with None -> () | Some tuple -> acc := f tuple !acc
+  done;
+  !acc
+
+let to_list r =
+  let acc = ref [] in
+  for i = r.filled - 1 downto 0 do
+    match r.order.(i) with None -> () | Some tuple -> acc := tuple :: !acc
+  done;
+  !acc
 
 let get_index r cols_list =
   match Hashtbl.find_opt r.indexes cols_list with
   | Some idx -> idx
   | None ->
     let idx = { cols = Array.of_list cols_list; map = Tuple.Tbl.create 64 } in
-    List.iter (fun t -> index_add idx t) r.ordered;
+    iter (fun t -> index_add idx t) r;
     Hashtbl.add r.indexes cols_list idx;
     idx
 
@@ -96,12 +143,13 @@ let select r bindings =
 
 let copy r =
   let fresh = create ~name:r.name r.arity in
-  List.iter (fun t -> ignore (insert fresh t)) (to_list r);
+  iter (fun t -> ignore (insert fresh t)) r;
   fresh
 
 let clear r =
-  Tuple.Tbl.reset r.tuples;
-  r.ordered <- [];
+  Tuple.Tbl.reset r.slots;
+  r.order <- [||];
+  r.filled <- 0;
   r.size <- 0;
   Hashtbl.reset r.indexes
 
@@ -109,6 +157,9 @@ let union_into ~src ~dst =
   fold (fun t acc -> if insert dst t then acc + 1 else acc) src 0
 
 let index_count r = Hashtbl.length r.indexes
+
+let bucket_count r =
+  Hashtbl.fold (fun _ idx acc -> acc + Tuple.Tbl.length idx.map) r.indexes 0
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>%a@]"

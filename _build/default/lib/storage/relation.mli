@@ -19,17 +19,21 @@ val insert : t -> Tuple.t -> bool
     @raise Invalid_argument on arity mismatch. *)
 
 val remove : t -> Tuple.t -> bool
-(** Delete a tuple; returns [true] iff it was present.  O(size) worst case
-    (the insertion-order list is rebuilt). *)
+(** Delete a tuple; returns [true] iff it was present.  O(#indexes)
+    amortised: the insertion-order slot is tombstoned (and compacted once
+    tombstones dominate), and an index bucket emptied by the deletion is
+    removed rather than left behind. *)
 
 val mem : t -> Tuple.t -> bool
 val cardinal : t -> int
 val is_empty : t -> bool
 
 val iter : (Tuple.t -> unit) -> t -> unit
-(** Iterate in insertion order (deterministic). *)
+(** Iterate in insertion order (deterministic); does not allocate. *)
 
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold in insertion order, allocation-free (beyond what [f] allocates). *)
+
 val to_list : t -> Tuple.t list
 (** Tuples in insertion order. *)
 
@@ -48,5 +52,10 @@ val union_into : src:t -> dst:t -> int
 
 val index_count : t -> int
 (** Number of secondary indexes currently built (diagnostics). *)
+
+val bucket_count : t -> int
+(** Total number of hash buckets across all indexes (diagnostics: after
+    removals this stays proportional to the live keys, since emptied
+    buckets are deleted). *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,1 +1,1 @@
-test/test_ast.ml: Alcotest Array Atom Datalog_ast Datalog_parser Format List Option Pred Printf Program QCheck QCheck_alcotest Rule String Subst Symbol Term Unify Value
+test/test_ast.ml: Alcotest Array Atom Datalog_ast Datalog_parser Format List Map Option Pred Printf Program QCheck QCheck_alcotest Rule String Subst Symbol Term Unify Value

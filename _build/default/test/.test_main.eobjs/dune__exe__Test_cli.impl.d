@@ -1,1 +1,1 @@
-test/test_cli.ml: Alcotest Filename In_channel List String Unix
+test/test_cli.ml: Alcotest Filename In_channel List String Sys Unix

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Alexander Datalog_engine Datalog_parser List String

@@ -1,1 +1,1 @@
-test/test_storage.ml: Alcotest Array Atom Database Datalog_ast Datalog_storage List Pred QCheck QCheck_alcotest Relation Term Tuple Value
+test/test_storage.ml: Alcotest Array Atom Database Datalog_ast Datalog_storage Fun List Pred QCheck QCheck_alcotest Relation Term Tuple Value

@@ -252,6 +252,75 @@ let prop_subst_idempotent =
       let once = Subst.apply_atom s a in
       Atom.equal once (Subst.apply_atom s once))
 
+(* The seed's eager-rewrite [bind] rewrote the whole map on every call
+   (O(width^2) across a body); the chain-based replacement must stay
+   observationally identical.  This is the reference implementation. *)
+module Old_subst = struct
+  module M = Map.Make (String)
+
+  let rec resolve s t =
+    match t with
+    | Term.Const _ -> t
+    | Term.Var v -> (
+      match M.find_opt v s with
+      | None -> t
+      | Some t' -> if Term.equal t t' then t else resolve s t')
+
+  let bind v t s =
+    let t = resolve s t in
+    (match t with
+    | Term.Var v' when String.equal v v' ->
+      invalid_arg (Printf.sprintf "Subst.bind: %s bound to itself" v)
+    | Term.Var _ | Term.Const _ -> ());
+    let s = M.map (fun u -> if Term.equal u (Term.Var v) then t else u) s in
+    M.add v t s
+
+  let to_list = M.bindings
+end
+
+let prop_bind_matches_eager_rewrite =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 25)
+        (pair (map (Printf.sprintf "V%d") (int_bound 5)) gen_term))
+  in
+  let print =
+    QCheck.Print.(list (pair string (Format.asprintf "%a" Term.pp)))
+  in
+  QCheck.Test.make ~name:"chain bind matches the eager-rewrite bind"
+    ~count:1000 (QCheck.make ~print gen) (fun binds ->
+      let step (s_new, s_old) (v, t) =
+        let a =
+          try Ok (Subst.bind v t s_new) with Invalid_argument _ -> Error ()
+        in
+        let b =
+          try Ok (Old_subst.bind v t s_old) with Invalid_argument _ -> Error ()
+        in
+        match a, b with
+        | Ok s1, Ok s2 -> (s1, s2)
+        | Error (), Error () -> (s_new, s_old)
+        | Ok _, Error () | Error (), Ok _ ->
+          QCheck.Test.fail_report "self-binding rejection disagrees"
+      in
+      let s_new, s_old =
+        List.fold_left step (Subst.empty, Old_subst.M.empty) binds
+      in
+      List.equal
+        (fun (v1, t1) (v2, t2) -> String.equal v1 v2 && Term.equal t1 t2)
+        (Subst.to_list s_new)
+        (Old_subst.to_list s_old))
+
+(* the rare path: rebinding an already-bound variable takes the
+   materialising fallback and must behave like the eager rewrite did *)
+let test_subst_rebind_fallback () =
+  let s = Subst.of_list [ ("W", Term.var "X") ] in
+  let s = Subst.bind "X" (Term.sym "c") s in
+  let s = Subst.bind "X" (Term.sym "d") s in
+  check tbool "W keeps the value it resolved to" true
+    (Subst.find "W" s = Some (Term.sym "c"));
+  check tbool "X takes the new value" true
+    (Subst.find "X" s = Some (Term.sym "d"))
+
 let suite =
   [ ( "ast:unit",
       [ Alcotest.test_case "symbol interning" `Quick test_symbol_interning;
@@ -271,6 +340,8 @@ let suite =
         Alcotest.test_case "subst apply atom" `Quick test_subst_apply_atom;
         Alcotest.test_case "subst compose" `Quick test_subst_compose;
         Alcotest.test_case "subst restrict" `Quick test_subst_restrict;
+        Alcotest.test_case "subst rebind fallback" `Quick
+          test_subst_rebind_fallback;
         Alcotest.test_case "unify basic" `Quick test_unify_basic;
         Alcotest.test_case "unify clash" `Quick test_unify_clash;
         Alcotest.test_case "unify shared var" `Quick test_unify_shared_var;
@@ -289,6 +360,7 @@ let suite =
         [ prop_unify_gives_unifier;
           prop_unify_symmetric;
           prop_match_is_unify_on_ground;
-          prop_subst_idempotent
+          prop_subst_idempotent;
+          prop_bind_matches_eager_rewrite
         ] )
   ]

@@ -141,6 +141,44 @@ let test_limits_unbinding_by_default () =
   check tbool "complete answers" true (contains ~sub:"anc(ann, fay)" out);
   check tbool "no incomplete banner" false (contains ~sub:"incomplete" out)
 
+let test_stats_json_file_and_trace () =
+  let out = Filename.temp_file "alexander_stats" ".json" in
+  let code, output =
+    run_cli
+      [ "run"; sample "ancestor.dl"; "-q"; "anc(ann, X)"; "--stats-json"; out;
+        "--trace" ]
+  in
+  check tint "exit 0" 0 code;
+  check tbool "trace round lines on stderr" true
+    (contains ~sub:"% trace: round" output);
+  let json = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  check tbool "schema version" true
+    (contains ~sub:"\"schema_version\": 1" json);
+  check tbool "profile enabled" true (contains ~sub:"\"enabled\": true" json);
+  check tbool "per-rule rows" true (contains ~sub:"\"rule\":" json);
+  check tbool "query echoed" true (contains ~sub:"anc(ann, X)" json)
+
+let test_stats_json_stdout () =
+  let code, out =
+    run_cli
+      [ "run"; sample "ancestor.dl"; "-q"; "anc(bob, X)"; "-s"; "seminaive";
+        "--stats-json"; "-" ]
+  in
+  check tint "exit 0" 0 code;
+  check tbool "runs array printed" true (contains ~sub:"\"runs\":" out);
+  check tbool "strategy recorded" true
+    (contains ~sub:"\"strategy\": \"seminaive\"" out);
+  check tbool "totals present" true (contains ~sub:"\"facts_derived\":" out)
+
+let test_stats_prints_profile () =
+  let code, out =
+    run_cli [ "run"; sample "ancestor.dl"; "-q"; "anc(ann, X)"; "--stats" ]
+  in
+  check tint "exit 0" 0 code;
+  check tbool "per-rule profile section" true
+    (contains ~sub:"per-rule profile" out)
+
 let suite =
   [ ( "cli",
       [ Alcotest.test_case "run file queries" `Quick test_run_file_queries;
@@ -156,6 +194,11 @@ let suite =
         Alcotest.test_case "fact-cap exit code" `Quick test_fact_cap_exit_code;
         Alcotest.test_case "timeout exit code" `Quick test_timeout_exit_code;
         Alcotest.test_case "non-binding limits" `Quick
-          test_limits_unbinding_by_default
+          test_limits_unbinding_by_default;
+        Alcotest.test_case "stats-json file + trace" `Quick
+          test_stats_json_file_and_trace;
+        Alcotest.test_case "stats-json stdout" `Quick test_stats_json_stdout;
+        Alcotest.test_case "stats prints profile" `Quick
+          test_stats_prints_profile
       ] )
   ]

@@ -7,5 +7,5 @@ let () =
    @ Test_equivalence.suite @ Test_core.suite @ Test_tabled.suite
    @ Test_provenance.suite @ Test_formula.suite @ Test_preprocess.suite
    @ Test_incremental.suite @ Test_io.suite @ Test_multiquery.suite
-   @ Test_edge_cases.suite @ Test_limits.suite @ Test_cli.suite
-   @ Test_misc.suite)
+   @ Test_edge_cases.suite @ Test_limits.suite @ Test_profile.suite
+   @ Test_cli.suite @ Test_misc.suite)

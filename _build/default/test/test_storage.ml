@@ -162,6 +162,92 @@ let prop_index_creation_point_irrelevant =
       let sl = Relation.select with_late [ (0, Value.int key) ] in
       List.sort Tuple.compare se = List.sort Tuple.compare sl)
 
+(* Property: select, iteration order and cardinality survive arbitrary
+   insert/remove churn — exercising tombstoning, amortised compaction
+   and index-bucket removal together against a list model. *)
+let prop_select_under_churn =
+  let gen =
+    QCheck.Gen.(
+      let* ops =
+        list_size (int_range 0 150) (triple bool (int_bound 4) (int_bound 4))
+      in
+      let* q = pair (int_bound 4) (int_bound 4) in
+      let* mask = int_range 0 3 in
+      return (ops, q, mask))
+  in
+  QCheck.Test.make ~name:"select agrees with scan under insert/remove churn"
+    ~count:300 (QCheck.make gen) (fun (ops, (qa, qb), mask) ->
+      let r = Relation.create 2 in
+      (* warm an index so bucket maintenance runs during the churn *)
+      ignore (Relation.select r [ (0, Value.int 0) ]);
+      let consistent = ref true in
+      let model =
+        List.fold_left
+          (fun model (ins, a, b) ->
+            let t = tup [ a; b ] in
+            let present = List.exists (Tuple.equal t) model in
+            if ins then begin
+              if Relation.insert r t = present then consistent := false;
+              if present then model else model @ [ t ]
+            end
+            else begin
+              if Relation.remove r t <> present then consistent := false;
+              List.filter (fun u -> not (Tuple.equal t u)) model
+            end)
+          [] ops
+      in
+      let bindings =
+        (if mask land 1 <> 0 then [ (0, Value.int qa) ] else [])
+        @ if mask land 2 <> 0 then [ (1, Value.int qb) ] else []
+      in
+      let selected = Relation.select r bindings |> List.sort Tuple.compare in
+      let expected =
+        List.filter
+          (fun t -> List.for_all (fun (i, v) -> Value.equal t.(i) v) bindings)
+          model
+        |> List.sort Tuple.compare
+      in
+      !consistent
+      && List.equal Tuple.equal selected expected
+      && List.equal Tuple.equal (Relation.to_list r) model
+      && Relation.cardinal r = List.length model)
+
+let test_relation_dead_buckets_removed () =
+  let r = Relation.create 2 in
+  List.iter
+    (fun i -> ignore (Relation.insert r (tup [ i; i * 2 ])))
+    (List.init 50 Fun.id);
+  ignore (Relation.select r [ (0, Value.int 7) ]);
+  check tbool "buckets live while tuples live" true
+    (Relation.bucket_count r > 0);
+  List.iter
+    (fun i -> ignore (Relation.remove r (tup [ i; i * 2 ])))
+    (List.init 50 Fun.id);
+  check tint "emptied buckets are removed, not left dead" 0
+    (Relation.bucket_count r);
+  check tint "relation empty" 0 (Relation.cardinal r);
+  check tbool "reusable after the churn" true
+    (Relation.insert r (tup [ 1; 2 ]));
+  check tint "select still consistent" 1
+    (List.length (Relation.select r [ (0, Value.int 1) ]))
+
+let test_relation_compaction_preserves_order () =
+  let r = Relation.create 1 in
+  List.iter (fun i -> ignore (Relation.insert r (tup [ i ]))) (List.init 300 Fun.id);
+  (* removing half of 300 crosses the filled > 2 * size threshold *)
+  List.iter
+    (fun i -> if i mod 2 = 0 then ignore (Relation.remove r (tup [ i ])))
+    (List.init 300 Fun.id);
+  check tint "cardinal after compaction" 150 (Relation.cardinal r);
+  check (Alcotest.list tint) "odd survivors in insertion order"
+    (List.init 150 (fun i -> (2 * i) + 1))
+    (List.map
+       (fun t -> match t.(0) with Value.Int i -> i | _ -> -1)
+       (Relation.to_list r));
+  check tbool "insert after compaction" true (Relation.insert r (tup [ 1000 ]));
+  check tbool "mem after compaction" true (Relation.mem r (tup [ 1000 ]));
+  check tbool "removed stay removed" false (Relation.mem r (tup [ 0 ]))
+
 let suite =
   [ ( "storage",
       [ Alcotest.test_case "tuple equal/hash" `Quick test_tuple_equal_hash;
@@ -174,11 +260,18 @@ let suite =
           test_relation_index_maintained_after_insert;
         Alcotest.test_case "relation copy" `Quick test_relation_copy_independent;
         Alcotest.test_case "union_into" `Quick test_relation_union_into;
+        Alcotest.test_case "dead buckets removed" `Quick
+          test_relation_dead_buckets_removed;
+        Alcotest.test_case "compaction preserves order" `Quick
+          test_relation_compaction_preserves_order;
         Alcotest.test_case "database basics" `Quick test_database_basics;
         Alcotest.test_case "database of_facts" `Quick test_database_of_facts_atoms;
         Alcotest.test_case "database copy" `Quick test_database_copy_independent
       ] );
     ( "storage:properties",
       List.map QCheck_alcotest.to_alcotest
-        [ prop_select_agrees_with_scan; prop_index_creation_point_irrelevant ] )
+        [ prop_select_agrees_with_scan;
+          prop_index_creation_point_irrelevant;
+          prop_select_under_churn
+        ] )
   ]

@@ -18,19 +18,30 @@ let find v s =
   | Term.Var v' when String.equal v v' -> None
   | t -> Some t
 
+(* The map stores binding *chains* (a value may be a variable bound
+   further down); [resolve] chases them.  This keeps [bind] O(log n) on
+   the evaluator hot path — the join kernel only ever binds fresh,
+   unbound variables — where rewriting the map to stay idempotent on
+   every bind was O(n log n), i.e. quadratic per body match. *)
 let bind v t s =
   let t = resolve s t in
   (match t with
   | Term.Var v' when String.equal v v' ->
     invalid_arg (Printf.sprintf "Subst.bind: %s bound to itself" v)
   | Term.Var _ | Term.Const _ -> ());
-  (* Re-resolve existing bindings that point at [v] so the substitution
-     stays idempotent. *)
-  let s = M.map (fun u -> if Term.equal u (Term.Var v) then t else u) s in
-  M.add v t s
+  if M.mem v s then
+    (* Rebinding an already-bound variable: materialise every binding as
+       read under the current map first, so bindings that reached their
+       value through [v] keep it (the idempotent-representation
+       semantics).  Not reached by the evaluators, which only bind
+       chain-end unbound variables. *)
+    M.add v t (M.mapi (fun w _ -> resolve s (Term.Var w)) s)
+  else M.add v t s
 
 let of_list l = List.fold_left (fun s (v, t) -> bind v t s) empty l
-let to_list s = M.bindings s
+
+let to_list s = List.map (fun (v, _) -> (v, resolve s (Term.Var v))) (M.bindings s)
+
 let domain s = List.map fst (M.bindings s)
 
 let apply_term s t = resolve s t
@@ -44,19 +55,28 @@ let apply_literal s = function
   | Literal.Cmp (op, t1, t2) ->
     Literal.Cmp (op, apply_term s t1, apply_term s t2)
 
-let restrict keep s = M.filter (fun v _ -> keep v) s
+(* Resolve before filtering: a kept variable's chain may pass through a
+   dropped one. *)
+let restrict keep s =
+  M.fold
+    (fun v _ acc ->
+      if keep v then M.add v (resolve s (Term.Var v)) acc else acc)
+    s M.empty
 
 let compose s1 s2 =
-  let s1' = M.map (fun t -> apply_term s2 t) s1 in
+  let s1' = M.mapi (fun v _ -> apply_term s2 (resolve s1 (Term.Var v))) s1 in
   M.union (fun _ t1 _ -> Some t1) s1' s2
 
-let is_ground s = M.for_all (fun _ t -> Term.is_ground t) s
+let is_ground s = M.for_all (fun v _ -> Term.is_ground (resolve s (Term.Var v))) s
 
-let equal = M.equal Term.equal
+let equal s1 s2 =
+  M.equal Term.equal
+    (M.mapi (fun v _ -> resolve s1 (Term.Var v)) s1)
+    (M.mapi (fun v _ -> resolve s2 (Term.Var v)) s2)
 
 let pp ppf s =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        (fun ppf (v, t) -> Format.fprintf ppf "%s -> %a" v Term.pp t))
-    (M.bindings s)
+    (to_list s)
