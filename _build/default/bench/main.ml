@@ -82,15 +82,16 @@ let itoa = string_of_int
 (* ------------------------------------------------------------------ *)
 (* Shared runners *)
 
-let run_strategy ?(negation = O.Auto) ?(profile = false) strategy program
-    query =
+let run_strategy ?(negation = O.Auto) ?(profile = false)
+    ?(checkpoint = Datalog_engine.Checkpoint.none) strategy program query =
   let options =
     { O.strategy;
       negation;
       sips = Datalog_rewrite.Sips.Left_to_right;
       limits = bench_limits;
       profile;
-      trace = None
+      trace = None;
+      checkpoint
     }
   in
   S.run_exn ~options program query
@@ -657,7 +658,8 @@ let t8 () =
                 sips;
                 limits = bench_limits;
                 profile = false;
-                trace = None
+                trace = None;
+                checkpoint = Datalog_engine.Checkpoint.none
               }
             in
             let report = S.run_exn ~options program query in
@@ -683,6 +685,89 @@ let t8 () =
      equivalence holds per SIP - tested); work differs because the greedy\n\
      order joins through the bound variable first instead of starting\n\
      from an unconstrained literal."
+
+(* ------------------------------------------------------------------ *)
+(* T9: the cost of crash safety - resource governor and checkpointing
+   against an ungoverned run.  The save cadence comes from
+   [--checkpoint-every N] (default 1: save every round). *)
+
+let checkpoint_every = ref 1
+
+let t9_cases () =
+  [ ("anc chain 400, anc(300,X)", W.ancestor_chain 400, "anc(300, X)");
+    ( "same gen 8x12, sg(0,X)",
+      W.same_generation ~layers:8 ~width:12,
+      "sg(0, X)" )
+  ]
+
+(* (base, governed, checkpointed, checkpoint) for one workload/strategy *)
+let checkpoint_overhead strategy program query ~every =
+  let run ?(checkpoint = Datalog_engine.Checkpoint.none) limits =
+    let options =
+      { O.default with O.strategy; limits; profile = false; checkpoint }
+    in
+    S.run_exn ~options program query
+  in
+  let base = run Datalog_engine.Limits.none in
+  let governed = run bench_limits in
+  let path = Filename.temp_file "alexbench" ".ckpt" in
+  let ck = Datalog_engine.Checkpoint.create ~path ~every () in
+  let checkpointed = run ~checkpoint:ck bench_limits in
+  (try Sys.remove path with Sys_error _ -> ());
+  (base, governed, checkpointed, ck)
+
+let t9 () =
+  let every = max 1 !checkpoint_every in
+  let rows =
+    List.concat_map
+      (fun (name, program, q) ->
+        let query = atom q in
+        List.concat_map
+          (fun strategy ->
+            let base, governed, checkpointed, ck =
+              checkpoint_overhead strategy program query ~every
+            in
+            let pct (r : S.report) =
+              Printf.sprintf "%+.1f%%"
+                (100.
+                *. (r.S.wall_time_s -. base.S.wall_time_s)
+                /. Float.max 1e-9 base.S.wall_time_s)
+            in
+            let row config saves (r : S.report) delta =
+              [ name;
+                O.strategy_name strategy;
+                config;
+                itoa (List.length r.S.answers);
+                saves;
+                ms r.S.wall_time_s;
+                delta
+              ]
+            in
+            [ row "ungoverned" "-" base "-";
+              row "governed" "-" governed (pct governed);
+              row
+                (Printf.sprintf "checkpointed/%d" every)
+                (itoa (Datalog_engine.Checkpoint.saves ck))
+                checkpointed (pct checkpointed)
+            ])
+          [ O.Seminaive; O.Alexander; O.Tabled ])
+      (t9_cases ())
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "T9: crash-safety overhead - ungoverned vs governed vs checkpointed \
+          (--checkpoint-every %d)"
+         every)
+    ~header:
+      [ "workload"; "strategy"; "configuration"; "answers"; "saves";
+        "time ms"; "vs ungoverned" ]
+    rows;
+  print_endline
+    "Expectation: the governor costs a bounded-counter check per derivation\n\
+     (a few percent); checkpointing adds one serialized snapshot per\n\
+     [every] completed rounds, so its cost falls as the cadence widens -\n\
+     rerun with --checkpoint-every 4 to see the knob."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel: one timing test per experiment, all in one executable *)
@@ -736,7 +821,8 @@ let bechamel_tests () =
                     sips = Datalog_rewrite.Sips.Greedy_bound;
                     limits = bench_limits;
                     profile = false;
-                    trace = None
+                    trace = None;
+                    checkpoint = Datalog_engine.Checkpoint.none
                   }
                 sg (atom "sg(0, X)"))));
     Test.make ~name:"F4/dom-guarded"
@@ -816,11 +902,47 @@ let json_baseline out =
           ])
       (json_workloads ())
   in
+  (* governed-vs-checkpointed wall-time deltas, so perf PRs can watch the
+     crash-safety overhead as well as the join work *)
+  let every = max 1 !checkpoint_every in
+  let checkpointing =
+    List.concat_map
+      (fun (name, program, q) ->
+        let query = atom q in
+        List.map
+          (fun strategy ->
+            let base, governed, checkpointed, ck =
+              checkpoint_overhead strategy program query ~every
+            in
+            J.Obj
+              [ ("workload", J.String name);
+                ("strategy", J.String (O.strategy_name strategy));
+                ("checkpoint_every", J.Int every);
+                ("saves", J.Int (Datalog_engine.Checkpoint.saves ck));
+                ("ungoverned_wall_s", J.Float base.S.wall_time_s);
+                ("governed_wall_s", J.Float governed.S.wall_time_s);
+                ("checkpointed_wall_s", J.Float checkpointed.S.wall_time_s);
+                ( "governed_delta_s",
+                  J.Float (governed.S.wall_time_s -. base.S.wall_time_s) );
+                ( "checkpointed_delta_s",
+                  J.Float (checkpointed.S.wall_time_s -. base.S.wall_time_s) )
+              ])
+          [ O.Seminaive; O.Alexander; O.Tabled ])
+      (List.map
+         (fun (n, p, q) ->
+           (String.map (fun c -> if c = ' ' then '_' else c) n, p, q))
+         [ ("anc_chain_400", W.ancestor_chain 400, "anc(300, X)");
+           ( "same_generation_8x12",
+             W.same_generation ~layers:8 ~width:12,
+             "sg(0, X)" )
+         ])
+  in
   let doc =
     J.Obj
       [ ("schema_version", J.Int 1);
         ("suite", J.String "alexander-bench-baseline");
-        ("workloads", J.List workloads)
+        ("workloads", J.List workloads);
+        ("checkpointing", J.List checkpointing)
       ]
   in
   Out_channel.with_open_text out (fun oc -> J.to_channel oc doc);
@@ -832,7 +954,8 @@ let json_baseline out =
 
 let experiments =
   [ ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5); ("T6", t6);
-    ("T7", t7); ("T8", t8); ("F1", f1); ("F2", f2); ("F3", f3); ("F4", f4)
+    ("T7", t7); ("T8", t8); ("T9", t9); ("F1", f1); ("F2", f2); ("F3", f3);
+    ("F4", f4)
   ]
 
 let () =
@@ -847,6 +970,11 @@ let () =
       extract_opts acc rest
     | "--json-out" :: path :: rest ->
       json_out := path;
+      extract_opts acc rest
+    | "--checkpoint-every" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> checkpoint_every := n
+      | _ -> prerr_endline "--checkpoint-every expects a positive integer");
       extract_opts acc rest
     | a :: rest -> extract_opts (a :: acc) rest
   in

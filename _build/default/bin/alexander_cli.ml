@@ -143,6 +143,53 @@ let limits_term =
     const make $ timeout_arg $ max_facts_arg $ max_iterations_arg
     $ max_tuples_arg)
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Save a resumable checkpoint of the evaluation to FILE (written \
+           atomically: FILE always holds the last complete image).  A run \
+           that exhausts its budget leaves a checkpoint behind that \
+           --resume continues")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "With --checkpoint, save every N fixpoint rounds (or tabled \
+           agenda steps); default 1")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume an interrupted evaluation from a checkpoint written by \
+           --checkpoint.  Requires the same program, strategy and (single) \
+           query the checkpoint was taken under")
+
+let snapshot_mode_arg =
+  Arg.(
+    value
+    & vflag Datalog_storage.Snapshot.Strict
+        [ ( Datalog_storage.Snapshot.Strict,
+            info [ "snapshot-strict" ]
+              ~doc:
+                "Fail (exit code 8) when a checkpoint or snapshot is \
+                 corrupt (default)" );
+          ( Datalog_storage.Snapshot.Lenient,
+            info [ "snapshot-lenient" ]
+              ~doc:
+                "Degrade on corruption where resuming stays sound: skip \
+                 corrupt tables, discard a corrupt delta, and fall back to \
+                 evaluating from scratch when the checkpoint is unusable" )
+        ])
+
 let data_arg =
   Arg.(
     value
@@ -220,7 +267,7 @@ let write_stats_json path file runs =
 
 let run_cmd =
   let action file query strategy negation sips stats stats_json trace data
-      limits =
+      limits checkpoint_path checkpoint_every resume_path snapshot_mode =
     match
       Result.bind (read_program file) (fun parsed ->
           Result.map (fun p -> (parsed, p))
@@ -246,6 +293,13 @@ let run_cmd =
         prerr_endline msg;
         1
       | Ok queries ->
+        let checkpoint =
+          match checkpoint_path with
+          | None -> Datalog_engine.Checkpoint.none
+          | Some path ->
+            Datalog_engine.Checkpoint.create ~path
+              ~every:(max 1 checkpoint_every) ()
+        in
         let options =
           { O.strategy;
             negation;
@@ -255,42 +309,80 @@ let run_cmd =
             trace =
               (if trace then
                  Some (fun line -> Printf.eprintf "%% trace: %s\n%!" line)
-               else None)
+               else None);
+            checkpoint
           }
         in
-        let json_runs = ref [] in
-        (* the first abnormal condition decides the exit code: 1 for
-           errors, 3-7 for the exhaustion reasons (see Errors) *)
-        let code =
-          List.fold_left
-            (fun code query ->
-              Format.printf "?- %a.@." Atom.pp query;
-              match S.run ~options program query with
-              | Ok report ->
-                print_report query report ~stats;
-                if Option.is_some stats_json then
-                  json_runs := S.report_json ~query report :: !json_runs;
-                let this =
-                  match report.S.status with
-                  | Datalog_engine.Limits.Complete -> 0
-                  | Datalog_engine.Limits.Exhausted reason ->
-                    Alexander.Errors.exhaustion_exit_code reason
-                in
-                if code <> 0 then code else this
-              | Error e ->
-                prerr_endline (Alexander.Errors.message e);
-                if code <> 0 then code else Alexander.Errors.exit_code e)
-            0 queries
+        (* resume applies to a single query: a checkpoint records one
+           evaluation, and its context check would reject any other *)
+        let resume =
+          match resume_path with
+          | None -> Ok None
+          | Some _ when List.length queries <> 1 ->
+            prerr_endline "--resume requires exactly one query";
+            Error 1
+          | Some path -> (
+            match
+              Datalog_engine.Checkpoint.load ~mode:snapshot_mode path
+            with
+            | Ok (r, warnings) ->
+              List.iter
+                (fun w ->
+                  Printf.eprintf "%% warning: %s\n%!"
+                    (Datalog_storage.Snapshot.describe_warning w))
+                warnings;
+              Ok (Some r)
+            | Error c -> (
+              let msg = Datalog_storage.Snapshot.describe_corruption c in
+              match snapshot_mode with
+              | Datalog_storage.Snapshot.Strict ->
+                Printf.eprintf "corrupt checkpoint %s: %s\n%!" path msg;
+                Error Alexander.Errors.corrupt_snapshot_exit_code
+              | Datalog_storage.Snapshot.Lenient ->
+                Printf.eprintf
+                  "%% warning: unusable checkpoint %s (%s); evaluating \
+                   from scratch\n\
+                   %!"
+                  path msg;
+                Ok None))
         in
-        Option.iter (fun path -> write_stats_json path file !json_runs)
-          stats_json;
-        code)
+        (match resume with
+        | Error code -> code
+        | Ok resume_from ->
+          let json_runs = ref [] in
+          (* the first abnormal condition decides the exit code: 1 for
+             errors, 3-7 for the exhaustion reasons (see Errors) *)
+          let code =
+            List.fold_left
+              (fun code query ->
+                Format.printf "?- %a.@." Atom.pp query;
+                match S.run ~options ?resume_from program query with
+                | Ok report ->
+                  print_report query report ~stats;
+                  if Option.is_some stats_json then
+                    json_runs := S.report_json ~query report :: !json_runs;
+                  let this =
+                    match report.S.status with
+                    | Datalog_engine.Limits.Complete -> 0
+                    | Datalog_engine.Limits.Exhausted reason ->
+                      Alexander.Errors.exhaustion_exit_code reason
+                  in
+                  if code <> 0 then code else this
+                | Error e ->
+                  prerr_endline (Alexander.Errors.message e);
+                  if code <> 0 then code else Alexander.Errors.exit_code e)
+              0 queries
+          in
+          Option.iter (fun path -> write_stats_json path file !json_runs)
+            stats_json;
+          code))
   in
   let term =
     Term.(
       const action $ file_arg $ query_arg $ strategy_arg $ negation_arg
       $ sips_arg $ stats_arg $ stats_json_arg $ trace_arg $ data_arg
-      $ limits_term)
+      $ limits_term $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+      $ snapshot_mode_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate queries against a program") term
 
@@ -472,7 +564,15 @@ let repl_cmd =
     | Ok program ->
       let program = ref program in
       let options =
-        ref { O.strategy; negation; sips; limits; profile = false; trace = None }
+        ref
+          { O.strategy;
+            negation;
+            sips;
+            limits;
+            profile = false;
+            trace = None;
+            checkpoint = Datalog_engine.Checkpoint.none
+          }
       in
       let stats = ref stats in
       print_endline

@@ -33,3 +33,7 @@ val exhaustion_exit_code : Datalog_engine.Limits.reason -> int
 (** Distinct CLI exit codes for graceful degradation: timeout [3],
     max-facts [4], max-iterations [5], max-tuples [6], cancelled [7]
     ([2] is reserved by the CLI parser for usage errors). *)
+
+val corrupt_snapshot_exit_code : int
+(** CLI exit code [8]: a checkpoint or snapshot failed its integrity
+    checks under [--snapshot-strict] (the default). *)

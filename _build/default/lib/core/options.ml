@@ -20,6 +20,7 @@ type t = {
   limits : Datalog_engine.Limits.t;
   profile : bool;
   trace : (string -> unit) option;
+  checkpoint : Datalog_engine.Checkpoint.t;
 }
 
 let default =
@@ -28,7 +29,8 @@ let default =
     negation = Auto;
     limits = Datalog_engine.Limits.none;
     profile = false;
-    trace = None
+    trace = None;
+    checkpoint = Datalog_engine.Checkpoint.none
   }
 
 let strategy_name = function

@@ -36,11 +36,17 @@ type t = {
   trace : (string -> unit) option;
       (** per-round derivation trace sink (one line per fixpoint round /
           stratum / alternation); [Some _] implies profiling *)
+  checkpoint : Datalog_engine.Checkpoint.t;
+      (** checkpointed evaluation ({!Datalog_engine.Checkpoint});
+          {!Datalog_engine.Checkpoint.none} (the default) saves nothing
+          and adds no overhead.  Honored by the fixpoint-based strategies
+          and the tabled engine; the conditional and well-founded
+          evaluators do not checkpoint. *)
 }
 
 val default : t
 (** [Alexander] strategy, left-to-right SIP, [Auto] negation, no limits,
-    no profiling, no trace. *)
+    no profiling, no trace, no checkpoint. *)
 
 val strategy_name : strategy -> string
 val strategy_of_string : string -> strategy option

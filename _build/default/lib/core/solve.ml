@@ -66,13 +66,24 @@ let check_safety program =
 
 (* Evaluate [program] (rules + facts) under the requested negation
    semantics; answers are read from [answer_pred]/[pattern]. *)
-let evaluate options profile program answer_pred pattern =
+let evaluate ?resume_from options profile program answer_pred pattern =
   let limits = options.Options.limits in
+  let checkpoint = options.Options.checkpoint in
+  let no_resume evaluator =
+    match resume_from with
+    | None -> Ok ()
+    | Some _ ->
+      Error
+        (Errors.Evaluation
+           (Printf.sprintf "resume is not supported for the %s evaluator"
+              evaluator))
+  in
   let stratified_eval ~use_naive () =
     let* outcome =
       Result.map_error
         (fun msg -> Errors.Not_stratified msg)
-        (Stratified.run ~limits ~profile ~use_naive program)
+        (Stratified.run ~limits ~profile ~checkpoint ?resume_from ~use_naive
+           program)
     in
     Ok
       ( outcome.Stratified.db,
@@ -82,6 +93,7 @@ let evaluate options profile program answer_pred pattern =
         outcome.Stratified.status )
   in
   let conditional_eval () =
+    let* () = no_resume "conditional" in
     let outcome = Conditional.run ~limits ~profile program in
     Ok
       ( outcome.Conditional.true_db,
@@ -91,6 +103,7 @@ let evaluate options profile program answer_pred pattern =
         outcome.Conditional.status )
   in
   let wellfounded_eval () =
+    let* () = no_resume "wellfounded" in
     let outcome = Wellfounded.run ~limits ~profile program in
     Ok
       ( outcome.Wellfounded.true_db,
@@ -114,7 +127,7 @@ let evaluate options profile program answer_pred pattern =
   let undefined = matching_atoms undefined_atoms pattern in
   Ok (db, counters, answers, undefined, evaluator, status)
 
-let run ?(options = Options.default) program query =
+let run_uncaught ~options ?resume_from program query =
   let start = Unix.gettimeofday () in
   let profile = profile_of_options options in
   let finish rewritten (db, counters, answers, undefined, evaluator, status) =
@@ -130,7 +143,22 @@ let run ?(options = Options.default) program query =
       wall_time_s = Unix.gettimeofday () -. start
     }
   in
+  let strategy_name = Options.strategy_name options.Options.strategy in
+  let query_str = Format.asprintf "%a" Atom.pp query in
+  Checkpoint.set_context options.Options.checkpoint ~strategy:strategy_name
+    ~query:query_str;
   let* () = check_safety program in
+  (* a checkpoint only makes sense continued under the evaluation that
+     wrote it: same strategy, same query (the program is the caller's
+     responsibility — the rewritten predicates would not line up anyway) *)
+  let* () =
+    match resume_from with
+    | None -> Ok ()
+    | Some r ->
+      Result.map_error
+        (fun msg -> Errors.Evaluation msg)
+        (Checkpoint.verify_context r ~strategy:strategy_name ~query:query_str)
+  in
   let qpred = Atom.pred query in
   if not (Pred.Set.mem qpred (Program.preds program)) then
     (* unknown predicate: the query has no matching facts at all *)
@@ -148,13 +176,15 @@ let run ?(options = Options.default) program query =
   else
     match options.Options.strategy with
     | Options.Naive | Options.Seminaive ->
-      let* result = evaluate options profile program qpred query in
+      let* result = evaluate ?resume_from options profile program qpred query in
       Ok (finish None result)
     | Options.Tabled ->
       let* outcome =
         Result.map_error
           (fun msg -> Errors.Evaluation msg)
-          (Tabled.run ~limits:options.Options.limits ~profile program query)
+          (Tabled.run ~limits:options.Options.limits ~profile
+             ~checkpoint:options.Options.checkpoint ?resume_from program
+             query)
       in
       (* expose the tables as a database, alongside the EDB *)
       let db = Database.of_facts (Program.facts program) in
@@ -200,10 +230,19 @@ let run ?(options = Options.default) program query =
             rw.Rewritten.rules
         in
         let* result =
-          evaluate options profile full (Rewritten.answer_pred rw)
-            rw.Rewritten.answer_atom
+          evaluate ?resume_from options profile full
+            (Rewritten.answer_pred rw) rw.Rewritten.answer_atom
         in
         Ok (finish (Some rw) result))
+
+(* A failed checkpoint save surfaces as a typed error; a simulated kill
+   (Faults.Crashed) deliberately propagates — it stands for process
+   death, and only the fault-injection harness catches it. *)
+let run ?(options = Options.default) ?resume_from program query =
+  match run_uncaught ~options ?resume_from program query with
+  | r -> r
+  | exception Checkpoint.Save_error msg ->
+    Error (Errors.Evaluation ("checkpoint save failed: " ^ msg))
 
 (* group queries by (predicate, binding pattern) so one rewriting serves
    the whole group through multiple seed facts *)
@@ -217,7 +256,7 @@ let binding_key query =
   in
   (Pred.name (Atom.pred query), Pred.arity (Atom.pred query), pattern)
 
-let run_many ?(options = Options.default) program queries =
+let run_many_uncaught ~options program queries =
   match options.Options.strategy with
   | Options.Naive | Options.Seminaive | Options.Tabled ->
     (* a single full evaluation answers everything *)
@@ -324,6 +363,12 @@ let run_many ?(options = Options.default) program queries =
                | Some r -> r
                | None -> (query, []))
              queries)))
+
+let run_many ?(options = Options.default) program queries =
+  match run_many_uncaught ~options program queries with
+  | r -> r
+  | exception Checkpoint.Save_error msg ->
+    Error (Errors.Evaluation ("checkpoint save failed: " ^ msg))
 
 let run_exn ?options program query =
   match run ?options program query with

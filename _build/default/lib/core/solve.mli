@@ -46,12 +46,24 @@ val incomplete : report -> bool
     and the answers may be missing tuples. *)
 
 val run :
-  ?options:Options.t -> Program.t -> Atom.t -> (report, Errors.t) result
+  ?options:Options.t ->
+  ?resume_from:Datalog_engine.Checkpoint.resume ->
+  Program.t ->
+  Atom.t ->
+  (report, Errors.t) result
 (** Evaluate a query.  Validation errors (range restriction), stratification
     errors under [Stratified_only], and unbound negated calls under a
     magic-family strategy are reported as [Error].  Budget exhaustion is
     {e not} an error: the report comes back [Ok] with
-    [status = Exhausted _] and whatever answers were derived. *)
+    [status = Exhausted _] and whatever answers were derived.
+
+    [resume_from] continues a loaded checkpoint
+    ({!Datalog_engine.Checkpoint.load}); the strategy and query must match
+    the ones the checkpoint was taken under (the caller supplies the same
+    program), and the conditional / well-founded evaluators do not
+    support it — both are [Error] otherwise.  A failed checkpoint save
+    during evaluation ([options.checkpoint]) is reported as
+    [Error (Evaluation _)]. *)
 
 val run_exn : ?options:Options.t -> Program.t -> Atom.t -> report
 (** @raise Failure with {!Errors.message} on [Error].  The only

@@ -1,0 +1,1 @@
+lib/engine/checkpoint.ml: Counters Database Datalog_ast Datalog_storage Faults List Option Pred Printf Result Snapshot String Tuple Value

@@ -1,0 +1,1 @@
+lib/engine/checkpoint.mli: Counters Database Datalog_ast Datalog_storage Pred Snapshot Tuple Value

@@ -1,1 +1,1 @@
-lib/engine/fixpoint.ml: Atom Counters Database Datalog_ast Datalog_storage Eval Limits List Literal Pred Profile Rule
+lib/engine/fixpoint.ml: Atom Checkpoint Counters Database Datalog_ast Datalog_storage Eval Limits List Literal Pred Profile Rule

@@ -1,1 +1,1 @@
-lib/engine/fixpoint.mli: Atom Counters Database Datalog_ast Datalog_storage Limits Pred Profile Rule
+lib/engine/fixpoint.mli: Atom Checkpoint Counters Database Datalog_ast Datalog_storage Limits Pred Profile Rule

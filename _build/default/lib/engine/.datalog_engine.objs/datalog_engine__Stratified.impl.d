@@ -1,1 +1,1 @@
-lib/engine/stratified.ml: Array Counters Database Datalog_analysis Datalog_ast Datalog_storage Eval Fixpoint Format Limits List Option Pred Profile Program Stratify
+lib/engine/stratified.ml: Array Checkpoint Counters Database Datalog_analysis Datalog_ast Datalog_storage Eval Fixpoint Format Limits List Option Pred Profile Program Stratify

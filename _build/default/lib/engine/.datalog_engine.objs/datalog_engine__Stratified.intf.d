@@ -1,1 +1,1 @@
-lib/engine/stratified.mli: Counters Database Datalog_ast Datalog_storage Limits Profile Program
+lib/engine/stratified.mli: Checkpoint Counters Database Datalog_ast Datalog_storage Limits Profile Program

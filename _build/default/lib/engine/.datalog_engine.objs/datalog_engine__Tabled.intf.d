@@ -1,1 +1,1 @@
-lib/engine/tabled.mli: Atom Counters Database Datalog_ast Datalog_storage Limits Pred Profile Program Tuple Value
+lib/engine/tabled.mli: Atom Checkpoint Counters Database Datalog_ast Datalog_storage Limits Pred Profile Program Tuple Value

@@ -1,0 +1,131 @@
+(** Checkpointed, resumable fixpoints.
+
+    A checkpoint is a {!Datalog_storage.Snapshot} holding everything an
+    engine needs to continue an interrupted evaluation: the database (or
+    the call tables, for the tabled engine), the current delta, the
+    stratum, the counters, and enough context (strategy, query) to refuse
+    a resume under a different evaluation.
+
+    Like {!Limits} and {!Profile}, the module follows the inactive-
+    sentinel pattern: {!none} is a preallocated inactive value, every
+    engine hook starts with one field test, and an engine run with
+    [checkpoint = none] pays nothing.
+
+    When a checkpoint {e is} active, the engines call {!on_round} /
+    {!on_step} at clean iteration boundaries (every [every]-th fires a
+    save) and {!on_interrupt} / {!on_interrupt_tables} when a budget runs
+    out mid-evaluation, so an [Exhausted _] run always leaves a resumable
+    image behind.  Saves are atomic (see {!Datalog_storage.Snapshot}): a
+    crash during a save leaves the previous checkpoint intact.
+
+    Resume correctness, per engine:
+    - {e naive}: rounds re-evaluate everything, so restarting the loop on
+      the saved database is trivially equivalent.
+    - {e semi-naive}: at a round boundary the saved delta is exactly the
+      facts the next round must join through, so the loop warm-starts.
+      On a mid-round interrupt the saved delta is the union of the round's
+      input delta and the partial output delta — the interrupted round is
+      redone in full (soundly: derivation is monotone and [db] already
+      holds the partial output).  An interrupt during the very first
+      (full) round saves no delta at all, forcing a full restart: not
+      every rule has run yet, so no delta is trustworthy.
+    - {e stratified}: the saved stratum's lower strata are complete (the
+      invariant of stratified evaluation), so resume skips them and
+      warm-starts the saved stratum.
+    - {e tabled}: tables are monotone, so resume reinstalls them and
+      re-schedules every call; saturation then completes exactly the
+      answers of an uninterrupted run. *)
+
+open Datalog_ast
+open Datalog_storage
+
+type t
+
+exception Save_error of string
+(** A checkpoint save failed (I/O).  Raised out of the engine hooks;
+    {!Datalog_core.Solve} translates it into a typed error.  A simulated
+    kill ({!Faults.Crashed}) is {e not} wrapped — it propagates. *)
+
+val none : t
+(** The inactive checkpoint: every hook is a single field test. *)
+
+val create :
+  path:string -> ?every:int -> ?kill_after_save:int -> unit -> t
+(** A checkpoint writing to [path] every [every] completed rounds
+    (default 1).  [kill_after_save n] simulates a process kill
+    (raises {!Faults.Crashed}) immediately after the [n]-th save
+    completes — the fault-injection suites use it to interrupt an
+    evaluation at an arbitrary round with a valid checkpoint on disk. *)
+
+val is_active : t -> bool
+val path : t -> string
+
+val saves : t -> int
+(** Snapshots written since {!create}. *)
+
+(** {1 Context} — stamped into the checkpoint and verified on resume *)
+
+val set_context : t -> strategy:string -> query:string -> unit
+val set_evaluator : t -> string -> unit
+val set_stratum : t -> int -> unit
+val set_counters : t -> Counters.t -> unit
+(** The live counters to serialize with each save. *)
+
+(** {1 Engine hooks} *)
+
+val on_round : t -> db:Database.t -> delta:Database.t option -> unit
+(** A fixpoint round completed: [db] is the state after the round,
+    [delta] the facts it produced ([None] for the naive engine, which
+    needs no delta).  Saves when the round cadence is due.
+    @raise Save_error on I/O failure. *)
+
+val on_interrupt : t -> db:Database.t -> delta:Database.t option -> unit
+(** The budget ran out: save unconditionally.  [delta = None] means the
+    resume must restart the current fixpoint from [db]. *)
+
+type table = Pred.t * (int * Value.t) list * Tuple.t list
+(** A tabled call — predicate, bound argument positions, answers — in a
+    shape that keeps this module independent of {!Tabled}'s internals. *)
+
+val on_step : t -> db:Database.t -> tables:(unit -> table list) -> unit
+(** One tabled agenda step completed.  [tables] is consulted only when a
+    save is due (dumping every table per step would be quadratic). *)
+
+val on_interrupt_tables :
+  t -> db:Database.t -> tables:(unit -> table list) -> unit
+
+(** {1 Resume} *)
+
+type resume = {
+  r_strategy : string;
+  r_query : string;
+  r_evaluator : string;
+  r_stratum : int;
+  r_rounds : int;  (** completed rounds at save time (cadence continuity) *)
+  r_counters : int * int * int * int * int;
+      (** facts_derived, firings, probes, scanned, iterations *)
+  r_db : Database.t;
+  r_delta : Database.t option;
+  r_tables : table list;
+}
+
+val load :
+  ?mode:Snapshot.mode ->
+  string ->
+  (resume * Snapshot.warning list, Snapshot.corruption) result
+(** Read a checkpoint back.  Under {!Snapshot.Lenient}, corruption
+    degrades only where resuming stays sound: a corrupt delta section
+    discards the whole delta (forcing a full-round restart) and a corrupt
+    table section drops that table (it is re-derived); a corrupt
+    database section still fails the load — under stratified negation a
+    silently incomplete relation would make resumed answers wrong, not
+    just late. *)
+
+val restore_counters : resume -> Counters.t -> unit
+
+val resume_rounds : t -> resume -> unit
+(** Continue the save cadence from the resumed round count. *)
+
+val verify_context :
+  resume -> strategy:string -> query:string -> (unit, string) result
+(** Refuse to resume under a different strategy or query. *)

@@ -1,28 +1,36 @@
 open Datalog_ast
 open Datalog_storage
 
-let naive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none) ~db ~neg
-    rules =
+let naive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
+    ?(ckpt = Checkpoint.none) ~db ~neg rules =
   let changed = ref true in
   while !changed do
     changed := false;
-    cnt.Counters.iterations <- cnt.Counters.iterations + 1;
-    Limits.check_round guard;
-    Profile.with_round profile cnt (fun () ->
-        List.iter
-          (fun rule ->
-            Profile.with_rule profile cnt rule (fun () ->
-                Eval.apply_rule cnt ~guard ~profile
-                  ~rel_of:(Eval.db_rel_of db) ~neg rule (fun pred tuple ->
-                    if Database.add db pred tuple then begin
-                      cnt.Counters.facts_derived <-
-                        cnt.Counters.facts_derived + 1;
-                      Profile.derived profile pred;
-                      if Limits.is_active guard then
-                        Limits.check_relation guard (Database.rel db pred);
-                      changed := true
-                    end)))
-          rules)
+    match
+      cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+      Limits.check_round guard;
+      Profile.with_round profile cnt (fun () ->
+          List.iter
+            (fun rule ->
+              Profile.with_rule profile cnt rule (fun () ->
+                  Eval.apply_rule cnt ~guard ~profile
+                    ~rel_of:(Eval.db_rel_of db) ~neg rule (fun pred tuple ->
+                      if Database.add db pred tuple then begin
+                        cnt.Counters.facts_derived <-
+                          cnt.Counters.facts_derived + 1;
+                        Profile.derived profile pred;
+                        if Limits.is_active guard then
+                          Limits.check_relation guard (Database.rel db pred);
+                        changed := true
+                      end)))
+            rules)
+    with
+    | () -> Checkpoint.on_round ckpt ~db ~delta:None
+    | exception (Limits.Out_of_budget _ as e) ->
+      (* naive rounds re-evaluate everything, so the saved database alone
+         is a resumable state *)
+      Checkpoint.on_interrupt ckpt ~db ~delta:None;
+      raise e
   done
 
 let head_preds rules =
@@ -38,31 +46,45 @@ let delta_positions recursive rule =
          | Literal.Pos a when Pred.Set.mem (Atom.pred a) recursive -> Some i
          | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> None)
 
-let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none) ~db
-    ~neg ?recursive rules =
+let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
+    ?(ckpt = Checkpoint.none) ?initial_delta ~db ~neg ?recursive rules =
   let recursive =
     match recursive with Some s -> s | None -> head_preds rules
   in
   let fresh_delta () : Database.t = Database.create () in
-  (* First round: full evaluation, recording the new tuples as the delta. *)
   let delta = ref (fresh_delta ()) in
-  cnt.Counters.iterations <- cnt.Counters.iterations + 1;
-  Limits.check_round guard;
-  Profile.with_round profile cnt (fun () ->
-      List.iter
-        (fun rule ->
-          Profile.with_rule profile cnt rule (fun () ->
-              Eval.apply_rule cnt ~guard ~profile ~rel_of:(Eval.db_rel_of db)
-                ~neg rule (fun pred tuple ->
-                  if Database.add db pred tuple then begin
-                    cnt.Counters.facts_derived <-
-                      cnt.Counters.facts_derived + 1;
-                    Profile.derived profile pred;
-                    if Limits.is_active guard then
-                      Limits.check_relation guard (Database.rel db pred);
-                    ignore (Database.add !delta pred tuple)
-                  end)))
-        rules);
+  (match initial_delta with
+  | Some d ->
+    (* warm start (resume): [db] is the state after some completed round
+       and [d] the facts that round produced — skip the full first round *)
+    delta := d
+  | None -> (
+    (* First round: full evaluation, recording the new tuples as the delta. *)
+    match
+      cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+      Limits.check_round guard;
+      Profile.with_round profile cnt (fun () ->
+          List.iter
+            (fun rule ->
+              Profile.with_rule profile cnt rule (fun () ->
+                  Eval.apply_rule cnt ~guard ~profile
+                    ~rel_of:(Eval.db_rel_of db) ~neg rule (fun pred tuple ->
+                      if Database.add db pred tuple then begin
+                        cnt.Counters.facts_derived <-
+                          cnt.Counters.facts_derived + 1;
+                        Profile.derived profile pred;
+                        if Limits.is_active guard then
+                          Limits.check_relation guard (Database.rel db pred);
+                        ignore (Database.add !delta pred tuple)
+                      end)))
+            rules)
+    with
+    | () -> Checkpoint.on_round ckpt ~db ~delta:(Some !delta)
+    | exception (Limits.Out_of_budget _ as e) ->
+      (* not every rule has run against the full database yet, so no
+         delta is trustworthy: force the resume to redo this round *)
+      Checkpoint.on_interrupt ckpt ~db ~delta:None;
+      raise e));
   let delta_rules =
     List.filter_map
       (fun rule ->
@@ -72,32 +94,47 @@ let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none) ~db
       rules
   in
   while Database.total_facts !delta > 0 do
-    cnt.Counters.iterations <- cnt.Counters.iterations + 1;
-    Limits.check_round guard;
-    let next = fresh_delta () in
     let current = !delta in
-    Profile.with_round profile cnt (fun () ->
-        List.iter
-          (fun (rule, positions) ->
-            Profile.with_rule profile cnt rule (fun () ->
-                List.iter
-                  (fun delta_pos ->
-                    let rel_of i pred =
-                      if i = delta_pos then Database.find current pred
-                      else Database.find db pred
-                    in
-                    Eval.apply_rule cnt ~guard ~profile ~rel_of ~neg rule
-                      (fun pred tuple ->
-                        if Database.add db pred tuple then begin
-                          cnt.Counters.facts_derived <-
-                            cnt.Counters.facts_derived + 1;
-                          Profile.derived profile pred;
-                          if Limits.is_active guard then
-                            Limits.check_relation guard
-                              (Database.rel db pred);
-                          ignore (Database.add next pred tuple)
-                        end))
-                  positions))
-          delta_rules);
-    delta := next
+    let next = fresh_delta () in
+    (match
+       cnt.Counters.iterations <- cnt.Counters.iterations + 1;
+       Limits.check_round guard;
+       Profile.with_round profile cnt (fun () ->
+           List.iter
+             (fun (rule, positions) ->
+               Profile.with_rule profile cnt rule (fun () ->
+                   List.iter
+                     (fun delta_pos ->
+                       let rel_of i pred =
+                         if i = delta_pos then Database.find current pred
+                         else Database.find db pred
+                       in
+                       Eval.apply_rule cnt ~guard ~profile ~rel_of ~neg rule
+                         (fun pred tuple ->
+                           if Database.add db pred tuple then begin
+                             cnt.Counters.facts_derived <-
+                               cnt.Counters.facts_derived + 1;
+                             Profile.derived profile pred;
+                             if Limits.is_active guard then
+                               Limits.check_relation guard
+                                 (Database.rel db pred);
+                             ignore (Database.add next pred tuple)
+                           end))
+                     positions))
+             delta_rules)
+     with
+    | () -> ()
+    | exception (Limits.Out_of_budget _ as e) ->
+      (* mid-round interrupt: the resumable delta is the round's input
+         union its partial output — the interrupted round is then redone
+         in full (soundly: derivation is monotone, and [db] already holds
+         the partial output, so nothing is derived twice) *)
+      if Checkpoint.is_active ckpt then begin
+        let merged = Database.copy current in
+        ignore (Database.union_into ~src:next ~dst:merged);
+        Checkpoint.on_interrupt ckpt ~db ~delta:(Some merged)
+      end;
+      raise e);
+    delta := next;
+    Checkpoint.on_round ckpt ~db ~delta:(Some next)
   done

@@ -12,7 +12,10 @@
     partial outcome.
 
     An active [profile] attributes each round, and each rule's share of
-    the counters, to its rows. *)
+    the counters, to its rows.  An active [ckpt] saves a resumable image
+    at every due round boundary, and unconditionally (just before the
+    exception escapes) on budget exhaustion — see {!Checkpoint} for the
+    resume-correctness argument. *)
 
 open Datalog_ast
 open Datalog_storage
@@ -21,6 +24,7 @@ val naive :
   Counters.t ->
   ?guard:Limits.guard ->
   ?profile:Profile.t ->
+  ?ckpt:Checkpoint.t ->
   db:Database.t ->
   neg:(Atom.t -> bool) ->
   Rule.t list ->
@@ -32,6 +36,8 @@ val seminaive :
   Counters.t ->
   ?guard:Limits.guard ->
   ?profile:Profile.t ->
+  ?ckpt:Checkpoint.t ->
+  ?initial_delta:Database.t ->
   db:Database.t ->
   neg:(Atom.t -> bool) ->
   ?recursive:Pred.Set.t ->
@@ -41,4 +47,9 @@ val seminaive :
     only joins through tuples produced in the previous round.  [recursive]
     names the predicates to drive with deltas; it defaults to the head
     predicates of the given rules.
+
+    [initial_delta] warm-starts the loop at a round boundary: [db] must be
+    the state after some completed round and [initial_delta] the facts
+    that round produced (a resumed checkpoint) — the full first round is
+    then skipped.
     @raise Limits.Out_of_budget when the guard's budget is exhausted. *)

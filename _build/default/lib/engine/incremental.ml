@@ -56,15 +56,33 @@ let propagate cnt guard profile program db delta =
 let exhausted_error reason =
   Error
     (Printf.sprintf
-       "incremental maintenance exhausted its budget (%s); the database is \
-        only partially maintained - recompute from the program"
+       "incremental maintenance exhausted its budget (%s); the database \
+        was rolled back to its pre-call state - raise the budget and retry, \
+        or recompute from the program"
        (Limits.reason_name reason))
+
+(* Exhaustion mid-propagation would leave [db] half-maintained — no
+   longer equal to the recomputed database — so both operations are
+   transactional: back the database up before touching it and reinstall
+   the backup if the budget runs out.  The backup is only taken when the
+   limits can actually fire; the common ungoverned path pays nothing. *)
+let with_rollback limits db f =
+  if Limits.is_none limits then f ()
+  else begin
+    let backup = Database.copy db in
+    match f () with
+    | r -> r
+    | exception Limits.Out_of_budget reason ->
+      Database.assign db ~from:backup;
+      exhausted_error reason
+  end
 
 let add_facts cnt ?(limits = Limits.none) ?(profile = Profile.none) program
     db facts =
   match ensure_positive program with
   | Error _ as e -> e
-  | Ok () -> (
+  | Ok () ->
+    with_rollback limits db @@ fun () ->
     let guard = Limits.guard limits cnt in
     let delta = Database.create () in
     let base_added = ref 0 in
@@ -75,17 +93,16 @@ let add_facts cnt ?(limits = Limits.none) ?(profile = Profile.none) program
           ignore (Database.add_atom delta a)
         end)
       facts;
-    match propagate cnt guard profile program db delta with
-    | derived -> Ok (!base_added + derived)
-    | exception Limits.Out_of_budget reason -> exhausted_error reason)
+    let derived = propagate cnt guard profile program db delta in
+    Ok (!base_added + derived)
 
 let remove_facts cnt ?(limits = Limits.none) ?(profile = Profile.none)
     program db facts =
   match ensure_positive program with
   | Error _ as e -> e
   | Ok () ->
+    with_rollback limits db @@ fun () ->
     let guard = Limits.guard limits cnt in
-    try
     let before = Database.total_facts db in
     (* Base facts of the program (and only the explicitly requested base
        deletions) are protected from over-deletion: the DRed re-derivation
@@ -142,4 +159,3 @@ let remove_facts cnt ?(limits = Limits.none) ?(profile = Profile.none)
       ~neg:(Eval.closed_world_neg db)
       (Program.rules program);
     Ok (before - Database.total_facts db)
-    with Limits.Out_of_budget reason -> exhausted_error reason

@@ -29,8 +29,12 @@ val add_facts :
     program with negation.
 
     [limits] bounds the propagation.  Unlike the query engines, exhaustion
-    here is an [Error]: a half-propagated database no longer equals the
-    recomputed one, so the caller must recompute from the program. *)
+    here is an [Error], and the operation is {e transactional}: the
+    database is rolled back to its pre-call state (a half-propagated
+    database no longer equals the recomputed one), so the caller can
+    simply raise the budget and retry.  The rollback backup is only taken
+    when [limits] is active.  Aliased references to [db]'s relations must
+    be re-fetched after a rolled-back call. *)
 
 val remove_facts :
   Counters.t ->
@@ -43,8 +47,8 @@ val remove_facts :
 (** [remove_facts cnt program db facts] deletes the given extensional
     facts and every derived tuple that no longer has a derivation.
     Returns the number of tuples removed, or [Error] on a program with
-    negation.  [limits] as in {!add_facts} (exhaustion leaves [db]
-    partially maintained and is reported as [Error]).
+    negation.  [limits] as in {!add_facts} (exhaustion rolls [db] back to
+    its pre-call state and is reported as [Error]).
 
     Note: [db] is rebuilt in place (relations are replaced), so aliased
     references to its relations must be re-fetched afterwards. *)

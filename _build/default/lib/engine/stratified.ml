@@ -9,8 +9,9 @@ type outcome = {
   status : Limits.status;
 }
 
-let run ?(limits = Limits.none) ?(profile = Profile.none) ?db
-    ?(use_naive = false) program =
+let run ?(limits = Limits.none) ?(profile = Profile.none)
+    ?(checkpoint = Checkpoint.none) ?resume_from ?db ?(use_naive = false)
+    program =
   match Stratify.stratification program with
   | None ->
     Error
@@ -25,20 +26,42 @@ let run ?(limits = Limits.none) ?(profile = Profile.none) ?db
     in
     List.iter (fun a -> ignore (Database.add_atom db a)) (Program.facts program);
     let counters = Counters.create () in
+    let start_stratum, resume_delta =
+      match resume_from with
+      | None -> (0, None)
+      | Some r ->
+        (* strata below [r_stratum] were complete when the checkpoint was
+           taken (the invariant of stratified evaluation), so resume
+           reinstalls the saved facts, skips those strata entirely, and
+           warm-starts the saved one with its delta *)
+        Checkpoint.restore_counters r counters;
+        ignore (Database.union_into ~src:r.Checkpoint.r_db ~dst:db);
+        Checkpoint.resume_rounds checkpoint r;
+        (r.Checkpoint.r_stratum, r.Checkpoint.r_delta)
+    in
+    Checkpoint.set_counters checkpoint counters;
+    Checkpoint.set_evaluator checkpoint (if use_naive then "naive" else "seminaive");
     let guard = Limits.guard limits counters in
     let neg = Eval.closed_world_neg db in
     let strata_count = Array.length strata.Stratify.groups in
     let status =
       match
-        for s = 0 to strata_count - 1 do
+        for s = start_stratum to strata_count - 1 do
           match Stratify.rules_of_stratum program strata s with
           | [] -> ()
           | rules ->
+            Checkpoint.set_stratum checkpoint s;
+            let initial_delta =
+              if s = start_stratum && not use_naive then resume_delta
+              else None
+            in
             Profile.with_stratum profile counters s (fun () ->
                 if use_naive then
-                  Fixpoint.naive counters ~guard ~profile ~db ~neg rules
+                  Fixpoint.naive counters ~guard ~profile ~ckpt:checkpoint
+                    ~db ~neg rules
                 else
-                  Fixpoint.seminaive counters ~guard ~profile ~db ~neg rules)
+                  Fixpoint.seminaive counters ~guard ~profile
+                    ~ckpt:checkpoint ?initial_delta ~db ~neg rules)
         done
       with
       | () -> Limits.Complete

@@ -19,6 +19,8 @@ type outcome = {
 val run :
   ?limits:Limits.t ->
   ?profile:Profile.t ->
+  ?checkpoint:Checkpoint.t ->
+  ?resume_from:Checkpoint.resume ->
   ?db:Database.t ->
   ?use_naive:bool ->
   Program.t ->
@@ -29,4 +31,10 @@ val run :
     benchmarks).  An active [profile] records per-stratum, per-round and
     per-rule rows (see {!Profile}).  [limits] bounds the evaluation (see {!Limits}); on
     exhaustion the outcome is still [Ok] with [status = Exhausted _].
+
+    An active [checkpoint] saves a resumable image at round boundaries and
+    on exhaustion; [resume_from] continues such an image — completed
+    strata are skipped and the saved stratum warm-starts with its delta
+    (see {!Checkpoint} for the correctness argument).  The caller is
+    responsible for resuming with the same program.
     [Error _] when the program is not stratified. *)

@@ -51,7 +51,20 @@ type state = {
   mutable agenda : call list;
   mutable order : call list;  (* reverse creation order *)
   neg_memo : bool Atom.Tbl.t;  (* shared across nested evaluations *)
+  ckpt : Checkpoint.t;  (* inactive in nested negation states *)
 }
+
+(* Tables in the engine-independent shape {!Checkpoint} serializes; built
+   lazily, only when a save is actually due. *)
+let dump_tables st () =
+  List.rev_map
+    (fun c ->
+      ( c.call_pred,
+        c.bound,
+        match CallTbl.find_opt st.tables c with
+        | None -> []
+        | Some rel -> Relation.to_list rel ))
+    st.order
 
 let schedule st c =
   if not (CallTbl.mem st.dirty c) then begin
@@ -103,7 +116,8 @@ and decide_negation st atom =
         dirty = CallTbl.create 32;
         agenda = [];
         order = [];
-        neg_memo = st.neg_memo
+        neg_memo = st.neg_memo;
+        ckpt = Checkpoint.none
       }
     in
     let c = call_of_atom Subst.empty atom in
@@ -227,6 +241,7 @@ and saturate st =
       st.counters.Counters.iterations <- st.counters.Counters.iterations + 1;
       Limits.check_round st.guard;
       solve_call st c;
+      Checkpoint.on_step st.ckpt ~db:st.edb ~tables:(dump_tables st);
       drain ()
   in
   drain ()
@@ -257,7 +272,8 @@ let collect st root query status =
   in
   { answers; calls; tables; counters = st.counters; status }
 
-let run ?(limits = Limits.none) ?(profile = Profile.none) ?db program query =
+let run ?(limits = Limits.none) ?(profile = Profile.none)
+    ?(checkpoint = Checkpoint.none) ?resume_from ?db program query =
   let has_negation =
     List.exists (fun r -> Rule.negative_body r <> []) (Program.rules program)
   in
@@ -278,9 +294,27 @@ let run ?(limits = Limits.none) ?(profile = Profile.none) ?db program query =
         dirty = CallTbl.create 64;
         agenda = [];
         order = [];
-        neg_memo = Atom.Tbl.create 64
+        neg_memo = Atom.Tbl.create 64;
+        ckpt = checkpoint
       }
     in
+    Checkpoint.set_counters checkpoint counters;
+    Checkpoint.set_evaluator checkpoint "tabled";
+    (match resume_from with
+    | None -> ()
+    | Some r ->
+      (* tables are monotone, so reinstalling them and re-scheduling every
+         call (ensure_call marks each dirty) saturates to exactly the
+         answers of an uninterrupted run *)
+      Checkpoint.restore_counters r counters;
+      ignore (Database.union_into ~src:r.Checkpoint.r_db ~dst:edb);
+      Checkpoint.resume_rounds checkpoint r;
+      List.iter
+        (fun (pred, bound, tuples) ->
+          let c = { call_pred = pred; bound } in
+          let rel = ensure_call st c in
+          List.iter (fun t -> ignore (Relation.insert rel t)) tuples)
+        r.Checkpoint.r_tables);
     let root = call_of_atom Subst.empty query in
     let qpred = Atom.pred query in
     if not (Program.is_idb program qpred) then begin
@@ -312,6 +346,8 @@ let run ?(limits = Limits.none) ?(profile = Profile.none) ?db program query =
       | exception Limits.Out_of_budget reason ->
         (* tables are monotone, so everything accumulated so far is a
            sound partial answer set *)
+        Checkpoint.on_interrupt_tables st.ckpt ~db:st.edb
+          ~tables:(dump_tables st);
         Ok (collect st root query (Limits.Exhausted reason))
       | exception Eval.Unsafe_rule msg -> Error msg
   end

@@ -42,6 +42,8 @@ type outcome = {
 val run :
   ?limits:Limits.t ->
   ?profile:Profile.t ->
+  ?checkpoint:Checkpoint.t ->
+  ?resume_from:Checkpoint.resume ->
   ?db:Database.t ->
   Program.t ->
   Atom.t ->
@@ -52,7 +54,12 @@ val run :
     engine an {e iteration} is one agenda step (a call being re-solved),
     not a fixpoint round.  An active [profile] keys rule rows on the
     source rules (aggregating across calls and nested negation runs);
-    there are no round or stratum rows — tabling has no global rounds. *)
+    there are no round or stratum rows — tabling has no global rounds.
+
+    An active [checkpoint] saves the call tables every due agenda step
+    and on exhaustion (nested negation evaluations are not checkpointed);
+    [resume_from] reinstalls saved tables and re-schedules every call,
+    which re-saturates to exactly the uninterrupted run's answers. *)
 
 val calls_for : outcome -> Pred.t -> string -> int
 (** Number of distinct tabled calls to a predicate under a given

@@ -1,0 +1,1 @@
+lib/storage/crc32.ml: Array Char Int32 Lazy Printf String

@@ -1,0 +1,1 @@
+lib/storage/faults.ml: Fun Int64 List Option Out_channel Printf String Sys Unix

@@ -1,1 +1,1 @@
-lib/storage/io.ml: Array Atom Database Datalog_ast Filename In_channel List Out_channel Pred Printf String Symbol Sys Value
+lib/storage/io.ml: Array Atom Buffer Database Datalog_ast Faults Filename In_channel List Pred Printf Result Snapshot String Symbol Sys Value

@@ -1,0 +1,1 @@
+lib/storage/snapshot.ml: Array Buffer Crc32 Database Datalog_ast Faults Format Fun Hashtbl In_channel List Out_channel Pred Printf Result String Symbol Sys Tuple Unix Value

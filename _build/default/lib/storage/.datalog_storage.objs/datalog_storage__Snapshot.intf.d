@@ -1,0 +1,1 @@
+lib/storage/snapshot.mli: Database Datalog_ast Format Tuple Value

@@ -1,0 +1,37 @@
+type t = int32
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  let table = Lazy.force table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let empty = 0l
+
+let string s = update empty s ~pos:0 ~len:(String.length s)
+
+let to_hex c = Printf.sprintf "%08lx" c
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match Int32.of_string_opt ("0x" ^ s) with
+    | Some _ as v -> v
+    | None -> None

@@ -1,0 +1,151 @@
+type op = Write | Fsync | Rename | Mkdir
+
+type action =
+  | Proceed
+  | Io_error of string
+  | Short_write of float
+  | Crash
+
+exception Crashed of string
+
+type plan = {
+  label : string;
+  decide : index:int -> op -> action;
+}
+
+let op_name = function
+  | Write -> "write"
+  | Fsync -> "fsync"
+  | Rename -> "rename"
+  | Mkdir -> "mkdir"
+
+let armed : plan option ref = ref None
+let counter = ref 0
+let log : string list ref = ref []
+
+let arm plan =
+  armed := Some plan;
+  counter := 0;
+  log := []
+
+let disarm () = armed := None
+
+let active () = Option.is_some !armed
+
+let with_plan plan f =
+  arm plan;
+  Fun.protect ~finally:disarm f
+
+let events () = List.rev !log
+
+let record index op action =
+  let line =
+    match action with
+    | Proceed -> assert false
+    | Io_error msg -> Printf.sprintf "#%d %s: io-error %s" index (op_name op) msg
+    | Short_write f -> Printf.sprintf "#%d %s: short-write %.2f" index (op_name op) f
+    | Crash -> Printf.sprintf "#%d %s: crash" index (op_name op)
+  in
+  log := line :: !log
+
+let consult op =
+  match !armed with
+  | None -> Proceed
+  | Some plan ->
+    let index = !counter in
+    incr counter;
+    let action = plan.decide ~index op in
+    (match action with Proceed -> () | a -> record index op a);
+    action
+
+let crashed op =
+  raise (Crashed (Printf.sprintf "simulated kill during %s" (op_name op)))
+
+(* ---------------------------------------------------------------- *)
+(* Plan constructors *)
+
+(* splitmix64-style finalizer: a deterministic stream keyed on
+   (seed, index, op), independent of call history *)
+let mix seed index op =
+  let z = ref Int64.(add (of_int seed) (mul (of_int (index * 4 + op)) 0x9E3779B97F4A7C15L)) in
+  z := Int64.(mul (logxor !z (shift_right_logical !z 30)) 0xBF58476D1CE4E5B9L);
+  z := Int64.(mul (logxor !z (shift_right_logical !z 27)) 0x94D049BB133111EBL);
+  z := Int64.(logxor !z (shift_right_logical !z 31));
+  (* 53 uniform bits -> [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical !z 11) /. 9007199254740992.0
+
+let op_code = function Write -> 0 | Fsync -> 1 | Rename -> 2 | Mkdir -> 3
+
+let seeded ~seed ?(p_error = 0.) ?(p_short = 0.) ?(p_crash = 0.) () =
+  { label = Printf.sprintf "seeded:%d" seed;
+    decide =
+      (fun ~index op ->
+        let r = mix seed index (op_code op) in
+        if r < p_error then Io_error "injected fault (ENOSPC)"
+        else if r < p_error +. p_short then
+          Short_write (mix (seed + 1) index (op_code op))
+        else if r < p_error +. p_short +. p_crash then Crash
+        else Proceed)
+  }
+
+(* the nth op *of the given kind*: plans keep their own per-kind count so
+   [decide] stays a pure function of the armed-plan state *)
+let nth_of_kind kind n action_of =
+  let seen = ref 0 in
+  { label = Printf.sprintf "%s:nth=%d" (op_name kind) n;
+    decide =
+      (fun ~index:_ op ->
+        if op <> kind then Proceed
+        else begin
+          let k = !seen in
+          incr seen;
+          if k = n then action_of op else Proceed
+        end)
+  }
+
+let fail_nth kind n = nth_of_kind kind n (fun _ -> Io_error "injected fault")
+
+let crash_nth kind n =
+  nth_of_kind kind n (function Write -> Short_write 0.5 | _ -> Crash)
+
+(* ---------------------------------------------------------------- *)
+(* Instrumented primitives *)
+
+let write_string oc s =
+  match consult Write with
+  | Proceed -> Out_channel.output_string oc s
+  | Io_error msg -> raise (Sys_error msg)
+  | Short_write f ->
+    let n = int_of_float (f *. float_of_int (String.length s)) in
+    let n = max 0 (min n (String.length s)) in
+    Out_channel.output_substring oc s 0 n;
+    Out_channel.flush oc;
+    crashed Write
+  | Crash -> crashed Write
+
+let fsync oc =
+  match consult Fsync with
+  | Proceed ->
+    Out_channel.flush oc;
+    Unix.fsync (Unix.descr_of_out_channel oc)
+  | Io_error msg -> raise (Sys_error msg)
+  | Short_write _ | Crash ->
+    (* data written so far may or may not be durable; leave whatever the
+       channel already flushed and die *)
+    crashed Fsync
+
+let rename src dst =
+  match consult Rename with
+  | Proceed -> Sys.rename src dst
+  | Io_error msg -> raise (Sys_error msg)
+  | Short_write _ | Crash ->
+    (* a torn install: the temp file stays behind, the target is never
+       touched (POSIX rename is atomic, so "half a rename" means dying
+       just before it) *)
+    crashed Rename
+
+let mkdir dir perm =
+  match consult Mkdir with
+  | Proceed -> Sys.mkdir dir perm
+  | Io_error msg -> raise (Sys_error msg)
+  | Short_write _ | Crash -> crashed Mkdir

@@ -1,0 +1,92 @@
+(** Deterministic fault injection for the persistence layer.
+
+    Crash-safety claims ("no torn snapshot is ever observable") are only
+    worth something if they are exercised: this module lets the test
+    suites inject short writes, I/O errors (ENOSPC-style [Sys_error]s),
+    and simulated process kills into every file-system operation the
+    {!Snapshot} and {!Io} writers perform — deterministically, from a
+    seed, so every failure replays.
+
+    When no plan is armed (production), every instrumented primitive is a
+    direct passthrough: one [ref] read per operation, no allocation.
+
+    A simulated kill raises {!Crashed}.  It deliberately does {e not}
+    descend from [Sys_error]: the write paths catch and translate I/O
+    errors into [Error _] results, but a kill must propagate like the
+    process death it stands for — only the fault-injection test harness
+    catches it. *)
+
+type op =
+  | Write  (** writing a file's contents *)
+  | Fsync  (** flushing written data to stable storage *)
+  | Rename  (** the atomic install (temp file -> final name) *)
+  | Mkdir  (** creating a directory on the save path *)
+
+type action =
+  | Proceed
+  | Io_error of string
+      (** the operation raises [Sys_error] with this message *)
+  | Short_write of float
+      (** only for {!Write}: the given fraction of the bytes reach the
+          file, then the process "dies" ({!Crashed}); other ops crash *)
+  | Crash
+      (** the process "dies" before the operation takes effect *)
+
+exception Crashed of string
+(** A simulated kill.  The message names the op and its global index. *)
+
+type plan = {
+  label : string;  (** for test diagnostics *)
+  decide : index:int -> op -> action;
+      (** [index] is the global 0-based count of instrumented operations
+          since the plan was armed *)
+}
+
+val arm : plan -> unit
+(** Install [plan]; resets the operation counter and the event log. *)
+
+val disarm : unit -> unit
+
+val active : unit -> bool
+
+val with_plan : plan -> (unit -> 'a) -> 'a
+(** [arm], run, then [disarm] — also on exception (including
+    {!Crashed}, which is re-raised). *)
+
+val events : unit -> string list
+(** Human-readable log of the faults injected since the last {!arm},
+    oldest first (for asserting that a scenario actually fired). *)
+
+(** {1 Plan constructors} *)
+
+val seeded :
+  seed:int ->
+  ?p_error:float ->
+  ?p_short:float ->
+  ?p_crash:float ->
+  unit ->
+  plan
+(** Each operation independently draws from a deterministic stream
+    derived from [seed] and the operation's index and kind; with the
+    given probabilities it raises an I/O error, short-writes (fraction
+    also drawn from the stream), or crashes.  Defaults: 0.0 each. *)
+
+val fail_nth : op -> int -> plan
+(** The [n]-th (0-based) operation of the given kind raises
+    [Sys_error "injected fault"]; everything else proceeds. *)
+
+val crash_nth : op -> int -> plan
+(** The [n]-th (0-based) operation of the given kind crashes
+    (short-writing half the bytes if it is a {!Write}). *)
+
+(** {1 Instrumented primitives}
+
+    The persistence layer routes its side effects through these.  With no
+    plan armed they are the obvious passthroughs. *)
+
+val write_string : out_channel -> string -> unit
+val fsync : out_channel -> unit
+(** Flush the channel and [Unix.fsync] its descriptor. *)
+
+val rename : string -> string -> unit
+val mkdir : string -> int -> unit

@@ -59,39 +59,74 @@ let load_directory dir =
              Filename.check_suffix f ".csv" || Filename.check_suffix f ".tsv")
       |> List.sort String.compare
     in
-    List.fold_left
-      (fun acc file ->
-        match acc with
-        | Error _ as e -> e
-        | Ok atoms -> (
-          let pred = Filename.remove_extension file in
-          match load_file ~pred (Filename.concat dir file) with
-          | Ok more -> Ok (atoms @ more)
-          | Error _ as e -> e))
-      (Ok []) data_files
+    (* accumulate in reverse and flip once at the end: appending each
+       file's atoms would be quadratic across a directory of many files *)
+    Result.map List.rev
+      (List.fold_left
+         (fun acc file ->
+           match acc with
+           | Error _ as e -> e
+           | Ok atoms -> (
+             let pred = Filename.remove_extension file in
+             match load_file ~pred (Filename.concat dir file) with
+             | Ok more -> Ok (List.rev_append more atoms)
+             | Error _ as e -> e))
+         (Ok []) data_files)
 
-let field_to_string = function
+exception Unwritable of string
+
+(* The format has no quoting, and [parse_field] trims and int-parses on
+   the way back in — so refuse any symbol that would not survive the
+   round trip rather than silently corrupt it. *)
+let field_to_string ~delimiter = function
   | Value.Int i -> string_of_int i
-  | Value.Sym s -> Symbol.name s
+  | Value.Sym s ->
+    let name = Symbol.name s in
+    let bad reason =
+      raise (Unwritable (Printf.sprintf "symbol %S %s" name reason))
+    in
+    if
+      String.exists (fun c -> c = delimiter || c = '\n' || c = '\r') name
+    then
+      bad
+        (Printf.sprintf
+           "contains the delimiter %C, a newline or a carriage return"
+           delimiter);
+    if String.trim name <> name then
+      bad "has leading or trailing whitespace (fields are trimmed on load)";
+    if int_of_string_opt name <> None then
+      bad "would read back as an integer";
+    name
 
 let save_relation ?(delimiter = ',') db pred path =
   match
-    Out_channel.with_open_text path (fun oc ->
-        List.iter
-          (fun tuple ->
-            let row =
-              String.concat (String.make 1 delimiter)
-                (Array.to_list (Array.map field_to_string tuple))
-            in
-            Out_channel.output_string oc row;
-            Out_channel.output_char oc '\n')
-          (Database.tuples db pred))
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun tuple ->
+        Array.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf delimiter;
+            Buffer.add_string buf (field_to_string ~delimiter v))
+          tuple;
+        Buffer.add_char buf '\n')
+      (Database.tuples db pred);
+    Buffer.contents buf
   with
-  | () -> Ok ()
-  | exception Sys_error msg -> Error msg
+  | exception Unwritable msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | data ->
+    (* write-temp / fsync / rename: a failure (or crash) mid-save leaves
+       any previous file at [path] untouched *)
+    Snapshot.atomic_write_string path data
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    Faults.mkdir dir 0o755
+  end
 
 let save_database db dir =
-  match (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755) with
+  match mkdir_p dir with
   | exception Sys_error msg -> Error msg
   | () ->
     List.fold_left

@@ -1,0 +1,107 @@
+(** Versioned, checksummed, atomically installed database snapshots.
+
+    A snapshot is a single text file:
+
+    {v
+    ALEXSNAP 1
+    meta <n>                      n escaped key<TAB>value lines
+    section <name> <arity> <count> <crc32>
+    ...count tuple lines (TAB-separated "i:<int>" / "s:<sym>" fields)...
+    ...more sections...
+    manifest <nsections> <crc32>
+    ...one escaped name<TAB>arity<TAB>count<TAB>crc32 line per section...
+    end ALEXSNAP
+    v}
+
+    Installation is atomic: the whole image is serialized, written to
+    [path ^ ".tmp"], flushed with [fsync], and [rename]d over [path] —
+    so at every instant [path] either does not exist, holds the previous
+    complete snapshot, or holds the new complete snapshot.  A crash can
+    only leave a stale [.tmp] behind, never a half-written [path].
+
+    Detection is layered: every section carries a CRC-32 of its tuple
+    lines, the manifest (written last) repeats every section's header and
+    carries its own CRC, and a final end marker guards against
+    truncation.  Loads either succeed with verified data, degrade
+    per-relation with a typed {!warning} list ({!Lenient}), or fail
+    cleanly with a typed {!corruption} ({!Strict}, and structural damage
+    in either mode).
+
+    All file-system side effects are routed through {!Faults}, so the
+    fault-injection suites can tear every write. *)
+
+open Datalog_ast
+
+val format_version : int
+
+type corruption =
+  | Not_a_snapshot of string  (** unreadable, or the magic line is wrong *)
+  | Unsupported_version of int
+  | Truncated of string
+      (** the file ends before the named part (a torn or short write) *)
+  | Checksum_mismatch of { section : string; expected : string; actual : string }
+  | Malformed of { section : string; line : int; reason : string }
+      (** [line] is 1-based in the file; [section] is ["header"],
+          ["meta"], ["manifest"] or a section name *)
+  | Manifest_mismatch of { section : string; reason : string }
+      (** the manifest and the section headers disagree *)
+
+type warning = { w_section : string; w_corruption : corruption }
+(** In {!Lenient} mode, a skipped section and why. *)
+
+type mode =
+  | Strict  (** any corruption fails the whole load *)
+  | Lenient
+      (** per-section corruption skips that section with a {!warning};
+          structural damage (bad magic, truncation, manifest damage)
+          still fails *)
+
+type section = {
+  s_name : string;
+  s_arity : int;
+  s_tuples : Tuple.t list;  (** in serialized (insertion) order *)
+}
+
+type contents = {
+  meta : (string * string) list;
+  sections : section list;
+  warnings : warning list;  (** empty under {!Strict} *)
+}
+
+val write :
+  ?meta:(string * string) list ->
+  sections:(string * int * Tuple.t list) list ->
+  string ->
+  (unit, string) result
+(** [write ~meta ~sections path] atomically installs a snapshot holding
+    the given [(name, arity, tuples)] sections.  [Error] on I/O failure
+    (the previous [path], if any, is untouched). *)
+
+val read : ?mode:mode -> string -> (contents, corruption) result
+(** Default mode is {!Strict}. *)
+
+val save_database : Database.t -> string -> (unit, string) result
+(** One section per predicate, named ["rel:<pred>"]. *)
+
+val load_database :
+  ?mode:mode -> string -> (Database.t * warning list, corruption) result
+(** Inverse of {!save_database}; non-["rel:"] sections are ignored. *)
+
+val atomic_write_string : string -> string -> (unit, string) result
+(** [atomic_write_string path data]: the write-temp / fsync / rename
+    primitive on its own, for writers with their own formats ({!Io}). *)
+
+val describe_corruption : corruption -> string
+val pp_corruption : Format.formatter -> corruption -> unit
+val describe_warning : warning -> string
+
+(** {1 Encoding helpers} (shared with {!Datalog_engine.Checkpoint}) *)
+
+val escape : string -> string
+(** Escapes backslash, tab, newline, CR and space — the format's
+    structural characters. *)
+
+val unescape : string -> (string, string) result
+
+val encode_value : Value.t -> string
+val decode_value : string -> (Value.t, string) result

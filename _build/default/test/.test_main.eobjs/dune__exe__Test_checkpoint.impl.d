@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Alexander Datalog_engine Datalog_parser Datalog_storage Filename Gen List Option Printf QCheck QCheck_alcotest String Sys

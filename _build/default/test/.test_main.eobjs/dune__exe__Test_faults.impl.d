@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Alexander Array Atom Database Datalog_ast Datalog_engine Datalog_parser Datalog_storage Faults Filename Io List Pred Result Snapshot String Sys Term Value

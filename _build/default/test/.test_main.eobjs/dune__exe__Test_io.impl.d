@@ -1,1 +1,1 @@
-test/test_io.ml: Alcotest Alexander Atom Database Datalog_ast Datalog_parser Datalog_storage Filename Io List Out_channel Pred Program String Sys Term Value
+test/test_io.ml: Alcotest Alexander Atom Database Datalog_ast Datalog_parser Datalog_storage Filename Io List Out_channel Pred Printf Program QCheck QCheck_alcotest String Sys Term Value

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Array Database Datalog_ast Datalog_storage Filename Gen In_channel List Out_channel Pred QCheck QCheck_alcotest Snapshot String Sys Value

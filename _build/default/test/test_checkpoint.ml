@@ -1,0 +1,297 @@
+(* Checkpoint / resume: an interrupted evaluation, resumed from its
+   checkpoint under a raised budget, reaches exactly the answers of an
+   uninterrupted run — across engines, at clean round boundaries and
+   mid-round, across strata, and across simulated process kills.  Also:
+   context verification refuses foreign checkpoints, and exhausted
+   incremental maintenance rolls the database back. *)
+
+module O = Alexander.Options
+module S = Alexander.Solve
+module L = Datalog_engine.Limits
+module Ck = Datalog_engine.Checkpoint
+module I = Datalog_engine.Incremental
+module F = Datalog_storage.Faults
+module Sn = Datalog_storage.Snapshot
+module Database = Datalog_storage.Database
+module W = Alexander.Workloads
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let atom = Datalog_parser.Parser.atom_of_string
+
+let ckpt_path () = Filename.temp_file "alexckpt" ".snap"
+let rm path = try Sys.remove path with Sys_error _ -> ()
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    i + m <= n && (String.sub s i m = sub || go (i + 1))
+  in
+  go 0
+
+let run_exn ~options ?resume_from program query =
+  match S.run ~options ?resume_from program query with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Alexander.Errors.message e)
+
+let load_exn path =
+  match Ck.load path with
+  | Ok (r, warnings) ->
+    check tbool "clean checkpoint load" true (warnings = []);
+    r
+  | Error c -> Alcotest.fail (Sn.describe_corruption c)
+
+(* -------------------------------------------------------------------- *)
+(* The resume-equivalence property.
+
+   Run [strategy] to completion, then again under [limits] with a
+   checkpoint.  If the second run exhausted, load the checkpoint and
+   resume without limits: the answers (and, when [compare_db], the whole
+   IDB) must equal the uninterrupted run's.  A run that completes within
+   [limits] has nothing to resume and passes trivially. *)
+
+let resume_matches ?(compare_db = false) strategy limits (program, query) =
+  let full = run_exn ~options:{ O.default with O.strategy } program query in
+  let path = ckpt_path () in
+  let ck = Ck.create ~path () in
+  let options = { O.default with O.strategy; limits; checkpoint = ck } in
+  let r1 = run_exn ~options program query in
+  let ok =
+    if not (S.incomplete r1) then true
+    else begin
+      check tbool "an exhausted run left a checkpoint" true (Ck.saves ck > 0);
+      let resume = load_exn path in
+      let r2 =
+        run_exn
+          ~options:{ O.default with O.strategy }
+          ~resume_from:resume program query
+      in
+      r2.S.answers = full.S.answers
+      && r2.S.status = Datalog_engine.Limits.Complete
+      && (not compare_db
+         ||
+         let idb = Gen.idb_preds program in
+         Gen.db_facts_of idb r2.S.db = Gen.db_facts_of idb full.S.db)
+    end
+  in
+  rm path;
+  ok
+
+let strategies = [ O.Seminaive; O.Alexander; O.Tabled ]
+
+let prop_resume_round_boundary =
+  QCheck.Test.make
+    ~name:"resume at a round boundary = uninterrupted (all engines)"
+    ~count:25 Gen.arb_positive_program_query (fun pq ->
+      List.for_all
+        (fun strategy ->
+          resume_matches strategy (L.make ~max_iterations:1 ()) pq)
+        strategies)
+
+(* max-facts trips in the middle of a round, exercising the merged-delta
+   save path; 45 clears the generator's EDB (at most 40 base facts) so
+   the interrupt lands inside the fixpoint proper *)
+let prop_resume_midround =
+  QCheck.Test.make
+    ~name:"resume after a mid-round interrupt = uninterrupted" ~count:25
+    Gen.arb_positive_program_query (fun pq ->
+      List.for_all
+        (fun strategy -> resume_matches strategy (L.make ~max_facts:45 ()) pq)
+        strategies)
+
+let prop_resume_stratified =
+  QCheck.Test.make
+    ~name:"resume across strata preserves stratified negation" ~count:25
+    Gen.arb_stratified_program_query (fun pq ->
+      resume_matches ~compare_db:true O.Seminaive
+        (L.make ~max_iterations:1 ())
+        pq
+      && resume_matches ~compare_db:true O.Seminaive
+           (L.make ~max_facts:45 ())
+           pq)
+
+(* -------------------------------------------------------------------- *)
+(* Simulated kills: a crash after the n-th save leaves a valid
+   checkpoint, and resuming it completes to the full answers *)
+
+let test_kill_after_save_resumes () =
+  let program = W.ancestor_chain 12 in
+  let query = atom "anc(0, X)" in
+  let seminaive = { O.default with O.strategy = O.Seminaive } in
+  let full = run_exn ~options:seminaive program query in
+  List.iter
+    (fun n ->
+      let path = ckpt_path () in
+      let ck = Ck.create ~path ~kill_after_save:n () in
+      let options = { seminaive with O.checkpoint = ck } in
+      (match S.run ~options program query with
+      | exception F.Crashed _ -> ()
+      | Ok _ -> Alcotest.fail "the simulated kill must fire"
+      | Error e -> Alcotest.fail (Alexander.Errors.message e));
+      let resume = load_exn path in
+      let r = run_exn ~options:seminaive ~resume_from:resume program query in
+      check tbool
+        (Printf.sprintf "kill after save %d resumes to the full answers" n)
+        true
+        (r.S.answers = full.S.answers);
+      rm path)
+    [ 1; 2; 3; 4 ]
+
+(* every [every]-th round saves; a sparser cadence still resumes *)
+let test_save_cadence () =
+  let program = W.ancestor_chain 12 in
+  let query = atom "anc(0, X)" in
+  let seminaive = { O.default with O.strategy = O.Seminaive } in
+  let full = run_exn ~options:seminaive program query in
+  let path = ckpt_path () in
+  let ck = Ck.create ~path ~every:3 () in
+  let options =
+    { seminaive with
+      O.limits = L.make ~max_iterations:7 ();
+      checkpoint = ck
+    }
+  in
+  let r1 = run_exn ~options program query in
+  check tbool "exhausted" true (S.incomplete r1);
+  check tbool "saved less than once a round" true (Ck.saves ck <= 4);
+  let r2 =
+    run_exn ~options:seminaive ~resume_from:(load_exn path) program query
+  in
+  check tbool "sparse cadence still resumes" true
+    (r2.S.answers = full.S.answers);
+  rm path
+
+(* -------------------------------------------------------------------- *)
+(* Context verification *)
+
+let exhausted_checkpoint () =
+  let program = W.ancestor_chain 12 in
+  let query = atom "anc(0, X)" in
+  let path = ckpt_path () in
+  let ck = Ck.create ~path () in
+  let options =
+    { O.default with
+      O.strategy = O.Seminaive;
+      limits = L.make ~max_iterations:2 ();
+      checkpoint = ck
+    }
+  in
+  let r = run_exn ~options program query in
+  check tbool "setup run exhausted" true (S.incomplete r);
+  (program, query, path)
+
+let expect_refusal ~options ?query ~needle (program, q0, path) =
+  let query = Option.value ~default:q0 query in
+  (match S.run ~options ~resume_from:(load_exn path) program query with
+  | Ok _ -> Alcotest.fail "a mismatched resume must be refused"
+  | Error e ->
+    let msg = Alexander.Errors.message e in
+    check tbool ("refusal mentions " ^ needle) true (contains msg needle));
+  rm path
+
+let test_refuses_wrong_strategy () =
+  let ctx = exhausted_checkpoint () in
+  expect_refusal
+    ~options:{ O.default with O.strategy = O.Tabled }
+    ~needle:"strategy" ctx
+
+let test_refuses_wrong_query () =
+  let ctx = exhausted_checkpoint () in
+  expect_refusal
+    ~options:{ O.default with O.strategy = O.Seminaive }
+    ~query:(atom "anc(3, X)") ~needle:"query" ctx
+
+let test_refuses_unresumable_evaluator () =
+  (* the well-founded evaluator does not checkpoint or resume *)
+  let program, query, path = exhausted_checkpoint () in
+  (match
+     S.run
+       ~options:
+         { O.default with O.strategy = O.Seminaive; negation = O.Well_founded }
+       ~resume_from:(load_exn path) program query
+   with
+  | Ok _ -> Alcotest.fail "the well-founded evaluator must refuse a resume"
+  | Error _ -> ());
+  rm path
+
+(* -------------------------------------------------------------------- *)
+(* Transactional incremental maintenance *)
+
+let saturate program =
+  match Datalog_engine.Stratified.run program with
+  | Ok outcome -> outcome.Datalog_engine.Stratified.db
+  | Error msg -> Alcotest.fail msg
+
+let cnt () = Datalog_engine.Counters.create ()
+let always_cancelled = L.make ~cancelled:(fun () -> true) ()
+
+let test_incremental_add_rolls_back () =
+  let program = W.ancestor_chain 10 in
+  let db = saturate program in
+  let preds = Database.preds db in
+  let before = Gen.db_facts_of preds db in
+  (match
+     I.add_facts (cnt ()) ~limits:always_cancelled program db
+       [ atom "edge(10, 11)" ]
+   with
+  | Ok _ -> Alcotest.fail "expected exhaustion"
+  | Error msg ->
+    check tbool "error names the rollback" true (contains msg "rolled back"));
+  check tbool "database restored to its pre-call state" true
+    (before = Gen.db_facts_of preds db)
+
+let test_incremental_remove_rolls_back () =
+  let program = W.ancestor_chain 10 in
+  let db = saturate program in
+  let preds = Database.preds db in
+  let before = Gen.db_facts_of preds db in
+  (match
+     I.remove_facts (cnt ()) ~limits:always_cancelled program db
+       [ atom "edge(3, 4)" ]
+   with
+  | Ok _ -> Alcotest.fail "expected exhaustion"
+  | Error msg ->
+    check tbool "error names the rollback" true (contains msg "rolled back"));
+  check tbool "database restored to its pre-call state" true
+    (before = Gen.db_facts_of preds db)
+
+let test_incremental_within_budget_still_works () =
+  (* a budget that is not hit must not change behaviour *)
+  let program = W.ancestor_chain 6 in
+  let db = saturate program in
+  (match
+     I.add_facts (cnt ())
+       ~limits:(L.make ~max_facts:100_000 ())
+       program db
+       [ atom "edge(6, 7)" ]
+   with
+  | Ok n -> check tbool "inserted" true (n > 0)
+  | Error e -> Alcotest.fail e);
+  check tbool "closure extended" true
+    (Database.mem_atom db (atom "anc(0, 7)"))
+
+let suite =
+  [ ( "checkpoint",
+      [ Alcotest.test_case "kill after nth save resumes" `Quick
+          test_kill_after_save_resumes;
+        Alcotest.test_case "sparse save cadence" `Quick test_save_cadence;
+        Alcotest.test_case "refuses wrong strategy" `Quick
+          test_refuses_wrong_strategy;
+        Alcotest.test_case "refuses wrong query" `Quick
+          test_refuses_wrong_query;
+        Alcotest.test_case "refuses well-founded resume" `Quick
+          test_refuses_unresumable_evaluator;
+        Alcotest.test_case "exhausted add rolls back" `Quick
+          test_incremental_add_rolls_back;
+        Alcotest.test_case "exhausted remove rolls back" `Quick
+          test_incremental_remove_rolls_back;
+        Alcotest.test_case "unhit budget is inert" `Quick
+          test_incremental_within_budget_still_works
+      ] );
+    ( "checkpoint:properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_resume_round_boundary;
+          prop_resume_midround;
+          prop_resume_stratified
+        ] )
+  ]

@@ -1,0 +1,262 @@
+(* Deterministic fault injection over the persistence layer.
+
+   The claim under test: however a save fails — injected I/O error, short
+   write, torn rename, simulated kill — no torn snapshot is ever
+   observable.  The target path always holds either the previous complete
+   image or the new complete image, and every load after the fault either
+   succeeds with correct data or fails with a typed corruption; never
+   wrong data.
+
+   The seed matrix comes from the FAULT_SEEDS environment variable
+   (comma- or space-separated integers); the default exercises eight
+   seeds. *)
+
+open Datalog_ast
+open Datalog_storage
+module Sn = Snapshot
+module F = Faults
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let tmpfile () = Filename.temp_file "alexfault" ".snap"
+
+let tmpdir () =
+  let dir = Filename.temp_file "alexfault" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let rm path = try Sys.remove path with Sys_error _ -> ()
+
+let seeds =
+  match Sys.getenv_opt "FAULT_SEEDS" with
+  | None | Some "" -> [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  | Some s -> (
+    match
+      String.split_on_char ',' s
+      |> List.concat_map (String.split_on_char ' ')
+      |> List.filter_map int_of_string_opt
+    with
+    | [] -> Alcotest.fail ("FAULT_SEEDS holds no integers: " ^ s)
+    | seeds -> seeds)
+
+(* int-only tuples so plain structural equality applies *)
+let sections_of ints =
+  [ ("data", 1, List.map (fun i -> [| Value.int i |]) ints) ]
+
+let read_ints path =
+  match Sn.read path with
+  | Error c ->
+    Alcotest.fail ("post-fault snapshot unreadable: " ^ Sn.describe_corruption c)
+  | Ok c -> (
+    match c.Sn.sections with
+    | [ { Sn.s_name = "data"; s_tuples; _ } ] ->
+      List.map
+        (fun t -> match t.(0) with Value.Int i -> i | _ -> Alcotest.fail "sym")
+        s_tuples
+    | _ -> Alcotest.fail "unexpected section layout")
+
+let write_exn path ints =
+  match Sn.write ~sections:(sections_of ints) path with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+type outcome = Committed | Failed | Crashed
+
+(* Arm [plan], attempt to overwrite [path] (holding [old_ints]) with
+   [new_ints], then verify the invariant: the path holds exactly the new
+   image iff the write reported success, and exactly the old image
+   otherwise.  Returns the outcome and whether any fault actually fired. *)
+let attempt_overwrite plan path ~old_ints ~new_ints =
+  F.arm plan;
+  let outcome =
+    match Sn.write ~sections:(sections_of new_ints) path with
+    | Ok () -> Committed
+    | Error _ -> Failed
+    | exception F.Crashed _ -> Crashed
+  in
+  let injected = F.events () <> [] in
+  F.disarm ();
+  let expected = if outcome = Committed then new_ints else old_ints in
+  check tbool "the path holds a complete image" true
+    (read_ints path = expected);
+  (outcome, injected)
+
+let test_seed_matrix () =
+  let faults_fired = ref 0 in
+  let crashes = ref 0 in
+  List.iter
+    (fun seed ->
+      let path = tmpfile () in
+      let old_ints = List.init 5 (fun i -> (seed * 7) + i) in
+      let new_ints = List.init 9 (fun i -> (seed * 13) + i) in
+      write_exn path old_ints;
+      let plan =
+        F.seeded ~seed ~p_error:0.25 ~p_short:0.15 ~p_crash:0.15 ()
+      in
+      let outcome, injected =
+        attempt_overwrite plan path ~old_ints ~new_ints
+      in
+      if injected then incr faults_fired;
+      if outcome = Crashed then incr crashes;
+      (* a faulted run may leave a stale temp file — that is the only
+         debris the format permits *)
+      rm (path ^ ".tmp");
+      rm path)
+    seeds;
+  (* the matrix is pointless if no fault ever fires; the default seeds
+     are chosen to inject plenty (deterministically, so this cannot
+     flake) *)
+  check tbool "at least one seed injected a fault" true (!faults_fired > 0)
+
+(* -------------------------------------------------------------------- *)
+(* Targeted faults: one per operation kind, both failure modes *)
+
+let targeted plan ~expect =
+  let path = tmpfile () in
+  let old_ints = [ 1; 2; 3 ] in
+  write_exn path old_ints;
+  let outcome, _ = attempt_overwrite plan path ~old_ints ~new_ints:[ 9 ] in
+  check tbool "expected failure mode" true (outcome = expect);
+  (path, outcome)
+
+let test_io_error_on_write () =
+  let path, _ = targeted (F.fail_nth F.Write 0) ~expect:Failed in
+  (* the error path cleans its temp file up *)
+  check tbool "no temp left by a clean failure" false
+    (Sys.file_exists (path ^ ".tmp"));
+  rm path
+
+let test_io_error_on_fsync () =
+  let path, _ = targeted (F.fail_nth F.Fsync 0) ~expect:Failed in
+  rm path
+
+let test_io_error_on_rename () =
+  let path, _ = targeted (F.fail_nth F.Rename 0) ~expect:Failed in
+  rm path
+
+let test_short_write_then_kill () =
+  let path, _ = targeted (F.crash_nth F.Write 0) ~expect:Crashed in
+  (* the "process" died: the torn bytes are in the temp file, never at
+     the target *)
+  check tbool "the torn image is only in the temp file" true
+    (Sys.file_exists (path ^ ".tmp"));
+  (match Sn.read (path ^ ".tmp") with
+  | Ok _ -> Alcotest.fail "a short write must not read back as a snapshot"
+  | Error _ -> ());
+  rm (path ^ ".tmp");
+  rm path
+
+let test_kill_before_fsync () =
+  let path, _ = targeted (F.crash_nth F.Fsync 0) ~expect:Crashed in
+  rm (path ^ ".tmp");
+  rm path
+
+let test_torn_rename () =
+  let path, _ = targeted (F.crash_nth F.Rename 0) ~expect:Crashed in
+  (* the rename never took effect: the new image sits complete in the
+     temp file, the old one still at the path (checked by [targeted]) *)
+  check tbool "complete new image in the temp file" true
+    (match Sn.read (path ^ ".tmp") with Ok _ -> true | Error _ -> false);
+  rm (path ^ ".tmp");
+  rm path
+
+(* -------------------------------------------------------------------- *)
+(* The Io writer shares the primitive: per-file atomicity across a
+   multi-file database save *)
+
+let test_mkdir_fault () =
+  let dir = Filename.concat (tmpdir ()) "a/b" in
+  let db = Database.create () in
+  ignore (Database.add db (Pred.make "e" 1) [| Value.int 1 |]);
+  F.arm (F.fail_nth F.Mkdir 0);
+  let r = Io.save_database db dir in
+  F.disarm ();
+  check tbool "mkdir fault surfaces as Error" true (Result.is_error r)
+
+let test_multi_file_save_is_per_file_atomic () =
+  let dir = tmpdir () in
+  let e = Pred.make "e" 1 and f = Pred.make "f" 1 in
+  let db_old = Database.create () in
+  ignore (Database.add db_old e [| Value.int 1 |]);
+  ignore (Database.add db_old f [| Value.int 10 |]);
+  (match Io.save_database db_old dir with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let db_new = Database.create () in
+  List.iter (fun i -> ignore (Database.add db_new e [| Value.int i |])) [ 1; 2 ];
+  List.iter
+    (fun i -> ignore (Database.add db_new f [| Value.int i |]))
+    [ 10; 20 ];
+  (* kill the process during the second file's write: the first relation
+     is already (atomically) installed, the second must still hold its
+     old contents *)
+  F.arm (F.crash_nth F.Write 1);
+  (match Io.save_database db_new dir with
+  | exception F.Crashed _ -> ()
+  | Ok () -> Alcotest.fail "the kill must fire"
+  | Error msg -> Alcotest.fail msg);
+  F.disarm ();
+  match Io.load_directory dir with
+  | Error msg -> Alcotest.fail ("post-crash directory unreadable: " ^ msg)
+  | Ok atoms ->
+    let rows pred =
+      List.filter_map
+        (fun a ->
+          if Pred.name (Atom.pred a) = pred then
+            match Atom.args a with
+            | [| Term.Const (Value.Int i) |] -> Some i
+            | _ -> None
+          else None)
+        atoms
+      |> List.sort compare
+    in
+    let is_version got ~old_v ~new_v = got = old_v || got = new_v in
+    check tbool "e is a complete old or new image" true
+      (is_version (rows "e") ~old_v:[ 1 ] ~new_v:[ 1; 2 ]);
+    check tbool "f is a complete old or new image" true
+      (is_version (rows "f") ~old_v:[ 10 ] ~new_v:[ 10; 20 ])
+
+(* -------------------------------------------------------------------- *)
+(* A failed checkpoint save surfaces as a typed evaluation error *)
+
+let test_checkpoint_save_failure_is_typed () =
+  let program = Alexander.Workloads.ancestor_chain 10 in
+  let query = Datalog_parser.Parser.atom_of_string "anc(0, X)" in
+  let path = tmpfile () in
+  let options =
+    { Alexander.Options.default with
+      Alexander.Options.strategy = Alexander.Options.Seminaive;
+      checkpoint = Datalog_engine.Checkpoint.create ~path ()
+    }
+  in
+  F.arm (F.fail_nth F.Write 0);
+  let r = Alexander.Solve.run ~options program query in
+  F.disarm ();
+  (match r with
+  | Ok _ -> Alcotest.fail "the injected save failure must surface"
+  | Error e ->
+    let msg = Alexander.Errors.message e in
+    check tbool "names the checkpoint save" true
+      (String.length msg >= 15 && String.sub msg 0 15 = "checkpoint save"));
+  rm path
+
+let suite =
+  [ ( "faults",
+      [ Alcotest.test_case "seed matrix" `Quick test_seed_matrix;
+        Alcotest.test_case "I/O error on write" `Quick test_io_error_on_write;
+        Alcotest.test_case "I/O error on fsync" `Quick test_io_error_on_fsync;
+        Alcotest.test_case "I/O error on rename" `Quick
+          test_io_error_on_rename;
+        Alcotest.test_case "short write + kill" `Quick
+          test_short_write_then_kill;
+        Alcotest.test_case "kill before fsync" `Quick test_kill_before_fsync;
+        Alcotest.test_case "torn rename" `Quick test_torn_rename;
+        Alcotest.test_case "mkdir fault" `Quick test_mkdir_fault;
+        Alcotest.test_case "multi-file save atomicity" `Quick
+          test_multi_file_save_is_per_file_atomic;
+        Alcotest.test_case "checkpoint save failure" `Quick
+          test_checkpoint_save_failure_is_typed
+      ] )
+  ]

@@ -89,6 +89,82 @@ let test_roundtrip_save_load () =
          (fun a -> Atom.equal a (Atom.app "e" [ Term.int 2; Term.sym "y" ]))
          atoms)
 
+let test_unwritable_symbols_rejected () =
+  let dir = tmpdir () in
+  let save sym =
+    let db = Database.create () in
+    ignore (Database.add db (Pred.make "p" 1) [| Value.sym sym |]);
+    Io.save_relation db (Pred.make "p" 1) (Filename.concat dir "p.csv")
+  in
+  List.iter
+    (fun (sym, why) ->
+      match save sym with
+      | Error msg ->
+        check tbool (why ^ " error is descriptive") true
+          (String.length msg > String.length sym)
+      | Ok () -> Alcotest.fail (why ^ " must be rejected"))
+    [ ("a,b", "symbol containing the delimiter");
+      ("a\nb", "symbol containing a newline");
+      ("a\rb", "symbol containing a carriage return");
+      (" padded ", "trim-unstable symbol");
+      ("42", "symbol reading back as an integer");
+      ("0x1A", "symbol reading back as a hex integer")
+    ];
+  (* a failed save never leaves a file (or temp debris) behind *)
+  check tbool "no partial file" false
+    (Sys.file_exists (Filename.concat dir "p.csv"));
+  check tbool "no temp debris" false
+    (Sys.file_exists (Filename.concat dir "p.csv.tmp"))
+
+let test_save_database_creates_parents () =
+  let dir = Filename.concat (Filename.concat (tmpdir ()) "deep") "er" in
+  let db = Database.create () in
+  ignore (Database.add db (Pred.make "e" 2) [| Value.int 1; Value.int 2 |]);
+  (match Io.save_database db dir with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Io.load_directory dir with
+  | Error e -> Alcotest.fail e
+  | Ok atoms -> check tint "fact back from the nested dir" 1 (List.length atoms)
+
+(* symbols that survive the unquoted CSV round trip: no structural
+   characters, trim-stable, not integer-like *)
+let safe_sym_gen =
+  QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 6))
+
+let arb_relation =
+  QCheck.make
+    ~print:(fun rows ->
+      String.concat ";"
+        (List.map (fun (i, s) -> Printf.sprintf "(%d,%s)" i s) rows))
+    QCheck.Gen.(
+      list_size (int_range 0 20) (pair (int_range (-50) 50) safe_sym_gen))
+
+let prop_save_load_roundtrip =
+  QCheck.Test.make
+    ~name:"save_database/load_directory round-trips writable relations"
+    ~count:100 arb_relation (fun rows ->
+      let dir = tmpdir () in
+      let db = Database.create () in
+      let pred = Pred.make "r" 2 in
+      List.iter
+        (fun (i, s) ->
+          ignore (Database.add db pred [| Value.int i; Value.sym s |]))
+        rows;
+      match Io.save_database db dir with
+      | Error _ -> false
+      | Ok () -> (
+        match Io.load_directory dir with
+        | Error _ -> false
+        | Ok atoms ->
+          let expected =
+            List.sort Atom.compare
+              (List.map
+                 (fun t -> Atom.of_tuple pred t)
+                 (Database.tuples db pred))
+          in
+          List.sort Atom.compare atoms = expected))
+
 let suite =
   [ ( "io",
       [ Alcotest.test_case "field typing" `Quick test_parse_field;
@@ -96,6 +172,12 @@ let suite =
         Alcotest.test_case "tsv + header" `Quick test_load_tsv_and_header;
         Alcotest.test_case "ragged rows" `Quick test_ragged_row_rejected;
         Alcotest.test_case "directory" `Quick test_load_directory_and_query;
-        Alcotest.test_case "save/load round-trip" `Quick test_roundtrip_save_load
-      ] )
+        Alcotest.test_case "save/load round-trip" `Quick test_roundtrip_save_load;
+        Alcotest.test_case "unwritable symbols" `Quick
+          test_unwritable_symbols_rejected;
+        Alcotest.test_case "nested directories" `Quick
+          test_save_database_creates_parents
+      ] );
+    ( "io:properties",
+      List.map QCheck_alcotest.to_alcotest [ prop_save_load_roundtrip ] )
   ]

@@ -24,3 +24,5 @@ let exhaustion_exit_code = function
   | Limits.Iteration_limit -> 5
   | Limits.Tuple_limit -> 6
   | Limits.Cancelled -> 7
+
+let corrupt_snapshot_exit_code = 8

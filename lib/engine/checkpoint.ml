@@ -1,0 +1,312 @@
+open Datalog_ast
+open Datalog_storage
+
+exception Save_error of string
+
+type table = Pred.t * (int * Value.t) list * Tuple.t list
+
+type t = {
+  active : bool;
+  cpath : string;
+  every : int;
+  kill_after_save : int option;
+  mutable strategy : string;
+  mutable query : string;
+  mutable evaluator : string;
+  mutable stratum : int;
+  mutable rounds : int;
+  mutable nsaves : int;
+  mutable counters : Counters.t;
+}
+
+let none =
+  { active = false;
+    cpath = "";
+    every = 1;
+    kill_after_save = None;
+    strategy = "";
+    query = "";
+    evaluator = "";
+    stratum = 0;
+    rounds = 0;
+    nsaves = 0;
+    counters = Counters.create ()
+  }
+
+let create ~path ?(every = 1) ?kill_after_save () =
+  if every < 1 then invalid_arg "Checkpoint.create: every < 1";
+  { active = true;
+    cpath = path;
+    every;
+    kill_after_save;
+    strategy = "";
+    query = "";
+    evaluator = "";
+    stratum = 0;
+    rounds = 0;
+    nsaves = 0;
+    counters = Counters.create ()
+  }
+
+let is_active c = c.active
+let path c = c.cpath
+let saves c = c.nsaves
+
+let set_context c ~strategy ~query =
+  c.strategy <- strategy;
+  c.query <- query
+
+let set_evaluator c e = c.evaluator <- e
+let set_stratum c s = c.stratum <- s
+let set_counters c cnt = c.counters <- cnt
+
+(* ---------------------------------------------------------------- *)
+(* Serialization: a Snapshot with "db:", "delta:" and "tbl:<i>"
+   sections; the call pattern of table [i] lives in meta key "tbl:<i>" *)
+
+let encode_call pred bound =
+  String.concat " "
+    (Printf.sprintf "%s %d" (Snapshot.escape (Pred.name pred))
+       (Pred.arity pred)
+    :: List.map
+         (fun (i, v) -> Printf.sprintf "%d=%s" i (Snapshot.encode_value v))
+         bound)
+
+let decode_call s =
+  let ( let* ) = Result.bind in
+  match String.split_on_char ' ' s with
+  | name :: arity :: bound ->
+    let* name = Snapshot.unescape name in
+    let* arity =
+      Option.to_result ~none:("bad arity in call " ^ s)
+        (int_of_string_opt arity)
+    in
+    let* bound =
+      List.fold_left
+        (fun acc field ->
+          let* acc = acc in
+          match String.index_opt field '=' with
+          | None -> Error ("bad binding " ^ field)
+          | Some i ->
+            let* pos =
+              Option.to_result
+                ~none:("bad position in " ^ field)
+                (int_of_string_opt (String.sub field 0 i))
+            in
+            let* v =
+              Snapshot.decode_value
+                (String.sub field (i + 1) (String.length field - i - 1))
+            in
+            Ok ((pos, v) :: acc))
+        (Ok []) bound
+    in
+    Ok (Pred.make name arity, List.rev bound)
+  | _ -> Error ("bad call encoding " ^ s)
+
+let db_sections prefix db =
+  List.map
+    (fun pred ->
+      (prefix ^ Pred.name pred, Pred.arity pred, Database.tuples db pred))
+    (Database.preds db)
+
+let save c ~db ~delta ~tables =
+  let cnt = c.counters in
+  let meta =
+    [ ("kind", "checkpoint");
+      ("strategy", c.strategy);
+      ("query", c.query);
+      ("evaluator", c.evaluator);
+      ("stratum", string_of_int c.stratum);
+      ("rounds", string_of_int c.rounds);
+      ("saves", string_of_int (c.nsaves + 1));
+      ("c_facts", string_of_int cnt.Counters.facts_derived);
+      ("c_firings", string_of_int cnt.Counters.firings);
+      ("c_probes", string_of_int cnt.Counters.probes);
+      ("c_scanned", string_of_int cnt.Counters.scanned);
+      ("c_iterations", string_of_int cnt.Counters.iterations);
+      ("delta", match delta with None -> "none" | Some _ -> "some")
+    ]
+    @ List.mapi
+        (fun i (pred, bound, _) ->
+          (Printf.sprintf "tbl:%d" i, encode_call pred bound))
+        tables
+  in
+  let sections =
+    db_sections "db:" db
+    @ (match delta with None -> [] | Some d -> db_sections "delta:" d)
+    @ List.mapi
+        (fun i (pred, _, tuples) ->
+          (Printf.sprintf "tbl:%d" i, Pred.arity pred, tuples))
+        tables
+  in
+  match Snapshot.write ~meta ~sections c.cpath with
+  | Error msg -> raise (Save_error msg)
+  | Ok () -> (
+    c.nsaves <- c.nsaves + 1;
+    match c.kill_after_save with
+    | Some n when c.nsaves >= n ->
+      raise
+        (Faults.Crashed
+           (Printf.sprintf "simulated kill after checkpoint save %d" c.nsaves))
+    | _ -> ())
+
+let on_round c ~db ~delta =
+  if c.active then begin
+    c.rounds <- c.rounds + 1;
+    if c.rounds mod c.every = 0 then save c ~db ~delta ~tables:[]
+  end
+
+let on_interrupt c ~db ~delta = if c.active then save c ~db ~delta ~tables:[]
+
+let on_step c ~db ~tables =
+  if c.active then begin
+    c.rounds <- c.rounds + 1;
+    if c.rounds mod c.every = 0 then
+      save c ~db ~delta:None ~tables:(tables ())
+  end
+
+let on_interrupt_tables c ~db ~tables =
+  if c.active then save c ~db ~delta:None ~tables:(tables ())
+
+(* ---------------------------------------------------------------- *)
+(* Resume *)
+
+type resume = {
+  r_strategy : string;
+  r_query : string;
+  r_evaluator : string;
+  r_stratum : int;
+  r_rounds : int;
+  r_counters : int * int * int * int * int;
+  r_db : Database.t;
+  r_delta : Database.t option;
+  r_tables : table list;
+}
+
+let starts_with ~prefix s =
+  let n = String.length prefix in
+  String.length s >= n && String.sub s 0 n = prefix
+
+let strip ~prefix s =
+  let n = String.length prefix in
+  if starts_with ~prefix s then
+    Some (String.sub s n (String.length s - n))
+  else None
+
+let meta_malformed reason =
+  Snapshot.Malformed { section = "meta"; line = 0; reason }
+
+exception Bad of Snapshot.corruption
+
+let load ?(mode = Snapshot.Strict) cpath =
+  match Snapshot.read ~mode cpath with
+  | Error _ as e -> e
+  | Ok contents -> (
+    match
+      (* a damaged database relation is fatal even in lenient mode: under
+         stratified negation an incomplete lower stratum would flip
+         resumed answers, not just delay them *)
+      (match
+         List.find_opt
+           (fun w -> starts_with ~prefix:"db:" w.Snapshot.w_section)
+           contents.Snapshot.warnings
+       with
+      | Some w -> raise (Bad w.Snapshot.w_corruption)
+      | None -> ());
+      let delta_damaged =
+        List.exists
+          (fun w -> starts_with ~prefix:"delta:" w.Snapshot.w_section)
+          contents.Snapshot.warnings
+      in
+      let need k =
+        match List.assoc_opt k contents.Snapshot.meta with
+        | Some v -> v
+        | None -> raise (Bad (meta_malformed ("missing key " ^ k)))
+      in
+      let need_int k =
+        match int_of_string_opt (need k) with
+        | Some i -> i
+        | None -> raise (Bad (meta_malformed (k ^ " is not a number")))
+      in
+      (match need "kind" with
+      | "checkpoint" -> ()
+      | k ->
+        raise (Bad (meta_malformed (Printf.sprintf "kind %S is not a checkpoint" k))));
+      let db = Database.create () in
+      let delta = Database.create () in
+      let tables = ref [] in
+      List.iter
+        (fun s ->
+          let name = s.Snapshot.s_name in
+          let install target =
+            let pred = Pred.make target s.Snapshot.s_arity in
+            List.iter
+              (fun t -> ignore (Database.add db pred t))
+              s.Snapshot.s_tuples
+          in
+          match strip ~prefix:"db:" name with
+          | Some p -> install p
+          | None -> (
+            match strip ~prefix:"delta:" name with
+            | Some p ->
+              let pred = Pred.make p s.Snapshot.s_arity in
+              List.iter
+                (fun t -> ignore (Database.add delta pred t))
+                s.Snapshot.s_tuples
+            | None -> (
+              match strip ~prefix:"tbl:" name with
+              | Some _ -> (
+                match decode_call (need name) with
+                | Error reason -> raise (Bad (meta_malformed reason))
+                | Ok (pred, bound) ->
+                  if Pred.arity pred <> s.Snapshot.s_arity then
+                    raise
+                      (Bad
+                         (meta_malformed
+                            (Printf.sprintf "table %s arity mismatch" name)));
+                  tables := (pred, bound, s.Snapshot.s_tuples) :: !tables)
+              | None -> ())))
+        contents.Snapshot.sections;
+      let r_delta =
+        if need "delta" = "none" || delta_damaged then None else Some delta
+      in
+      { r_strategy = need "strategy";
+        r_query = need "query";
+        r_evaluator = need "evaluator";
+        r_stratum = need_int "stratum";
+        r_rounds = need_int "rounds";
+        r_counters =
+          ( need_int "c_facts",
+            need_int "c_firings",
+            need_int "c_probes",
+            need_int "c_scanned",
+            need_int "c_iterations" );
+        r_db = db;
+        r_delta;
+        r_tables = List.rev !tables
+      }
+    with
+    | resume -> Ok (resume, contents.Snapshot.warnings)
+    | exception Bad c -> Error c)
+
+let restore_counters r (cnt : Counters.t) =
+  let facts, firings, probes, scanned, iterations = r.r_counters in
+  cnt.Counters.facts_derived <- facts;
+  cnt.Counters.firings <- firings;
+  cnt.Counters.probes <- probes;
+  cnt.Counters.scanned <- scanned;
+  cnt.Counters.iterations <- iterations
+
+let resume_rounds c r = if c.active then c.rounds <- r.r_rounds
+
+let verify_context r ~strategy ~query =
+  if r.r_strategy <> strategy then
+    Error
+      (Printf.sprintf
+         "checkpoint was taken under strategy %s; this run uses %s"
+         r.r_strategy strategy)
+  else if r.r_query <> query then
+    Error
+      (Printf.sprintf "checkpoint was taken for query %s, not %s" r.r_query
+         query)
+  else Ok ()

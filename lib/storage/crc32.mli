@@ -1,0 +1,23 @@
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+
+    Used by {!Snapshot} to checksum each serialized relation so a
+    corrupted snapshot is detected at load time instead of silently
+    feeding wrong tuples into an evaluation.  Pure OCaml, table-driven;
+    no external dependency. *)
+
+type t = int32
+
+val string : string -> t
+(** CRC of a whole string. *)
+
+val update : t -> string -> pos:int -> len:int -> t
+(** Fold more bytes into a running CRC (start from {!empty}). *)
+
+val empty : t
+(** The CRC of the empty string. *)
+
+val to_hex : t -> string
+(** Fixed-width lowercase hex (8 characters). *)
+
+val of_hex : string -> t option
+(** Inverse of {!to_hex}; [None] on malformed input. *)

@@ -25,8 +25,17 @@ val load_directory : string -> (Atom.t list, string) result
 
 val save_relation :
   ?delimiter:char -> Database.t -> Pred.t -> string -> (unit, string) result
-(** Write one predicate's tuples, one row per tuple. *)
+(** Write one predicate's tuples, one row per tuple.  The file is
+    installed atomically (write temp, fsync, rename), so a failure mid-
+    save leaves any previous file at the path untouched.
+
+    The format has no quoting and {!load_file} trims fields and parses
+    integers, so symbols that would not survive the round trip are
+    rejected ([Error]) rather than silently corrupted: symbols containing
+    the delimiter, a newline or a carriage return; symbols with leading
+    or trailing whitespace; and symbols that parse as integers. *)
 
 val save_database : Database.t -> string -> (unit, string) result
 (** Write every predicate of the database into [dir/pred.csv] files
-    (creates the directory if missing). *)
+    (creates the directory, and any missing parents, if needed).
+    Each file is installed atomically, as in {!save_relation}. *)
