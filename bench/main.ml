@@ -83,15 +83,18 @@ let itoa = string_of_int
 (* Shared runners *)
 
 let run_strategy ?(negation = O.Auto) ?(profile = false)
-    ?(checkpoint = Datalog_engine.Checkpoint.none) strategy program query =
+    ?(checkpoint = Datalog_engine.Checkpoint.none) ?(compile = true)
+    ?(sips = Datalog_rewrite.Sips.Left_to_right) strategy program query =
   let options =
     { O.strategy;
       negation;
-      sips = Datalog_rewrite.Sips.Left_to_right;
+      sips;
       limits = bench_limits;
       profile;
       trace = None;
-      checkpoint
+      checkpoint;
+      compile;
+      explain = false
     }
   in
   S.run_exn ~options program query
@@ -659,7 +662,9 @@ let t8 () =
                 limits = bench_limits;
                 profile = false;
                 trace = None;
-                checkpoint = Datalog_engine.Checkpoint.none
+                checkpoint = Datalog_engine.Checkpoint.none;
+                compile = true;
+                explain = false
               }
             in
             let report = S.run_exn ~options program query in
@@ -822,7 +827,9 @@ let bechamel_tests () =
                     limits = bench_limits;
                     profile = false;
                     trace = None;
-                    checkpoint = Datalog_engine.Checkpoint.none
+                    checkpoint = Datalog_engine.Checkpoint.none;
+                    compile = true;
+                    explain = false
                   }
                 sg (atom "sg(0, X)"))));
     Test.make ~name:"F4/dom-guarded"
@@ -937,11 +944,46 @@ let json_baseline out =
              "sg(0, X)" )
          ])
   in
+  (* compiled-plan ablation: compiled vs interpreted wall time, and the
+     ltr vs cost-aware SIP join-work counters, per workload *)
+  let plan_section =
+    List.concat_map
+      (fun (name, program, q) ->
+        let query = atom q in
+        List.map
+          (fun strategy ->
+            let counters_json (r : S.report) =
+              J.Obj
+                [ ("probes", J.Int r.S.counters.C.probes);
+                  ("scanned", J.Int r.S.counters.C.scanned);
+                  ("firings", J.Int r.S.counters.C.firings)
+                ]
+            in
+            let compiled = run_strategy strategy program query in
+            let interpreted =
+              run_strategy ~compile:false strategy program query
+            in
+            let cost =
+              run_strategy ~sips:Datalog_rewrite.Sips.Cost_aware strategy
+                program query
+            in
+            J.Obj
+              [ ("workload", J.String name);
+                ("strategy", J.String (O.strategy_name strategy));
+                ("compiled_wall_s", J.Float compiled.S.wall_time_s);
+                ("interpreted_wall_s", J.Float interpreted.S.wall_time_s);
+                ("ltr", counters_json compiled);
+                ("cost", counters_json cost)
+              ])
+          [ O.Seminaive; O.Alexander ])
+      (json_workloads ())
+  in
   let doc =
     J.Obj
-      [ ("schema_version", J.Int 1);
+      [ ("schema_version", J.Int 2);
         ("suite", J.String "alexander-bench-baseline");
         ("workloads", J.List workloads);
+        ("plan", J.List plan_section);
         ("checkpointing", J.List checkpointing)
       ]
   in

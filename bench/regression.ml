@@ -1,0 +1,150 @@
+(* Bench-regression gate: compare a freshly generated baseline against the
+   committed BENCH_baseline.json, per workload x strategy cell.
+
+   Usage:  dune exec bench/regression.exe -- BASELINE CANDIDATE [--tolerance PCT]
+
+   The join-work counters (probes, scanned, firings) are deterministic for
+   a given engine, so any growth is a real plan or engine change, not
+   noise; wall times are reported but never gate.  A cell regresses when a
+   counter exceeds its baseline by more than the tolerance (default 5%).
+   Exit code 1 on any regression, 2 on unreadable/mismatched inputs. *)
+
+module J = Datalog_engine.Json
+
+let tolerance = ref 5.0
+
+let die code fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit code) fmt
+
+let read_json path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> die 2 "cannot read %s: %s" path msg
+  | text -> (
+    match J.of_string text with
+    | doc -> doc
+    | exception J.Parse_error msg -> die 2 "cannot parse %s: %s" path msg)
+
+let member_exn path name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> die 2 "%s: missing %S field" path name
+
+let as_string path = function
+  | J.String s -> s
+  | _ -> die 2 "%s: expected a string" path
+
+let as_int = function J.Int i -> Some i | _ -> None
+
+let as_list path = function
+  | J.List l -> l
+  | _ -> die 2 "%s: expected a list" path
+
+(* (workload, strategy) -> (counter name -> value) for the gated counters *)
+let cells path doc =
+  let gated = [ "probes"; "scanned"; "firings" ] in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun workload ->
+      let wname = as_string path (member_exn path "workload" workload) in
+      List.iter
+        (fun report ->
+          let sname = as_string path (member_exn path "strategy" report) in
+          let totals = member_exn path "totals" report in
+          let counters =
+            List.filter_map
+              (fun c ->
+                Option.map (fun v -> (c, v))
+                  (Option.bind (J.member c totals) as_int))
+              gated
+          in
+          Hashtbl.replace tbl (wname, sname) counters)
+        (as_list path (member_exn path "strategies" workload)))
+    (as_list path (member_exn path "workloads" doc));
+  tbl
+
+let () =
+  let positional = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--tolerance" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some t when t >= 0. -> tolerance := t
+      | _ -> die 2 "--tolerance expects a non-negative number");
+      parse_args rest
+    | a :: rest ->
+      positional := a :: !positional;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let baseline_path, candidate_path =
+    match List.rev !positional with
+    | [ b; c ] -> (b, c)
+    | _ -> die 2 "usage: regression BASELINE CANDIDATE [--tolerance PCT]"
+  in
+  let base = cells baseline_path (read_json baseline_path) in
+  let cand = cells candidate_path (read_json candidate_path) in
+  let rows = ref [] in
+  let regressions = ref 0 in
+  Hashtbl.iter
+    (fun (w, s) base_counters ->
+      match Hashtbl.find_opt cand (w, s) with
+      | None ->
+        incr regressions;
+        rows := [ w; s; "-"; "-"; "-"; "MISSING" ] :: !rows
+      | Some cand_counters ->
+        let deltas =
+          List.map
+            (fun (name, bv) ->
+              match List.assoc_opt name cand_counters with
+              | None -> (name, bv, -1, infinity)
+              | Some cv ->
+                let pct =
+                  if bv = 0 then if cv = 0 then 0. else infinity
+                  else 100. *. float_of_int (cv - bv) /. float_of_int bv
+                in
+                (name, bv, cv, pct))
+            base_counters
+        in
+        let worst =
+          List.fold_left (fun acc (_, _, _, p) -> Float.max acc p) neg_infinity
+            deltas
+        in
+        let bad = worst > !tolerance in
+        if bad then incr regressions;
+        let cell (name, bv, cv, pct) =
+          Printf.sprintf "%s %d->%d (%+.1f%%)" name bv cv pct
+        in
+        rows :=
+          (match deltas with
+          | [ a; b; c ] ->
+            [ w; s; cell a; cell b; cell c; (if bad then "REGRESSED" else "ok") ]
+          | _ -> [ w; s; "-"; "-"; "-"; "BAD ROW" ])
+          :: !rows)
+    base;
+  let rows =
+    List.sort compare !rows
+  in
+  let header = [ "workload"; "strategy"; "probes"; "scanned"; "firings"; "verdict" ] in
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    (header :: rows);
+  let print_row row =
+    List.iteri (fun i cell -> Printf.printf "| %-*s " widths.(i) cell) row;
+    print_endline "|"
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') (Array.to_list widths));
+  List.iter print_row rows;
+  if !regressions > 0 then begin
+    Printf.printf
+      "\n%d cell(s) regressed beyond %.1f%% - investigate before merging\n"
+      !regressions !tolerance;
+    exit 1
+  end
+  else
+    Printf.printf "\nall %d cells within %.1f%% of the committed baseline\n"
+      (List.length rows) !tolerance

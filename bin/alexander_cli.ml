@@ -75,10 +75,34 @@ let sips_arg =
   Arg.(
     value
     & opt sips_conv O.default.O.sips
-    & info [ "sips" ] ~docv:"SIP" ~doc:"ltr | greedy")
+    & info [ "sips" ] ~docv:"SIP"
+        ~doc:
+          "ltr | greedy | cost.  'cost' breaks greedy's bound-ness ties by \
+           estimated relation cardinality (smallest first); the compiled \
+           engine then reorders each rule body accordingly")
 
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print evaluation statistics")
+
+let explain_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the compiled join plan of every rule the evaluation used \
+           (literal order, index probes, register operations); also \
+           included in --stats-json output")
+
+let interpret_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "interpret" ]
+        ~doc:
+          "Evaluate through the interpreted substitution-based path \
+           instead of compiled join plans (the differential-testing \
+           oracle; slower, same answers and counters)")
 
 let stats_json_arg =
   Arg.(
@@ -216,6 +240,16 @@ let parse_query q =
       (Printf.sprintf "bad query at column %d: %s" pos.Datalog_parser.Lexer.col
          msg)
 
+let print_plans report =
+  List.iter
+    (fun i ->
+      Format.printf "%% plan %s [%s, sip=%s]@." i.Datalog_engine.Plan.i_rule
+        i.Datalog_engine.Plan.i_variant i.Datalog_engine.Plan.i_sip;
+      List.iter
+        (fun s -> Format.printf "%%   %s@." s)
+        i.Datalog_engine.Plan.i_steps)
+    report.S.plans
+
 let print_report query report ~stats =
   let open S in
   (match report.answers with
@@ -255,7 +289,7 @@ let print_report query report ~stats =
 let write_stats_json path file runs =
   let doc =
     Datalog_engine.Json.Obj
-      [ ("schema_version", Datalog_engine.Json.Int 1);
+      [ ("schema_version", Datalog_engine.Json.Int 2);
         ("file", Datalog_engine.Json.String file);
         ("runs", Datalog_engine.Json.List (List.rev runs))
       ]
@@ -267,7 +301,8 @@ let write_stats_json path file runs =
 
 let run_cmd =
   let action file query strategy negation sips stats stats_json trace data
-      limits checkpoint_path checkpoint_every resume_path snapshot_mode =
+      limits checkpoint_path checkpoint_every resume_path snapshot_mode
+      explain interpret =
     match
       Result.bind (read_program file) (fun parsed ->
           Result.map (fun p -> (parsed, p))
@@ -310,7 +345,9 @@ let run_cmd =
               (if trace then
                  Some (fun line -> Printf.eprintf "%% trace: %s\n%!" line)
                else None);
-            checkpoint
+            checkpoint;
+            compile = not interpret;
+            explain = explain || Option.is_some stats_json
           }
         in
         (* resume applies to a single query: a checkpoint records one
@@ -359,6 +396,7 @@ let run_cmd =
                 match S.run ~options ?resume_from program query with
                 | Ok report ->
                   print_report query report ~stats;
+                  if explain then print_plans report;
                   if Option.is_some stats_json then
                     json_runs := S.report_json ~query report :: !json_runs;
                   let this =
@@ -382,7 +420,7 @@ let run_cmd =
       const action $ file_arg $ query_arg $ strategy_arg $ negation_arg
       $ sips_arg $ stats_arg $ stats_json_arg $ trace_arg $ data_arg
       $ limits_term $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
-      $ snapshot_mode_arg)
+      $ snapshot_mode_arg $ explain_arg $ interpret_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate queries against a program") term
 
@@ -571,7 +609,9 @@ let repl_cmd =
             limits;
             profile = false;
             trace = None;
-            checkpoint = Datalog_engine.Checkpoint.none
+            checkpoint = Datalog_engine.Checkpoint.none;
+            compile = true;
+            explain = false
           }
       in
       let stats = ref stats in

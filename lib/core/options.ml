@@ -21,6 +21,8 @@ type t = {
   profile : bool;
   trace : (string -> unit) option;
   checkpoint : Datalog_engine.Checkpoint.t;
+  compile : bool;
+  explain : bool;
 }
 
 let default =
@@ -30,7 +32,9 @@ let default =
     limits = Datalog_engine.Limits.none;
     profile = false;
     trace = None;
-    checkpoint = Datalog_engine.Checkpoint.none
+    checkpoint = Datalog_engine.Checkpoint.none;
+    compile = true;
+    explain = false
   }
 
 let strategy_name = function

@@ -42,11 +42,21 @@ type t = {
           and adds no overhead.  Honored by the fixpoint-based strategies
           and the tabled engine; the conditional and well-founded
           evaluators do not checkpoint. *)
+  compile : bool;
+      (** evaluate through compiled join plans ({!Datalog_engine.Plan});
+          on by default.  Off, the interpreted {!Datalog_engine.Eval}
+          path runs — it is the differential-testing oracle and produces
+          identical answers and counters *)
+  explain : bool;
+      (** collect the compiled plans into {!Solve.report.plans} (and the
+          [plan] block of {!Solve.report_json}); implies nothing about
+          [compile] — explain with [compile = false] reports no plans *)
 }
 
 val default : t
 (** [Alexander] strategy, left-to-right SIP, [Auto] negation, no limits,
-    no profiling, no trace, no checkpoint. *)
+    no profiling, no trace, no checkpoint, compiled plans on, explain
+    off. *)
 
 val strategy_name : strategy -> string
 val strategy_of_string : string -> strategy option

@@ -12,6 +12,7 @@ type report = {
   undefined : Atom.t list;
   counters : Counters.t;
   profile : Profile.t;
+  plans : Plan.info list;
   evaluator : string;
   status : Limits.status;
   wall_time_s : float;
@@ -23,6 +24,33 @@ let profile_of_options options =
   if options.Options.profile || Option.is_some options.Options.trace then
     Profile.create ?trace:options.Options.trace ()
   else Profile.none
+
+(* The engine-side plan configuration for these options: [None] turns the
+   compiler off entirely (interpreted oracle).  Compiled plans are pushed
+   to [push] as they are built; callers dedupe afterwards because the
+   well-founded alternation (and re-solved tabled calls) re-enter the
+   compiler with the same rules. *)
+let plan_of_options options push =
+  if not options.Options.compile then None
+  else
+    let sip =
+      match options.Options.sips with
+      | Sips.Left_to_right -> Plan.Ltr
+      | Sips.Greedy_bound | Sips.Cost_aware -> Plan.Cost
+    in
+    Some (Plan.config ~sip ~on_compile:push ())
+
+let dedup_infos infos =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun i ->
+      let key = (i.Plan.i_rule, i.Plan.i_variant) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    infos
 
 let incomplete report =
   match report.status with
@@ -66,7 +94,7 @@ let check_safety program =
 
 (* Evaluate [program] (rules + facts) under the requested negation
    semantics; answers are read from [answer_pred]/[pattern]. *)
-let evaluate ?resume_from options profile program answer_pred pattern =
+let evaluate ?resume_from ?plan options profile program answer_pred pattern =
   let limits = options.Options.limits in
   let checkpoint = options.Options.checkpoint in
   let no_resume evaluator =
@@ -83,7 +111,7 @@ let evaluate ?resume_from options profile program answer_pred pattern =
       Result.map_error
         (fun msg -> Errors.Not_stratified msg)
         (Stratified.run ~limits ~profile ~checkpoint ?resume_from ~use_naive
-           program)
+           ?plan program)
     in
     Ok
       ( outcome.Stratified.db,
@@ -94,7 +122,7 @@ let evaluate ?resume_from options profile program answer_pred pattern =
   in
   let conditional_eval () =
     let* () = no_resume "conditional" in
-    let outcome = Conditional.run ~limits ~profile program in
+    let outcome = Conditional.run ~limits ~profile ?plan program in
     Ok
       ( outcome.Conditional.true_db,
         outcome.Conditional.counters,
@@ -104,7 +132,7 @@ let evaluate ?resume_from options profile program answer_pred pattern =
   in
   let wellfounded_eval () =
     let* () = no_resume "wellfounded" in
-    let outcome = Wellfounded.run ~limits ~profile program in
+    let outcome = Wellfounded.run ~limits ~profile ?plan program in
     Ok
       ( outcome.Wellfounded.true_db,
         outcome.Wellfounded.counters,
@@ -130,6 +158,8 @@ let evaluate ?resume_from options profile program answer_pred pattern =
 let run_uncaught ~options ?resume_from program query =
   let start = Unix.gettimeofday () in
   let profile = profile_of_options options in
+  let infos = ref [] in
+  let plan = plan_of_options options (fun i -> infos := i :: !infos) in
   let finish rewritten (db, counters, answers, undefined, evaluator, status) =
     { options;
       rewritten;
@@ -138,6 +168,7 @@ let run_uncaught ~options ?resume_from program query =
       undefined;
       counters;
       profile;
+      plans = dedup_infos (List.rev !infos);
       evaluator;
       status;
       wall_time_s = Unix.gettimeofday () -. start
@@ -176,15 +207,17 @@ let run_uncaught ~options ?resume_from program query =
   else
     match options.Options.strategy with
     | Options.Naive | Options.Seminaive ->
-      let* result = evaluate ?resume_from options profile program qpred query in
+      let* result =
+        evaluate ?resume_from ?plan options profile program qpred query
+      in
       Ok (finish None result)
     | Options.Tabled ->
       let* outcome =
         Result.map_error
           (fun msg -> Errors.Evaluation msg)
           (Tabled.run ~limits:options.Options.limits ~profile
-             ~checkpoint:options.Options.checkpoint ?resume_from program
-             query)
+             ~checkpoint:options.Options.checkpoint ?resume_from ?plan
+             program query)
       in
       (* expose the tables as a database, alongside the EDB *)
       let db = Database.of_facts (Program.facts program) in
@@ -230,7 +263,7 @@ let run_uncaught ~options ?resume_from program query =
             rw.Rewritten.rules
         in
         let* result =
-          evaluate ?resume_from options profile full
+          evaluate ?resume_from ?plan options profile full
             (Rewritten.answer_pred rw) rw.Rewritten.answer_atom
         in
         Ok (finish (Some rw) result))
@@ -284,6 +317,7 @@ let run_many_uncaught ~options program queries =
     let results = Hashtbl.create 8 in
     (* shared across groups: the rows aggregate over the whole batch *)
     let profile = profile_of_options options in
+    let plan = plan_of_options options ignore in
     let evaluate_group (_, group) =
       let group = List.rev group in
       match group with
@@ -337,7 +371,7 @@ let run_many_uncaught ~options program queries =
                   in
                   Hashtbl.replace results i (query, answers))
                 group)
-            (evaluate options profile full (Rewritten.answer_pred rw)
+            (evaluate ?plan options profile full (Rewritten.answer_pred rw)
                (Atom.make (Rewritten.answer_pred rw)
                   (Array.mapi
                      (fun i _ -> Term.var (Printf.sprintf "_Any%d" i))
@@ -395,8 +429,31 @@ let report_json ~query report =
           ("seeds", Json.Int (List.length rw.Rewritten.seeds))
         ]
   in
+  let plan_block =
+    Json.Obj
+      [ ("compiled", Json.Bool report.options.Options.compile);
+        ( "sip",
+          Json.String (Sips.strategy_name report.options.Options.sips) );
+        ( "rules",
+          Json.List
+            (List.map
+               (fun i ->
+                 Json.Obj
+                   [ ("rule", Json.String i.Plan.i_rule);
+                     ("variant", Json.String i.Plan.i_variant);
+                     ( "order",
+                       Json.List
+                         (List.map (fun p -> Json.Int p) i.Plan.i_order) );
+                     ( "steps",
+                       Json.List
+                         (List.map (fun s -> Json.String s) i.Plan.i_steps)
+                     )
+                   ])
+               report.plans) )
+      ]
+  in
   Json.Obj
-    [ ("schema_version", Json.Int 1);
+    [ ("schema_version", Json.Int 2);
       ("query", Json.String (Format.asprintf "%a" Atom.pp query));
       ( "strategy",
         Json.String (Options.strategy_name report.options.Options.strategy) );
@@ -411,6 +468,7 @@ let report_json ~query report =
       ("undefined", Json.Int (List.length report.undefined));
       ("wall_time_s", Json.Float report.wall_time_s);
       ("rewritten", rewritten);
+      ("plan", plan_block);
       ("totals", Counters.to_json report.counters);
       ("profile", Profile.to_json report.profile)
     ]

@@ -30,6 +30,10 @@ type report = {
       (** per-rule / per-predicate / per-round statistics; the inactive
           {!Datalog_engine.Profile.none} unless [options.profile] (or a
           trace sink) asked for collection *)
+  plans : Datalog_engine.Plan.info list;
+      (** the compiled join plans the evaluation used, deduplicated, in
+          compilation order; empty when [options.compile] is off (or the
+          query short-circuited to an indexed lookup) *)
   evaluator : string;
       (** which fixpoint ran: "seminaive", "naive", "stratified",
           "conditional" or "wellfounded" *)
@@ -86,8 +90,9 @@ val answer_atoms : Program.t -> Atom.t -> report -> Atom.t list
 (** The answers as ground atoms over the source query predicate. *)
 
 val report_json : query:Atom.t -> report -> Datalog_engine.Json.t
-(** The report as a schema-stable JSON object (schema_version 1): query,
+(** The report as a schema-stable JSON object (schema_version 2): query,
     strategy/sips/negation, evaluator, status, answer and undefined
-    counts, wall time, rewritten-program size, the five counter totals,
-    and the full profile (empty rows unless profiling was on).  See
+    counts, wall time, rewritten-program size, the compiled-plan block
+    (SIP, per-rule variants and steps), the five counter totals, and the
+    full profile (empty rows unless profiling was on).  See
     docs/OBSERVABILITY.md. *)

@@ -122,12 +122,23 @@ let solve_body cnt ~guard ~profile store ~is_idb ~edb_mem body subst cond emit
   in
   go body subst cond
 
-let run ?(limits = Limits.none) ?(profile = Profile.none) ?db program =
+let run ?(limits = Limits.none) ?(profile = Profile.none) ?plan ?db program =
   let counters = Counters.create () in
   let guard = Limits.guard limits counters in
   let store = Store.create () in
   let seed = match db with Some db -> db | None -> Database.create () in
   List.iter (fun a -> ignore (Database.add_atom seed a)) (Program.facts program);
+  (* The condition-set interpreter stays (delayed negation needs the
+     store), but the SIP still applies: under a cost config each rule body
+     is reordered once, against the seed cardinalities.  Firings and
+     derived facts are order-invariant; probes/scanned are not. *)
+  let rules =
+    match plan with
+    | None -> Program.rules program
+    | Some cfg ->
+      let card pred = Database.cardinal seed pred in
+      List.map (Plan.reorder cfg ~card) (Program.rules program)
+  in
   Database.iter
     (fun pred rel ->
       Relation.iter
@@ -175,7 +186,7 @@ let run ?(limits = Limits.none) ?(profile = Profile.none) ?db program =
                           Profile.derived profile (Atom.pred h);
                           changed := true
                         end)))
-              (Program.rules program))
+              rules)
       done
     with
     | () -> Limits.Complete

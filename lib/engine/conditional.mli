@@ -39,7 +39,8 @@ type outcome = {
 }
 
 val run :
-  ?limits:Limits.t -> ?profile:Profile.t -> ?db:Database.t -> Program.t ->
+  ?limits:Limits.t -> ?profile:Profile.t -> ?plan:Plan.config ->
+  ?db:Database.t -> Program.t ->
   outcome
 (** Evaluate the program under the conditional fixpoint.  [db] optionally
     pre-seeds extra EDB facts; [limits] bounds the evaluation; an active

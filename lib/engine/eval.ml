@@ -49,10 +49,9 @@ let solve_body cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
       | Some rel ->
         let bound = bound_positions subst atom in
         cnt.Counters.probes <- cnt.Counters.probes + 1;
-        let candidates = Relation.select rel bound in
+        let candidates, width = Relation.select_count rel bound in
         if Profile.is_active profile then
-          Profile.probe profile (Atom.pred atom)
-            ~scanned:(List.length candidates);
+          Profile.probe profile (Atom.pred atom) ~scanned:width;
         List.iter
           (fun tuple ->
             Limits.check guard;

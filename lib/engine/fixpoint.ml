@@ -1,8 +1,27 @@
 open Datalog_ast
 open Datalog_storage
 
+(* One rule application, either interpreted ([Eval.apply_rule]) or through
+   a compiled plan; the two are counter-for-counter equivalent, so which
+   one runs is invisible to profiles, limits and checkpoints. *)
+let applier cnt ~guard ~profile ~neg ?plan ~card ?delta_pos rule =
+  match plan with
+  | None ->
+    fun ~rel_of emit ->
+      Eval.apply_rule cnt ~guard ~profile ~rel_of ~neg rule emit
+  | Some cfg ->
+    let p = Plan.compile cfg ~card ?delta_pos rule in
+    fun ~rel_of emit -> Plan.run p cnt ~guard ~profile ~rel_of ~neg emit
+
 let naive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
-    ?(ckpt = Checkpoint.none) ~db ~neg rules =
+    ?(ckpt = Checkpoint.none) ?plan ~db ~neg rules =
+  let rel_of = Eval.db_rel_of db in
+  let card pred = Database.cardinal db pred in
+  let apps =
+    List.map
+      (fun rule -> (rule, applier cnt ~guard ~profile ~neg ?plan ~card rule))
+      rules
+  in
   let changed = ref true in
   while !changed do
     changed := false;
@@ -11,10 +30,9 @@ let naive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
       Limits.check_round guard;
       Profile.with_round profile cnt (fun () ->
           List.iter
-            (fun rule ->
+            (fun (rule, app) ->
               Profile.with_rule profile cnt rule (fun () ->
-                  Eval.apply_rule cnt ~guard ~profile
-                    ~rel_of:(Eval.db_rel_of db) ~neg rule (fun pred tuple ->
+                  app ~rel_of (fun pred tuple ->
                       if Database.add db pred tuple then begin
                         cnt.Counters.facts_derived <-
                           cnt.Counters.facts_derived + 1;
@@ -23,7 +41,7 @@ let naive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
                           Limits.check_relation guard (Database.rel db pred);
                         changed := true
                       end)))
-            rules)
+            apps)
     with
     | () -> Checkpoint.on_round ckpt ~db ~delta:None
     | exception (Limits.Out_of_budget _ as e) ->
@@ -47,10 +65,11 @@ let delta_positions recursive rule =
          | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> None)
 
 let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
-    ?(ckpt = Checkpoint.none) ?initial_delta ~db ~neg ?recursive rules =
+    ?(ckpt = Checkpoint.none) ?plan ?initial_delta ~db ~neg ?recursive rules =
   let recursive =
     match recursive with Some s -> s | None -> head_preds rules
   in
+  let card pred = Database.cardinal db pred in
   let fresh_delta () : Database.t = Database.create () in
   let delta = ref (fresh_delta ()) in
   (match initial_delta with
@@ -60,15 +79,20 @@ let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
     delta := d
   | None -> (
     (* First round: full evaluation, recording the new tuples as the delta. *)
+    let rel_of = Eval.db_rel_of db in
+    let apps =
+      List.map
+        (fun rule -> (rule, applier cnt ~guard ~profile ~neg ?plan ~card rule))
+        rules
+    in
     match
       cnt.Counters.iterations <- cnt.Counters.iterations + 1;
       Limits.check_round guard;
       Profile.with_round profile cnt (fun () ->
           List.iter
-            (fun rule ->
+            (fun (rule, app) ->
               Profile.with_rule profile cnt rule (fun () ->
-                  Eval.apply_rule cnt ~guard ~profile
-                    ~rel_of:(Eval.db_rel_of db) ~neg rule (fun pred tuple ->
+                  app ~rel_of (fun pred tuple ->
                       if Database.add db pred tuple then begin
                         cnt.Counters.facts_derived <-
                           cnt.Counters.facts_derived + 1;
@@ -77,7 +101,7 @@ let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
                           Limits.check_relation guard (Database.rel db pred);
                         ignore (Database.add !delta pred tuple)
                       end)))
-            rules)
+            apps)
     with
     | () -> Checkpoint.on_round ckpt ~db ~delta:(Some !delta)
     | exception (Limits.Out_of_budget _ as e) ->
@@ -90,7 +114,16 @@ let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
       (fun rule ->
         match delta_positions recursive rule with
         | [] -> None
-        | positions -> Some (rule, positions))
+        | positions ->
+          let apps =
+            List.map
+              (fun delta_pos ->
+                ( delta_pos,
+                  applier cnt ~guard ~profile ~neg ?plan ~card ~delta_pos rule
+                ))
+              positions
+          in
+          Some (rule, apps))
       rules
   in
   while Database.total_facts !delta > 0 do
@@ -101,16 +134,15 @@ let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
        Limits.check_round guard;
        Profile.with_round profile cnt (fun () ->
            List.iter
-             (fun (rule, positions) ->
+             (fun (rule, apps) ->
                Profile.with_rule profile cnt rule (fun () ->
                    List.iter
-                     (fun delta_pos ->
+                     (fun (delta_pos, app) ->
                        let rel_of i pred =
                          if i = delta_pos then Database.find current pred
                          else Database.find db pred
                        in
-                       Eval.apply_rule cnt ~guard ~profile ~rel_of ~neg rule
-                         (fun pred tuple ->
+                       app ~rel_of (fun pred tuple ->
                            if Database.add db pred tuple then begin
                              cnt.Counters.facts_derived <-
                                cnt.Counters.facts_derived + 1;
@@ -120,7 +152,7 @@ let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
                                  (Database.rel db pred);
                              ignore (Database.add next pred tuple)
                            end))
-                     positions))
+                     apps))
              delta_rules)
      with
     | () -> ()

@@ -25,11 +25,16 @@ val naive :
   ?guard:Limits.guard ->
   ?profile:Profile.t ->
   ?ckpt:Checkpoint.t ->
+  ?plan:Plan.config ->
   db:Database.t ->
   neg:(Atom.t -> bool) ->
   Rule.t list ->
   unit
 (** Rounds of full re-evaluation of every rule until no new fact appears.
+    With [plan], each rule is compiled once (against the cardinalities of
+    [db] at entry) and run through {!Plan.run}; without it, the
+    interpreted {!Eval.apply_rule} path is used.  The two are equivalent,
+    counters included.
     @raise Limits.Out_of_budget when the guard's budget is exhausted. *)
 
 val seminaive :
@@ -37,6 +42,7 @@ val seminaive :
   ?guard:Limits.guard ->
   ?profile:Profile.t ->
   ?ckpt:Checkpoint.t ->
+  ?plan:Plan.config ->
   ?initial_delta:Database.t ->
   db:Database.t ->
   neg:(Atom.t -> bool) ->

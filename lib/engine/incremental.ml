@@ -9,34 +9,65 @@ let ensure_positive program =
        retract under additions); recompute instead"
   else Ok ()
 
+(* One delta specialization of a rule: position [i] reads the delta, the
+   rest the full database — interpreted, or through a compiled plan. *)
+let delta_applier cnt ~guard ~profile ~neg ?plan ~card ~delta_pos rule =
+  match plan with
+  | None ->
+    fun ~rel_of emit ->
+      Eval.apply_rule cnt ~guard ~profile ~rel_of ~neg rule emit
+  | Some cfg ->
+    let p = Plan.compile cfg ~card ~delta_pos rule in
+    fun ~rel_of emit -> Plan.run p cnt ~guard ~profile ~rel_of ~neg emit
+
+(* Per rule, the delta-readable positions with their appliers (compiled
+   once per maintenance call, not once per propagation round). *)
+let delta_apps cnt ~guard ~profile ~neg ?plan ~card rules =
+  List.map
+    (fun rule ->
+      let apps =
+        List.mapi (fun i lit -> (i, lit)) (Rule.body rule)
+        |> List.filter_map (fun (i, lit) ->
+               match lit with
+               | Literal.Pos a ->
+                 Some
+                   ( i,
+                     Atom.pred a,
+                     delta_applier cnt ~guard ~profile ~neg ?plan ~card
+                       ~delta_pos:i rule )
+               | Literal.Neg _ | Literal.Cmp _ -> None)
+      in
+      (rule, apps))
+    rules
+
 (* Delta-driven propagation: fire every rule with one body position
    reading the delta and the rest reading the full database, inserting
    consequences into both the database and the next delta. *)
-let propagate cnt guard profile program db delta =
+let propagate cnt guard profile ?plan program db delta =
   let inserted = ref 0 in
   let current = ref delta in
+  let neg = Eval.closed_world_neg db in
+  let card pred = Database.cardinal db pred in
+  let rule_apps =
+    delta_apps cnt ~guard ~profile ~neg ?plan ~card (Program.rules program)
+  in
   while Database.total_facts !current > 0 do
     cnt.Counters.iterations <- cnt.Counters.iterations + 1;
     Limits.check_round guard;
     let next = Database.create () in
     Profile.with_round profile cnt (fun () ->
         List.iter
-          (fun rule ->
+          (fun (rule, apps) ->
             Profile.with_rule profile cnt rule @@ fun () ->
-            let body = Rule.body rule in
-            List.iteri
-              (fun i lit ->
-                match lit with
-                | Literal.Pos a
-                  when Database.cardinal !current (Atom.pred a) > 0 ->
+            List.iter
+              (fun (i, apred, app) ->
+                if Database.cardinal !current apred > 0 then begin
+                  let cur = !current in
                   let rel_of j pred =
-                    if j = i then Database.find !current pred
+                    if j = i then Database.find cur pred
                     else Database.find db pred
                   in
-                  Eval.apply_rule cnt ~guard ~profile ~rel_of
-                    ~neg:(Eval.closed_world_neg db)
-                    rule
-                    (fun pred tuple ->
+                  app ~rel_of (fun pred tuple ->
                       if Database.add db pred tuple then begin
                         incr inserted;
                         cnt.Counters.facts_derived <-
@@ -46,9 +77,9 @@ let propagate cnt guard profile program db delta =
                           Limits.check_relation guard (Database.rel db pred);
                         ignore (Database.add next pred tuple)
                       end)
-                | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> ())
-              body)
-          (Program.rules program));
+                end)
+              apps)
+          rule_apps);
     current := next
   done;
   !inserted
@@ -77,8 +108,8 @@ let with_rollback limits db f =
       exhausted_error reason
   end
 
-let add_facts cnt ?(limits = Limits.none) ?(profile = Profile.none) program
-    db facts =
+let add_facts cnt ?(limits = Limits.none) ?(profile = Profile.none) ?plan
+    program db facts =
   match ensure_positive program with
   | Error _ as e -> e
   | Ok () ->
@@ -93,10 +124,10 @@ let add_facts cnt ?(limits = Limits.none) ?(profile = Profile.none) program
           ignore (Database.add_atom delta a)
         end)
       facts;
-    let derived = propagate cnt guard profile program db delta in
+    let derived = propagate cnt guard profile ?plan program db delta in
     Ok (!base_added + derived)
 
-let remove_facts cnt ?(limits = Limits.none) ?(profile = Profile.none)
+let remove_facts cnt ?(limits = Limits.none) ?(profile = Profile.none) ?plan
     program db facts =
   match ensure_positive program with
   | Error _ as e -> e
@@ -118,34 +149,36 @@ let remove_facts cnt ?(limits = Limits.none) ?(profile = Profile.none)
         if Database.mem_atom db a then ignore (Database.add_atom deleted a))
       facts;
     let frontier = ref (Database.copy deleted) in
+    let over_delete_apps =
+      delta_apps cnt ~guard ~profile:Profile.none
+        ~neg:(Eval.closed_world_neg db) ?plan
+        ~card:(fun pred -> Database.cardinal db pred)
+        (Program.rules program)
+    in
     while Database.total_facts !frontier > 0 do
       cnt.Counters.iterations <- cnt.Counters.iterations + 1;
       Limits.check_round guard;
       let next = Database.create () in
       List.iter
-        (fun rule ->
-          List.iteri
-            (fun i lit ->
-              match lit with
-              | Literal.Pos a
-                when Database.cardinal !frontier (Atom.pred a) > 0 ->
+        (fun (_rule, apps) ->
+          List.iter
+            (fun (i, apred, app) ->
+              if Database.cardinal !frontier apred > 0 then begin
+                let front = !frontier in
                 let rel_of j pred =
-                  if j = i then Database.find !frontier pred
+                  if j = i then Database.find front pred
                   else Database.find db pred
                 in
-                Eval.apply_rule cnt ~guard ~rel_of
-                  ~neg:(Eval.closed_world_neg db)
-                  rule
-                  (fun pred tuple ->
+                app ~rel_of (fun pred tuple ->
                     let atom = Atom.of_tuple pred tuple in
                     if
                       Database.mem db pred tuple
                       && (not (Atom.Tbl.mem protected atom))
                       && Database.add deleted pred tuple
                     then ignore (Database.add next pred tuple))
-              | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> ())
-            (Rule.body rule))
-        (Program.rules program);
+              end)
+            apps)
+        over_delete_apps;
       frontier := next
     done;
     (* Phase 2: physically remove the over-deleted tuples. *)
@@ -155,7 +188,7 @@ let remove_facts cnt ?(limits = Limits.none) ?(profile = Profile.none)
       deleted;
     (* Phase 3: re-derive — anything with an alternative derivation from
        the remaining facts comes back (semi-naive to fixpoint). *)
-    Fixpoint.seminaive cnt ~guard ~profile ~db
+    Fixpoint.seminaive cnt ~guard ~profile ?plan ~db
       ~neg:(Eval.closed_world_neg db)
       (Program.rules program);
     Ok (before - Database.total_facts db)

@@ -19,6 +19,7 @@ val add_facts :
   Counters.t ->
   ?limits:Limits.t ->
   ?profile:Profile.t ->
+  ?plan:Plan.config ->
   Program.t ->
   Database.t ->
   Atom.t list ->
@@ -40,6 +41,7 @@ val remove_facts :
   Counters.t ->
   ?limits:Limits.t ->
   ?profile:Profile.t ->
+  ?plan:Plan.config ->
   Program.t ->
   Database.t ->
   Atom.t list ->

@@ -3,8 +3,9 @@
     The stats/trace exporters and the benchmark baseline need
     schema-stable, machine-readable output, and the switch has no JSON
     library installed — this is the smallest thing that serialises
-    correctly (string escaping, no inf/nan).  There is deliberately no
-    parser: consumers of the exported files are external tools. *)
+    correctly (string escaping, no inf/nan).  The parser exists for one
+    internal consumer — the bench-regression tool reading the committed
+    baseline back — and accepts the documents this printer produces. *)
 
 type t =
   | Null
@@ -30,3 +31,10 @@ val member : string -> t -> t option
     the value is not an [Obj]. *)
 
 val pp : Format.formatter -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a JSON document (objects, arrays, strings with the printer's
+    escapes, ints, floats, booleans, null).
+    @raise Parse_error on malformed input or trailing content. *)

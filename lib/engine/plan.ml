@@ -1,0 +1,685 @@
+open Datalog_ast
+open Datalog_storage
+
+(* A plan is the one-time compilation of a rule body: join order fixed, one
+   register per variable (aliases from [=] share a register), and for every
+   positive literal a static split of its argument positions into an index
+   key (constants and already-bound registers, served by a pre-resolved
+   {!Relation.access} handle) and a residual pattern (stores into fresh
+   registers, equality checks for repeated or bound ones).
+
+   Boundness is decidable statically because every evaluator starts each
+   rule application from the empty substitution: a variable is ground at a
+   program point iff some earlier literal in the chosen order binds it. *)
+
+type sip = Ltr | Cost
+
+let sip_name = function Ltr -> "ltr" | Cost -> "cost"
+
+type src =
+  | Sconst of Value.t
+  | Sreg of int  (* statically bound register *)
+  | Sunbound of int  (* statically unbound register: only in failing ops
+                        and unsafe heads, never read for a value *)
+
+(* What to do with one position of a fetched tuple. *)
+type action =
+  | Store of int  (* first occurrence of an unbound variable *)
+  | Check of int  (* repeated variable, or bound register (tabled) *)
+  | Match of Value.t  (* constant (full-scan residuals only) *)
+
+type op =
+  | Probe of {
+      lit_pos : int;  (* original body position, the [rel_of] key *)
+      pred : Pred.t;
+      cols : int array;  (* ascending; mirrors the access handle *)
+      access : Relation.access;
+      key : src array;  (* values for [cols], same order; never Sunbound *)
+      out : (int * action) array;  (* residual positions, ascending *)
+    }
+  | Scan of {
+      lit_pos : int;
+      pred : Pred.t;
+      out : (int * action) array;
+    }
+  | Table of {
+      (* tabled evaluation only: enumerate an IDB call table *)
+      lit_pos : int;
+      pred : Pred.t;
+      key : (int * src) array;  (* bound positions -> call pattern *)
+      out : (int * action) array;  (* every position, ascending *)
+    }
+  | Negtest of { pred : Pred.t; args : src array }  (* all bound *)
+  | Cmptest of { cmp : Literal.cmp; lhs : src; rhs : src }  (* both bound *)
+  | Assign of { reg : int; value : src }  (* [=] with one unbound side *)
+  | Unsafe_neg of { pred : Pred.t; args : src array }
+  | Unsafe_cmp of { cmp : Literal.cmp; lhs : src; rhs : src }
+
+(* The interpreters raise [Unsafe_rule] with slightly different wording
+   (and [Eval] aliases unbound [X = Y] while [Tabled] rejects it); plans
+   reproduce each dialect exactly so differential tests can compare
+   behaviour one-to-one. *)
+type dialect = Rule_eval | Call_eval
+
+type variant = Full | Delta of int | Call of string
+
+type t = {
+  rule : Rule.t;
+  dialect : dialect;
+  variant : variant;
+  sip : sip;
+  order : int list;  (* chosen literal order, as original positions *)
+  nregs : int;
+  names : string array;  (* register -> variable display name *)
+  ops : op array;
+  head_pred : Pred.t;
+  head : src array;
+  head_safe : bool;  (* no Sunbound in [head] *)
+}
+
+type info = {
+  i_rule : string;
+  i_variant : string;
+  i_sip : string;
+  i_order : int list;
+  i_steps : string list;
+}
+
+type config = {
+  sip : sip;
+  on_compile : info -> unit;
+}
+
+let config ?(sip = Ltr) ?(on_compile = fun (_ : info) -> ()) () =
+  { sip; on_compile }
+
+(* ------------------------------------------------------------------ *)
+(* Cost-aware ordering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module SSet = Set.Make (String)
+
+(* Mirrors Datalog_rewrite.Sips (the engine library sits below the
+   rewriting library, so the definitions cannot be shared): a negation is
+   ready when ground, a comparison when its sides are ground (one side
+   suffices for [=]). *)
+let ready bound = function
+  | Literal.Pos _ -> true
+  | Literal.Neg a -> List.for_all (fun v -> SSet.mem v bound) (Atom.var_set a)
+  | Literal.Cmp (op, t1, t2) -> (
+    let b = function Term.Const _ -> true | Term.Var v -> SSet.mem v bound in
+    match op with Literal.Eq -> b t1 || b t2 | _ -> b t1 && b t2)
+
+let bind bound = function
+  | Literal.Pos a -> SSet.union bound (SSet.of_list (Atom.var_set a))
+  | Literal.Neg _ -> bound
+  | Literal.Cmp (Literal.Eq, t1, t2) ->
+    let add acc = function Term.Var v -> SSet.add v acc | Term.Const _ -> acc in
+    add (add bound t1) t2
+  | Literal.Cmp (_, _, _) -> bound
+
+(* Greedy pick: most bound argument positions first, then the smaller
+   relation, then the earlier original position. *)
+let score bound card atom =
+  let args = Atom.args atom in
+  let bound_args =
+    Array.fold_left
+      (fun acc t ->
+        match t with
+        | Term.Const _ -> acc + 1
+        | Term.Var v -> if SSet.mem v bound then acc + 1 else acc)
+      0 args
+  in
+  (bound_args, card (Atom.pred atom))
+
+let better (b1, c1, i1) (b2, c2, i2) =
+  b1 > b2 || (b1 = b2 && (c1 < c2 || (c1 = c2 && i1 < i2)))
+
+let order_cost ~card ?delta_pos body =
+  let indexed = List.mapi (fun i l -> (i, l)) body in
+  let seed, remaining =
+    match delta_pos with
+    | None -> ([], indexed)
+    | Some d ->
+      (* the delta literal drives the join: it goes first unconditionally *)
+      let dl = List.filter (fun (i, _) -> i = d) indexed in
+      (dl, List.filter (fun (i, _) -> i <> d) indexed)
+  in
+  let bound0 =
+    List.fold_left
+      (fun acc (_, l) -> SSet.union acc (SSet.of_list (Literal.vars l)))
+      SSet.empty seed
+  in
+  let rec go bound acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | _ -> (
+      (* 1. flush any ready filter (negation/comparison), original order *)
+      let rec find_filter seen = function
+        | [] -> None
+        | (i, lit) :: rest ->
+          if (not (Literal.is_positive lit)) && ready bound lit then
+            Some ((i, lit), List.rev_append seen rest)
+          else find_filter ((i, lit) :: seen) rest
+      in
+      match find_filter [] remaining with
+      | Some ((i, lit), rest) -> go (bind bound lit) ((i, lit) :: acc) rest
+      | None -> (
+        (* 2. pick the cheapest positive literal *)
+        let best = ref None in
+        List.iter
+          (fun (i, lit) ->
+            match lit with
+            | Literal.Pos a ->
+              let b, c = score bound card a in
+              let cand = (b, c, i) in
+              (match !best with
+              | Some (b', c', i', _, _) when not (better cand (b', c', i')) ->
+                ()
+              | _ -> best := Some (b, c, i, i, lit))
+            | Literal.Neg _ | Literal.Cmp _ -> ())
+          remaining;
+        match !best with
+        | Some (_, _, _, i, lit) ->
+          let rest = List.filter (fun (j, _) -> j <> i) remaining in
+          go (bind bound lit) ((i, lit) :: acc) rest
+        | None ->
+          (* only unready filters remain; keep them as-is and let
+             evaluation raise the dialect's unsafe-rule error *)
+          List.rev_append acc remaining))
+  in
+  go bound0 seed remaining
+
+let order_body sip ~card ?delta_pos body =
+  match sip with
+  | Ltr -> List.mapi (fun i l -> (i, l)) body
+  | Cost -> order_cost ~card ?delta_pos body
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type cenv = {
+  regs : (string, int) Hashtbl.t;  (* variable -> raw register *)
+  names : string array;
+  parent : int array;  (* union-find for [=]-aliased registers *)
+  bound : bool array;
+  nregs : int;
+}
+
+let cenv_of_rule rule =
+  let seen = Hashtbl.create 16 in
+  let vars = ref [] in
+  let note v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      vars := v :: !vars
+    end
+  in
+  List.iter (fun l -> List.iter note (Literal.vars l)) (Rule.body rule);
+  List.iter note (Atom.vars (Rule.head rule));
+  let vars = List.rev !vars in
+  let n = List.length vars in
+  let env =
+    { regs = Hashtbl.create (max 8 n);
+      names = Array.make (max 1 n) "_";
+      parent = Array.init (max 1 n) (fun i -> i);
+      bound = Array.make (max 1 n) false;
+      nregs = n
+    }
+  in
+  List.iteri
+    (fun i v ->
+      Hashtbl.add env.regs v i;
+      env.names.(i) <- v)
+    vars;
+  env
+
+let rec find env r =
+  let p = env.parent.(r) in
+  if p = r then r
+  else begin
+    let root = find env p in
+    env.parent.(r) <- root;
+    root
+  end
+
+let reg_of env v = find env (Hashtbl.find env.regs v)
+let is_bound env r = env.bound.(r)
+let set_bound env r = env.bound.(r) <- true
+
+(* Alias two unbound registers (the [X = Y] case): every later mention of
+   either variable resolves to the kept register.  Sound because an
+   unbound register has never been read or written by an emitted op. *)
+let alias env ~keep ~drop = env.parent.(drop) <- keep
+
+let src_of_term env = function
+  | Term.Const v -> Sconst v
+  | Term.Var x ->
+    let r = reg_of env x in
+    if is_bound env r then Sreg r else Sunbound r
+
+let is_src_bound = function Sconst _ | Sreg _ -> true | Sunbound _ -> false
+
+(* Compile one positive literal over an extensional-style relation. *)
+let compile_pos env lit_pos atom =
+  let args = Atom.args atom in
+  let key = ref [] and out = ref [] in
+  let stored = ref [] in
+  Array.iteri
+    (fun i t ->
+      match t with
+      | Term.Const v -> key := (i, Sconst v) :: !key
+      | Term.Var x ->
+        let r = reg_of env x in
+        if is_bound env r then key := (i, Sreg r) :: !key
+        else if List.mem r !stored then out := (i, Check r) :: !out
+        else begin
+          stored := r :: !stored;
+          out := (i, Store r) :: !out
+        end)
+    args;
+  List.iter (set_bound env) !stored;
+  let key = List.rev !key and out = Array.of_list (List.rev !out) in
+  match key with
+  | [] -> Scan { lit_pos; pred = Atom.pred atom; out }
+  | _ ->
+    let cols = List.map fst key in
+    Probe
+      { lit_pos;
+        pred = Atom.pred atom;
+        cols = Array.of_list cols;
+        access = Relation.prepare cols;
+        key = Array.of_list (List.map snd key);
+        out
+      }
+
+(* Compile one positive IDB literal for tabled evaluation: the bound
+   positions become the call pattern, and — because the interpreter scans
+   the whole answer table — the residual covers every position. *)
+let compile_table env lit_pos atom =
+  let args = Atom.args atom in
+  let key = ref [] and out = ref [] in
+  let stored = ref [] in
+  Array.iteri
+    (fun i t ->
+      match t with
+      | Term.Const v ->
+        key := (i, Sconst v) :: !key;
+        out := (i, Match v) :: !out
+      | Term.Var x ->
+        let r = reg_of env x in
+        if is_bound env r then begin
+          key := (i, Sreg r) :: !key;
+          out := (i, Check r) :: !out
+        end
+        else if List.mem r !stored then out := (i, Check r) :: !out
+        else begin
+          stored := r :: !stored;
+          out := (i, Store r) :: !out
+        end)
+    args;
+  List.iter (set_bound env) !stored;
+  Table
+    { lit_pos;
+      pred = Atom.pred atom;
+      key = Array.of_list (List.rev !key);
+      out = Array.of_list (List.rev !out)
+    }
+
+let compile_neg env atom =
+  let args = Array.map (src_of_term env) (Atom.args atom) in
+  if Array.for_all is_src_bound args then
+    Negtest { pred = Atom.pred atom; args }
+  else Unsafe_neg { pred = Atom.pred atom; args }
+
+let compile_cmp env dialect cmp t1 t2 =
+  let s1 = src_of_term env t1 and s2 = src_of_term env t2 in
+  match cmp, s1, s2 with
+  | _, (Sconst _ | Sreg _), (Sconst _ | Sreg _) ->
+    [ Cmptest { cmp; lhs = s1; rhs = s2 } ]
+  | Literal.Eq, Sunbound r, ((Sconst _ | Sreg _) as v)
+  | Literal.Eq, ((Sconst _ | Sreg _) as v), Sunbound r ->
+    set_bound env r;
+    [ Assign { reg = r; value = v } ]
+  | Literal.Eq, Sunbound r1, Sunbound r2 -> (
+    match dialect with
+    | Rule_eval ->
+      (* [Eval] aliases two unbound variables for [=] *)
+      if r1 <> r2 then alias env ~keep:r1 ~drop:r2;
+      []
+    | Call_eval ->
+      (* [Tabled] treats it as a safety violation *)
+      [ Unsafe_cmp { cmp; lhs = s1; rhs = s2 } ])
+  | _, _, _ -> [ Unsafe_cmp { cmp; lhs = s1; rhs = s2 } ]
+
+(* ------------------------------------------------------------------ *)
+(* Plan description (explain / stats JSON)                             *)
+(* ------------------------------------------------------------------ *)
+
+let src_str names = function
+  | Sconst v -> Value.to_string v
+  | Sreg r | Sunbound r -> names.(r)
+
+let action_str names (pos, act) =
+  match act with
+  | Store r -> Printf.sprintf "%d:=%s" pos names.(r)
+  | Check r -> Printf.sprintf "%d==%s" pos names.(r)
+  | Match v -> Printf.sprintf "%d==%s" pos (Value.to_string v)
+
+let joined f xs = String.concat "," (List.map f (Array.to_list xs))
+
+let pred_str pred = Printf.sprintf "%s/%d" (Pred.name pred) (Pred.arity pred)
+
+let describe_op names = function
+  | Probe { pred; cols; key; out; _ } ->
+    let keys =
+      String.concat ","
+        (List.map2
+           (fun c s -> Printf.sprintf "%d=%s" c (src_str names s))
+           (Array.to_list cols) (Array.to_list key))
+    in
+    Printf.sprintf "probe %s key[%s] match[%s]" (pred_str pred) keys
+      (joined (action_str names) out)
+  | Scan { pred; out; _ } ->
+    Printf.sprintf "scan %s match[%s]" (pred_str pred)
+      (joined (action_str names) out)
+  | Table { pred; key; out; _ } ->
+    let keys =
+      joined (fun (c, s) -> Printf.sprintf "%d=%s" c (src_str names s)) key
+    in
+    Printf.sprintf "call %s key[%s] match[%s]" (pred_str pred) keys
+      (joined (action_str names) out)
+  | Negtest { pred; args } ->
+    Printf.sprintf "neg %s(%s)" (Pred.name pred) (joined (src_str names) args)
+  | Cmptest { cmp; lhs; rhs } ->
+    Printf.sprintf "test %s %s %s" (src_str names lhs) (Literal.cmp_name cmp)
+      (src_str names rhs)
+  | Assign { reg; value } ->
+    Printf.sprintf "bind %s := %s" names.(reg) (src_str names value)
+  | Unsafe_neg { pred; args } ->
+    Printf.sprintf "unsafe neg %s(%s)" (Pred.name pred)
+      (joined (src_str names) args)
+  | Unsafe_cmp { cmp; lhs; rhs } ->
+    Printf.sprintf "unsafe test %s %s %s" (src_str names lhs)
+      (Literal.cmp_name cmp) (src_str names rhs)
+
+let variant_str = function
+  | Full -> "full"
+  | Delta d -> Printf.sprintf "delta@%d" d
+  | Call b -> Printf.sprintf "call[%s]" b
+
+let info (plan : t) =
+  let steps =
+    List.map (describe_op plan.names) (Array.to_list plan.ops)
+    @ [ Printf.sprintf "emit %s(%s)%s"
+          (Pred.name plan.head_pred)
+          (joined (src_str plan.names) plan.head)
+          (if plan.head_safe then "" else " [unsafe]")
+      ]
+  in
+  { i_rule = Format.asprintf "%a" Rule.pp plan.rule;
+    i_variant = variant_str plan.variant;
+    i_sip = sip_name plan.sip;
+    i_order = plan.order;
+    i_steps = steps
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Compiler entry points                                               *)
+(* ------------------------------------------------------------------ *)
+
+let finish cfg ~dialect ~variant ~env ~ops ~order rule =
+  let head = Rule.head rule in
+  let hsrc = Array.map (src_of_term env) (Atom.args head) in
+  let plan =
+    { rule;
+      dialect;
+      variant;
+      sip = cfg.sip;
+      order;
+      nregs = env.nregs;
+      names = env.names;
+      ops = Array.of_list ops;
+      head_pred = Atom.pred head;
+      head = hsrc;
+      head_safe = Array.for_all is_src_bound hsrc
+    }
+  in
+  cfg.on_compile (info plan);
+  plan
+
+(* Compile [rule] for the fixpoint-style evaluators ([Eval.apply_rule]
+   semantics).  [card] supplies relation cardinalities for the cost SIP;
+   [delta_pos] compiles the semi-naive specialization whose literal at
+   that original position reads the delta. *)
+let compile cfg ~card ?delta_pos rule =
+  let ordered = order_body cfg.sip ~card ?delta_pos (Rule.body rule) in
+  let env = cenv_of_rule rule in
+  let ops =
+    List.concat_map
+      (fun (i, lit) ->
+        match lit with
+        | Literal.Pos a -> [ compile_pos env i a ]
+        | Literal.Neg a -> [ compile_neg env a ]
+        | Literal.Cmp (c, t1, t2) -> compile_cmp env Rule_eval c t1 t2)
+      ordered
+  in
+  let variant =
+    match delta_pos with None -> Full | Some d -> Delta d
+  in
+  finish cfg ~dialect:Rule_eval ~variant ~env ~ops
+    ~order:(List.map fst ordered) rule
+
+(* Compile [rule] for tabled evaluation of calls with the given bound head
+   positions: head variables at bound positions enter pre-bound (their
+   values come from the call), IDB body literals become [Table] ops, and
+   the [Call_eval] dialect applies. *)
+let compile_call cfg ~card ~is_idb ~bound_prefix rule =
+  let env = cenv_of_rule rule in
+  let head_args = Atom.args (Rule.head rule) in
+  (* per bound position: check a head constant, or set/check the head
+     variable's register from the call value *)
+  let init =
+    List.map
+      (fun pos ->
+        match head_args.(pos) with
+        | Term.Const v -> (pos, Match v)
+        | Term.Var x ->
+          let r = reg_of env x in
+          if is_bound env r then (pos, Check r)
+          else begin
+            set_bound env r;
+            (pos, Store r)
+          end)
+      bound_prefix
+  in
+  let ordered = order_body cfg.sip ~card (Rule.body rule) in
+  let ops =
+    List.concat_map
+      (fun (i, lit) ->
+        match lit with
+        | Literal.Pos a ->
+          if is_idb (Atom.pred a) then [ compile_table env i a ]
+          else [ compile_pos env i a ]
+        | Literal.Neg a -> [ compile_neg env a ]
+        | Literal.Cmp (c, t1, t2) -> compile_cmp env Call_eval c t1 t2)
+      ordered
+  in
+  let binding =
+    String.init
+      (Array.length head_args)
+      (fun i -> if List.mem i bound_prefix then 'b' else 'f')
+  in
+  let plan =
+    finish cfg ~dialect:Call_eval ~variant:(Call binding) ~env ~ops
+      ~order:(List.map fst ordered) rule
+  in
+  (Array.of_list init, plan)
+
+(* Reorder a rule body without compiling it (the conditional engine keeps
+   its condition-set interpreter but still benefits from the SIP). *)
+let reorder cfg ~card rule =
+  match cfg.sip with
+  | Ltr -> rule
+  | Cost ->
+    let ordered = order_body Cost ~card (Rule.body rule) in
+    let order = List.map fst ordered in
+    let rule' = Rule.make (Rule.head rule) (List.map snd ordered) in
+    cfg.on_compile
+      { i_rule = Format.asprintf "%a" Rule.pp rule;
+        i_variant = "reorder";
+        i_sip = sip_name Cost;
+        i_order = order;
+        i_steps =
+          [ Printf.sprintf "body order [%s]"
+              (String.concat "," (List.map string_of_int order))
+          ]
+      };
+    rule'
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let src_value regs = function
+  | Sconst v -> v
+  | Sreg r -> regs.(r)
+  | Sunbound _ -> assert false  (* never read: guarded by head_safe /
+                                   compiled as Unsafe_* ops *)
+
+let term_of_src names regs = function
+  | Sconst v -> Term.const v
+  | Sreg r -> Term.const regs.(r)
+  | Sunbound r -> Term.var names.(r)
+
+let unsafe_neg_atom (plan : t) regs pred args =
+  Atom.make pred (Array.map (term_of_src plan.names regs) args)
+
+let raise_unsafe_neg (plan : t) regs pred args =
+  raise
+    (Eval.Unsafe_rule
+       (Format.asprintf "negative literal %a not ground at evaluation time"
+          Atom.pp
+          (unsafe_neg_atom plan regs pred args)))
+
+let raise_unsafe_cmp (plan : t) regs cmp lhs rhs =
+  let t1 = term_of_src plan.names regs lhs
+  and t2 = term_of_src plan.names regs rhs in
+  let lit = Literal.Cmp (cmp, t1, t2) in
+  match plan.dialect with
+  | Rule_eval ->
+    raise
+      (Eval.Unsafe_rule
+         (Format.asprintf "comparison %a with unbound variable" Literal.pp lit))
+  | Call_eval ->
+    raise
+      (Eval.Unsafe_rule
+         (Format.asprintf "comparison with unbound variable: %a" Literal.pp
+            lit))
+
+let raise_unsafe_head (plan : t) regs =
+  let h =
+    Atom.make plan.head_pred (Array.map (term_of_src plan.names regs) plan.head)
+  in
+  match plan.dialect with
+  | Rule_eval ->
+    raise
+      (Eval.Unsafe_rule
+         (Format.asprintf "derived non-ground head %a in rule %a" Atom.pp h
+            Rule.pp plan.rule))
+  | Call_eval ->
+    raise
+      (Eval.Unsafe_rule
+         (Format.asprintf "derived non-ground answer %a" Atom.pp h))
+
+(* Match one tuple against a residual pattern, storing fresh bindings.
+   Stores need no undo on failure: each register has exactly one static
+   binder, so any read is dominated by a (re-)store. *)
+let match_out regs (out : (int * action) array) (tuple : Tuple.t) =
+  let n = Array.length out in
+  let rec go i =
+    i >= n
+    ||
+    let pos, act = out.(i) in
+    match act with
+    | Store r ->
+      regs.(r) <- tuple.(pos);
+      go (i + 1)
+    | Check r -> Value.equal regs.(r) tuple.(pos) && go (i + 1)
+    | Match v -> Value.equal v tuple.(pos) && go (i + 1)
+  in
+  go 0
+
+let dummy_value = Value.int 0
+
+let make_regs (plan : t) = Array.make (max plan.nregs 1) dummy_value
+
+(* Run a compiled plan once (one rule application): counter-for-counter
+   equivalent to [Eval.apply_rule] on the same rule.  Relations are
+   resolved once up front — sound because a missed mid-application
+   relation creation would require this very rule to have already matched
+   a tuple of a relation that did not exist. *)
+let run (plan : t) cnt ?(guard = Limits.no_guard) ?(profile = Profile.none) ~rel_of
+    ~neg emit =
+  let nops = Array.length plan.ops in
+  let rels = Array.make (max nops 1) None in
+  Array.iteri
+    (fun k op ->
+      match op with
+      | Probe { lit_pos; pred; _ } | Scan { lit_pos; pred; _ } ->
+        rels.(k) <- rel_of lit_pos pred
+      | Table _ -> invalid_arg "Plan.run: Table op outside tabled evaluation"
+      | Negtest _ | Cmptest _ | Assign _ | Unsafe_neg _ | Unsafe_cmp _ -> ())
+    plan.ops;
+  let regs = make_regs plan in
+  let profiling = Profile.is_active profile in
+  let rec step k =
+    if k = nops then begin
+      cnt.Counters.firings <- cnt.Counters.firings + 1;
+      if not plan.head_safe then raise_unsafe_head plan regs;
+      emit plan.head_pred (Array.map (src_value regs) plan.head)
+    end
+    else
+      match plan.ops.(k) with
+      | Probe { pred; access; key; out; _ } -> (
+        match rels.(k) with
+        | None -> ()
+        | Some rel ->
+          cnt.Counters.probes <- cnt.Counters.probes + 1;
+          let kv = Array.map (src_value regs) key in
+          let candidates, width = Relation.probe rel access kv in
+          if profiling then Profile.probe profile pred ~scanned:width;
+          each k out candidates)
+      | Scan { pred; out; _ } -> (
+        match rels.(k) with
+        | None -> ()
+        | Some rel ->
+          cnt.Counters.probes <- cnt.Counters.probes + 1;
+          (* snapshot: tuples inserted during this scan are not visited,
+             exactly like the interpreter's [select rel []] *)
+          let candidates = Relation.to_list rel in
+          if profiling then
+            Profile.probe profile pred ~scanned:(Relation.cardinal rel);
+          each k out candidates)
+      | Table _ -> assert false
+      | Negtest { pred; args } ->
+        if neg (Atom.of_tuple pred (Array.map (src_value regs) args)) then
+          step (k + 1)
+      | Cmptest { cmp; lhs; rhs } ->
+        if Literal.eval_cmp cmp (src_value regs lhs) (src_value regs rhs) then
+          step (k + 1)
+      | Assign { reg; value } ->
+        regs.(reg) <- src_value regs value;
+        step (k + 1)
+      | Unsafe_neg { pred; args } -> raise_unsafe_neg plan regs pred args
+      | Unsafe_cmp { cmp; lhs; rhs } -> raise_unsafe_cmp plan regs cmp lhs rhs
+  and each k out = function
+    | [] -> ()
+    | tuple :: rest ->
+      Limits.check guard;
+      cnt.Counters.scanned <- cnt.Counters.scanned + 1;
+      if match_out regs out tuple then step (k + 1);
+      each k out rest
+  in
+  step 0

@@ -11,7 +11,7 @@ type outcome = {
 
 let run ?(limits = Limits.none) ?(profile = Profile.none)
     ?(checkpoint = Checkpoint.none) ?resume_from ?db ?(use_naive = false)
-    program =
+    ?plan program =
   match Stratify.stratification program with
   | None ->
     Error
@@ -56,12 +56,15 @@ let run ?(limits = Limits.none) ?(profile = Profile.none)
               else None
             in
             Profile.with_stratum profile counters s (fun () ->
+                (* [?plan] is passed per stratum: each stratum's rules are
+                   compiled afresh against the cardinalities the lower
+                   strata produced *)
                 if use_naive then
                   Fixpoint.naive counters ~guard ~profile ~ckpt:checkpoint
-                    ~db ~neg rules
+                    ?plan ~db ~neg rules
                 else
                   Fixpoint.seminaive counters ~guard ~profile
-                    ~ckpt:checkpoint ?initial_delta ~db ~neg rules)
+                    ~ckpt:checkpoint ?plan ?initial_delta ~db ~neg rules)
         done
       with
       | () -> Limits.Complete

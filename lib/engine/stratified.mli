@@ -23,6 +23,7 @@ val run :
   ?resume_from:Checkpoint.resume ->
   ?db:Database.t ->
   ?use_naive:bool ->
+  ?plan:Plan.config ->
   Program.t ->
   (outcome, string) result
 (** Evaluate the whole program.  [db] optionally supplies a pre-seeded

@@ -37,6 +37,16 @@ type outcome = {
   status : Limits.status;
 }
 
+(* Compiled call plans, shared (with their memoised index handles) by the
+   root state and every nested negation state: keyed on the source rule
+   and the call's binding pattern. *)
+type plan_store = {
+  cfg : Plan.config;
+  cache : (Rule.t * string, (int * Plan.action) array * Plan.t) Hashtbl.t;
+  card : Pred.t -> int;  (* EDB cardinalities for the cost SIP *)
+  is_idb : Pred.t -> bool;
+}
+
 type state = {
   program : Program.t;
   edb : Database.t;
@@ -52,6 +62,7 @@ type state = {
   mutable order : call list;  (* reverse creation order *)
   neg_memo : bool Atom.Tbl.t;  (* shared across nested evaluations *)
   ckpt : Checkpoint.t;  (* inactive in nested negation states *)
+  plans : plan_store option;  (* None = interpreted evaluation *)
 }
 
 (* Tables in the engine-independent shape {!Checkpoint} serializes; built
@@ -117,7 +128,8 @@ and decide_negation st atom =
         agenda = [];
         order = [];
         neg_memo = st.neg_memo;
-        ckpt = Checkpoint.none
+        ckpt = Checkpoint.none;
+        plans = st.plans
       }
     in
     let c = call_of_atom Subst.empty atom in
@@ -136,23 +148,24 @@ and solve_body st ~consumer body subst emit =
   | [] -> emit subst
   | Literal.Pos atom :: rest ->
     let pred = Atom.pred atom in
-    let candidates =
+    let candidates, width =
       if Program.is_idb st.program pred then begin
         let c = call_of_atom subst atom in
         let rel = ensure_call st c in
         register_consumer st ~producer:c ~consumer;
         st.counters.Counters.probes <- st.counters.Counters.probes + 1;
-        Relation.to_list rel
+        (Relation.to_list rel, Relation.cardinal rel)
       end
       else begin
         st.counters.Counters.probes <- st.counters.Counters.probes + 1;
         match Database.find st.edb pred with
-        | None -> []
-        | Some rel -> Relation.select rel (Eval.bound_positions subst atom)
+        | None -> ([], 0)
+        | Some rel ->
+          Relation.select_count rel (Eval.bound_positions subst atom)
       end
     in
     if Profile.is_active st.profile then
-      Profile.probe st.profile pred ~scanned:(List.length candidates);
+      Profile.probe st.profile pred ~scanned:width;
     List.iter
       (fun tuple ->
         Limits.check st.guard;
@@ -188,6 +201,112 @@ and solve_body st ~consumer body subst emit =
            (Format.asprintf "comparison with unbound variable: %a" Literal.pp
               (Literal.Cmp (op, r1, r2)))))
 
+(* The compiled analogue of one [solve_call] rule: walk the plan's ops,
+   with [Table] ops doing exactly what the interpreter's IDB case does
+   (ensure the sub-call, register the consumer, scan the whole table) and
+   EDB probes keeping the interpreter's accounting (the probe counts even
+   when the relation is missing, and the profile records a 0-wide scan). *)
+and run_plan st ~consumer (init, (plan : Plan.t)) c emit_tuple =
+  let regs = Plan.make_regs plan in
+  (* unify the call's bound values with the head pattern *)
+  let rec init_ok i bound =
+    match bound with
+    | [] -> true
+    | (_, v) :: rest -> (
+      match snd init.(i) with
+      | Plan.Store r ->
+        regs.(r) <- v;
+        init_ok (i + 1) rest
+      | Plan.Check r -> Value.equal regs.(r) v && init_ok (i + 1) rest
+      | Plan.Match c0 -> Value.equal c0 v && init_ok (i + 1) rest)
+  in
+  if init_ok 0 c.bound then begin
+    let nops = Array.length plan.Plan.ops in
+    let profiling = Profile.is_active st.profile in
+    let rec step k =
+      if k = nops then begin
+        st.counters.Counters.firings <- st.counters.Counters.firings + 1;
+        if not plan.Plan.head_safe then Plan.raise_unsafe_head plan regs;
+        emit_tuple (Array.map (Plan.src_value regs) plan.Plan.head)
+      end
+      else
+        match plan.Plan.ops.(k) with
+        | Plan.Table { pred; key; out; _ } ->
+          let sub =
+            { call_pred = pred;
+              bound =
+                List.map
+                  (fun (i, s) -> (i, Plan.src_value regs s))
+                  (Array.to_list key)
+            }
+          in
+          let rel = ensure_call st sub in
+          register_consumer st ~producer:sub ~consumer;
+          st.counters.Counters.probes <- st.counters.Counters.probes + 1;
+          let candidates = Relation.to_list rel in
+          if profiling then
+            Profile.probe st.profile pred ~scanned:(Relation.cardinal rel);
+          each k out candidates
+        | Plan.Probe { pred; access; key; out; _ } -> (
+          st.counters.Counters.probes <- st.counters.Counters.probes + 1;
+          match Database.find st.edb pred with
+          | None -> if profiling then Profile.probe st.profile pred ~scanned:0
+          | Some rel ->
+            let kv = Array.map (Plan.src_value regs) key in
+            let candidates, width = Relation.probe rel access kv in
+            if profiling then Profile.probe st.profile pred ~scanned:width;
+            each k out candidates)
+        | Plan.Scan { pred; out; _ } -> (
+          st.counters.Counters.probes <- st.counters.Counters.probes + 1;
+          match Database.find st.edb pred with
+          | None -> if profiling then Profile.probe st.profile pred ~scanned:0
+          | Some rel ->
+            let candidates = Relation.to_list rel in
+            if profiling then
+              Profile.probe st.profile pred ~scanned:(Relation.cardinal rel);
+            each k out candidates)
+        | Plan.Negtest { pred; args } ->
+          let a = Atom.of_tuple pred (Array.map (Plan.src_value regs) args) in
+          let holds =
+            if Program.is_idb st.program pred then decide_negation st a
+            else not (Database.mem_atom st.edb a)
+          in
+          if holds then step (k + 1)
+        | Plan.Cmptest { cmp; lhs; rhs } ->
+          if
+            Literal.eval_cmp cmp (Plan.src_value regs lhs)
+              (Plan.src_value regs rhs)
+          then step (k + 1)
+        | Plan.Assign { reg; value } ->
+          regs.(reg) <- Plan.src_value regs value;
+          step (k + 1)
+        | Plan.Unsafe_neg { pred; args } ->
+          Plan.raise_unsafe_neg plan regs pred args
+        | Plan.Unsafe_cmp { cmp; lhs; rhs } ->
+          Plan.raise_unsafe_cmp plan regs cmp lhs rhs
+    and each k out = function
+      | [] -> ()
+      | tuple :: rest ->
+        Limits.check st.guard;
+        st.counters.Counters.scanned <- st.counters.Counters.scanned + 1;
+        if Plan.match_out regs out tuple then step (k + 1);
+        each k out rest
+    in
+    step 0
+  end
+
+and plan_for ps c src_rule =
+  let key = (src_rule, call_binding c) in
+  match Hashtbl.find_opt ps.cache key with
+  | Some cp -> cp
+  | None ->
+    let cp =
+      Plan.compile_call ps.cfg ~card:ps.card ~is_idb:ps.is_idb
+        ~bound_prefix:(List.map fst c.bound) src_rule
+    in
+    Hashtbl.add ps.cache key cp;
+    cp
+
 and solve_call st c =
   let rel = ensure_call st c in
   List.iter
@@ -195,40 +314,48 @@ and solve_call st c =
       (* profile rows are keyed on the source rule, not its renamed copy,
          so re-solvings of different calls aggregate onto one row *)
       Profile.with_rule st.profile st.counters src_rule @@ fun () ->
-      (* rename apart from any variables the call could mention (calls are
-         ground on their bound positions, so a plain fresh copy suffices) *)
-      let rule = Rule.rename ~suffix:"#t" src_rule in
-      let head = Rule.head rule in
-      (* constrain the head by the call's bound values *)
-      let subst0 =
-        List.fold_left
-          (fun acc (i, v) ->
-            match acc with
-            | None -> None
-            | Some s -> Unify.unify_terms (Atom.args head).(i) (Term.const v) s)
-          (Some Subst.empty) c.bound
+      let emit_tuple tuple =
+        if Relation.insert rel tuple then begin
+          st.counters.Counters.facts_derived <-
+            st.counters.Counters.facts_derived + 1;
+          Profile.derived st.profile c.call_pred;
+          if Limits.is_active st.guard then Limits.check_relation st.guard rel;
+          (* wake everyone who read this table *)
+          match CallTbl.find_opt st.consumers c with
+          | None -> ()
+          | Some bucket -> List.iter (schedule st) !bucket
+        end
       in
-      match subst0 with
-      | None -> ()
-      | Some subst0 ->
-        solve_body st ~consumer:c (Rule.body rule) subst0 (fun subst ->
-            st.counters.Counters.firings <- st.counters.Counters.firings + 1;
-            let h = Subst.apply_atom subst head in
-            if not (Atom.is_ground h) then
-              raise
-                (Eval.Unsafe_rule
-                   (Format.asprintf "derived non-ground answer %a" Atom.pp h));
-            if Relation.insert rel (Atom.to_tuple h) then begin
-              st.counters.Counters.facts_derived <-
-                st.counters.Counters.facts_derived + 1;
-              Profile.derived st.profile c.call_pred;
-              if Limits.is_active st.guard then
-                Limits.check_relation st.guard rel;
-              (* wake everyone who read this table *)
-              match CallTbl.find_opt st.consumers c with
-              | None -> ()
-              | Some bucket -> List.iter (schedule st) !bucket
-            end))
+      match st.plans with
+      | Some ps -> run_plan st ~consumer:c (plan_for ps c src_rule) c emit_tuple
+      | None -> (
+        (* rename apart from any variables the call could mention (calls
+           are ground on their bound positions, so a plain fresh copy
+           suffices) *)
+        let rule = Rule.rename ~suffix:"#t" src_rule in
+        let head = Rule.head rule in
+        (* constrain the head by the call's bound values *)
+        let subst0 =
+          List.fold_left
+            (fun acc (i, v) ->
+              match acc with
+              | None -> None
+              | Some s ->
+                Unify.unify_terms (Atom.args head).(i) (Term.const v) s)
+            (Some Subst.empty) c.bound
+        in
+        match subst0 with
+        | None -> ()
+        | Some subst0 ->
+          solve_body st ~consumer:c (Rule.body rule) subst0 (fun subst ->
+              st.counters.Counters.firings <-
+                st.counters.Counters.firings + 1;
+              let h = Subst.apply_atom subst head in
+              if not (Atom.is_ground h) then
+                raise
+                  (Eval.Unsafe_rule
+                     (Format.asprintf "derived non-ground answer %a" Atom.pp h));
+              emit_tuple (Atom.to_tuple h))))
     (Program.rules_for st.program c.call_pred)
 
 and saturate st =
@@ -273,7 +400,7 @@ let collect st root query status =
   { answers; calls; tables; counters = st.counters; status }
 
 let run ?(limits = Limits.none) ?(profile = Profile.none)
-    ?(checkpoint = Checkpoint.none) ?resume_from ?db program query =
+    ?(checkpoint = Checkpoint.none) ?resume_from ?db ?plan program query =
   let has_negation =
     List.exists (fun r -> Rule.negative_body r <> []) (Program.rules program)
   in
@@ -295,7 +422,16 @@ let run ?(limits = Limits.none) ?(profile = Profile.none)
         agenda = [];
         order = [];
         neg_memo = Atom.Tbl.create 64;
-        ckpt = checkpoint
+        ckpt = checkpoint;
+        plans =
+          Option.map
+            (fun cfg ->
+              { cfg;
+                cache = Hashtbl.create 64;
+                card = (fun p -> Database.cardinal edb p);
+                is_idb = (fun p -> Program.is_idb program p)
+              })
+            plan
       }
     in
     Checkpoint.set_counters checkpoint counters;

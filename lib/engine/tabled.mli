@@ -45,6 +45,7 @@ val run :
   ?checkpoint:Checkpoint.t ->
   ?resume_from:Checkpoint.resume ->
   ?db:Database.t ->
+  ?plan:Plan.config ->
   Program.t ->
   Atom.t ->
   (outcome, string) result

@@ -19,7 +19,7 @@ let db_subset a b =
 
 let db_equal a b = db_subset a b && db_subset b a
 
-let run ?(limits = Limits.none) ?(profile = Profile.none) ?db program =
+let run ?(limits = Limits.none) ?(profile = Profile.none) ?plan ?db program =
   let counters = Counters.create () in
   let guard = Limits.guard limits counters in
   let seed = match db with Some db -> db | None -> Database.create () in
@@ -38,7 +38,7 @@ let run ?(limits = Limits.none) ?(profile = Profile.none) ?db program =
     let neg atom =
       not (Database.mem_atom seed atom || Database.mem_atom i atom)
     in
-    Fixpoint.seminaive counters ~guard ~profile ~db ~neg rules;
+    Fixpoint.seminaive counters ~guard ~profile ?plan ~db ~neg rules;
     db
   in
   let empty = Database.create () in

@@ -26,7 +26,8 @@ type outcome = {
 }
 
 val run :
-  ?limits:Limits.t -> ?profile:Profile.t -> ?db:Database.t -> Program.t ->
+  ?limits:Limits.t -> ?profile:Profile.t -> ?plan:Plan.config ->
+  ?db:Database.t -> Program.t ->
   outcome
 (** [limits] bounds the evaluation (all inner fixpoints share one
     budget).  An active [profile] accumulates rule/round rows across every

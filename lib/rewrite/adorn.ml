@@ -29,7 +29,7 @@ let adorned_pred pred binding =
 
 (* Adorn one source rule for a head binding; returns the adorned rule
    (sans index) plus the (pred, binding) calls it makes on IDB atoms. *)
-let adorn_rule program strategy source head_binding registry =
+let adorn_rule program strategy card source head_binding registry =
   let head = Rule.head source in
   let bound0 =
     List.fold_left
@@ -41,7 +41,9 @@ let adorn_rule program strategy source head_binding registry =
       (Binding.bound_positions head_binding)
   in
   let ordered =
-    Sips.order strategy ~bound:(fun v -> SSet.mem v bound0) (Rule.body source)
+    Sips.order ~card strategy
+      ~bound:(fun v -> SSet.mem v bound0)
+      (Rule.body source)
   in
   let bind bound = function
     | Literal.Pos a -> SSet.union bound (SSet.of_list (Atom.var_set a))
@@ -92,7 +94,22 @@ let adorn_rule program strategy source head_binding registry =
     },
     List.rev !calls )
 
-let adorn ?(strategy = Sips.Left_to_right) program query =
+let adorn ?(strategy = Sips.Left_to_right) ?card program query =
+  (* The cost-aware SIP needs cardinality estimates before any evaluation
+     has happened; default to counting the program's explicit facts. *)
+  let card =
+    match card with
+    | Some f -> f
+    | None ->
+      let counts = Hashtbl.create 16 in
+      List.iter
+        (fun a ->
+          let p = Atom.pred a in
+          Hashtbl.replace counts p
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts p)))
+        (Program.facts program);
+      fun p -> Option.value ~default:0 (Hashtbl.find_opt counts p)
+  in
   let registry = Registry.create () in
   let query_binding =
     Binding.of_atom ~bound:(fun _ -> false) query
@@ -116,7 +133,7 @@ let adorn ?(strategy = Sips.Left_to_right) program query =
         List.iter
           (fun source ->
             let rule, calls =
-              adorn_rule program strategy source binding registry
+              adorn_rule program strategy card source binding registry
             in
             let rule = { rule with index = !counter } in
             incr counter;

@@ -36,9 +36,12 @@ exception Unbound_negation of Atom.t
 val adorned_pred : Pred.t -> Binding.t -> Pred.t
 (** The (deterministic) adorned name, e.g. [anc__bf]. *)
 
-val adorn : ?strategy:Sips.strategy -> Program.t -> Atom.t -> t
+val adorn :
+  ?strategy:Sips.strategy -> ?card:(Pred.t -> int) -> Program.t -> Atom.t -> t
 (** [adorn program query] runs the transformation from the binding pattern
-    the query's constants induce.  @raise Unbound_negation *)
+    the query's constants induce.  [card] supplies relation-cardinality
+    estimates to the {!Sips.Cost_aware} strategy (default: count the
+    program's explicit facts per predicate).  @raise Unbound_negation *)
 
 val rules_as_program : t -> Program.t
 (** The adorned rules as a plain program (queries over it must use the

@@ -3,14 +3,17 @@ open Datalog_ast
 type strategy =
   | Left_to_right
   | Greedy_bound
+  | Cost_aware
 
 let strategy_name = function
   | Left_to_right -> "ltr"
   | Greedy_bound -> "greedy"
+  | Cost_aware -> "cost"
 
 let strategy_of_string = function
   | "ltr" | "left_to_right" -> Some Left_to_right
   | "greedy" | "greedy_bound" -> Some Greedy_bound
+  | "cost" | "cost_aware" -> Some Cost_aware
   | _ -> None
 
 module SSet = Set.Make (String)
@@ -45,7 +48,7 @@ let score_greedy bound lit =
     (shared, consts)
   | Literal.Neg _ | Literal.Cmp _ -> (-1, -1)
 
-let order strategy ~bound body =
+let order ?(card = fun _ -> 0) strategy ~bound body =
   let bound0 =
     List.fold_left
       (fun acc lit ->
@@ -81,12 +84,24 @@ let order strategy ~bound body =
                 else first (lit :: seen) rest
             in
             first [] remaining
-          | Greedy_bound ->
+          | Greedy_bound | Cost_aware ->
+            (* Cost_aware extends the greedy bound-count score with an
+               estimated-cardinality tie-break: among equally-bound
+               literals, probe the smallest relation first. *)
+            let score lit =
+              let shared, consts = score_greedy bound lit in
+              let cost =
+                match strategy, lit with
+                | Cost_aware, Literal.Pos a -> -card (Atom.pred a)
+                | _ -> 0
+              in
+              (shared, consts, cost)
+            in
             let best = ref None in
             List.iteri
               (fun i lit ->
                 if Literal.is_positive lit then
-                  let s = score_greedy bound lit in
+                  let s = score lit in
                   match !best with
                   | Some (s', i', _) when (s', -i') >= (s, -i) -> ()
                   | _ -> best := Some (s, i, lit))

@@ -16,13 +16,22 @@ type strategy =
       (** repeatedly pick the positive literal sharing the most variables
           with the bound set (ties: more constant arguments, then textual
           order) — a simple selectivity heuristic *)
+  | Cost_aware
+      (** like {!Greedy_bound}, but ties on bound-ness and constants are
+          broken by estimated relation cardinality (smaller first), as
+          supplied through [?card] *)
 
 val strategy_name : strategy -> string
 val strategy_of_string : string -> strategy option
 
 val order :
-  strategy -> bound:(string -> bool) -> Literal.t list -> Literal.t list
-(** Reorder a body.  Negative literals and comparisons are emitted as soon
+  ?card:(Pred.t -> int) ->
+  strategy ->
+  bound:(string -> bool) ->
+  Literal.t list ->
+  Literal.t list
+(** Reorder a body.  [card] estimates relation cardinalities (default:
+    constant 0, making {!Cost_aware} coincide with {!Greedy_bound}).  Negative literals and comparisons are emitted as soon
     as all their variables are bound (preserving their relative order);
     when none is ready, the strategy picks the next positive literal.  Any
     literal that never becomes ready is appended at the end, where the

@@ -1,6 +1,11 @@
+type bucket = {
+  mutable tuples : Tuple.t list;
+  mutable blen : int;  (* List.length tuples, maintained incrementally *)
+}
+
 type index = {
   cols : int array;  (* strictly increasing column numbers *)
-  map : Tuple.t list ref Tuple.Tbl.t;  (* projected key -> matching tuples *)
+  map : bucket Tuple.Tbl.t;  (* projected key -> matching tuples *)
 }
 
 (* Tuples live in a growable array in insertion order; [slots] maps each
@@ -16,6 +21,7 @@ type t = {
   mutable filled : int;  (* slots in use, live or tombstoned *)
   mutable size : int;  (* live tuples *)
   indexes : (int list, index) Hashtbl.t;
+  mutable generation : int;  (* bumped whenever indexes are invalidated *)
 }
 
 let create ?(name = "?") arity =
@@ -25,7 +31,8 @@ let create ?(name = "?") arity =
     order = [||];
     filled = 0;
     size = 0;
-    indexes = Hashtbl.create 4
+    indexes = Hashtbl.create 4;
+    generation = 0
   }
 
 let arity r = r.arity
@@ -33,8 +40,10 @@ let arity r = r.arity
 let index_add idx tuple =
   let key = Tuple.project idx.cols tuple in
   match Tuple.Tbl.find_opt idx.map key with
-  | Some bucket -> bucket := tuple :: !bucket
-  | None -> Tuple.Tbl.add idx.map key (ref [ tuple ])
+  | Some b ->
+    b.tuples <- tuple :: b.tuples;
+    b.blen <- b.blen + 1
+  | None -> Tuple.Tbl.add idx.map key { tuples = [ tuple ]; blen = 1 }
 
 let grow r =
   let cap = Array.length r.order in
@@ -84,10 +93,12 @@ let remove r tuple =
         let key = Tuple.project idx.cols tuple in
         match Tuple.Tbl.find_opt idx.map key with
         | None -> ()
-        | Some bucket -> (
-          match List.filter (fun t -> not (Tuple.equal t tuple)) !bucket with
+        | Some b -> (
+          match List.filter (fun t -> not (Tuple.equal t tuple)) b.tuples with
           | [] -> Tuple.Tbl.remove idx.map key  (* no dead buckets *)
-          | rest -> bucket := rest))
+          | rest ->
+            b.tuples <- rest;
+            b.blen <- List.length rest))
       r.indexes;
     if r.filled > 64 && r.filled > 2 * r.size then compact r;
     true
@@ -115,31 +126,89 @@ let to_list r =
   done;
   !acc
 
+(* Column sets are validated here, once per index creation, rather than on
+   every probe: callers ([select], [prepare]) always pass a sorted list. *)
 let get_index r cols_list =
   match Hashtbl.find_opt r.indexes cols_list with
   | Some idx -> idx
   | None ->
+    let rec check = function
+      | i :: (j :: _ as rest) ->
+        if i = j then invalid_arg "Relation: duplicate column";
+        check rest
+      | _ -> ()
+    in
+    check cols_list;
     let idx = { cols = Array.of_list cols_list; map = Tuple.Tbl.create 64 } in
     iter (fun t -> index_add idx t) r;
     Hashtbl.add r.indexes cols_list idx;
     idx
 
+let sort_bindings bindings =
+  List.sort (fun (i, _) (j, _) -> Int.compare i j) bindings
+
 let select r bindings =
   match bindings with
   | [] -> to_list r
   | _ ->
-    let sorted = List.sort (fun (i, _) (j, _) -> Int.compare i j) bindings in
+    let sorted = sort_bindings bindings in
     let cols = List.map fst sorted in
-    (match cols with
-    | _ when List.length (List.sort_uniq Int.compare cols) <> List.length cols
-      ->
-      invalid_arg "Relation.select: duplicate column"
-    | _ -> ());
     let key = Array.of_list (List.map snd sorted) in
     let idx = get_index r cols in
     (match Tuple.Tbl.find_opt idx.map key with
     | None -> []
-    | Some bucket -> !bucket)
+    | Some b -> b.tuples)
+
+let select_count r bindings =
+  match bindings with
+  | [] -> (to_list r, r.size)
+  | _ ->
+    let sorted = sort_bindings bindings in
+    let cols = List.map fst sorted in
+    let key = Array.of_list (List.map snd sorted) in
+    let idx = get_index r cols in
+    (match Tuple.Tbl.find_opt idx.map key with
+    | None -> ([], 0)
+    | Some b -> (b.tuples, b.blen))
+
+(* Pre-resolved index handles.  [prepare] validates and sorts the column
+   set once, at plan-compile time; [probe] then memoises the index of the
+   last relation it was used against, so the per-call cost is a single
+   physical-equality + generation check followed by one hash lookup. *)
+type access = {
+  acols : int list;  (* sorted, duplicate-free *)
+  mutable m_rel : t option;  (* relation the memo belongs to (physical) *)
+  mutable m_gen : int;  (* generation observed when memoised *)
+  mutable m_idx : index option;
+}
+
+let prepare cols =
+  let sorted = List.sort_uniq Int.compare cols in
+  if List.length sorted <> List.length cols then
+    invalid_arg "Relation.prepare: duplicate column";
+  List.iter
+    (fun c -> if c < 0 then invalid_arg "Relation.prepare: negative column")
+    sorted;
+  { acols = sorted; m_rel = None; m_gen = 0; m_idx = None }
+
+let access_index r a =
+  match a.m_idx with
+  | Some idx
+    when (match a.m_rel with Some r' -> r' == r | None -> false)
+         && a.m_gen = r.generation ->
+    idx
+  | _ ->
+    let idx = get_index r a.acols in
+    a.m_rel <- Some r;
+    a.m_gen <- r.generation;
+    a.m_idx <- Some idx;
+    idx
+
+let probe r a key =
+  let idx = access_index r a in
+  match Tuple.Tbl.find_opt idx.map key with
+  | None -> ([], 0)
+  | Some b -> (b.tuples, b.blen)
 
 let copy r =
   let fresh = create ~name:r.name r.arity in
@@ -151,7 +220,8 @@ let clear r =
   r.order <- [||];
   r.filled <- 0;
   r.size <- 0;
-  Hashtbl.reset r.indexes
+  Hashtbl.reset r.indexes;
+  r.generation <- r.generation + 1
 
 let union_into ~src ~dst =
   fold (fun t acc -> if insert dst t then acc + 1 else acc) src 0

@@ -42,6 +42,29 @@ val select : t -> (int * Value.t) list -> Tuple.t list
     [(column, value)] constraints, using (and building if necessary) a hash
     index on those columns.  [select r []] returns all tuples. *)
 
+val select_count : t -> (int * Value.t) list -> Tuple.t list * int
+(** Like {!select} but also returns the number of tuples in O(1), so
+    profiling callers do not have to walk the bucket with [List.length]. *)
+
+type access
+(** A pre-resolved index handle for a fixed column set: the column sort,
+    duplicate validation and [int list] hash lookup that {!select} pays on
+    every call are paid once at {!prepare} time (plan compilation). *)
+
+val prepare : int list -> access
+(** [prepare cols] validates and sorts [cols] once.  The handle is not
+    tied to a relation: it memoises the index of the last relation it was
+    probed against (checked by physical equality and a generation counter
+    bumped by {!clear}), so one handle can serve e.g. a per-round delta
+    relation that changes identity between rounds.
+    @raise Invalid_argument on duplicate or negative columns. *)
+
+val probe : t -> access -> Value.t array -> Tuple.t list * int
+(** [probe r a key] returns the bucket of tuples whose projection onto the
+    prepared columns equals [key], plus its length in O(1).  [key] values
+    must be in ascending column order (the order of the sorted [cols]
+    given to {!prepare}). *)
+
 val copy : t -> t
 (** A fresh relation with the same tuples (indexes are not copied). *)
 

@@ -154,9 +154,10 @@ let test_stats_json_file_and_trace () =
   let json = In_channel.with_open_text out In_channel.input_all in
   Sys.remove out;
   check tbool "schema version" true
-    (contains ~sub:"\"schema_version\": 1" json);
+    (contains ~sub:"\"schema_version\": 2" json);
   check tbool "profile enabled" true (contains ~sub:"\"enabled\": true" json);
   check tbool "per-rule rows" true (contains ~sub:"\"rule\":" json);
+  check tbool "plan block" true (contains ~sub:"\"compiled\": true" json);
   check tbool "query echoed" true (contains ~sub:"anc(ann, X)" json)
 
 let test_stats_json_stdout () =
@@ -170,6 +171,24 @@ let test_stats_json_stdout () =
   check tbool "strategy recorded" true
     (contains ~sub:"\"strategy\": \"seminaive\"" out);
   check tbool "totals present" true (contains ~sub:"\"facts_derived\":" out)
+
+let test_explain_flag () =
+  let code, out =
+    run_cli
+      [ "run"; sample "ancestor.dl"; "-q"; "anc(ann, X)"; "--explain" ]
+  in
+  check tint "exit 0" 0 code;
+  check tbool "plan banner" true (contains ~sub:"% plan " out);
+  check tbool "emit step shown" true (contains ~sub:"emit " out);
+  check tbool "answers still printed" true (contains ~sub:"anc(ann, fay)" out)
+
+let test_interpret_flag () =
+  let args query = [ "run"; sample "ancestor.dl"; "-q"; query ] in
+  let code_c, out_c = run_cli (args "anc(ann, X)") in
+  let code_i, out_i = run_cli (args "anc(ann, X)" @ [ "--interpret" ]) in
+  check tint "compiled exit" 0 code_c;
+  check tint "interpreted exit" 0 code_i;
+  check Alcotest.string "identical output" out_c out_i
 
 let test_stats_prints_profile () =
   let code, out =
@@ -198,6 +217,8 @@ let suite =
         Alcotest.test_case "stats-json file + trace" `Quick
           test_stats_json_file_and_trace;
         Alcotest.test_case "stats-json stdout" `Quick test_stats_json_stdout;
+        Alcotest.test_case "explain flag" `Quick test_explain_flag;
+        Alcotest.test_case "interpret flag" `Quick test_interpret_flag;
         Alcotest.test_case "stats prints profile" `Quick
           test_stats_prints_profile
       ] )

@@ -138,9 +138,19 @@ let test_report_json_schema () =
   check tstrings "report keys"
     [ "schema_version"; "query"; "strategy"; "sips"; "negation"; "evaluator";
       "status"; "exhausted_reason"; "answers"; "undefined"; "wall_time_s";
-      "rewritten"; "totals"; "profile"
+      "rewritten"; "plan"; "totals"; "profile"
     ]
     (J.keys json);
+  (match J.member "plan" json with
+  | Some plan -> (
+    check tstrings "plan keys" [ "compiled"; "sip"; "rules" ] (J.keys plan);
+    match J.member "rules" plan with
+    | Some (J.List (first :: _)) ->
+      check tstrings "plan rule keys"
+        [ "rule"; "variant"; "order"; "steps" ]
+        (J.keys first)
+    | _ -> Alcotest.fail "no plan rules")
+  | None -> Alcotest.fail "no plan");
   (match J.member "totals" json with
   | Some totals ->
     check tstrings "totals keys"
@@ -162,13 +172,13 @@ let test_report_json_schema () =
         (J.keys first)
     | _ -> Alcotest.fail "no rule rows")
 
-let test_schema_version_is_1 () =
+let test_schema_version_is_2 () =
   let report =
     run_exn ~options:O.default (W.ancestor_chain 5) (atom "anc(0, X)")
   in
   let json = S.report_json ~query:(atom "anc(0, X)") report in
-  check tbool "schema_version 1" true
-    (J.member "schema_version" json = Some (J.Int 1))
+  check tbool "schema_version 2" true
+    (J.member "schema_version" json = Some (J.Int 2))
 
 (* -------------------------------------------------------------------- *)
 (* Trace sinks *)
@@ -249,8 +259,8 @@ let suite =
           test_stratum_rows_stratified;
         Alcotest.test_case "report_json schema pinned" `Quick
           test_report_json_schema;
-        Alcotest.test_case "schema_version is 1" `Quick
-          test_schema_version_is_1;
+        Alcotest.test_case "schema_version is 2" `Quick
+          test_schema_version_is_2;
         Alcotest.test_case "trace lines" `Quick test_trace_lines;
         Alcotest.test_case "trace implies profiling" `Quick
           test_trace_implies_profile;
