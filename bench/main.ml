@@ -980,7 +980,7 @@ let json_baseline out =
   in
   let doc =
     J.Obj
-      [ ("schema_version", J.Int 2);
+      [ ("schema_version", J.Int 3);
         ("suite", J.String "alexander-bench-baseline");
         ("workloads", J.List workloads);
         ("plan", J.List plan_section);

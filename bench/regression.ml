@@ -1,17 +1,23 @@
 (* Bench-regression gate: compare a freshly generated baseline against the
    committed BENCH_baseline.json, per workload x strategy cell.
 
-   Usage:  dune exec bench/regression.exe -- BASELINE CANDIDATE [--tolerance PCT]
+   Usage:  dune exec bench/regression.exe -- BASELINE CANDIDATE
+             [--tolerance PCT] [--alloc-tolerance PCT]
 
    The join-work counters (probes, scanned, firings) are deterministic for
    a given engine, so any growth is a real plan or engine change, not
    noise; wall times are reported but never gate.  A cell regresses when a
    counter exceeds its baseline by more than the tolerance (default 5%).
-   Exit code 1 on any regression, 2 on unreadable/mismatched inputs. *)
+   The per-cell minor-allocation gauge (minor_words, GC-reported) is close
+   to deterministic but moves with compiler/runtime details, so it gets
+   its own laxer tolerance (default 25%); baselines predating the gauge
+   simply don't gate on it.  Exit code 1 on any regression, 2 on
+   unreadable/mismatched inputs. *)
 
 module J = Datalog_engine.Json
 
 let tolerance = ref 5.0
+let alloc_tolerance = ref 25.0
 
 let die code fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit code) fmt
 
@@ -34,11 +40,18 @@ let as_string path = function
 
 let as_int = function J.Int i -> Some i | _ -> None
 
+let as_float = function
+  | J.Float f -> Some f
+  | J.Int i -> Some (float_of_int i)
+  | _ -> None
+
 let as_list path = function
   | J.List l -> l
   | _ -> die 2 "%s: expected a list" path
 
-(* (workload, strategy) -> (counter name -> value) for the gated counters *)
+(* (workload, strategy) ->
+   (counter name -> value) for the gated counters, plus the allocation
+   gauge when the baseline carries it (schema 3+) *)
 let cells path doc =
   let gated = [ "probes"; "scanned"; "firings" ] in
   let tbl = Hashtbl.create 64 in
@@ -56,7 +69,8 @@ let cells path doc =
                   (Option.bind (J.member c totals) as_int))
               gated
           in
-          Hashtbl.replace tbl (wname, sname) counters)
+          let alloc = Option.bind (J.member "minor_words" report) as_float in
+          Hashtbl.replace tbl (wname, sname) (counters, alloc))
         (as_list path (member_exn path "strategies" workload)))
     (as_list path (member_exn path "workloads" doc));
   tbl
@@ -70,6 +84,11 @@ let () =
       | Some t when t >= 0. -> tolerance := t
       | _ -> die 2 "--tolerance expects a non-negative number");
       parse_args rest
+    | "--alloc-tolerance" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some t when t >= 0. -> alloc_tolerance := t
+      | _ -> die 2 "--alloc-tolerance expects a non-negative number");
+      parse_args rest
     | a :: rest ->
       positional := a :: !positional;
       parse_args rest
@@ -78,19 +97,22 @@ let () =
   let baseline_path, candidate_path =
     match List.rev !positional with
     | [ b; c ] -> (b, c)
-    | _ -> die 2 "usage: regression BASELINE CANDIDATE [--tolerance PCT]"
+    | _ ->
+      die 2
+        "usage: regression BASELINE CANDIDATE [--tolerance PCT] \
+         [--alloc-tolerance PCT]"
   in
   let base = cells baseline_path (read_json baseline_path) in
   let cand = cells candidate_path (read_json candidate_path) in
   let rows = ref [] in
   let regressions = ref 0 in
   Hashtbl.iter
-    (fun (w, s) base_counters ->
+    (fun (w, s) (base_counters, base_alloc) ->
       match Hashtbl.find_opt cand (w, s) with
       | None ->
         incr regressions;
-        rows := [ w; s; "-"; "-"; "-"; "MISSING" ] :: !rows
-      | Some cand_counters ->
+        rows := [ w; s; "-"; "-"; "-"; "-"; "MISSING" ] :: !rows
+      | Some (cand_counters, cand_alloc) ->
         let deltas =
           List.map
             (fun (name, bv) ->
@@ -108,7 +130,16 @@ let () =
           List.fold_left (fun acc (_, _, _, p) -> Float.max acc p) neg_infinity
             deltas
         in
-        let bad = worst > !tolerance in
+        (* the allocation gauge gates only when both sides carry it *)
+        let alloc_cell, alloc_bad =
+          match (base_alloc, cand_alloc) with
+          | Some bv, Some cv when bv > 0. ->
+            let pct = 100. *. (cv -. bv) /. bv in
+            ( Printf.sprintf "%.2e->%.2e (%+.1f%%)" bv cv pct,
+              pct > !alloc_tolerance )
+          | _ -> ("-", false)
+        in
+        let bad = worst > !tolerance || alloc_bad in
         if bad then incr regressions;
         let cell (name, bv, cv, pct) =
           Printf.sprintf "%s %d->%d (%+.1f%%)" name bv cv pct
@@ -116,14 +147,19 @@ let () =
         rows :=
           (match deltas with
           | [ a; b; c ] ->
-            [ w; s; cell a; cell b; cell c; (if bad then "REGRESSED" else "ok") ]
-          | _ -> [ w; s; "-"; "-"; "-"; "BAD ROW" ])
+            [ w; s; cell a; cell b; cell c; alloc_cell;
+              (if bad then "REGRESSED" else "ok")
+            ]
+          | _ -> [ w; s; "-"; "-"; "-"; "-"; "BAD ROW" ])
           :: !rows)
     base;
   let rows =
     List.sort compare !rows
   in
-  let header = [ "workload"; "strategy"; "probes"; "scanned"; "firings"; "verdict" ] in
+  let header =
+    [ "workload"; "strategy"; "probes"; "scanned"; "firings"; "minor words";
+      "verdict" ]
+  in
   let ncols = List.length header in
   let widths = Array.make ncols 0 in
   List.iter

@@ -257,7 +257,8 @@ let print_report query report ~stats =
   | answers ->
     List.iter
       (fun t ->
-        Format.printf "%a@." Atom.pp (Atom.of_tuple (Atom.pred query) t))
+        Format.printf "%a@." Atom.pp
+          (Datalog_storage.Tuple.to_atom (Atom.pred query) t))
       answers);
   List.iter
     (fun a -> Format.printf "undefined: %a@." Atom.pp a)
@@ -289,7 +290,7 @@ let print_report query report ~stats =
 let write_stats_json path file runs =
   let doc =
     Datalog_engine.Json.Obj
-      [ ("schema_version", Datalog_engine.Json.Int 2);
+      [ ("schema_version", Datalog_engine.Json.Int 3);
         ("file", Datalog_engine.Json.String file);
         ("runs", Datalog_engine.Json.List (List.rev runs))
       ]

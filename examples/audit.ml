@@ -48,7 +48,9 @@ let () =
   | Ok (vars, tuples) ->
     Format.printf "@.forall-query %a  [free: %s]@." F.pp f
       (String.concat ", " vars);
-    List.iter (fun t -> Format.printf "  %a@." Value.pp t.(0)) tuples
+    List.iter
+      (fun t -> Format.printf "  %a@." Value.pp (Code.to_value t.(0)))
+      tuples
   | Error msg -> Format.printf "rejected: %s@." msg);
 
   (* an unranged formula is rejected, not answered wrongly *)

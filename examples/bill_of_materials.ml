@@ -44,7 +44,9 @@ let show program query_text options =
   | [] -> Format.printf "  no.@."
   | answers ->
     List.iter
-      (fun t -> Format.printf "  %a@." Atom.pp (Atom.of_tuple (Atom.pred query) t))
+      (fun t ->
+        Format.printf "  %a@." Atom.pp
+          (Datalog_storage.Tuple.to_atom (Atom.pred query) t))
       answers);
   Format.printf "  (evaluator: %s, facts derived: %d)@.@." report.S.evaluator
     report.S.counters.Datalog_engine.Counters.facts_derived

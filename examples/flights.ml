@@ -39,7 +39,8 @@ let run_query program text options =
   | answers ->
     List.iter
       (fun t ->
-        Format.printf "  %a@." Atom.pp (Atom.of_tuple (Atom.pred query) t))
+        Format.printf "  %a@." Atom.pp
+          (Datalog_storage.Tuple.to_atom (Atom.pred query) t))
       answers);
   report
 

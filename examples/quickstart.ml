@@ -25,7 +25,8 @@ let () =
   Format.printf "?- %a.@." Atom.pp query;
   List.iter
     (fun tuple ->
-      Format.printf "  %a@." Atom.pp (Atom.of_tuple (Atom.pred query) tuple))
+      Format.printf "  %a@." Atom.pp
+        (Datalog_storage.Tuple.to_atom (Atom.pred query) tuple))
     report.Alexander.Solve.answers;
 
   (* The report also carries the rewritten program and evaluation

@@ -40,7 +40,7 @@ let () =
   in
   Format.printf "@.well-founded semantics:@.";
   List.iter
-    (fun t -> Format.printf "  won:   %a@." Value.pp t.(0))
+    (fun t -> Format.printf "  won:   %a@." Value.pp (Code.to_value t.(0)))
     wf.S.answers;
   List.iter
     (fun a -> Format.printf "  drawn: %a@." Term.pp (Atom.args a).(0))
@@ -64,7 +64,7 @@ let () =
          (fun a -> Array.to_list (Atom.to_tuple a))
          (Program.facts program))
   in
-  let won = List.map (fun t -> t.(0)) wf.S.answers in
+  let won = List.map (fun t -> Code.to_value t.(0)) wf.S.answers in
   let drawn =
     List.map (fun a -> (Atom.to_tuple a).(0)) wf.S.undefined
   in

@@ -3,6 +3,19 @@ type t = { id : int; name : string }
 let table : (string, t) Hashtbl.t = Hashtbl.create 1024
 let counter = ref 0
 
+(* Reverse table: dense ids back to their symbols, for decoding coded
+   tuples ({!Code}).  Grown geometrically alongside [counter]. *)
+let by_id : t option array ref = ref (Array.make 1024 None)
+
+let register s =
+  let n = Array.length !by_id in
+  if s.id >= n then begin
+    let bigger = Array.make (max (n * 2) (s.id + 1)) None in
+    Array.blit !by_id 0 bigger 0 n;
+    by_id := bigger
+  end;
+  !by_id.(s.id) <- Some s
+
 let intern name =
   match Hashtbl.find_opt table name with
   | Some s -> s
@@ -10,20 +23,47 @@ let intern name =
     let s = { id = !counter; name } in
     incr counter;
     Hashtbl.add table name s;
+    register s;
     s
 
 let name s = s.name
 let id s = s.id
+
+let of_id id =
+  if id < 0 || id >= !counter then
+    invalid_arg (Printf.sprintf "Symbol.of_id: unknown id %d" id)
+  else
+    match !by_id.(id) with
+    | Some s -> s
+    | None -> assert false
+
 let equal a b = a.id = b.id
 let compare a b = Int.compare a.id b.id
 let hash s = s.id
 
+(* Next suffix to try per prefix, so generating many fresh names that
+   share a prefix stays O(1) amortised instead of re-probing the table
+   from [_0] every time. *)
+let fresh_counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
 let fresh prefix =
-  let rec try_at i =
-    let candidate = Printf.sprintf "%s_%d" prefix i in
-    if Hashtbl.mem table candidate then try_at (i + 1) else intern candidate
-  in
-  if Hashtbl.mem table prefix then try_at 0 else intern prefix
+  if not (Hashtbl.mem table prefix) then intern prefix
+  else begin
+    let next =
+      match Hashtbl.find_opt fresh_counters prefix with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.add fresh_counters prefix r;
+        r
+    in
+    let rec probe () =
+      let candidate = Printf.sprintf "%s_%d" prefix !next in
+      incr next;
+      if Hashtbl.mem table candidate then probe () else intern candidate
+    in
+    probe ()
+  end
 
 let pp ppf s = Format.pp_print_string ppf s.name
 let interned_count () = !counter

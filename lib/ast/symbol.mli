@@ -13,6 +13,11 @@ val intern : string -> t
 val name : t -> string
 val id : t -> int
 
+val of_id : int -> t
+(** [of_id id] is the symbol whose {!id} is [id].  Ids are dense and
+    process-local; raises [Invalid_argument] for an id never returned by
+    {!id} in this process.  Used to decode coded tuples ({!Code}). *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 

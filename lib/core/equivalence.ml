@@ -155,9 +155,7 @@ let check ?(sips = Sips.Left_to_right) program query =
       | Some rel ->
         Relation.fold
           (fun t acc ->
-            match Unify.matches ~pattern ~ground:(Atom.of_tuple pred t) with
-            | Some _ -> Tuple.Set.add t acc
-            | None -> acc)
+            if Tuple.matches pattern t then Tuple.Set.add t acc else acc)
           rel Tuple.Set.empty
     in
     let answers_match_query =

@@ -16,6 +16,7 @@ type report = {
   evaluator : string;
   status : Limits.status;
   wall_time_s : float;
+  minor_words : float;
 }
 
 (* An active profile when the caller asked for one — a trace sink implies
@@ -68,13 +69,11 @@ let matching_tuples db pred pattern =
     Array.iteri
       (fun i t ->
         match t with
-        | Term.Const v -> bindings := (i, v) :: !bindings
+        | Term.Const v -> bindings := (i, Code.of_value v) :: !bindings
         | Term.Var _ -> ())
       (Atom.args pattern);
     Relation.select rel !bindings
-    |> List.filter (fun t ->
-           Option.is_some
-             (Unify.matches ~pattern ~ground:(Atom.of_tuple pred t)))
+    |> List.filter (Tuple.matches pattern)
     |> List.sort Tuple.compare
 
 let matching_atoms atoms pattern =
@@ -157,6 +156,7 @@ let evaluate ?resume_from ?plan options profile program answer_pred pattern =
 
 let run_uncaught ~options ?resume_from program query =
   let start = Unix.gettimeofday () in
+  let minor0 = Gc.minor_words () in
   let profile = profile_of_options options in
   let infos = ref [] in
   let plan = plan_of_options options (fun i -> infos := i :: !infos) in
@@ -171,7 +171,8 @@ let run_uncaught ~options ?resume_from program query =
       plans = dedup_infos (List.rev !infos);
       evaluator;
       status;
-      wall_time_s = Unix.gettimeofday () -. start
+      wall_time_s = Unix.gettimeofday () -. start;
+      minor_words = Gc.minor_words () -. minor0
     }
   in
   let strategy_name = Options.strategy_name options.Options.strategy in
@@ -410,7 +411,7 @@ let run_exn ?options program query =
   | Error e -> failwith (Errors.message e)
 
 let answer_atoms _program query report =
-  List.map (fun t -> Atom.of_tuple (Atom.pred query) t) report.answers
+  List.map (fun t -> Tuple.to_atom (Atom.pred query) t) report.answers
 
 let report_json ~query report =
   let status, reason =
@@ -453,7 +454,7 @@ let report_json ~query report =
       ]
   in
   Json.Obj
-    [ ("schema_version", Json.Int 2);
+    [ ("schema_version", Json.Int 3);
       ("query", Json.String (Format.asprintf "%a" Atom.pp query));
       ( "strategy",
         Json.String (Options.strategy_name report.options.Options.strategy) );
@@ -467,6 +468,7 @@ let report_json ~query report =
       ("answers", Json.Int (List.length report.answers));
       ("undefined", Json.Int (List.length report.undefined));
       ("wall_time_s", Json.Float report.wall_time_s);
+      ("minor_words", Json.Float report.minor_words);
       ("rewritten", rewritten);
       ("plan", plan_block);
       ("totals", Counters.to_json report.counters);

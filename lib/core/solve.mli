@@ -43,6 +43,10 @@ type report = {
           partial (for positive programs: sound but possibly incomplete)
           answer set *)
   wall_time_s : float;
+  minor_words : float;
+      (** minor-heap words allocated by this evaluation
+          ([Gc.minor_words] delta) — the allocation-pressure gauge the
+          bench regression gate watches *)
 }
 
 val incomplete : report -> bool
@@ -90,9 +94,9 @@ val answer_atoms : Program.t -> Atom.t -> report -> Atom.t list
 (** The answers as ground atoms over the source query predicate. *)
 
 val report_json : query:Atom.t -> report -> Datalog_engine.Json.t
-(** The report as a schema-stable JSON object (schema_version 2): query,
+(** The report as a schema-stable JSON object (schema_version 3): query,
     strategy/sips/negation, evaluator, status, answer and undefined
-    counts, wall time, rewritten-program size, the compiled-plan block
-    (SIP, per-rule variants and steps), the five counter totals, and the
-    full profile (empty rows unless profiling was on).  See
-    docs/OBSERVABILITY.md. *)
+    counts, wall time, minor-heap allocation, rewritten-program size, the
+    compiled-plan block (SIP, per-rule variants and steps), the five
+    counter totals, and the full profile (empty rows unless profiling was
+    on).  See docs/OBSERVABILITY.md. *)

@@ -62,11 +62,11 @@ end
    (tuple, condition-set) choices; negative literals over IDB predicates are
    delayed into the accumulated condition; negative EDB literals and
    comparisons are decided immediately. *)
-let solve_body cnt ~guard ~profile store ~is_idb ~edb_mem body subst cond emit
-    =
-  let rec go body subst cond =
+let solve_body cnt ~guard ~profile store ~is_idb ~edb_mem body env cond emit =
+  let module Cenv = Eval.Cenv in
+  let rec go body env cond =
     match body with
-    | [] -> emit subst cond
+    | [] -> emit env cond
     | Literal.Pos atom :: rest ->
       cnt.Counters.probes <- cnt.Counters.probes + 1;
       let choices = Store.candidates store (Atom.pred atom) in
@@ -77,50 +77,40 @@ let solve_body cnt ~guard ~profile store ~is_idb ~edb_mem body subst cond emit
         (fun (tuple, conds) ->
           Limits.check guard;
           cnt.Counters.scanned <- cnt.Counters.scanned + 1;
-          match
-            (* reuse the matching of Eval via a manual walk *)
-            let args = Atom.args atom in
-            let n = Array.length args in
-            let rec m i subst =
-              if i >= n then Some subst
-              else
-                match Subst.apply_term subst args.(i) with
-                | Term.Const v ->
-                  if Value.equal v tuple.(i) then m (i + 1) subst else None
-                | Term.Var v ->
-                  m (i + 1) (Subst.bind v (Term.const tuple.(i)) subst)
-            in
-            m 0 subst
-          with
+          match Eval.match_tuple env atom tuple with
           | None -> ()
-          | Some subst' ->
+          | Some env' ->
             List.iter
-              (fun c -> go rest subst' (Atom.Set.union cond c))
+              (fun c -> go rest env' (Atom.Set.union cond c))
               conds)
         choices
     | Literal.Neg atom :: rest ->
-      let a = Subst.apply_atom subst atom in
+      (* delayed negation works on decoded ground atoms: condition sets
+         live at the [Atom] level (a boundary of the coded space) *)
+      let a = Cenv.apply_atom env atom in
       if not (Atom.is_ground a) then
         raise
           (Eval.Unsafe_rule
              (Format.asprintf "negative literal %a not ground" Atom.pp a));
-      if is_idb (Atom.pred a) then go rest subst (Atom.Set.add a cond)
-      else if not (edb_mem a) then go rest subst cond
+      if is_idb (Atom.pred a) then go rest env (Atom.Set.add a cond)
+      else if not (edb_mem a) then go rest env cond
     | Literal.Cmp (op, t1, t2) :: rest -> (
-      let r1 = Subst.apply_term subst t1 and r2 = Subst.apply_term subst t2 in
+      let r1 = Cenv.resolve_term env t1 and r2 = Cenv.resolve_term env t2 in
       match op, r1, r2 with
-      | _, Term.Const v1, Term.Const v2 ->
-        if Literal.eval_cmp op v1 v2 then go rest subst cond
-      | Literal.Eq, Term.Var v, Term.Const c
-      | Literal.Eq, Term.Const c, Term.Var v ->
-        go rest (Subst.bind v (Term.const c) subst) cond
+      | _, Cenv.Bound c1, Cenv.Bound c2 ->
+        if Code.eval_cmp op c1 c2 then go rest env cond
+      | Literal.Eq, Cenv.Free v, Cenv.Bound c
+      | Literal.Eq, Cenv.Bound c, Cenv.Free v ->
+        go rest (Cenv.bind v c env) cond
       | _, _, _ ->
         raise
           (Eval.Unsafe_rule
              (Format.asprintf "comparison with unbound variable in %a"
-                Literal.pp (Literal.Cmp (op, r1, r2)))))
+                Literal.pp
+                (Literal.Cmp
+                   (op, Eval.term_of_resolved r1, Eval.term_of_resolved r2)))))
   in
-  go body subst cond
+  go body env cond
 
 let run ?(limits = Limits.none) ?(profile = Profile.none) ?plan ?db program =
   let counters = Counters.create () in
@@ -166,24 +156,30 @@ let run ?(limits = Limits.none) ?(profile = Profile.none) ?plan ?db program =
               (fun rule ->
                 Profile.with_rule profile counters rule (fun () ->
                     solve_body counters ~guard ~profile store ~is_idb
-                      ~edb_mem (Rule.body rule) Subst.empty Atom.Set.empty
-                      (fun subst cond ->
+                      ~edb_mem (Rule.body rule) Eval.Cenv.empty Atom.Set.empty
+                      (fun env cond ->
                         counters.Counters.firings <-
                           counters.Counters.firings + 1;
-                        let h = Subst.apply_atom subst (Rule.head rule) in
-                        if not (Atom.is_ground h) then
-                          raise
-                            (Eval.Unsafe_rule
-                               (Format.asprintf "derived non-ground head %a"
-                                  Atom.pp h));
+                        let head = Rule.head rule in
+                        let tuple =
+                          Array.map
+                            (fun t ->
+                              match Eval.Cenv.resolve_term env t with
+                              | Eval.Cenv.Bound c -> c
+                              | Eval.Cenv.Free _ ->
+                                raise
+                                  (Eval.Unsafe_rule
+                                     (Format.asprintf
+                                        "derived non-ground head %a" Atom.pp
+                                        (Eval.Cenv.apply_atom env head))))
+                            (Atom.args head)
+                        in
                         if not (Atom.Set.is_empty cond) then incr statements;
-                        if
-                          Store.insert store (Atom.pred h) (Tuple.of_atom h)
-                            cond
+                        if Store.insert store (Atom.pred head) tuple cond
                         then begin
                           counters.Counters.facts_derived <-
                             counters.Counters.facts_derived + 1;
-                          Profile.derived profile (Atom.pred h);
+                          Profile.derived profile (Atom.pred head);
                           changed := true
                         end)))
               rules)
@@ -198,7 +194,7 @@ let run ?(limits = Limits.none) ?(profile = Profile.none) ?plan ?db program =
   ignore
     (Store.fold store
        (fun pred tuple conds () ->
-         let atom = Atom.of_tuple pred tuple in
+         let atom = Tuple.to_atom pred tuple in
          if List.exists Atom.Set.is_empty conds then Atom.Tbl.replace facts atom ()
          else List.iter (fun c -> pending := (atom, c) :: !pending) conds;
          ())

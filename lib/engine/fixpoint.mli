@@ -1,7 +1,7 @@
 (** Naive and semi-naive bottom-up fixpoints over one set of rules.
 
     Both evaluate the given rules to saturation against a database that is
-    mutated in place.  The negation callback decides ground negated atoms;
+    mutated in place.  The negation callback decides ground negated tuples;
     for stratified evaluation it is the closed-world test against the
     already-complete lower strata.
 
@@ -27,7 +27,7 @@ val naive :
   ?ckpt:Checkpoint.t ->
   ?plan:Plan.config ->
   db:Database.t ->
-  neg:(Atom.t -> bool) ->
+  neg:(Pred.t -> Tuple.t -> bool) ->
   Rule.t list ->
   unit
 (** Rounds of full re-evaluation of every rule until no new fact appears.
@@ -45,7 +45,7 @@ val seminaive :
   ?plan:Plan.config ->
   ?initial_delta:Database.t ->
   db:Database.t ->
-  neg:(Atom.t -> bool) ->
+  neg:(Pred.t -> Tuple.t -> bool) ->
   ?recursive:Pred.Set.t ->
   Rule.t list ->
   unit

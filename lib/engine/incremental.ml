@@ -138,9 +138,11 @@ let remove_facts cnt ?(limits = Limits.none) ?(profile = Profile.none) ?plan
     (* Base facts of the program (and only the explicitly requested base
        deletions) are protected from over-deletion: the DRed re-derivation
        phase can only restore tuples that some rule derives. *)
-    let protected = Atom.Tbl.create 64 in
-    List.iter (fun a -> Atom.Tbl.replace protected a ()) (Program.facts program);
-    List.iter (fun a -> Atom.Tbl.remove protected a) facts;
+    let protected = Database.create () in
+    List.iter
+      (fun a -> ignore (Database.add_atom protected a))
+      (Program.facts program);
+    List.iter (fun a -> ignore (Database.remove_atom protected a)) facts;
     (* Phase 1: over-delete.  Any head tuple one of whose derivations (in
        the PRE-deletion database) consumed a deleted tuple is marked. *)
     let deleted = Database.create () in
@@ -170,10 +172,9 @@ let remove_facts cnt ?(limits = Limits.none) ?(profile = Profile.none) ?plan
                   else Database.find db pred
                 in
                 app ~rel_of (fun pred tuple ->
-                    let atom = Atom.of_tuple pred tuple in
                     if
                       Database.mem db pred tuple
-                      && (not (Atom.Tbl.mem protected atom))
+                      && (not (Database.mem protected pred tuple))
                       && Database.add deleted pred tuple
                     then ignore (Database.add next pred tuple))
               end)

@@ -17,7 +17,7 @@ type sip = Ltr | Cost
 let sip_name = function Ltr -> "ltr" | Cost -> "cost"
 
 type src =
-  | Sconst of Value.t
+  | Sconst of Code.t
   | Sreg of int  (* statically bound register *)
   | Sunbound of int  (* statically unbound register: only in failing ops
                         and unsafe heads, never read for a value *)
@@ -26,7 +26,7 @@ type src =
 type action =
   | Store of int  (* first occurrence of an unbound variable *)
   | Check of int  (* repeated variable, or bound register (tabled) *)
-  | Match of Value.t  (* constant (full-scan residuals only) *)
+  | Match of Code.t  (* constant (full-scan residuals only) *)
 
 type op =
   | Probe of {
@@ -254,7 +254,7 @@ let set_bound env r = env.bound.(r) <- true
 let alias env ~keep ~drop = env.parent.(drop) <- keep
 
 let src_of_term env = function
-  | Term.Const v -> Sconst v
+  | Term.Const v -> Sconst (Code.of_value v)
   | Term.Var x ->
     let r = reg_of env x in
     if is_bound env r then Sreg r else Sunbound r
@@ -269,7 +269,7 @@ let compile_pos env lit_pos atom =
   Array.iteri
     (fun i t ->
       match t with
-      | Term.Const v -> key := (i, Sconst v) :: !key
+      | Term.Const v -> key := (i, Sconst (Code.of_value v)) :: !key
       | Term.Var x ->
         let r = reg_of env x in
         if is_bound env r then key := (i, Sreg r) :: !key
@@ -305,8 +305,9 @@ let compile_table env lit_pos atom =
     (fun i t ->
       match t with
       | Term.Const v ->
-        key := (i, Sconst v) :: !key;
-        out := (i, Match v) :: !out
+        let c = Code.of_value v in
+        key := (i, Sconst c) :: !key;
+        out := (i, Match c) :: !out
       | Term.Var x ->
         let r = reg_of env x in
         if is_bound env r then begin
@@ -358,14 +359,14 @@ let compile_cmp env dialect cmp t1 t2 =
 (* ------------------------------------------------------------------ *)
 
 let src_str names = function
-  | Sconst v -> Value.to_string v
+  | Sconst c -> Code.to_string c
   | Sreg r | Sunbound r -> names.(r)
 
 let action_str names (pos, act) =
   match act with
   | Store r -> Printf.sprintf "%d:=%s" pos names.(r)
   | Check r -> Printf.sprintf "%d==%s" pos names.(r)
-  | Match v -> Printf.sprintf "%d==%s" pos (Value.to_string v)
+  | Match c -> Printf.sprintf "%d==%s" pos (Code.to_string c)
 
 let joined f xs = String.concat "," (List.map f (Array.to_list xs))
 
@@ -484,7 +485,7 @@ let compile_call cfg ~card ~is_idb ~bound_prefix rule =
     List.map
       (fun pos ->
         match head_args.(pos) with
-        | Term.Const v -> (pos, Match v)
+        | Term.Const v -> (pos, Match (Code.of_value v))
         | Term.Var x ->
           let r = reg_of env x in
           if is_bound env r then (pos, Check r)
@@ -542,15 +543,15 @@ let reorder cfg ~card rule =
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let src_value regs = function
-  | Sconst v -> v
+let src_value (regs : Code.t array) = function
+  | Sconst c -> c
   | Sreg r -> regs.(r)
   | Sunbound _ -> assert false  (* never read: guarded by head_safe /
                                    compiled as Unsafe_* ops *)
 
-let term_of_src names regs = function
-  | Sconst v -> Term.const v
-  | Sreg r -> Term.const regs.(r)
+let term_of_src names (regs : Code.t array) = function
+  | Sconst c -> Term.const (Code.to_value c)
+  | Sreg r -> Term.const (Code.to_value regs.(r))
   | Sunbound r -> Term.var names.(r)
 
 let unsafe_neg_atom (plan : t) regs pred args =
@@ -596,7 +597,8 @@ let raise_unsafe_head (plan : t) regs =
 (* Match one tuple against a residual pattern, storing fresh bindings.
    Stores need no undo on failure: each register has exactly one static
    binder, so any read is dominated by a (re-)store. *)
-let match_out regs (out : (int * action) array) (tuple : Tuple.t) =
+let match_out (regs : Code.t array) (out : (int * action) array)
+    (tuple : Tuple.t) =
   let n = Array.length out in
   let rec go i =
     i >= n
@@ -606,12 +608,12 @@ let match_out regs (out : (int * action) array) (tuple : Tuple.t) =
     | Store r ->
       regs.(r) <- tuple.(pos);
       go (i + 1)
-    | Check r -> Value.equal regs.(r) tuple.(pos) && go (i + 1)
-    | Match v -> Value.equal v tuple.(pos) && go (i + 1)
+    | Check r -> regs.(r) = tuple.(pos) && go (i + 1)
+    | Match c -> c = tuple.(pos) && go (i + 1)
   in
   go 0
 
-let dummy_value = Value.int 0
+let dummy_value : Code.t = Code.of_int 0
 
 let make_regs (plan : t) = Array.make (max plan.nregs 1) dummy_value
 
@@ -664,10 +666,9 @@ let run (plan : t) cnt ?(guard = Limits.no_guard) ?(profile = Profile.none) ~rel
           each k out candidates)
       | Table _ -> assert false
       | Negtest { pred; args } ->
-        if neg (Atom.of_tuple pred (Array.map (src_value regs) args)) then
-          step (k + 1)
+        if neg pred (Array.map (src_value regs) args) then step (k + 1)
       | Cmptest { cmp; lhs; rhs } ->
-        if Literal.eval_cmp cmp (src_value regs lhs) (src_value regs rhs) then
+        if Code.eval_cmp cmp (src_value regs lhs) (src_value regs rhs) then
           step (k + 1)
       | Assign { reg; value } ->
         regs.(reg) <- src_value regs value;

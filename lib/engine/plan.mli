@@ -2,8 +2,8 @@
 
     A plan fixes the literal order (left-to-right, or greedily by
     bound-ness then relation cardinality), numbers the rule's variables
-    into a flat [Value.t array] register file (replacing the persistent-map
-    {!Datalog_ast.Subst} on the hot path), and pre-resolves a
+    into a flat {!Datalog_ast.Code.t} (int) register file (replacing the
+    persistent-map {!Datalog_ast.Subst} on the hot path), and pre-resolves a
     {!Datalog_storage.Relation.access} index handle for every positive
     literal's statically-bound column set.  Boundness is static because
     every evaluator starts rule applications from the empty substitution.
@@ -24,7 +24,7 @@ type sip = Ltr | Cost
 val sip_name : sip -> string
 
 type src =
-  | Sconst of Value.t
+  | Sconst of Code.t
   | Sreg of int  (** statically bound register *)
   | Sunbound of int
       (** statically unbound register; only in failing ops and unsafe
@@ -33,7 +33,7 @@ type src =
 type action =
   | Store of int  (** first occurrence of an unbound variable *)
   | Check of int  (** repeated variable or already-bound register *)
-  | Match of Value.t  (** constant (full-scan residuals only) *)
+  | Match of Code.t  (** constant (full-scan residuals only) *)
 
 type op =
   | Probe of {
@@ -118,7 +118,7 @@ val run :
   ?guard:Limits.guard ->
   ?profile:Profile.t ->
   rel_of:(int -> Pred.t -> Relation.t option) ->
-  neg:(Atom.t -> bool) ->
+  neg:(Pred.t -> Tuple.t -> bool) ->
   (Pred.t -> Tuple.t -> unit) ->
   unit
 (** Run the plan for one rule application; equivalent to
@@ -128,10 +128,10 @@ val run :
 
 (** {2 Building blocks for engine-specific executors} *)
 
-val src_value : Value.t array -> src -> Value.t
-val match_out : Value.t array -> (int * action) array -> Tuple.t -> bool
-val make_regs : t -> Value.t array
-val raise_unsafe_neg : t -> Value.t array -> Pred.t -> src array -> 'a
+val src_value : Code.t array -> src -> Code.t
+val match_out : Code.t array -> (int * action) array -> Tuple.t -> bool
+val make_regs : t -> Code.t array
+val raise_unsafe_neg : t -> Code.t array -> Pred.t -> src array -> 'a
 val raise_unsafe_cmp :
-  t -> Value.t array -> Literal.cmp -> src -> src -> 'a
-val raise_unsafe_head : t -> Value.t array -> 'a
+  t -> Code.t array -> Literal.cmp -> src -> src -> 'a
+val raise_unsafe_head : t -> Code.t array -> 'a

@@ -60,10 +60,12 @@ let saturate_with_justifications program =
   let neg = Eval.closed_world_neg db in
   let record rule =
     Eval.solve_body counters ~rel_of:(Eval.db_rel_of db) ~neg (Rule.body rule)
-      Subst.empty (fun subst ->
-        let head = Subst.apply_atom subst (Rule.head rule) in
+      Eval.Cenv.empty (fun env ->
+        (* proofs are user-facing: decode at this boundary *)
+        let head = Eval.Cenv.apply_atom env (Rule.head rule) in
         if Atom.is_ground head && Database.add_atom db head then
-          Atom.Tbl.replace justif head { j_rule = rule; j_subst = subst })
+          Atom.Tbl.replace justif head
+            { j_rule = rule; j_subst = Eval.Cenv.to_subst env })
   in
   let evaluate rules =
     let changed = ref true in

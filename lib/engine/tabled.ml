@@ -4,7 +4,7 @@ open Datalog_analysis
 
 type call = {
   call_pred : Pred.t;
-  bound : (int * Value.t) list;
+  bound : (int * Code.t) list;
 }
 
 let call_binding c =
@@ -15,18 +15,25 @@ let call_equal a b =
   Pred.equal a.call_pred b.call_pred
   && List.length a.bound = List.length b.bound
   && List.for_all2
-       (fun (i, v) (j, w) -> i = j && Value.equal v w)
+       (fun (i, v) (j, w) -> i = j && Code.equal v w)
        a.bound b.bound
 
 let call_hash c =
   List.fold_left
-    (fun acc (i, v) -> (acc * 31) + (i * 7) + Value.hash v)
+    (fun acc (i, v) -> (acc * 31) + (i * 7) + Code.hash v)
     (Pred.hash c.call_pred) c.bound
 
 module CallTbl = Hashtbl.Make (struct
   type t = call
   let equal = call_equal
   let hash = call_hash
+end)
+
+(* Ground goals (pred + coded tuple): the key of the negation memo. *)
+module GroundTbl = Hashtbl.Make (struct
+  type t = Pred.t * Tuple.t
+  let equal (p1, t1) (p2, t2) = Pred.equal p1 p2 && Tuple.equal t1 t2
+  let hash (p, t) = (Pred.hash p * 31) + Tuple.hash t
 end)
 
 type outcome = {
@@ -60,18 +67,20 @@ type state = {
   dirty : unit CallTbl.t;  (* members of the agenda *)
   mutable agenda : call list;
   mutable order : call list;  (* reverse creation order *)
-  neg_memo : bool Atom.Tbl.t;  (* shared across nested evaluations *)
+  neg_memo : bool GroundTbl.t;  (* shared across nested evaluations *)
   ckpt : Checkpoint.t;  (* inactive in nested negation states *)
   plans : plan_store option;  (* None = interpreted evaluation *)
 }
 
 (* Tables in the engine-independent shape {!Checkpoint} serializes; built
-   lazily, only when a save is actually due. *)
+   lazily, only when a save is actually due.  Bound patterns are decoded
+   here: the checkpoint format stores portable values, not process-local
+   codes. *)
 let dump_tables st () =
   List.rev_map
     (fun c ->
       ( c.call_pred,
-        c.bound,
+        List.map (fun (i, cv) -> (i, Code.to_value cv)) c.bound,
         match CallTbl.find_opt st.tables c with
         | None -> []
         | Some rel -> Relation.to_list rel ))
@@ -83,8 +92,8 @@ let schedule st c =
     st.agenda <- c :: st.agenda
   end
 
-let call_of_atom subst atom =
-  { call_pred = Atom.pred atom; bound = Eval.bound_positions subst atom }
+let call_of_atom env atom =
+  { call_pred = Atom.pred atom; bound = Eval.bound_positions env atom }
 
 let rec ensure_call st c =
   match CallTbl.find_opt st.tables c with
@@ -109,11 +118,11 @@ and register_consumer st ~producer ~consumer =
   if not (List.exists (call_equal consumer) !bucket) then
     bucket := consumer :: !bucket
 
-(* Decide a ground negated intensional atom by a nested, memoised tabled
+(* Decide a ground negated intensional goal by a nested, memoised tabled
    evaluation: sound because the planner only admits stratified programs,
    so the nested goal cannot depend on the current tables. *)
-and decide_negation st atom =
-  match Atom.Tbl.find_opt st.neg_memo atom with
+and decide_negation st pred (tuple : Tuple.t) =
+  match GroundTbl.find_opt st.neg_memo (pred, tuple) with
   | Some holds -> not holds
   | None ->
     let sub =
@@ -132,25 +141,29 @@ and decide_negation st atom =
         plans = st.plans
       }
     in
-    let c = call_of_atom Subst.empty atom in
+    let c =
+      { call_pred = pred;
+        bound = Array.to_list (Array.mapi (fun i cv -> (i, cv)) tuple)
+      }
+    in
     ignore (ensure_call sub c);
     saturate sub;
     let holds =
       match CallTbl.find_opt sub.tables c with
       | None -> false
-      | Some rel -> Relation.mem rel (Atom.to_tuple atom)
+      | Some rel -> Relation.mem rel tuple
     in
-    Atom.Tbl.add st.neg_memo atom holds;
+    GroundTbl.add st.neg_memo (pred, tuple) holds;
     not holds
 
-and solve_body st ~consumer body subst emit =
+and solve_body st ~consumer body env emit =
   match body with
-  | [] -> emit subst
+  | [] -> emit env
   | Literal.Pos atom :: rest ->
     let pred = Atom.pred atom in
     let candidates, width =
       if Program.is_idb st.program pred then begin
-        let c = call_of_atom subst atom in
+        let c = call_of_atom env atom in
         let rel = ensure_call st c in
         register_consumer st ~producer:c ~consumer;
         st.counters.Counters.probes <- st.counters.Counters.probes + 1;
@@ -161,7 +174,7 @@ and solve_body st ~consumer body subst emit =
         match Database.find st.edb pred with
         | None -> ([], 0)
         | Some rel ->
-          Relation.select_count rel (Eval.bound_positions subst atom)
+          Relation.select_count rel (Eval.bound_positions env atom)
       end
     in
     if Profile.is_active st.profile then
@@ -170,36 +183,33 @@ and solve_body st ~consumer body subst emit =
       (fun tuple ->
         Limits.check st.guard;
         st.counters.Counters.scanned <- st.counters.Counters.scanned + 1;
-        match Eval.match_tuple subst atom tuple with
-        | Some subst' -> solve_body st ~consumer rest subst' emit
+        match Eval.match_tuple env atom tuple with
+        | Some env' -> solve_body st ~consumer rest env' emit
         | None -> ())
       candidates
   | Literal.Neg atom :: rest ->
-    let a = Subst.apply_atom subst atom in
-    if not (Atom.is_ground a) then
-      raise
-        (Eval.Unsafe_rule
-           (Format.asprintf "negative literal %a not ground at evaluation time"
-              Atom.pp a));
-    let pred = Atom.pred a in
+    let tuple = Eval.ground_tuple env atom in
+    let pred = Atom.pred atom in
     let holds =
-      if Program.is_idb st.program pred then decide_negation st a
-      else not (Database.mem_atom st.edb a)
+      if Program.is_idb st.program pred then decide_negation st pred tuple
+      else not (Database.mem st.edb pred tuple)
     in
-    if holds then solve_body st ~consumer rest subst emit
+    if holds then solve_body st ~consumer rest env emit
   | Literal.Cmp (op, t1, t2) :: rest -> (
-    let r1 = Subst.apply_term subst t1 and r2 = Subst.apply_term subst t2 in
+    let r1 = Eval.Cenv.resolve_term env t1
+    and r2 = Eval.Cenv.resolve_term env t2 in
     match op, r1, r2 with
-    | _, Term.Const v1, Term.Const v2 ->
-      if Literal.eval_cmp op v1 v2 then solve_body st ~consumer rest subst emit
-    | Literal.Eq, Term.Var v, Term.Const c
-    | Literal.Eq, Term.Const c, Term.Var v ->
-      solve_body st ~consumer rest (Subst.bind v (Term.const c) subst) emit
+    | _, Eval.Cenv.Bound c1, Eval.Cenv.Bound c2 ->
+      if Code.eval_cmp op c1 c2 then solve_body st ~consumer rest env emit
+    | Literal.Eq, Eval.Cenv.Free v, Eval.Cenv.Bound c
+    | Literal.Eq, Eval.Cenv.Bound c, Eval.Cenv.Free v ->
+      solve_body st ~consumer rest (Eval.Cenv.bind v c env) emit
     | _, _, _ ->
       raise
         (Eval.Unsafe_rule
            (Format.asprintf "comparison with unbound variable: %a" Literal.pp
-              (Literal.Cmp (op, r1, r2)))))
+              (Literal.Cmp
+                 (op, Eval.term_of_resolved r1, Eval.term_of_resolved r2)))))
 
 (* The compiled analogue of one [solve_call] rule: walk the plan's ops,
    with [Table] ops doing exactly what the interpreter's IDB case does
@@ -208,7 +218,7 @@ and solve_body st ~consumer body subst emit =
    when the relation is missing, and the profile records a 0-wide scan). *)
 and run_plan st ~consumer (init, (plan : Plan.t)) c emit_tuple =
   let regs = Plan.make_regs plan in
-  (* unify the call's bound values with the head pattern *)
+  (* unify the call's bound codes with the head pattern *)
   let rec init_ok i bound =
     match bound with
     | [] -> true
@@ -217,8 +227,8 @@ and run_plan st ~consumer (init, (plan : Plan.t)) c emit_tuple =
       | Plan.Store r ->
         regs.(r) <- v;
         init_ok (i + 1) rest
-      | Plan.Check r -> Value.equal regs.(r) v && init_ok (i + 1) rest
-      | Plan.Match c0 -> Value.equal c0 v && init_ok (i + 1) rest)
+      | Plan.Check r -> Code.equal regs.(r) v && init_ok (i + 1) rest
+      | Plan.Match c0 -> Code.equal c0 v && init_ok (i + 1) rest)
   in
   if init_ok 0 c.bound then begin
     let nops = Array.length plan.Plan.ops in
@@ -266,15 +276,16 @@ and run_plan st ~consumer (init, (plan : Plan.t)) c emit_tuple =
               Profile.probe st.profile pred ~scanned:(Relation.cardinal rel);
             each k out candidates)
         | Plan.Negtest { pred; args } ->
-          let a = Atom.of_tuple pred (Array.map (Plan.src_value regs) args) in
+          let tuple = Array.map (Plan.src_value regs) args in
           let holds =
-            if Program.is_idb st.program pred then decide_negation st a
-            else not (Database.mem_atom st.edb a)
+            if Program.is_idb st.program pred then
+              decide_negation st pred tuple
+            else not (Database.mem st.edb pred tuple)
           in
           if holds then step (k + 1)
         | Plan.Cmptest { cmp; lhs; rhs } ->
           if
-            Literal.eval_cmp cmp (Plan.src_value regs lhs)
+            Code.eval_cmp cmp (Plan.src_value regs lhs)
               (Plan.src_value regs rhs)
           then step (k + 1)
         | Plan.Assign { reg; value } ->
@@ -334,28 +345,39 @@ and solve_call st c =
            suffices) *)
         let rule = Rule.rename ~suffix:"#t" src_rule in
         let head = Rule.head rule in
-        (* constrain the head by the call's bound values *)
-        let subst0 =
+        (* constrain the head by the call's bound codes *)
+        let env0 =
           List.fold_left
-            (fun acc (i, v) ->
+            (fun acc (i, cv) ->
               match acc with
               | None -> None
-              | Some s ->
-                Unify.unify_terms (Atom.args head).(i) (Term.const v) s)
-            (Some Subst.empty) c.bound
+              | Some env -> (
+                match Eval.Cenv.resolve_term env (Atom.args head).(i) with
+                | Eval.Cenv.Bound c0 ->
+                  if Code.equal c0 cv then Some env else None
+                | Eval.Cenv.Free v -> Some (Eval.Cenv.bind v cv env)))
+            (Some Eval.Cenv.empty) c.bound
         in
-        match subst0 with
+        match env0 with
         | None -> ()
-        | Some subst0 ->
-          solve_body st ~consumer:c (Rule.body rule) subst0 (fun subst ->
+        | Some env0 ->
+          solve_body st ~consumer:c (Rule.body rule) env0 (fun env ->
               st.counters.Counters.firings <-
                 st.counters.Counters.firings + 1;
-              let h = Subst.apply_atom subst head in
-              if not (Atom.is_ground h) then
-                raise
-                  (Eval.Unsafe_rule
-                     (Format.asprintf "derived non-ground answer %a" Atom.pp h));
-              emit_tuple (Atom.to_tuple h))))
+              let tuple =
+                Array.map
+                  (fun t ->
+                    match Eval.Cenv.resolve_term env t with
+                    | Eval.Cenv.Bound cv -> cv
+                    | Eval.Cenv.Free _ ->
+                      raise
+                        (Eval.Unsafe_rule
+                           (Format.asprintf "derived non-ground answer %a"
+                              Atom.pp
+                              (Eval.Cenv.apply_atom env head))))
+                  (Atom.args head)
+              in
+              emit_tuple tuple)))
     (Program.rules_for st.program c.call_pred)
 
 and saturate st =
@@ -376,15 +398,12 @@ and saturate st =
 (* Read the query's answers and the accumulated tables out of a state —
    shared by the completed and the budget-exhausted paths. *)
 let collect st root query status =
-  let qpred = Atom.pred query in
   let answers =
     match CallTbl.find_opt st.tables root with
     | None -> []
     | Some rel ->
       Relation.to_list rel
-      |> List.filter (fun t ->
-             Option.is_some
-               (Unify.matches ~pattern:query ~ground:(Atom.of_tuple qpred t)))
+      |> List.filter (Tuple.matches query)
       |> List.sort Tuple.compare
   in
   let calls = List.rev st.order in
@@ -421,7 +440,7 @@ let run ?(limits = Limits.none) ?(profile = Profile.none)
         dirty = CallTbl.create 64;
         agenda = [];
         order = [];
-        neg_memo = Atom.Tbl.create 64;
+        neg_memo = GroundTbl.create 64;
         ckpt = checkpoint;
         plans =
           Option.map
@@ -441,17 +460,22 @@ let run ?(limits = Limits.none) ?(profile = Profile.none)
     | Some r ->
       (* tables are monotone, so reinstalling them and re-scheduling every
          call (ensure_call marks each dirty) saturates to exactly the
-         answers of an uninterrupted run *)
+         answers of an uninterrupted run; the checkpoint's bound patterns
+         are values — re-encode them into this process's codes *)
       Checkpoint.restore_counters r counters;
       ignore (Database.union_into ~src:r.Checkpoint.r_db ~dst:edb);
       Checkpoint.resume_rounds checkpoint r;
       List.iter
         (fun (pred, bound, tuples) ->
-          let c = { call_pred = pred; bound } in
+          let c =
+            { call_pred = pred;
+              bound = List.map (fun (i, v) -> (i, Code.of_value v)) bound
+            }
+          in
           let rel = ensure_call st c in
           List.iter (fun t -> ignore (Relation.insert rel t)) tuples)
         r.Checkpoint.r_tables);
-    let root = call_of_atom Subst.empty query in
+    let root = call_of_atom Eval.Cenv.empty query in
     let qpred = Atom.pred query in
     if not (Program.is_idb program qpred) then begin
       (* extensional query: answer directly, no tables *)
@@ -460,9 +484,7 @@ let run ?(limits = Limits.none) ?(profile = Profile.none)
         | None -> []
         | Some rel ->
           Relation.select rel root.bound
-          |> List.filter (fun t ->
-                 Option.is_some
-                   (Unify.matches ~pattern:query ~ground:(Atom.of_tuple qpred t)))
+          |> List.filter (Tuple.matches query)
           |> List.sort Tuple.compare
       in
       Ok

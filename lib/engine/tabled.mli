@@ -23,7 +23,8 @@ open Datalog_storage
 
 type call = {
   call_pred : Pred.t;
-  bound : (int * Value.t) list;  (** bound argument positions, sorted *)
+  bound : (int * Code.t) list;
+      (** bound argument positions (sorted) with their codes *)
 }
 
 val call_binding : call -> string

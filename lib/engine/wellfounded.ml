@@ -35,8 +35,8 @@ let run ?(limits = Limits.none) ?(profile = Profile.none) ?plan ?db program =
        atoms are true in every candidate interpretation, so testing the
        seed directly is sound and avoids deriving junk in the first
        over-approximation. *)
-    let neg atom =
-      not (Database.mem_atom seed atom || Database.mem_atom i atom)
+    let neg pred tuple =
+      not (Database.mem seed pred tuple || Database.mem i pred tuple)
     in
     Fixpoint.seminaive counters ~guard ~profile ?plan ~db ~neg rules;
     db
@@ -75,7 +75,7 @@ let run ?(limits = Limits.none) ?(profile = Profile.none) ?plan ?db program =
            Database.tuples possible pred
            |> List.filter_map (fun t ->
                   if Database.mem true_db pred t then None
-                  else Some (Atom.of_tuple pred t)))
+                  else Some (Tuple.to_atom pred t)))
     |> List.sort Atom.compare
   in
   { true_db; undefined; rounds; counters; status }

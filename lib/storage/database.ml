@@ -73,6 +73,6 @@ let pp ppf db =
     (fun p r ->
       Relation.iter
         (fun t ->
-          Format.fprintf ppf "%a.@." Atom.pp (Atom.of_tuple p t))
+          Format.fprintf ppf "%a.@." Atom.pp (Tuple.to_atom p t))
         r)
     db

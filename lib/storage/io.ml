@@ -104,9 +104,9 @@ let save_relation ?(delimiter = ',') db pred path =
     List.iter
       (fun tuple ->
         Array.iteri
-          (fun i v ->
+          (fun i c ->
             if i > 0 then Buffer.add_char buf delimiter;
-            Buffer.add_string buf (field_to_string ~delimiter v))
+            Buffer.add_string buf (field_to_string ~delimiter (Code.to_value c)))
           tuple;
         Buffer.add_char buf '\n')
       (Database.tuples db pred);

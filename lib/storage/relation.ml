@@ -98,7 +98,7 @@ let remove r tuple =
           | [] -> Tuple.Tbl.remove idx.map key  (* no dead buckets *)
           | rest ->
             b.tuples <- rest;
-            b.blen <- List.length rest))
+            b.blen <- b.blen - 1))
       r.indexes;
     if r.filled > 64 && r.filled > 2 * r.size then compact r;
     true
@@ -144,30 +144,27 @@ let get_index r cols_list =
     Hashtbl.add r.indexes cols_list idx;
     idx
 
-let sort_bindings bindings =
-  List.sort (fun (i, _) (j, _) -> Int.compare i j) bindings
+(* Shared by [select] and [select_count]: sort the bindings by column,
+   build the projected key, and find the bucket (if any) in the index on
+   those columns.  [bindings] must be non-empty. *)
+let find_bucket r bindings =
+  let sorted = List.sort (fun (i, _) (j, _) -> Int.compare i j) bindings in
+  let cols = List.map fst sorted in
+  let key = Array.of_list (List.map snd sorted) in
+  let idx = get_index r cols in
+  Tuple.Tbl.find_opt idx.map key
 
 let select r bindings =
   match bindings with
   | [] -> to_list r
-  | _ ->
-    let sorted = sort_bindings bindings in
-    let cols = List.map fst sorted in
-    let key = Array.of_list (List.map snd sorted) in
-    let idx = get_index r cols in
-    (match Tuple.Tbl.find_opt idx.map key with
-    | None -> []
-    | Some b -> b.tuples)
+  | _ -> (
+    match find_bucket r bindings with None -> [] | Some b -> b.tuples)
 
 let select_count r bindings =
   match bindings with
   | [] -> (to_list r, r.size)
-  | _ ->
-    let sorted = sort_bindings bindings in
-    let cols = List.map fst sorted in
-    let key = Array.of_list (List.map snd sorted) in
-    let idx = get_index r cols in
-    (match Tuple.Tbl.find_opt idx.map key with
+  | _ -> (
+    match find_bucket r bindings with
     | None -> ([], 0)
     | Some b -> (b.tuples, b.blen))
 

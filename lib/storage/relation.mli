@@ -37,12 +37,12 @@ val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> Tuple.t list
 (** Tuples in insertion order. *)
 
-val select : t -> (int * Value.t) list -> Tuple.t list
+val select : t -> (int * Code.t) list -> Tuple.t list
 (** [select r bindings] returns the tuples agreeing with the given
-    [(column, value)] constraints, using (and building if necessary) a hash
+    [(column, code)] constraints, using (and building if necessary) a hash
     index on those columns.  [select r []] returns all tuples. *)
 
-val select_count : t -> (int * Value.t) list -> Tuple.t list * int
+val select_count : t -> (int * Code.t) list -> Tuple.t list * int
 (** Like {!select} but also returns the number of tuples in O(1), so
     profiling callers do not have to walk the bucket with [List.length]. *)
 
@@ -59,9 +59,9 @@ val prepare : int list -> access
     relation that changes identity between rounds.
     @raise Invalid_argument on duplicate or negative columns. *)
 
-val probe : t -> access -> Value.t array -> Tuple.t list * int
+val probe : t -> access -> Code.t array -> Tuple.t list * int
 (** [probe r a key] returns the bucket of tuples whose projection onto the
-    prepared columns equals [key], plus its length in O(1).  [key] values
+    prepared columns equals [key], plus its length in O(1).  [key] codes
     must be in ascending column order (the order of the sorted [cols]
     given to {!prepare}). *)
 

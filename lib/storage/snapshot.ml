@@ -1,6 +1,7 @@
 open Datalog_ast
 
-let format_version = 1
+let format_version = 2
+let oldest_readable_version = 1
 
 let magic = "ALEXSNAP"
 
@@ -31,8 +32,9 @@ type contents = {
 let describe_corruption = function
   | Not_a_snapshot msg -> Printf.sprintf "not a snapshot: %s" msg
   | Unsupported_version v ->
-    Printf.sprintf "unsupported snapshot format version %d (this build reads %d)"
-      v format_version
+    Printf.sprintf
+      "unsupported snapshot format version %d (this build reads %d-%d)" v
+      oldest_readable_version format_version
   | Truncated what -> Printf.sprintf "truncated snapshot: missing %s" what
   | Checksum_mismatch { section; expected; actual } ->
     Printf.sprintf "checksum mismatch in %s: expected %s, computed %s" section
@@ -137,6 +139,39 @@ let serialize ?(meta = []) ~sections () =
       Buffer.add_string buf (escape v);
       Buffer.add_char buf '\n')
     meta;
+  (* Dictionary: tuples are stored as raw codes, which are process-local
+     for symbols and dictionary ints (the even codes).  Each such code
+     used anywhere in the image gets one [<code><TAB><tagged value>]
+     line, in order of first occurrence, so the reader can re-intern.
+     Odd codes (small ints) are self-describing and stay unmapped. *)
+  let dict_slot = Hashtbl.create 64 in
+  let dict_order = ref [] in
+  List.iter
+    (fun (_, _, tuples) ->
+      List.iter
+        (fun tuple ->
+          Array.iter
+            (fun c ->
+              if c land 1 = 0 && not (Hashtbl.mem dict_slot c) then begin
+                Hashtbl.add dict_slot c ();
+                dict_order := c :: !dict_order
+              end)
+            tuple)
+        tuples)
+    sections;
+  let dict_order = List.rev !dict_order in
+  let dbody = Buffer.create 256 in
+  List.iter
+    (fun c ->
+      Buffer.add_string dbody (string_of_int c);
+      Buffer.add_char dbody '\t';
+      Buffer.add_string dbody (encode_value (Code.to_value c));
+      Buffer.add_char dbody '\n')
+    dict_order;
+  Buffer.add_string buf
+    (Printf.sprintf "dict %d %s\n" (List.length dict_order)
+       (Crc32.to_hex (Crc32.string (Buffer.contents dbody))));
+  Buffer.add_buffer buf dbody;
   let manifest = Buffer.create 256 in
   List.iter
     (fun (name, arity, tuples) ->
@@ -148,9 +183,9 @@ let serialize ?(meta = []) ~sections () =
               (Printf.sprintf "Snapshot.write: tuple of arity %d in section %S/%d"
                  (Array.length tuple) name arity);
           Array.iteri
-            (fun i v ->
+            (fun i (c : Code.t) ->
               if i > 0 then Buffer.add_char body '\t';
-              Buffer.add_string body (encode_value v))
+              Buffer.add_string body (string_of_int c))
             tuple;
           Buffer.add_char body '\n')
         tuples;
@@ -228,11 +263,15 @@ let read ?(mode = Strict) path =
     in
     match
       (* header *)
-      (match String.split_on_char ' ' (next "header") with
-      | [ m; v ] when m = magic ->
-        let v = parse_int ~section:"header" v in
-        if v <> format_version then fail (Unsupported_version v)
-      | _ -> fail (Not_a_snapshot "bad magic line"));
+      let version =
+        match String.split_on_char ' ' (next "header") with
+        | [ m; v ] when m = magic ->
+          let v = parse_int ~section:"header" v in
+          if v < oldest_readable_version || v > format_version then
+            fail (Unsupported_version v);
+          v
+        | _ -> fail (Not_a_snapshot "bad magic line")
+      in
       (* meta *)
       let meta =
         match String.split_on_char ' ' (next "meta header") with
@@ -244,6 +283,60 @@ let read ?(mode = Strict) path =
                 (unescape_or ~section:"meta" k, unescape_or ~section:"meta" v)
               | _ -> fail (malformed ~section:"meta" "expected key<TAB>value"))
         | _ -> fail (malformed ~section:"meta" "expected 'meta <n>'")
+      in
+      (* dictionary (format 2+): stored code -> re-interned current code.
+         The dictionary is structural — without it no section can be
+         decoded — so damage here is fatal even in Lenient mode. *)
+      let dict : (int, Code.t) Hashtbl.t = Hashtbl.create 64 in
+      if version >= 2 then begin
+        match String.split_on_char ' ' (next "dict header") with
+        | [ "dict"; n; crc ] ->
+          let n = parse_int ~section:"dict" n in
+          let running = ref Crc32.empty in
+          let raw =
+            List.init n (fun _ ->
+                let l = next "dict entries" in
+                running :=
+                  Crc32.update !running (l ^ "\n") ~pos:0
+                    ~len:(String.length l + 1);
+                l)
+          in
+          let actual = Crc32.to_hex !running in
+          if actual <> crc then
+            fail (Checksum_mismatch { section = "dict"; expected = crc; actual });
+          List.iter
+            (fun l ->
+              match String.split_on_char '\t' l with
+              | [ code; v ] -> (
+                match int_of_string_opt code with
+                | None ->
+                  fail
+                    (malformed ~section:"dict"
+                       (Printf.sprintf "bad code %S" code))
+                | Some c -> (
+                  match decode_value v with
+                  | Ok v -> Hashtbl.replace dict c (Code.of_value v)
+                  | Error reason -> fail (malformed ~section:"dict" reason)))
+              | _ -> fail (malformed ~section:"dict" "expected code<TAB>value"))
+            raw
+        | _ -> fail (malformed ~section:"dict" "expected 'dict <n> <crc>'")
+      end;
+      (* one stored tuple field -> one current-process code *)
+      let decode_field ~name ~line f : Code.t =
+        let bad reason = fail (Malformed { section = name; line; reason }) in
+        if version = 1 then
+          match decode_value f with
+          | Ok v -> Code.of_value v
+          | Error reason -> bad reason
+        else
+          match int_of_string_opt f with
+          | None -> bad (Printf.sprintf "bad code %S" f)
+          | Some c ->
+            if c land 1 = 1 then c
+            else (
+              match Hashtbl.find_opt dict c with
+              | Some c' -> c'
+              | None -> bad (Printf.sprintf "code %d not in dictionary" c))
       in
       (* sections, until the manifest line *)
       let headers = ref [] in
@@ -300,13 +393,7 @@ let read ?(mode = Strict) path =
                     else
                       Array.of_list
                         (List.map
-                           (fun f ->
-                             match decode_value f with
-                             | Ok v -> v
-                             | Error reason ->
-                               fail
-                                 (Malformed
-                                    { section = name; line = base + i + 1; reason }))
+                           (decode_field ~name ~line:(base + i + 1))
                            fields))
                   raw
               with

@@ -3,15 +3,30 @@
     A snapshot is a single text file:
 
     {v
-    ALEXSNAP 1
+    ALEXSNAP 2
     meta <n>                      n escaped key<TAB>value lines
+    dict <n> <crc32>              n code<TAB>tagged-value lines
     section <name> <arity> <count> <crc32>
-    ...count tuple lines (TAB-separated "i:<int>" / "s:<sym>" fields)...
+    ...count tuple lines (TAB-separated integer codes)...
     ...more sections...
     manifest <nsections> <crc32>
     ...one escaped name<TAB>arity<TAB>count<TAB>crc32 line per section...
     end ALEXSNAP
     v}
+
+    Tuples are stored as their raw {!Datalog_ast.Code} ints.  Odd codes
+    (small ints) are self-describing; every even code appearing in the
+    image — symbols and side-dictionary ints, whose codes are
+    process-local — has a dictionary line mapping it to a tagged value
+    ("i:<int>" / "s:<escaped sym>") that the reader re-interns, so a
+    snapshot loads correctly in a process with a different intern state.
+    The dictionary is structural: damage to it is fatal even in
+    {!Lenient} mode (a section referencing a code the dictionary lacks
+    is, however, skippable per-section like any other malformation).
+
+    Format 1 ("ALEXSNAP 1", tagged-value tuple fields, no dict block) is
+    still read in both modes, so pre-existing snapshots and checkpoints
+    keep loading and resuming.  Writing always produces format 2.
 
     Installation is atomic: the whole image is serialized, written to
     [path ^ ".tmp"], flushed with [fsync], and [rename]d over [path] —
@@ -33,6 +48,10 @@
 open Datalog_ast
 
 val format_version : int
+(** The version written: 2. *)
+
+val oldest_readable_version : int
+(** The oldest version {!read} accepts: 1. *)
 
 type corruption =
   | Not_a_snapshot of string  (** unreadable, or the magic line is wrong *)

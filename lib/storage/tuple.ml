@@ -1,10 +1,15 @@
 open Datalog_ast
 
-type t = Value.t array
+type t = Code.t array
 
-let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+let equal (a : t) (b : t) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
 
-let compare a b =
+let compare (a : t) (b : t) =
   let c = Int.compare (Array.length a) (Array.length b) in
   if c <> 0 then c
   else
@@ -12,22 +17,52 @@ let compare a b =
     let rec go i =
       if i >= n then 0
       else
-        let c = Value.compare a.(i) b.(i) in
+        let c = Code.compare_values a.(i) b.(i) in
         if c <> 0 then c else go (i + 1)
     in
     go 0
 
-let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+let hash (t : t) =
+  let h = ref 17 in
+  for i = 0 to Array.length t - 1 do
+    h := (!h * 31) + t.(i)
+  done;
+  !h land max_int
 
-let of_atom = Atom.to_tuple
+let encode values = Array.map Code.of_value values
+let decode (t : t) = Array.map Code.to_value t
+let of_atom a = encode (Atom.to_tuple a)
+let to_atom pred t = Atom.of_tuple pred (decode t)
 
-let project cols t = Array.map (fun i -> t.(i)) cols
+(* Pattern match against the argument list of a (possibly non-ground)
+   atom: constants must coincide, repeated variables must agree.  The
+   coded-space replacement for [Unify.matches ~pattern ~ground] at query
+   boundaries. *)
+let matches pattern (t : t) =
+  let args = Atom.args pattern in
+  Array.length args = Array.length t
+  &&
+  let bound : (string * Code.t) list ref = ref [] in
+  let ok = ref true in
+  Array.iteri
+    (fun i arg ->
+      if !ok then
+        match arg with
+        | Term.Const v -> if Code.of_value v <> t.(i) then ok := false
+        | Term.Var x -> (
+          match List.assoc_opt x !bound with
+          | Some c -> if c <> t.(i) then ok := false
+          | None -> bound := (x, t.(i)) :: !bound))
+    args;
+  !ok
 
-let pp ppf t =
+let project cols (t : t) = Array.map (fun i -> t.(i)) cols
+
+let pp ppf (t : t) =
   Format.fprintf ppf "(%a)"
     (Format.pp_print_array
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
-       Value.pp)
+       Code.pp)
     t
 
 module Tbl = Hashtbl.Make (struct

@@ -1,15 +1,34 @@
-(** Ground tuples: arrays of constants, the rows stored in relations. *)
+(** Ground tuples: arrays of one-word codes, the rows stored in relations.
+
+    A tuple is an [int array] of {!Datalog_ast.Code.t}; equality, hashing
+    and index probes are word-wise integer operations with no value
+    boxing.  {!encode}/{!decode} convert at the boundaries. *)
 
 open Datalog_ast
 
-type t = Value.t array
+type t = Code.t array
 
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+(** Lexicographic in the {e decoded} value order ({!Code.compare_values}),
+    so sorted tuple listings are stable across processes. *)
+
 val hash : t -> int
+
+val encode : Value.t array -> t
+val decode : t -> Value.t array
 
 val of_atom : Atom.t -> t
 (** @raise Invalid_argument if the atom is not ground. *)
+
+val to_atom : Pred.t -> t -> Atom.t
+(** Decode a stored tuple back to a ground atom (boundary only). *)
+
+val matches : Atom.t -> t -> bool
+(** [matches pattern t] — does [t] match the argument pattern of
+    [pattern]?  Constants must coincide and repeated variables must take
+    equal values; the predicate of [pattern] is not consulted. *)
 
 val project : int array -> t -> t
 (** [project cols t] extracts the listed columns, in order. *)

@@ -154,7 +154,7 @@ let db_facts_of preds db =
   List.concat_map
     (fun pred ->
       List.map
-        (fun t -> Atom.of_tuple pred t)
+        (fun t -> Datalog_storage.Tuple.to_atom pred t)
         (Datalog_storage.Database.tuples db pred))
     preds
   |> List.sort Atom.compare

@@ -1,0 +1,126 @@
+(* The dictionary encoding at the bottom of the runtime: every ground
+   value maps to one immutable int, injectively, with decoding exact —
+   including ints too large for the arithmetic (odd-code) embedding,
+   which go through the process-wide side dictionary. *)
+
+open Datalog_ast
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let test_small_ints_are_arithmetic () =
+  (* in-range ints encode as 2i+1: no dictionary traffic *)
+  let before = Code.dictionary_size () in
+  List.iter
+    (fun i ->
+      let c = Code.of_int i in
+      check tbool "odd" true (c = (i lsl 1) lor 1);
+      check tbool "is_int" true (Code.is_int c);
+      check tint "decodes" i (Code.to_int c))
+    [ 0; 1; -1; 42; -1000; max_int asr 1; min_int asr 1 ];
+  check tint "no dictionary growth" before (Code.dictionary_size ())
+
+let test_big_ints_go_through_dictionary () =
+  let before = Code.dictionary_size () in
+  let big = max_int asr 1 in
+  List.iter
+    (fun i ->
+      check tbool "does not fit small" false (Code.fits_small i);
+      let c = Code.of_int i in
+      check tbool "negative even code" true (c < 0 && c land 1 = 0);
+      check tint "decodes exactly" i (Code.to_int c);
+      check tbool "re-encoding is stable" true (Code.equal c (Code.of_int i)))
+    [ big + 1; max_int; -(big + 2); min_int ];
+  check tbool "dictionary grew" true (Code.dictionary_size () > before)
+
+let test_symbols_are_even_ids () =
+  let s = Symbol.intern "code-test-sym" in
+  let c = Code.of_symbol s in
+  check tbool "even non-negative" true (c >= 0 && c land 1 = 0);
+  check tbool "is_symbol" true (Code.is_symbol c);
+  check tbool "not is_int" false (Code.is_int c);
+  check tbool "decodes" true (Value.equal (Code.to_value c) (Value.Sym s));
+  check tbool "of_value agrees" true (Code.equal c (Code.of_value (Value.Sym s)))
+
+let test_compare_values_matches_value_compare () =
+  let vs =
+    [ Value.sym "a"; Value.sym "zz"; Value.int (-3); Value.int 0;
+      Value.int 7; Value.int max_int; Value.int min_int
+    ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let expect = compare (Value.compare a b) 0 in
+          let got =
+            compare (Code.compare_values (Code.of_value a) (Code.of_value b)) 0
+          in
+          check tint
+            (Format.asprintf "order of %a vs %a" Value.pp a Value.pp b)
+            expect got)
+        vs)
+    vs
+
+let test_eval_cmp_matches_literal_semantics () =
+  let vs = [ Value.sym "s"; Value.int (-1); Value.int 5; Value.int max_int ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun cmp ->
+              check tbool "cmp agrees on codes"
+                (Literal.eval_cmp cmp a b)
+                (Code.eval_cmp cmp (Code.of_value a) (Code.of_value b)))
+            [ Literal.Eq; Literal.Neq; Literal.Lt; Literal.Leq; Literal.Gt;
+              Literal.Geq
+            ])
+        vs)
+    vs
+
+(* -------------------------------------------------------------------- *)
+(* Properties *)
+
+let arb_value =
+  QCheck.make
+    ~print:(Format.asprintf "%a" Value.pp)
+    QCheck.Gen.(
+      oneof
+        [ map Value.int int;  (* full-range: exercises the dictionary *)
+          map Value.int (int_range (-1000) 1000);
+          map (fun s -> Value.sym s) (string_size (int_bound 10))
+        ])
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"Code.of_value/to_value round-trips any value"
+    ~count:1000 arb_value (fun v ->
+      Value.equal v (Code.to_value (Code.of_value v)))
+
+let prop_injective =
+  QCheck.Test.make ~name:"distinct values get distinct codes" ~count:500
+    (QCheck.pair arb_value arb_value) (fun (a, b) ->
+      Code.equal (Code.of_value a) (Code.of_value b) = Value.equal a b)
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"equal codes hash equally" ~count:500 arb_value
+    (fun v ->
+      Code.hash (Code.of_value v) = Code.hash (Code.of_value v))
+
+let suite =
+  [ ( "code",
+      [ Alcotest.test_case "small ints arithmetic" `Quick
+          test_small_ints_are_arithmetic;
+        Alcotest.test_case "big ints via dictionary" `Quick
+          test_big_ints_go_through_dictionary;
+        Alcotest.test_case "symbols" `Quick test_symbols_are_even_ids;
+        Alcotest.test_case "value order" `Quick
+          test_compare_values_matches_value_compare;
+        Alcotest.test_case "comparison literals" `Quick
+          test_eval_cmp_matches_literal_semantics
+      ] );
+    ( "code:properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_roundtrip; prop_injective; prop_hash_consistent ] )
+  ]

@@ -114,7 +114,7 @@ let test_eq_alias_in_rule () =
   let result = answers program "pair(X, Y)" in
   check tint "diagonal" 2 (List.length result);
   check tbool "aliased" true
-    (List.for_all (fun t -> Value.equal t.(0) t.(1)) result)
+    (List.for_all (fun t -> Code.equal t.(0) t.(1)) result)
 
 let test_cmp_between_symbols () =
   (* ordering comparisons on symbols follow Value.compare (by intern id);
@@ -168,7 +168,7 @@ let test_double_negation_via_two_preds () =
   (* hidden = {2}; visible = {1} *)
   check tint "one visible" 1 (List.length (answers program "visible(X)"));
   check tbool "it is 1" true
-    (List.hd (answers program "visible(X)") = [| Value.int 1 |])
+    (List.hd (answers program "visible(X)") = [| Code.of_int 1 |])
 
 let test_negated_zero_arity () =
   let program = prog "go :- ready, not blocked. ready." in

@@ -87,7 +87,7 @@ let test_eq_assignment () =
   let db, _ = eval_with eval_seminaive program in
   check tint "= binds" 2 (Database.cardinal db (Pred.make "p" 2));
   check tbool "value is 7" true
-    (Database.mem db (Pred.make "p" 2) [| Value.int 1; Value.int 7 |])
+    (Database.mem db (Pred.make "p" 2) [| Code.of_int 1; Code.of_int 7 |])
 
 let test_unsafe_rule_detected () =
   let program = prog "p(X) :- e(X), not q(Y). e(1)." in
@@ -111,7 +111,7 @@ let test_stratified_reach_unreach () =
   check tint "reach" 3 (Database.cardinal db (Pred.make "reach" 1));
   check tint "unreach" 2 (Database.cardinal db (Pred.make "unreach" 1));
   check tbool "3 unreachable" true
-    (Database.mem db (Pred.make "unreach" 1) [| Value.int 3 |])
+    (Database.mem db (Pred.make "unreach" 1) [| Code.of_int 3 |])
 
 let test_stratified_rejects_winmove () =
   let program = Alexander.Workloads.win_move_dag 4 in

@@ -43,7 +43,7 @@ let seeds =
 
 (* int-only tuples so plain structural equality applies *)
 let sections_of ints =
-  [ ("data", 1, List.map (fun i -> [| Value.int i |]) ints) ]
+  [ ("data", 1, List.map (fun i -> [| Code.of_int i |]) ints) ]
 
 let read_ints path =
   match Sn.read path with
@@ -53,7 +53,10 @@ let read_ints path =
     match c.Sn.sections with
     | [ { Sn.s_name = "data"; s_tuples; _ } ] ->
       List.map
-        (fun t -> match t.(0) with Value.Int i -> i | _ -> Alcotest.fail "sym")
+        (fun t ->
+          match Code.to_value t.(0) with
+          | Value.Int i -> i
+          | _ -> Alcotest.fail "sym")
         s_tuples
     | _ -> Alcotest.fail "unexpected section layout")
 
@@ -169,7 +172,7 @@ let test_torn_rename () =
 let test_mkdir_fault () =
   let dir = Filename.concat (tmpdir ()) "a/b" in
   let db = Database.create () in
-  ignore (Database.add db (Pred.make "e" 1) [| Value.int 1 |]);
+  ignore (Database.add db (Pred.make "e" 1) [| Code.of_int 1 |]);
   F.arm (F.fail_nth F.Mkdir 0);
   let r = Io.save_database db dir in
   F.disarm ();
@@ -179,15 +182,15 @@ let test_multi_file_save_is_per_file_atomic () =
   let dir = tmpdir () in
   let e = Pred.make "e" 1 and f = Pred.make "f" 1 in
   let db_old = Database.create () in
-  ignore (Database.add db_old e [| Value.int 1 |]);
-  ignore (Database.add db_old f [| Value.int 10 |]);
+  ignore (Database.add db_old e [| Code.of_int 1 |]);
+  ignore (Database.add db_old f [| Code.of_int 10 |]);
   (match Io.save_database db_old dir with
   | Ok () -> ()
   | Error msg -> Alcotest.fail msg);
   let db_new = Database.create () in
-  List.iter (fun i -> ignore (Database.add db_new e [| Value.int i |])) [ 1; 2 ];
+  List.iter (fun i -> ignore (Database.add db_new e [| Code.of_int i |])) [ 1; 2 ];
   List.iter
-    (fun i -> ignore (Database.add db_new f [| Value.int i |]))
+    (fun i -> ignore (Database.add db_new f [| Code.of_int i |]))
     [ 10; 20 ];
   (* kill the process during the second file's write: the first relation
      is already (atomically) installed, the second must still hold its

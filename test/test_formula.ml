@@ -24,7 +24,8 @@ let company =
 
 let names tuples =
   List.map
-    (fun t -> match t.(0) with Value.Sym s -> Symbol.name s | _ -> "?")
+    (fun t ->
+      match Code.to_value t.(0) with Value.Sym s -> Symbol.name s | _ -> "?")
     tuples
   |> List.sort String.compare
 

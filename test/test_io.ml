@@ -75,7 +75,9 @@ let test_roundtrip_save_load () =
   let db = Database.create () in
   List.iter
     (fun (a, b) ->
-      ignore (Database.add db (Pred.make "e" 2) [| Value.int a; Value.sym b |]))
+      ignore
+        (Database.add db (Pred.make "e" 2)
+           [| Code.of_int a; Code.of_value (Value.sym b) |]))
     [ (1, "x"); (2, "y") ];
   (match Io.save_database db dir with
   | Ok () -> ()
@@ -93,7 +95,7 @@ let test_unwritable_symbols_rejected () =
   let dir = tmpdir () in
   let save sym =
     let db = Database.create () in
-    ignore (Database.add db (Pred.make "p" 1) [| Value.sym sym |]);
+    ignore (Database.add db (Pred.make "p" 1) [| Code.of_value (Value.sym sym) |]);
     Io.save_relation db (Pred.make "p" 1) (Filename.concat dir "p.csv")
   in
   List.iter
@@ -119,7 +121,7 @@ let test_unwritable_symbols_rejected () =
 let test_save_database_creates_parents () =
   let dir = Filename.concat (Filename.concat (tmpdir ()) "deep") "er" in
   let db = Database.create () in
-  ignore (Database.add db (Pred.make "e" 2) [| Value.int 1; Value.int 2 |]);
+  ignore (Database.add db (Pred.make "e" 2) [| Code.of_int 1; Code.of_int 2 |]);
   (match Io.save_database db dir with
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
@@ -149,7 +151,9 @@ let prop_save_load_roundtrip =
       let pred = Pred.make "r" 2 in
       List.iter
         (fun (i, s) ->
-          ignore (Database.add db pred [| Value.int i; Value.sym s |]))
+          ignore
+            (Database.add db pred
+               [| Code.of_int i; Code.of_value (Value.sym s) |]))
         rows;
       match Io.save_database db dir with
       | Error _ -> false
@@ -160,7 +164,7 @@ let prop_save_load_roundtrip =
           let expected =
             List.sort Atom.compare
               (List.map
-                 (fun t -> Atom.of_tuple pred t)
+                 (fun t -> Tuple.to_atom pred t)
                  (Database.tuples db pred))
           in
           List.sort Atom.compare atoms = expected))

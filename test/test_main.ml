@@ -2,7 +2,7 @@
 
 let () =
   Alcotest.run "alexander"
-    (Test_ast.suite @ Test_parser.suite @ Test_storage.suite
+    (Test_ast.suite @ Test_code.suite @ Test_parser.suite @ Test_storage.suite
    @ Test_analysis.suite @ Test_engine.suite @ Test_rewrite.suite
    @ Test_equivalence.suite @ Test_core.suite @ Test_tabled.suite
    @ Test_provenance.suite @ Test_formula.suite @ Test_preprocess.suite

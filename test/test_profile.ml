@@ -138,7 +138,7 @@ let test_report_json_schema () =
   check tstrings "report keys"
     [ "schema_version"; "query"; "strategy"; "sips"; "negation"; "evaluator";
       "status"; "exhausted_reason"; "answers"; "undefined"; "wall_time_s";
-      "rewritten"; "plan"; "totals"; "profile"
+      "minor_words"; "rewritten"; "plan"; "totals"; "profile"
     ]
     (J.keys json);
   (match J.member "plan" json with
@@ -172,13 +172,13 @@ let test_report_json_schema () =
         (J.keys first)
     | _ -> Alcotest.fail "no rule rows")
 
-let test_schema_version_is_2 () =
+let test_schema_version_is_3 () =
   let report =
     run_exn ~options:O.default (W.ancestor_chain 5) (atom "anc(0, X)")
   in
   let json = S.report_json ~query:(atom "anc(0, X)") report in
-  check tbool "schema_version 2" true
-    (J.member "schema_version" json = Some (J.Int 2))
+  check tbool "schema_version 3" true
+    (J.member "schema_version" json = Some (J.Int 3))
 
 (* -------------------------------------------------------------------- *)
 (* Trace sinks *)
@@ -259,8 +259,8 @@ let suite =
           test_stratum_rows_stratified;
         Alcotest.test_case "report_json schema pinned" `Quick
           test_report_json_schema;
-        Alcotest.test_case "schema_version is 2" `Quick
-          test_schema_version_is_2;
+        Alcotest.test_case "schema_version is 3" `Quick
+          test_schema_version_is_3;
         Alcotest.test_case "trace lines" `Quick test_trace_lines;
         Alcotest.test_case "trace implies profiling" `Quick
           test_trace_implies_profile;

@@ -96,7 +96,7 @@ let test_proofs_exist_for_every_derived_fact () =
   let sg = Pred.make "sg" 2 in
   List.iter
     (fun t ->
-      let a = Atom.of_tuple sg t in
+      let a = Datalog_storage.Tuple.to_atom sg t in
       match P.explain program a with
       | Some proof ->
         check tbool
@@ -113,7 +113,7 @@ let prop_every_fact_explainable =
       List.for_all
         (fun pred ->
           List.for_all
-            (fun t -> P.explain program (Atom.of_tuple pred t) <> None)
+            (fun t -> P.explain program (Datalog_storage.Tuple.to_atom pred t) <> None)
             (Datalog_storage.Database.tuples db pred))
         (Gen.idb_preds program))
 

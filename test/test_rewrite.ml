@@ -230,9 +230,7 @@ let direct_answers program query =
   let outcome = stratified_exn program in
   let pred = Atom.pred query in
   Database.tuples outcome.Stratified.db pred
-  |> List.filter (fun t ->
-         Option.is_some
-           (Unify.matches ~pattern:query ~ground:(Atom.of_tuple pred t)))
+  |> List.filter (Tuple.matches query)
   |> List.sort Tuple.compare
 
 let rewritten_answers transform program query =
@@ -247,9 +245,7 @@ let rewritten_answers transform program query =
   let pattern = rw.Rewritten.answer_atom in
   let pred = Atom.pred pattern in
   Database.tuples outcome.Stratified.db pred
-  |> List.filter (fun t ->
-         Option.is_some
-           (Unify.matches ~pattern ~ground:(Atom.of_tuple pred t)))
+  |> List.filter (Tuple.matches pattern)
   |> List.sort Tuple.compare
 
 let workload_cases =
@@ -329,9 +325,7 @@ let test_rewriting_with_stratified_negation () =
       let pred = Atom.pred pattern in
       let answers =
         Database.tuples outcome.Conditional.true_db pred
-        |> List.filter (fun t ->
-               Option.is_some
-                 (Unify.matches ~pattern ~ground:(Atom.of_tuple pred t)))
+        |> List.filter (Tuple.matches pattern)
         |> List.sort Tuple.compare
       in
       check tbool "negation handled" true (answers = direct);

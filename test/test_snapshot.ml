@@ -1,6 +1,8 @@
-(* Snapshot format: round-trips (including hostile symbols), layered
-   corruption detection (magic / version / truncation / per-section CRC /
-   manifest), lenient per-section degradation, and atomic installation. *)
+(* Snapshot format: round-trips (including hostile symbols and
+   dictionary-encoded big ints), layered corruption detection (magic /
+   version / truncation / dictionary / per-section CRC / manifest),
+   lenient per-section degradation, atomic installation, and backward
+   compatibility with the tagged-value format 1. *)
 
 open Datalog_ast
 open Datalog_storage
@@ -43,10 +45,35 @@ let corrupt path ~needle ~replacement =
       (String.sub data 0 i ^ replacement
       ^ String.sub data j (String.length data - j))
 
+(* Format 2 stores tuples as raw code integers whose exact digits depend
+   on interning order, so body corruption cannot target a literal needle:
+   instead, flip the first digit of the [offset]-th line after the first
+   line starting with [after]. *)
+let corrupt_body path ~after ~offset =
+  let ls = file_lines path in
+  let rec find i = function
+    | [] -> Alcotest.fail ("corruption target not found: " ^ after)
+    | l :: _ when starts_with after l -> i + offset
+    | _ :: rest -> find (i + 1) rest
+  in
+  let target = find 0 ls in
+  write_lines path
+    (List.mapi
+       (fun i l ->
+         if i <> target then l
+         else
+           let c = l.[0] in
+           let c' = if c = '9' then '8' else Char.chr (Char.code c + 1) in
+           String.make 1 c' ^ String.sub l 1 (String.length l - 1))
+       ls)
+
+(* tuples in test expectations are written as values and encoded *)
+let enc vs = Array.of_list (List.map Code.of_value vs)
+
 let tuple_equal a b =
   Array.length a = Array.length b
   && (let ok = ref true in
-      Array.iteri (fun i v -> if not (Value.equal v b.(i)) then ok := false) a;
+      Array.iteri (fun i v -> if not (Code.equal v b.(i)) then ok := false) a;
       !ok)
 
 let tuples_equal ts us =
@@ -62,6 +89,8 @@ let read_exn ?mode path =
   | Ok c -> c
   | Error c -> Alcotest.fail (Sn.describe_corruption c)
 
+let crc s = Crc32.to_hex (Crc32.string s)
+
 (* -------------------------------------------------------------------- *)
 (* Round trips *)
 
@@ -73,11 +102,13 @@ let test_roundtrip () =
   let sections =
     [ ( "alpha",
         2,
-        [ [| Value.int 1; Value.sym "one" |];
-          [| Value.int (-3); Value.sym weird_sym |];
-          [| Value.int max_int; Value.sym "" |]
+        [ enc [ Value.int 1; Value.sym "one" ];
+          enc [ Value.int (-3); Value.sym weird_sym ];
+          (* max_int does not fit the arithmetic encoding: this row
+             exercises the side dictionary through the snapshot *)
+          enc [ Value.int max_int; Value.sym "" ]
         ] );
-      ("beta section", 1, [ [| Value.sym "keep me" |] ]);
+      ("beta section", 1, [ enc [ Value.sym "keep me" ] ]);
       ("empty", 3, []);
       (* arity-0 sections are real: the magic-family rewritings seed
          nullary call predicates *)
@@ -101,10 +132,10 @@ let test_roundtrip () =
 let test_db_roundtrip () =
   let db = Database.create () in
   let e = Pred.make "e" 2 in
-  ignore (Database.add db e [| Value.int 1; Value.sym "x y" |]);
-  ignore (Database.add db e [| Value.int 2; Value.sym "z" |]);
+  ignore (Database.add db e (enc [ Value.int 1; Value.sym "x y" ]));
+  ignore (Database.add db e (enc [ Value.int 2; Value.sym "z" ]));
   (* "42" the symbol survives: the snapshot format is typed, unlike Io *)
-  ignore (Database.add db (Pred.make "label" 1) [| Value.sym "42" |]);
+  ignore (Database.add db (Pred.make "label" 1) (enc [ Value.sym "42" ]));
   let path = tmpfile () in
   (match Sn.save_database db path with
   | Ok () -> ()
@@ -118,7 +149,7 @@ let test_db_roundtrip () =
       (Gen.db_facts_of preds db = Gen.db_facts_of preds db2);
     check tbool "symbolic 42 stays a symbol" true
       (List.exists
-         (fun t -> Value.equal t.(0) (Value.sym "42"))
+         (fun t -> Code.equal t.(0) (Code.of_value (Value.sym "42")))
          (Database.tuples db2 (Pred.make "label" 1)));
     Sys.remove path
 
@@ -126,7 +157,7 @@ let test_duplicate_section_rejected () =
   let path = tmpfile () in
   match
     Sn.write
-      ~sections:[ ("dup", 1, [ [| Value.int 1 |] ]); ("dup", 1, []) ]
+      ~sections:[ ("dup", 1, [ [| Code.of_int 1 |] ]); ("dup", 1, []) ]
       path
   with
   | Ok () -> Alcotest.fail "duplicate sections must be rejected"
@@ -135,7 +166,7 @@ let test_duplicate_section_rejected () =
 
 let test_overwrite_leaves_no_tmp () =
   let path = tmpfile () in
-  let sections = [ ("a", 1, [ [| Value.int 1 |] ]) ] in
+  let sections = [ ("a", 1, [ [| Code.of_int 1 |] ]) ] in
   write_exn ~sections path;
   write_exn ~sections path;
   check tbool "no stale temp file" false (Sys.file_exists (path ^ ".tmp"));
@@ -149,17 +180,17 @@ let write_two path =
     ~sections:
       [ ( "alpha",
           2,
-          [ [| Value.int 1; Value.sym "one" |];
-            [| Value.int 2; Value.sym "two" |]
+          [ enc [ Value.int 1; Value.sym "one" ];
+            enc [ Value.int 2; Value.sym "two" ]
           ] );
-        ("beta", 1, [ [| Value.sym "survivor" |] ])
+        ("beta", 1, [ enc [ Value.sym "survivor" ] ])
       ]
     path
 
 let test_bad_magic () =
   let path = tmpfile () in
   write_two path;
-  corrupt path ~needle:"ALEXSNAP 1" ~replacement:"BOGUSFMT 1";
+  corrupt path ~needle:"ALEXSNAP 2" ~replacement:"BOGUSFMT 2";
   (match Sn.read path with
   | Error (Sn.Not_a_snapshot _) -> ()
   | Error c -> Alcotest.fail ("wrong class: " ^ Sn.describe_corruption c)
@@ -169,7 +200,7 @@ let test_bad_magic () =
 let test_unsupported_version () =
   let path = tmpfile () in
   write_two path;
-  corrupt path ~needle:"ALEXSNAP 1" ~replacement:"ALEXSNAP 9";
+  corrupt path ~needle:"ALEXSNAP 2" ~replacement:"ALEXSNAP 9";
   (match Sn.read path with
   | Error (Sn.Unsupported_version 9) -> ()
   | Error c -> Alcotest.fail ("wrong class: " ^ Sn.describe_corruption c)
@@ -178,7 +209,8 @@ let test_unsupported_version () =
 
 let test_truncation_detected () =
   let path = tmpfile () in
-  (* a torn write: only a prefix of the file reached the disk *)
+  (* a torn write: only a prefix of the file reached the disk — here it
+     ends inside the dictionary block *)
   write_two path;
   let ls = file_lines path in
   write_lines path
@@ -206,7 +238,7 @@ let test_truncation_detected () =
 let test_bitflip_strict () =
   let path = tmpfile () in
   write_two path;
-  corrupt path ~needle:"s:one" ~replacement:"s:oqe";
+  corrupt_body path ~after:"section alpha " ~offset:1;
   (match Sn.read path with
   | Error (Sn.Checksum_mismatch { section; _ }) ->
     check tstr "names the damaged section" "alpha" section
@@ -217,7 +249,7 @@ let test_bitflip_strict () =
 let test_bitflip_lenient_skips_section () =
   let path = tmpfile () in
   write_two path;
-  corrupt path ~needle:"s:one" ~replacement:"s:oqe";
+  corrupt_body path ~after:"section alpha " ~offset:1;
   let c = read_exn ~mode:Sn.Lenient path in
   check tint "one warning" 1 (List.length c.Sn.warnings);
   let w = List.hd c.Sn.warnings in
@@ -229,7 +261,61 @@ let test_bitflip_lenient_skips_section () =
   let s = List.hd c.Sn.sections in
   check tstr "the survivor is beta" "beta" s.Sn.s_name;
   check tbool "its data is intact" true
-    (tuples_equal [ [| Value.sym "survivor" |] ] s.Sn.s_tuples);
+    (tuples_equal [ enc [ Value.sym "survivor" ] ] s.Sn.s_tuples);
+  Sys.remove path
+
+let test_dict_damage_is_fatal_in_both_modes () =
+  (* the dictionary is structural — no section decodes without it — so a
+     flipped byte there refuses the whole file even in Lenient mode *)
+  let path = tmpfile () in
+  write_two path;
+  corrupt path ~needle:"s:one" ~replacement:"s:oqe";
+  let expect = function
+    | Error (Sn.Checksum_mismatch { section = "dict"; _ }) -> ()
+    | Error c -> Alcotest.fail ("wrong class: " ^ Sn.describe_corruption c)
+    | Ok _ -> Alcotest.fail "dictionary damage must be rejected"
+  in
+  expect (Sn.read path);
+  expect (Sn.read ~mode:Sn.Lenient path);
+  Sys.remove path
+
+let test_missing_dict_code () =
+  (* a hand-built format-2 file whose "bad" section references an even
+     code the (checksum-valid) dictionary does not define: strict refuses,
+     lenient skips just that section *)
+  let path = tmpfile () in
+  let bad_body = "8\n" and good_body = "3\n" in
+  let manifest_body =
+    Printf.sprintf "bad\t1\t1\t%s\ngood\t1\t1\t%s\n" (crc bad_body)
+      (crc good_body)
+  in
+  write_file path
+    (String.concat ""
+       [ "ALEXSNAP 2\n";
+         "meta 0\n";
+         Printf.sprintf "dict 0 %s\n" (crc "");
+         Printf.sprintf "section bad 1 1 %s\n" (crc bad_body);
+         bad_body;
+         Printf.sprintf "section good 1 1 %s\n" (crc good_body);
+         good_body;
+         Printf.sprintf "manifest 2 %s\n" (crc manifest_body);
+         manifest_body;
+         "end ALEXSNAP\n"
+       ]);
+  (match Sn.read path with
+  | Error (Sn.Malformed { section = "bad"; reason; _ }) ->
+    check tbool "names the code" true (find_sub reason "dictionary" <> None)
+  | Error c -> Alcotest.fail ("wrong class: " ^ Sn.describe_corruption c)
+  | Ok _ -> Alcotest.fail "an undefined code must be rejected in strict mode");
+  let c = read_exn ~mode:Sn.Lenient path in
+  check tint "one warning" 1 (List.length c.Sn.warnings);
+  check tstr "warning names bad" "bad" (List.hd c.Sn.warnings).Sn.w_section;
+  (match c.Sn.sections with
+  | [ s ] ->
+    check tstr "the survivor is good" "good" s.Sn.s_name;
+    check tbool "odd codes are self-describing" true
+      (tuples_equal [ [| Code.of_int 1 |] ] s.Sn.s_tuples)
+  | _ -> Alcotest.fail "exactly the good section must survive");
   Sys.remove path
 
 let test_manifest_crc_tamper () =
@@ -276,6 +362,138 @@ let test_missing_section_vs_manifest () =
   Sys.remove path
 
 (* -------------------------------------------------------------------- *)
+(* Format 1 compatibility: snapshots and checkpoints written before the
+   dictionary encoding (tagged values inline, no dict block) still load *)
+
+(* serialize value-level sections in the retired format 1 layout *)
+let write_v1 ?(meta = []) ~sections path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "ALEXSNAP 1\n";
+  Buffer.add_string buf (Printf.sprintf "meta %d\n" (List.length meta));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\t%s\n" (Sn.escape k) (Sn.escape v)))
+    meta;
+  let manifest = Buffer.create 256 in
+  List.iter
+    (fun (name, arity, tuples) ->
+      let body = Buffer.create 256 in
+      List.iter
+        (fun tuple ->
+          Array.iteri
+            (fun i v ->
+              if i > 0 then Buffer.add_char body '\t';
+              Buffer.add_string body (Sn.encode_value v))
+            tuple;
+          Buffer.add_char body '\n')
+        tuples;
+      let c = crc (Buffer.contents body) in
+      Buffer.add_string buf
+        (Printf.sprintf "section %s %d %d %s\n" (Sn.escape name) arity
+           (List.length tuples) c);
+      Buffer.add_buffer buf body;
+      Buffer.add_string manifest
+        (Printf.sprintf "%s\t%d\t%d\t%s\n" (Sn.escape name) arity
+           (List.length tuples) c))
+    sections;
+  Buffer.add_string buf
+    (Printf.sprintf "manifest %d %s\n" (List.length sections)
+       (crc (Buffer.contents manifest)));
+  Buffer.add_buffer buf manifest;
+  Buffer.add_string buf "end ALEXSNAP\n";
+  write_file path (Buffer.contents buf)
+
+let test_v1_snapshot_still_loads () =
+  let path = tmpfile () in
+  let meta = [ ("kind", "database") ] in
+  let sections =
+    [ ( "rel:e",
+        2,
+        [ [| Value.int 1; Value.sym "x" |]; [| Value.int 2; Value.sym "y z" |] ]
+      );
+      ("rel:label", 1, [ [| Value.sym "42" |] ])
+    ]
+  in
+  write_v1 ~meta ~sections path;
+  (* the raw reader re-encodes every tagged field *)
+  let c = read_exn path in
+  check tbool "no warnings" true (c.Sn.warnings = []);
+  check tbool "meta preserved" true (c.Sn.meta = meta);
+  List.iter2
+    (fun (name, arity, tuples) s ->
+      check tstr "v1 section name" name s.Sn.s_name;
+      check tint "v1 section arity" arity s.Sn.s_arity;
+      check tbool "v1 tuples re-encoded" true
+        (tuples_equal
+           (List.map (fun t -> enc (Array.to_list t)) tuples)
+           s.Sn.s_tuples))
+    sections c.Sn.sections;
+  (* and v1 lenient reads degrade per section like v2 *)
+  (match Sn.read ~mode:Sn.Lenient path with
+  | Ok c -> check tbool "lenient v1 read" true (c.Sn.warnings = [])
+  | Error c -> Alcotest.fail (Sn.describe_corruption c));
+  (* the database loader installs the coded tuples *)
+  (match Sn.load_database path with
+  | Error c -> Alcotest.fail (Sn.describe_corruption c)
+  | Ok (db, warnings) ->
+    check tbool "no load warnings" true (warnings = []);
+    check tbool "v1 facts queryable" true
+      (Database.mem db (Pred.make "e" 2) (enc [ Value.int 2; Value.sym "y z" ]));
+    check tbool "v1 symbolic 42 stays a symbol" true
+      (Database.mem db (Pred.make "label" 1) (enc [ Value.sym "42" ])));
+  Sys.remove path
+
+(* downgrade a format-2 file on disk to format 1, byte-for-byte what the
+   previous release would have written for the same image *)
+let downgrade_to_v1 path =
+  let c = read_exn path in
+  let sections =
+    List.map
+      (fun s ->
+        ( s.Sn.s_name,
+          s.Sn.s_arity,
+          List.map (Array.map Code.to_value) s.Sn.s_tuples ))
+      c.Sn.sections
+  in
+  write_v1 ~meta:c.Sn.meta ~sections path
+
+let test_resume_from_v1_checkpoint () =
+  let module O = Alexander.Options in
+  let module S = Alexander.Solve in
+  let module Ck = Datalog_engine.Checkpoint in
+  let program = Alexander.Workloads.ancestor_chain 12 in
+  let query = Datalog_parser.Parser.atom_of_string "anc(0, X)" in
+  let seminaive = { O.default with O.strategy = O.Seminaive } in
+  let run_exn ~options ?resume_from () =
+    match S.run ~options ?resume_from program query with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Alexander.Errors.message e)
+  in
+  let full = run_exn ~options:seminaive () in
+  let path = tmpfile () in
+  let options =
+    { seminaive with
+      O.limits = Datalog_engine.Limits.make ~max_iterations:2 ();
+      checkpoint = Ck.create ~path ()
+    }
+  in
+  let r1 = run_exn ~options () in
+  check tbool "setup run exhausted" true (S.incomplete r1);
+  downgrade_to_v1 path;
+  let resume =
+    match Ck.load path with
+    | Ok (r, warnings) ->
+      check tbool "clean v1 checkpoint load" true (warnings = []);
+      r
+    | Error c -> Alcotest.fail (Sn.describe_corruption c)
+  in
+  let r2 = run_exn ~options:seminaive ~resume_from:resume () in
+  check tbool "v1 checkpoint resumes to the full answers" true
+    (r2.S.answers = full.S.answers);
+  Sys.remove path
+
+(* -------------------------------------------------------------------- *)
 (* Encoding properties *)
 
 let prop_escape_roundtrip =
@@ -304,6 +522,37 @@ let prop_value_roundtrip =
       | Ok v' -> Value.equal v v'
       | Error _ -> false)
 
+(* write coded, read back, decode: the dictionary block must make raw
+   codes durable across (simulated) process boundaries *)
+let prop_section_roundtrip =
+  QCheck.Test.make ~name:"coded sections round-trip any value tuples"
+    ~count:100
+    QCheck.(
+      make
+        ~print:(fun rows ->
+          String.concat ";"
+            (List.map
+               (fun (i, s) -> Printf.sprintf "(%d,%s)" i s)
+               rows))
+        Gen.(
+          list_size (int_bound 12)
+            (pair int (string_size (int_bound 8)))))
+    (fun rows ->
+      let tuples =
+        List.map (fun (i, s) -> enc [ Value.int i; Value.sym s ]) rows
+      in
+      let path = tmpfile () in
+      match Sn.write ~sections:[ ("r", 2, tuples) ] path with
+      | Error _ -> false
+      | Ok () -> (
+        match Sn.read path with
+        | Error _ -> false
+        | Ok c ->
+          Sys.remove path;
+          (match c.Sn.sections with
+          | [ s ] -> tuples_equal tuples s.Sn.s_tuples
+          | _ -> false)))
+
 let suite =
   [ ( "snapshot",
       [ Alcotest.test_case "round-trip" `Quick test_roundtrip;
@@ -318,11 +567,20 @@ let suite =
         Alcotest.test_case "bit flip (strict)" `Quick test_bitflip_strict;
         Alcotest.test_case "bit flip (lenient)" `Quick
           test_bitflip_lenient_skips_section;
+        Alcotest.test_case "dictionary damage" `Quick
+          test_dict_damage_is_fatal_in_both_modes;
+        Alcotest.test_case "missing dictionary code" `Quick
+          test_missing_dict_code;
         Alcotest.test_case "manifest tamper" `Quick test_manifest_crc_tamper;
         Alcotest.test_case "manifest mismatch" `Quick
-          test_missing_section_vs_manifest
+          test_missing_section_vs_manifest;
+        Alcotest.test_case "format 1 still loads" `Quick
+          test_v1_snapshot_still_loads;
+        Alcotest.test_case "format 1 checkpoint resumes" `Quick
+          test_resume_from_v1_checkpoint
       ] );
     ( "snapshot:properties",
       List.map QCheck_alcotest.to_alcotest
-        [ prop_escape_roundtrip; prop_value_roundtrip ] )
+        [ prop_escape_roundtrip; prop_value_roundtrip; prop_section_roundtrip ]
+    )
   ]

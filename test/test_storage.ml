@@ -7,7 +7,7 @@ let check = Alcotest.check
 let tbool = Alcotest.bool
 let tint = Alcotest.int
 
-let tup l = Array.of_list (List.map Value.int l)
+let tup l = Array.of_list (List.map Code.of_int l)
 
 let test_tuple_equal_hash () =
   let a = tup [ 1; 2 ] and b = tup [ 1; 2 ] and c = tup [ 2; 1 ] in
@@ -37,7 +37,7 @@ let test_relation_insertion_order () =
   let r = Relation.create 1 in
   List.iter (fun i -> ignore (Relation.insert r (tup [ i ]))) [ 3; 1; 2 ];
   check (Alcotest.list tint) "insertion order preserved" [ 3; 1; 2 ]
-    (List.map (fun t -> match t.(0) with Value.Int i -> i | _ -> -1)
+    (List.map (fun t -> Code.to_int t.(0))
        (Relation.to_list r))
 
 let test_relation_select () =
@@ -45,23 +45,23 @@ let test_relation_select () =
   List.iter
     (fun (a, b) -> ignore (Relation.insert r (tup [ a; b ])))
     [ (1, 10); (1, 20); (2, 10); (3, 30) ];
-  check tint "select col0=1" 2 (List.length (Relation.select r [ (0, Value.int 1) ]));
-  check tint "select col1=10" 2 (List.length (Relation.select r [ (1, Value.int 10) ]));
+  check tint "select col0=1" 2 (List.length (Relation.select r [ (0, Code.of_int 1) ]));
+  check tint "select col1=10" 2 (List.length (Relation.select r [ (1, Code.of_int 10) ]));
   check tint "select both" 1
-    (List.length (Relation.select r [ (0, Value.int 1); (1, Value.int 20) ]));
+    (List.length (Relation.select r [ (0, Code.of_int 1); (1, Code.of_int 20) ]));
   check tint "select nothing bound = all" 4 (List.length (Relation.select r []));
-  check tint "select miss" 0 (List.length (Relation.select r [ (0, Value.int 9) ]))
+  check tint "select miss" 0 (List.length (Relation.select r [ (0, Code.of_int 9) ]))
 
 let test_relation_index_maintained_after_insert () =
   let r = Relation.create 2 in
   ignore (Relation.insert r (tup [ 1; 10 ]));
   (* force index creation *)
-  ignore (Relation.select r [ (0, Value.int 1) ]);
+  ignore (Relation.select r [ (0, Code.of_int 1) ]);
   check tint "one index" 1 (Relation.index_count r);
   (* subsequent inserts must be visible through the existing index *)
   ignore (Relation.insert r (tup [ 1; 20 ]));
   check tint "index sees new tuple" 2
-    (List.length (Relation.select r [ (0, Value.int 1) ]))
+    (List.length (Relation.select r [ (0, Code.of_int 1) ]))
 
 let test_relation_copy_independent () =
   let r = Relation.create 1 in
@@ -126,14 +126,14 @@ let prop_select_agrees_with_scan =
       let r = Relation.create 2 in
       List.iter (fun (a, b) -> ignore (Relation.insert r (tup [ a; b ]))) tuples;
       let bindings =
-        (if mask land 1 <> 0 then [ (0, Value.int qa) ] else [])
-        @ if mask land 2 <> 0 then [ (1, Value.int qb) ] else []
+        (if mask land 1 <> 0 then [ (0, Code.of_int qa) ] else [])
+        @ if mask land 2 <> 0 then [ (1, Code.of_int qb) ] else []
       in
       let selected = Relation.select r bindings |> List.sort Tuple.compare in
       let scanned =
         Relation.to_list r
         |> List.filter (fun t ->
-               List.for_all (fun (i, v) -> Value.equal t.(i) v) bindings)
+               List.for_all (fun (i, v) -> Code.equal t.(i) v) bindings)
         |> List.sort Tuple.compare
       in
       List.equal Tuple.equal selected scanned)
@@ -151,15 +151,15 @@ let prop_index_creation_point_irrelevant =
   QCheck.Test.make ~name:"index creation point is irrelevant" ~count:300
     (QCheck.make gen) (fun (before, after, key) ->
       let with_early = Relation.create 2 in
-      ignore (Relation.select with_early [ (0, Value.int key) ]);
+      ignore (Relation.select with_early [ (0, Code.of_int key) ]);
       let with_late = Relation.create 2 in
       List.iter
         (fun (a, b) ->
           ignore (Relation.insert with_early (tup [ a; b ]));
           ignore (Relation.insert with_late (tup [ a; b ])))
         (before @ after);
-      let se = Relation.select with_early [ (0, Value.int key) ] in
-      let sl = Relation.select with_late [ (0, Value.int key) ] in
+      let se = Relation.select with_early [ (0, Code.of_int key) ] in
+      let sl = Relation.select with_late [ (0, Code.of_int key) ] in
       List.sort Tuple.compare se = List.sort Tuple.compare sl)
 
 (* Property: select, iteration order and cardinality survive arbitrary
@@ -179,7 +179,7 @@ let prop_select_under_churn =
     ~count:300 (QCheck.make gen) (fun (ops, (qa, qb), mask) ->
       let r = Relation.create 2 in
       (* warm an index so bucket maintenance runs during the churn *)
-      ignore (Relation.select r [ (0, Value.int 0) ]);
+      ignore (Relation.select r [ (0, Code.of_int 0) ]);
       let consistent = ref true in
       let model =
         List.fold_left
@@ -197,13 +197,13 @@ let prop_select_under_churn =
           [] ops
       in
       let bindings =
-        (if mask land 1 <> 0 then [ (0, Value.int qa) ] else [])
-        @ if mask land 2 <> 0 then [ (1, Value.int qb) ] else []
+        (if mask land 1 <> 0 then [ (0, Code.of_int qa) ] else [])
+        @ if mask land 2 <> 0 then [ (1, Code.of_int qb) ] else []
       in
       let selected = Relation.select r bindings |> List.sort Tuple.compare in
       let expected =
         List.filter
-          (fun t -> List.for_all (fun (i, v) -> Value.equal t.(i) v) bindings)
+          (fun t -> List.for_all (fun (i, v) -> Code.equal t.(i) v) bindings)
           model
         |> List.sort Tuple.compare
       in
@@ -217,7 +217,7 @@ let test_relation_dead_buckets_removed () =
   List.iter
     (fun i -> ignore (Relation.insert r (tup [ i; i * 2 ])))
     (List.init 50 Fun.id);
-  ignore (Relation.select r [ (0, Value.int 7) ]);
+  ignore (Relation.select r [ (0, Code.of_int 7) ]);
   check tbool "buckets live while tuples live" true
     (Relation.bucket_count r > 0);
   List.iter
@@ -229,7 +229,7 @@ let test_relation_dead_buckets_removed () =
   check tbool "reusable after the churn" true
     (Relation.insert r (tup [ 1; 2 ]));
   check tint "select still consistent" 1
-    (List.length (Relation.select r [ (0, Value.int 1) ]))
+    (List.length (Relation.select r [ (0, Code.of_int 1) ]))
 
 let test_relation_compaction_preserves_order () =
   let r = Relation.create 1 in
@@ -242,7 +242,7 @@ let test_relation_compaction_preserves_order () =
   check (Alcotest.list tint) "odd survivors in insertion order"
     (List.init 150 (fun i -> (2 * i) + 1))
     (List.map
-       (fun t -> match t.(0) with Value.Int i -> i | _ -> -1)
+       (fun t -> Code.to_int t.(0))
        (Relation.to_list r));
   check tbool "insert after compaction" true (Relation.insert r (tup [ 1000 ]));
   check tbool "mem after compaction" true (Relation.mem r (tup [ 1000 ]));
