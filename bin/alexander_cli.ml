@@ -158,14 +158,32 @@ let max_tuples_arg =
           "Stop evaluation when any single relation exceeds N tuples and \
            report the partial answers (exit code 6)")
 
+(* The term yields a constructor, not a Limits.t, so `run` can attach a
+   signal-driven cancellation hook to the same limit set. *)
 let limits_term =
-  let make timeout_s max_facts max_iterations max_tuples =
+  let make timeout_s max_facts max_iterations max_tuples :
+      ?cancelled:(unit -> bool) -> unit -> Datalog_engine.Limits.t =
+   fun ?cancelled () ->
     Datalog_engine.Limits.make ?timeout_s ?max_facts ?max_iterations
-      ?max_tuples ()
+      ?max_tuples ?cancelled ()
   in
   Term.(
     const make $ timeout_arg $ max_facts_arg $ max_iterations_arg
     $ max_tuples_arg)
+
+(* Graceful interrupt: with --checkpoint active, SIGINT/SIGTERM stop the
+   evaluation through the governor's cancellation hook instead of
+   killing the process — the engine exits its fixpoint cleanly, the last
+   round's checkpoint is already on disk (written atomically), and the
+   run reports the partial answers with the cancellation exit code, so
+   `--resume` picks up exactly where the interrupt landed.  A second
+   SIGINT aborts immediately. *)
+let install_interrupt () =
+  let interrupted = ref false in
+  let on_signal _ = if !interrupted then exit 130 else interrupted := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  fun () -> !interrupted
 
 let checkpoint_arg =
   Arg.(
@@ -302,7 +320,8 @@ let write_stats_json path file runs =
 
 let run_cmd =
   let action file query strategy negation sips stats stats_json trace data
-      limits checkpoint_path checkpoint_every resume_path snapshot_mode
+      (limits : ?cancelled:(unit -> bool) -> unit -> Datalog_engine.Limits.t)
+      checkpoint_path checkpoint_every resume_path snapshot_mode
       explain interpret =
     match
       Result.bind (read_program file) (fun parsed ->
@@ -335,6 +354,11 @@ let run_cmd =
           | Some path ->
             Datalog_engine.Checkpoint.create ~path
               ~every:(max 1 checkpoint_every) ()
+        in
+        let limits =
+          match checkpoint_path with
+          | Some _ -> limits ~cancelled:(install_interrupt ()) ()
+          | None -> limits ()
         in
         let options =
           { O.strategy;
@@ -589,7 +613,9 @@ let explain_cmd =
     Term.(const action $ file_arg $ query_arg)
 
 let repl_cmd =
-  let action file strategy negation sips stats limits =
+  let action file strategy negation sips stats
+      (limits : ?cancelled:(unit -> bool) -> unit -> Datalog_engine.Limits.t)
+      =
     let program =
       match file with
       | None -> Ok Datalog_ast.Program.empty
@@ -607,7 +633,7 @@ let repl_cmd =
           { O.strategy;
             negation;
             sips;
-            limits;
+            limits = limits ();
             profile = false;
             trace = None;
             checkpoint = Datalog_engine.Checkpoint.none;

@@ -140,10 +140,11 @@ let solve_body cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
   in
   go 0 body env
 
-let apply_rule cnt ?guard ?profile ~rel_of ~neg rule emit =
+let apply_rule cnt ?(guard = Limits.no_guard) ?profile ~rel_of ~neg rule emit =
   let head = Rule.head rule in
-  solve_body cnt ?guard ?profile ~rel_of ~neg (Rule.body rule) Cenv.empty
+  solve_body cnt ~guard ?profile ~rel_of ~neg (Rule.body rule) Cenv.empty
     (fun env ->
+      Limits.check_derived guard;
       cnt.Counters.firings <- cnt.Counters.firings + 1;
       let tuple =
         Array.map

@@ -108,11 +108,36 @@ let with_rollback limits db f =
       exhausted_error reason
   end
 
+(* Which predicates did a maintenance call touch?  Both operations are
+   monotone in one direction (additions only grow relations, DRed's net
+   effect only shrinks them), so comparing per-relation cardinalities
+   around the call identifies exactly the changed predicates — without
+   threading a hook through every insertion site. *)
+let with_change_report on_change db f =
+  match on_change with
+  | None -> f ()
+  | Some notify -> (
+    let before =
+      List.map (fun p -> (p, Database.cardinal db p)) (Database.preds db)
+    in
+    match f () with
+    | Error _ as e -> e (* rolled back or refused: nothing changed *)
+    | Ok _ as ok ->
+      List.iter
+        (fun pred ->
+          let old_card =
+            match List.assoc_opt pred before with None -> 0 | Some c -> c
+          in
+          if Database.cardinal db pred <> old_card then notify pred)
+        (Database.preds db);
+      ok)
+
 let add_facts cnt ?(limits = Limits.none) ?(profile = Profile.none) ?plan
-    program db facts =
+    ?on_change program db facts =
   match ensure_positive program with
   | Error _ as e -> e
   | Ok () ->
+    with_change_report on_change db @@ fun () ->
     with_rollback limits db @@ fun () ->
     let guard = Limits.guard limits cnt in
     let delta = Database.create () in
@@ -128,10 +153,11 @@ let add_facts cnt ?(limits = Limits.none) ?(profile = Profile.none) ?plan
     Ok (!base_added + derived)
 
 let remove_facts cnt ?(limits = Limits.none) ?(profile = Profile.none) ?plan
-    program db facts =
+    ?on_change program db facts =
   match ensure_positive program with
   | Error _ as e -> e
   | Ok () ->
+    with_change_report on_change db @@ fun () ->
     with_rollback limits db @@ fun () ->
     let guard = Limits.guard limits cnt in
     let before = Database.total_facts db in

@@ -20,6 +20,7 @@ val add_facts :
   ?limits:Limits.t ->
   ?profile:Profile.t ->
   ?plan:Plan.config ->
+  ?on_change:(Pred.t -> unit) ->
   Program.t ->
   Database.t ->
   Atom.t list ->
@@ -35,13 +36,20 @@ val add_facts :
     database no longer equals the recomputed one), so the caller can
     simply raise the budget and retry.  The rollback backup is only taken
     when [limits] is active.  Aliased references to [db]'s relations must
-    be re-fetched after a rolled-back call. *)
+    be re-fetched after a rolled-back call.
+
+    [on_change] is called once per predicate whose relation the call
+    actually changed (base or derived), after the operation committed —
+    the invalidation hook for answer caches layered above the database.
+    It is not called on [Error] (the rollback restored every
+    relation). *)
 
 val remove_facts :
   Counters.t ->
   ?limits:Limits.t ->
   ?profile:Profile.t ->
   ?plan:Plan.config ->
+  ?on_change:(Pred.t -> unit) ->
   Program.t ->
   Database.t ->
   Atom.t list ->
@@ -49,8 +57,8 @@ val remove_facts :
 (** [remove_facts cnt program db facts] deletes the given extensional
     facts and every derived tuple that no longer has a derivation.
     Returns the number of tuples removed, or [Error] on a program with
-    negation.  [limits] as in {!add_facts} (exhaustion rolls [db] back to
-    its pre-call state and is reported as [Error]).
+    negation.  [limits] and [on_change] as in {!add_facts} (exhaustion
+    rolls [db] back to its pre-call state and is reported as [Error]).
 
     Note: [db] is rebuilt in place (relations are replaced), so aliased
     references to its relations must be re-fetched afterwards. *)

@@ -76,6 +76,45 @@ let to_string j =
   emit buf 0 j;
   Buffer.contents buf
 
+(* Compact single-line rendering: the server's line-oriented protocol
+   needs one document per line, so no newlines may appear inside it
+   (string escapes already cover embedded newlines). *)
+let rec emit_line buf j =
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    Buffer.add_string buf (Option.value ~default:"null" (float_repr f))
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit_line buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\":";
+        emit_line buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_line j =
+  let buf = Buffer.create 256 in
+  emit_line buf j;
+  Buffer.contents buf
+
 let to_channel oc j =
   output_string oc (to_string j);
   output_char oc '\n'

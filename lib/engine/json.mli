@@ -19,6 +19,11 @@ type t =
 val to_string : t -> string
 (** Pretty-printed with two-space indentation, no trailing newline. *)
 
+val to_line : t -> string
+(** Compact single-line rendering (no newlines anywhere) — the framing
+    the server's line-oriented protocol requires.  Parses back with
+    {!of_string}. *)
+
 val to_channel : out_channel -> t -> unit
 (** [to_string] plus a trailing newline. *)
 

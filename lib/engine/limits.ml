@@ -39,6 +39,7 @@ type guard = {
   max_tuples : int;
   cancelled : unit -> bool;
   mutable tick : int;  (** sampling counter for the clock / cancel poll *)
+  mutable dtick : int;  (** derivation counter for {!check_derived} *)
 }
 
 let never_cancelled () = false
@@ -51,7 +52,8 @@ let no_guard =
     max_iterations = max_int;
     max_tuples = max_int;
     cancelled = never_cancelled;
-    tick = 0
+    tick = 0;
+    dtick = 0
   }
 
 let guard limits cnt =
@@ -67,7 +69,8 @@ let guard limits cnt =
       max_iterations = Option.value ~default:max_int limits.max_iterations;
       max_tuples = Option.value ~default:max_int limits.max_tuples;
       cancelled = Option.value ~default:never_cancelled limits.cancelled;
-      tick = 0
+      tick = 0;
+      dtick = 0
     }
 
 let is_active g = g.active
@@ -85,6 +88,20 @@ let check g =
     if g.cnt.Counters.facts_derived > g.max_facts then exhausted Fact_limit;
     g.tick <- g.tick + 1;
     if g.tick land 511 = 0 then slow_checks g
+  end
+
+(* Derivation-granular deadline poll.  The per-scan [check] samples the
+   clock on scanned tuples, but a rule whose every candidate fires (a
+   cross product, say) can derive — and pay [Database.add]'s index
+   maintenance for — hundreds of thousands of facts inside one fixpoint
+   round while the scan tick crawls; counting derivations directly keeps
+   the worst-case overshoot past a deadline bounded by 64 emitted facts'
+   worth of work rather than by the size of the round. *)
+let check_derived g =
+  if g.active then begin
+    if g.cnt.Counters.facts_derived > g.max_facts then exhausted Fact_limit;
+    g.dtick <- g.dtick + 1;
+    if g.dtick land 63 = 0 then slow_checks g
   end
 
 let check_round g =

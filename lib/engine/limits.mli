@@ -75,6 +75,15 @@ val check : guard -> unit
     consults the clock and the cancellation hook.
     @raise Out_of_budget on exhaustion. *)
 
+val check_derived : guard -> unit
+(** The per-derivation poll, called at every rule firing (compiled and
+    interpreted paths alike): fact cap unconditionally, clock and
+    cancellation every 64 derivations.  Without it, one explosive
+    fixpoint round whose candidates mostly fire could overshoot a
+    wall-clock deadline by the whole round's derivation work; with it,
+    the overshoot is bounded by a constant number of derivations.
+    @raise Out_of_budget on exhaustion. *)
+
 val check_round : guard -> unit
 (** The per-fixpoint-round check: iteration and fact caps, clock and
     cancellation, unconditionally.

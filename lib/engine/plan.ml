@@ -638,6 +638,7 @@ let run (plan : t) cnt ?(guard = Limits.no_guard) ?(profile = Profile.none) ~rel
   let profiling = Profile.is_active profile in
   let rec step k =
     if k = nops then begin
+      Limits.check_derived guard;
       cnt.Counters.firings <- cnt.Counters.firings + 1;
       if not plan.head_safe then raise_unsafe_head plan regs;
       emit plan.head_pred (Array.map (src_value regs) plan.head)

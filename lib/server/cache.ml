@@ -1,0 +1,195 @@
+open Datalog_ast
+open Datalog_storage
+
+(* One key position: a bound constant, or a variable numbered by first
+   occurrence (so the key captures repeated-variable constraints, not
+   variable names). *)
+type slot = Bound of Code.t | Free of int
+
+type entry = {
+  e_pred : Pred.t;
+  e_key : slot array;
+  e_answers : Tuple.t list;
+  e_deps : Pred.Set.t;
+  mutable e_stamp : int;
+}
+
+type stats = {
+  hits : int;
+  subsumed_hits : int;
+  misses : int;
+  insertions : int;
+  invalidations : int;
+  evictions : int;
+}
+
+type t = {
+  capacity : int;
+  mutable entries : entry list;
+  mutable clock : int;
+  mutable hits : int;
+  mutable subsumed_hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  { capacity; entries = []; clock = 0; hits = 0; subsumed_hits = 0;
+    misses = 0; insertions = 0; invalidations = 0; evictions = 0 }
+
+let key_of goal =
+  let next = ref 0 in
+  let seen : (string * int) list ref = ref [] in
+  Array.map
+    (function
+      | Term.Const v -> Bound (Code.of_value v)
+      | Term.Var x -> (
+        match List.assoc_opt x !seen with
+        | Some k -> Free k
+        | None ->
+          let k = !next in
+          incr next;
+          seen := (x, k) :: !seen;
+          Free k))
+    (Atom.args goal)
+
+let key_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Bound c, Bound d -> Code.equal c d
+         | Free i, Free j -> i = j
+         | Bound _, Free _ | Free _, Bound _ -> false)
+       a b
+
+let bound_count key =
+  Array.fold_left
+    (fun n -> function Bound _ -> n + 1 | Free _ -> n)
+    0 key
+
+(* [e] subsumes [g] when every tuple matching [g] also matches [e]:
+   wherever [e] binds a constant [g] binds the same one, and every
+   equality [e] forces between positions [g] forces too (same free
+   class, or the same constant at both). *)
+let subsumes ekey gkey =
+  Array.length ekey = Array.length gkey
+  && Array.for_all2
+       (fun e g ->
+         match (e, g) with
+         | Bound c, Bound d -> Code.equal c d
+         | Bound _, Free _ -> false
+         | Free _, _ -> true)
+       ekey gkey
+  &&
+  let classes = Hashtbl.create 7 in
+  let ok = ref true in
+  Array.iteri
+    (fun i -> function
+      | Bound _ -> ()
+      | Free k -> (
+        match Hashtbl.find_opt classes k with
+        | None -> Hashtbl.add classes k gkey.(i)
+        | Some g0 -> (
+          match (g0, gkey.(i)) with
+          | Bound c, Bound d -> if not (Code.equal c d) then ok := false
+          | Free i0, Free i1 -> if i0 <> i1 then ok := false
+          | Bound _, Free _ | Free _, Bound _ -> ok := false)))
+    ekey;
+  !ok
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.e_stamp <- t.clock
+
+let find t goal =
+  if t.capacity <= 0 then None
+  else begin
+    let pred = Atom.pred goal in
+    let key = key_of goal in
+    let same_pred e = Pred.equal e.e_pred pred in
+    match
+      List.find_opt (fun e -> same_pred e && key_equal e.e_key key) t.entries
+    with
+    | Some e ->
+      touch t e;
+      t.hits <- t.hits + 1;
+      Some (e.e_answers, `Exact)
+    | None -> (
+      (* most specific subsuming entry -> least post-filtering *)
+      let best =
+        List.fold_left
+          (fun best e ->
+            if same_pred e && subsumes e.e_key key then
+              match best with
+              | Some b when bound_count b.e_key >= bound_count e.e_key ->
+                best
+              | _ -> Some e
+            else best)
+          None t.entries
+      in
+      match best with
+      | Some e ->
+        touch t e;
+        t.subsumed_hits <- t.subsumed_hits + 1;
+        Some (List.filter (Tuple.matches goal) e.e_answers, `Subsumed)
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+  end
+
+let insert t goal ~deps answers =
+  if t.capacity > 0 then begin
+    let pred = Atom.pred goal in
+    let key = key_of goal in
+    t.entries <-
+      List.filter
+        (fun e -> not (Pred.equal e.e_pred pred && key_equal e.e_key key))
+        t.entries;
+    if List.length t.entries >= t.capacity then begin
+      (* evict the least recently used entry *)
+      let lru =
+        List.fold_left
+          (fun lru e ->
+            match lru with
+            | Some l when l.e_stamp <= e.e_stamp -> lru
+            | _ -> Some e)
+          None t.entries
+      in
+      match lru with
+      | Some victim ->
+        t.entries <- List.filter (fun e -> e != victim) t.entries;
+        t.evictions <- t.evictions + 1
+      | None -> ()
+    end;
+    t.clock <- t.clock + 1;
+    t.insertions <- t.insertions + 1;
+    t.entries <-
+      { e_pred = pred; e_key = key; e_answers = answers; e_deps = deps;
+        e_stamp = t.clock }
+      :: t.entries
+  end
+
+let invalidate t changed =
+  if Pred.Set.is_empty changed then 0
+  else begin
+    let keep, drop =
+      List.partition
+        (fun e -> Pred.Set.is_empty (Pred.Set.inter e.e_deps changed))
+        t.entries
+    in
+    t.entries <- keep;
+    let n = List.length drop in
+    t.invalidations <- t.invalidations + n;
+    n
+  end
+
+let clear t = t.entries <- []
+let length t = List.length t.entries
+
+let stats t =
+  { hits = t.hits; subsumed_hits = t.subsumed_hits; misses = t.misses;
+    insertions = t.insertions; invalidations = t.invalidations;
+    evictions = t.evictions }

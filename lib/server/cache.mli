@@ -1,0 +1,51 @@
+(** Adornment-keyed answer cache for the serve loop.
+
+    Keys are canonicalised call patterns: each argument position is
+    either a bound constant or a variable numbered by first occurrence,
+    so [anc(ann, X)] and [anc(ann, Y)] share an entry while [p(X, X)]
+    and [p(X, Y)] do not.  A lookup first tries the exact pattern, then
+    {e subsumption}: a cached more-general pattern (fewer bound
+    positions, compatible equality constraints) answers a more-specific
+    goal by filtering its stored answers — the same observation that
+    makes one adorned magic-sets program serve many bindings.
+
+    Only {e complete} answer sets may be inserted; a partial set would
+    silently under-answer every later subsumed goal.
+
+    Invalidation is predicate-based: each entry records the set of
+    predicates its goal transitively depends on, and a delta that
+    touches any of them evicts the entry.  Eviction otherwise is LRU
+    under a fixed capacity, so the cache is a bounded degraded-mode
+    accelerator, never a source of unbounded memory. *)
+
+open Datalog_ast
+open Datalog_storage
+
+type t
+
+type stats = {
+  hits : int;  (** exact-pattern hits *)
+  subsumed_hits : int;  (** answered by filtering a more general entry *)
+  misses : int;
+  insertions : int;
+  invalidations : int;  (** entries evicted by deltas *)
+  evictions : int;  (** entries evicted by LRU pressure *)
+}
+
+val create : capacity:int -> t
+(** [capacity <= 0] disables the cache (every lookup misses, inserts are
+    dropped). *)
+
+val find : t -> Atom.t -> (Tuple.t list * [ `Exact | `Subsumed ]) option
+
+val insert : t -> Atom.t -> deps:Pred.Set.t -> Tuple.t list -> unit
+(** [deps] must contain every predicate the goal's answers depend on,
+    including the goal's own predicate. *)
+
+val invalidate : t -> Pred.Set.t -> int
+(** Evict every entry whose dependency set intersects the changed
+    predicates; returns how many were evicted. *)
+
+val clear : t -> unit
+val length : t -> int
+val stats : t -> stats

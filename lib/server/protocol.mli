@@ -1,0 +1,79 @@
+(** The wire protocol of the serve loop: one JSON document per line.
+
+    Requests are objects with an ["op"] field and an optional ["id"]
+    (echoed verbatim in the reply so pipelined clients can correlate).
+    Budgets ([timeout_s], [max_facts], [max_iterations], [max_tuples])
+    may ride on any request and override the server defaults for that
+    request only — a request can tighten or loosen its own budget, but
+    the admission deadline is always enforced.
+
+    Replies are objects with a ["status"] field:
+    - ["ok"]      — complete result
+    - ["partial"] — a budget ran out; the answers are a sound subset
+    - ["error"]   — the request failed; nothing changed
+    - ["overloaded"] — shed at admission; retry after ["retry_after_s"]
+
+    The protocol deliberately has no framing beyond the newline: a
+    half-written line is detectable (no terminator) and a torn line
+    fails JSON parsing, so a client never acts on a partial reply. *)
+
+open Datalog_ast
+open Datalog_storage
+module Json = Datalog_engine.Json
+
+type budgets = {
+  timeout_s : float option;
+  max_facts : int option;
+  max_iterations : int option;
+  max_tuples : int option;
+}
+
+val no_budgets : budgets
+
+type request =
+  | Query of { goal : Atom.t; engine : bool }
+      (** [engine = true] forces a full engine run (magic sets etc.)
+          instead of serving from the saturated database / cache. *)
+  | Add of Atom.t list
+  | Remove of Atom.t list
+  | Ping
+  | Stats
+  | Snapshot_now
+  | Shutdown
+
+type envelope = { req_id : Json.t; budgets : budgets; request : request }
+
+type parse_error = { err_id : Json.t; err_message : string }
+(** The id is recovered when the line parsed as JSON but the request was
+    malformed, so the error reply still correlates. *)
+
+val parse : string -> (envelope, parse_error) result
+
+(** {1 Reply builders} — every reply echoes the request id. *)
+
+val answers_reply :
+  id:Json.t ->
+  goal:Atom.t ->
+  answers:Tuple.t list ->
+  cached:bool ->
+  complete:bool ->
+  reason:string option ->
+  wall_s:float ->
+  Json.t
+(** [status] is ["ok"] when [complete], else ["partial"] with the
+    exhaustion [reason].  Answers are rendered as fact strings
+    (["anc(ann, bob)"]), parseable back with the Datalog parser. *)
+
+val ack : id:Json.t -> op:string -> count:int -> txn:int -> Json.t
+(** Mutation acknowledged: [count] tuples changed, the database now
+    reflects acked transaction [txn] — and, when a snapshot path is
+    configured, that state is already durable (ack-after-persist). *)
+
+val error : id:Json.t -> string -> Json.t
+val overloaded : id:Json.t -> scope:string -> retry_after_s:float -> Json.t
+val pong : id:Json.t -> Json.t
+val bye : id:Json.t -> Json.t
+val stats_reply : id:Json.t -> (string * Json.t) list -> Json.t
+
+val render : Json.t -> string
+(** The reply as a single protocol line, ["\n"]-terminated. *)

@@ -1,0 +1,51 @@
+type t = {
+  id : int;
+  fd : Unix.file_descr;
+  peer : string;
+  inbuf : Buffer.t;
+  mutable outbuf : string;
+  mutable inflight : int;
+  mutable poisoned : string option;
+}
+
+let max_line_bytes = 1 lsl 20
+let max_output_bytes = 4 lsl 20
+
+let create ~id ~peer fd =
+  { id; fd; peer; inbuf = Buffer.create 256; outbuf = ""; inflight = 0;
+    poisoned = None }
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let feed t chunk =
+  Buffer.add_string t.inbuf chunk;
+  let data = Buffer.contents t.inbuf in
+  Buffer.clear t.inbuf;
+  let lines = ref [] in
+  let start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then begin
+        lines := strip_cr (String.sub data !start (i - !start)) :: !lines;
+        start := i + 1
+      end)
+    data;
+  Buffer.add_substring t.inbuf data !start (String.length data - !start);
+  if Buffer.length t.inbuf > max_line_bytes && t.poisoned = None then
+    t.poisoned <- Some "request line too long";
+  List.rev !lines
+
+let queue_output t s =
+  t.outbuf <- t.outbuf ^ s;
+  if String.length t.outbuf > max_output_bytes && t.poisoned = None then
+    t.poisoned <- Some "client not reading replies"
+
+let take_output t =
+  let out = t.outbuf in
+  t.outbuf <- "";
+  out
+
+let push_back_output t rest = t.outbuf <- rest ^ t.outbuf
+let has_output t = t.outbuf <> ""

@@ -1,0 +1,37 @@
+(** One connected client: input line reassembly and buffered output.
+
+    Both buffers are bounded — a client that sends an endless line or
+    refuses to read its replies is a resource leak in a long-lived
+    process, so each has a cap past which the session is marked poisoned
+    and the server closes it (load shedding at the session level). *)
+
+type t = {
+  id : int;
+  fd : Unix.file_descr;
+  peer : string;
+  inbuf : Buffer.t;  (** the trailing partial line *)
+  mutable outbuf : string;  (** replies not yet written to the socket *)
+  mutable inflight : int;  (** requests admitted but not yet answered *)
+  mutable poisoned : string option;  (** why the session must close *)
+}
+
+val create : id:int -> peer:string -> Unix.file_descr -> t
+
+val max_line_bytes : int
+val max_output_bytes : int
+
+val feed : t -> string -> string list
+(** Append a received chunk; return the newly completed lines (without
+    their terminators, ["\r"] stripped).  Oversized partial lines poison
+    the session. *)
+
+val queue_output : t -> string -> unit
+(** Oversized pending output poisons the session (slow consumer). *)
+
+val take_output : t -> string
+val push_back_output : t -> string -> unit
+(** [take_output]/[push_back_output] bracket a (possibly partial) socket
+    write: take everything, write what the socket accepts, push the
+    remainder back. *)
+
+val has_output : t -> bool

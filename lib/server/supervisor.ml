@@ -1,0 +1,507 @@
+open Datalog_ast
+open Datalog_storage
+module Json = Datalog_engine.Json
+module L = Datalog_engine.Limits
+module O = Alexander.Options
+module S = Alexander.Solve
+
+type config = {
+  queue_depth : int;
+  session_inflight : int;
+  default_budgets : Protocol.budgets;
+  retry_after_s : float;
+  cache_capacity : int;
+  snapshot_path : string option;
+  durable_acks : bool;
+  snapshot_every_s : float;
+  options : O.t;
+  log : string -> unit;
+}
+
+let default_config =
+  { queue_depth = 64;
+    session_inflight = 16;
+    default_budgets = { Protocol.no_budgets with timeout_s = Some 5.0 };
+    retry_after_s = 0.1;
+    cache_capacity = 128;
+    snapshot_path = None;
+    durable_acks = true;
+    snapshot_every_s = 30.0;
+    options = O.default;
+    log = ignore
+  }
+
+type queued = {
+  q_session : int;
+  q_deadline : float;
+  q_env : Protocol.envelope;
+}
+
+type metrics = {
+  mutable queries : int;
+  mutable mutations : int;
+  mutable rejected : int;  (** invalid mutations (non-ground, derived) *)
+  mutable expired : int;
+  mutable overloaded : int;
+  mutable snapshots : int;
+}
+
+type t = {
+  config : config;
+  rules : Program.t;  (** rules only; facts live in the database *)
+  idb : Pred.Set.t;
+  seed_idb_facts : Atom.t list;
+      (** program facts on derived predicates: always protected from
+          DRed over-deletion, never reconstructible from the database *)
+  graph : Datalog_analysis.Depgraph.t;
+  positive : bool;
+  db : Database.t;
+  cache : Cache.t;
+  cnt : Datalog_engine.Counters.t;
+  deps_memo : Pred.Set.t Pred.Tbl.t;
+  queue : queued Queue.t;
+  inflight : (int, int) Hashtbl.t;
+  mutable txn : int;
+  mutable dirty : bool;  (** in-memory state newer than the snapshot *)
+  mutable last_snapshot_at : float;
+  metrics : metrics;
+}
+
+let positive t = t.positive
+let txn t = t.txn
+let db t = t.db
+let pending t = Queue.length t.queue
+let cache t = t.cache
+
+(* ------------------------------------------------------------------ *)
+(* Startup: warm-load or saturate *)
+
+let program_is_positive program =
+  List.for_all
+    (fun r -> Rule.negative_body r = [])
+    (Program.rules program)
+
+let mode_name positive = if positive then "saturated" else "base"
+
+let load_snapshot config path =
+  match Snapshot.load_database_meta ~mode:Snapshot.Strict path with
+  | Ok (db, meta, _) -> Ok (db, meta)
+  | Error c -> (
+    config.log
+      (Printf.sprintf "snapshot %s: strict load failed (%s); retrying lenient"
+         path
+         (Snapshot.describe_corruption c));
+    match Snapshot.load_database_meta ~mode:Snapshot.Lenient path with
+    | Ok (db, meta, warnings) ->
+      List.iter
+        (fun w ->
+          config.log
+            (Printf.sprintf "snapshot %s: salvaged: %s" path
+               (Snapshot.describe_warning w)))
+        warnings;
+      Ok (db, meta)
+    | Error c ->
+      Error
+        (Printf.sprintf "snapshot %s unreadable even leniently: %s" path
+           (Snapshot.describe_corruption c)))
+
+let saturate program =
+  match Datalog_engine.Stratified.run program with
+  | Ok outcome -> Ok outcome.Datalog_engine.Stratified.db
+  | Error msg -> Error msg
+
+let create config program =
+  let positive = program_is_positive program in
+  let rules = Program.make (Program.rules program) in
+  let idb = Program.idb program in
+  let seed_idb_facts =
+    if positive then
+      List.filter (fun a -> Pred.Set.mem (Atom.pred a) idb)
+        (Program.facts program)
+    else []
+  in
+  let fresh () =
+    if positive then saturate program
+    else Ok (Database.of_facts (Program.facts program))
+  in
+  let loaded =
+    match config.snapshot_path with
+    | Some path when Sys.file_exists path -> (
+      match load_snapshot config path with
+      | Error _ as e -> e
+      | Ok (db, meta) -> (
+        let txn =
+          Option.value ~default:0
+            (Option.bind (List.assoc_opt "txn" meta) int_of_string_opt)
+        in
+        match List.assoc_opt "mode" meta with
+        | Some m when m = mode_name positive -> Ok (db, txn)
+        | Some "base" when positive -> (
+          (* the snapshot predates the rules (or a mode change): the
+             base facts are all there, so saturate them *)
+          let facts =
+            List.concat_map
+              (fun p -> List.map (Tuple.to_atom p) (Database.tuples db p))
+              (Database.preds db)
+          in
+          match saturate (Program.make ~facts (Program.rules program)) with
+          | Ok db -> Ok (db, txn)
+          | Error _ as e -> e)
+        | Some m ->
+          Error
+            (Printf.sprintf
+               "snapshot %s holds a %S database but the program needs %S \
+                (base facts cannot be told apart from derived ones)"
+               path m (mode_name positive))
+        | None ->
+          (* not a server snapshot (no mode stamp): treat as the right
+             mode only if that is safe, i.e. base mode *)
+          if positive then
+            Error
+              (Printf.sprintf
+                 "snapshot %s has no mode stamp; refusing to guess \
+                  whether it is saturated"
+                 path)
+          else Ok (db, txn)))
+    | _ -> Result.map (fun db -> (db, 0)) (fresh ())
+  in
+  match loaded with
+  | Error _ as e -> e
+  | Ok (db, txn) ->
+    Ok
+      { config;
+        rules;
+        idb;
+        seed_idb_facts;
+        graph = Datalog_analysis.Depgraph.make program;
+        positive;
+        db;
+        cache = Cache.create ~capacity:config.cache_capacity;
+        cnt = Datalog_engine.Counters.create ();
+        deps_memo = Pred.Tbl.create 32;
+        queue = Queue.create ();
+        inflight = Hashtbl.create 16;
+        txn;
+        dirty = false;
+        last_snapshot_at = Unix.gettimeofday ();
+        metrics =
+          { queries = 0; mutations = 0; rejected = 0; expired = 0;
+            overloaded = 0; snapshots = 0 }
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Durability *)
+
+let persist t ~txn =
+  match t.config.snapshot_path with
+  | None -> Ok ()
+  | Some path -> (
+    let meta =
+      [ ("mode", mode_name t.positive); ("txn", string_of_int txn) ]
+    in
+    match Snapshot.save_database ~meta t.db path with
+    | Ok () ->
+      t.metrics.snapshots <- t.metrics.snapshots + 1;
+      t.dirty <- false;
+      t.last_snapshot_at <- Unix.gettimeofday ();
+      Ok ()
+    | Error _ as e -> e)
+
+let snapshot_now t = persist t ~txn:t.txn
+
+let maybe_snapshot t ~now =
+  if
+    t.dirty
+    && t.config.snapshot_path <> None
+    && now -. t.last_snapshot_at >= t.config.snapshot_every_s
+  then begin
+    (* rate-limit retries on persistent I/O failure too *)
+    t.last_snapshot_at <- now;
+    match persist t ~txn:t.txn with
+    | Ok () -> ()
+    | Error msg -> t.config.log ("periodic snapshot failed: " ^ msg)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+type admission = Admitted | Overloaded of float | Session_capped
+
+let session_inflight t session =
+  Option.value ~default:0 (Hashtbl.find_opt t.inflight session)
+
+let submit t ~session ~now env =
+  if Queue.length t.queue >= t.config.queue_depth then begin
+    t.metrics.overloaded <- t.metrics.overloaded + 1;
+    Overloaded t.config.retry_after_s
+  end
+  else if session_inflight t session >= t.config.session_inflight then begin
+    t.metrics.overloaded <- t.metrics.overloaded + 1;
+    Session_capped
+  end
+  else begin
+    Hashtbl.replace t.inflight session (session_inflight t session + 1);
+    let timeout =
+      match env.Protocol.budgets.Protocol.timeout_s with
+      | Some s -> Some s
+      | None -> t.config.default_budgets.Protocol.timeout_s
+    in
+    let deadline =
+      match timeout with Some s -> now +. s | None -> infinity
+    in
+    Queue.add { q_session = session; q_deadline = deadline; q_env = env }
+      t.queue;
+    Admitted
+  end
+
+let forget_session t session = Hashtbl.remove t.inflight session
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let deps_closure t pred =
+  match Pred.Tbl.find_opt t.deps_memo pred with
+  | Some s -> s
+  | None ->
+    let s =
+      List.fold_left
+        (fun acc q ->
+          if Datalog_analysis.Depgraph.depends_on t.graph pred q then
+            Pred.Set.add q acc
+          else acc)
+        (Pred.Set.singleton pred)
+        (Datalog_analysis.Depgraph.preds t.graph)
+    in
+    Pred.Tbl.add t.deps_memo pred s;
+    s
+
+(* The base facts as atoms: what an engine run (and DRed's protected
+   set) needs.  In saturated mode derived tuples must be excluded. *)
+let base_atoms t =
+  let include_pred p = (not t.positive) || not (Pred.Set.mem p t.idb) in
+  let base =
+    List.concat_map
+      (fun p ->
+        if include_pred p then
+          List.map (Tuple.to_atom p) (Database.tuples t.db p)
+        else [])
+      (Database.preds t.db)
+  in
+  if t.positive then t.seed_idb_facts @ base else base
+
+let limits_of t budgets ~now ~deadline =
+  let dflt = t.config.default_budgets in
+  let pick get = match get budgets with Some v -> Some v | None -> get dflt in
+  let timeout_s = pick (fun b -> b.Protocol.timeout_s) in
+  (* queue wait counts against the budget: cap by the admission deadline *)
+  let timeout_s =
+    if deadline = infinity then timeout_s
+    else
+      let remaining = Float.max 0.001 (deadline -. now) in
+      Some
+        (match timeout_s with
+        | Some s -> Float.min s remaining
+        | None -> remaining)
+  in
+  let max_facts = pick (fun b -> b.Protocol.max_facts) in
+  let max_iterations = pick (fun b -> b.Protocol.max_iterations) in
+  let max_tuples = pick (fun b -> b.Protocol.max_tuples) in
+  if
+    timeout_s = None && max_facts = None && max_iterations = None
+    && max_tuples = None
+  then L.none
+  else L.make ?timeout_s ?max_facts ?max_iterations ?max_tuples ()
+
+let run_query t ~now ~deadline env goal engine =
+  let id = env.Protocol.req_id in
+  t.metrics.queries <- t.metrics.queries + 1;
+  let wall () = Unix.gettimeofday () -. now in
+  match (if engine then None else Cache.find t.cache goal) with
+  | Some (answers, _kind) ->
+    Protocol.answers_reply ~id ~goal ~answers ~cached:true ~complete:true
+      ~reason:None ~wall_s:(wall ())
+  | None ->
+    if t.positive && not engine then begin
+      (* the saturated database already holds every answer *)
+      let pred = Atom.pred goal in
+      let answers =
+        List.filter (Tuple.matches goal) (Database.tuples t.db pred)
+      in
+      Cache.insert t.cache goal ~deps:(deps_closure t pred) answers;
+      Protocol.answers_reply ~id ~goal ~answers ~cached:false ~complete:true
+        ~reason:None ~wall_s:(wall ())
+    end
+    else begin
+      let program =
+        Program.make ~facts:(base_atoms t) (Program.rules t.rules)
+      in
+      let limits = limits_of t env.Protocol.budgets ~now ~deadline in
+      let options = { t.config.options with O.limits } in
+      match S.run ~options program goal with
+      | Error e -> Protocol.error ~id (Alexander.Errors.message e)
+      | Ok report ->
+        let complete = not (S.incomplete report) in
+        if complete then
+          Cache.insert t.cache goal
+            ~deps:(deps_closure t (Atom.pred goal))
+            report.S.answers;
+        let reason =
+          match report.S.status with
+          | L.Exhausted r -> Some (L.reason_name r)
+          | _ -> None
+        in
+        Protocol.answers_reply ~id ~goal ~answers:report.S.answers ~cached:false
+          ~complete ~reason ~wall_s:(wall ())
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Mutations: validate, apply, persist, ack — in that order. *)
+
+let validate_mutation t facts =
+  match List.find_opt (fun a -> not (Atom.is_ground a)) facts with
+  | Some a ->
+    Error
+      (Format.asprintf "fact %a is not ground (facts may not contain variables)"
+         Atom.pp a)
+  | None -> (
+    match
+      List.find_opt (fun a -> Pred.Set.mem (Atom.pred a) t.idb) facts
+    with
+    | Some a ->
+      Error
+        (Format.asprintf
+           "%a is derived by a rule; only extensional facts can be added \
+            or removed"
+           Atom.pp a)
+    | None -> Ok ())
+
+let apply_mutation t ~limits ~on_change op facts =
+  if t.positive then begin
+    match op with
+    | `Add -> Datalog_engine.Incremental.add_facts t.cnt ~limits ~on_change t.rules t.db facts
+    | `Remove ->
+      let program =
+        Program.make ~facts:(base_atoms t) (Program.rules t.rules)
+      in
+      Datalog_engine.Incremental.remove_facts t.cnt ~limits ~on_change program
+        t.db facts
+  end
+  else begin
+    (* base mode: the batch is plain tuple insertion / deletion *)
+    let count = ref 0 in
+    List.iter
+      (fun a ->
+        let changed =
+          match op with
+          | `Add -> Database.add_atom t.db a
+          | `Remove -> Database.remove_atom t.db a
+        in
+        if changed then begin
+          incr count;
+          on_change (Atom.pred a)
+        end)
+      facts;
+    Ok !count
+  end
+
+let run_mutation t ~now ~deadline env op facts =
+  let id = env.Protocol.req_id in
+  t.metrics.mutations <- t.metrics.mutations + 1;
+  match validate_mutation t facts with
+  | Error msg ->
+    t.metrics.rejected <- t.metrics.rejected + 1;
+    Protocol.error ~id msg
+  | Ok () -> (
+    let limits = limits_of t env.Protocol.budgets ~now ~deadline in
+    let changed = ref Pred.Set.empty in
+    let on_change p = changed := Pred.Set.add p !changed in
+    let durable = t.config.snapshot_path <> None && t.config.durable_acks in
+    (* the persist step can fail after the batch applied; keep a backup
+       so a durability failure rolls the memory state back too, and an
+       error reply always means "nothing changed" *)
+    let backup = if durable then Some (Database.copy t.db) else None in
+    match apply_mutation t ~limits ~on_change op facts with
+    | Error msg -> Protocol.error ~id msg
+    | Ok count -> (
+      (* kill-point: applied in memory, not yet durable, not yet acked *)
+      Faults.point "server.txn-applied";
+      match (if durable then persist t ~txn:(t.txn + 1) else Ok ()) with
+      | Error msg ->
+        (match backup with
+        | Some b -> Database.assign t.db ~from:b
+        | None -> ());
+        Protocol.error ~id
+          ("durability failure, transaction rolled back: " ^ msg)
+      | Ok () ->
+        t.txn <- t.txn + 1;
+        if (not durable) && count > 0 then t.dirty <- true;
+        ignore (Cache.invalidate t.cache !changed);
+        (* kill-point: durable but the client never saw the ack *)
+        Faults.point "server.pre-ack";
+        Protocol.ack ~id
+          ~op:(match op with `Add -> "add" | `Remove -> "remove")
+          ~count ~txn:t.txn))
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch *)
+
+let stats_fields t =
+  let c = Cache.stats t.cache in
+  [ ("mode", Json.String (mode_name t.positive));
+    ("txn", Json.Int t.txn);
+    ("facts", Json.Int (Database.total_facts t.db));
+    ("pending", Json.Int (Queue.length t.queue));
+    ("queue_depth", Json.Int t.config.queue_depth);
+    ("queries", Json.Int t.metrics.queries);
+    ("mutations", Json.Int t.metrics.mutations);
+    ("rejected", Json.Int t.metrics.rejected);
+    ("expired", Json.Int t.metrics.expired);
+    ("overloaded", Json.Int t.metrics.overloaded);
+    ("snapshots", Json.Int t.metrics.snapshots);
+    ( "cache",
+      Json.Obj
+        [ ("entries", Json.Int (Cache.length t.cache));
+          ("hits", Json.Int c.Cache.hits);
+          ("subsumed_hits", Json.Int c.Cache.subsumed_hits);
+          ("misses", Json.Int c.Cache.misses);
+          ("insertions", Json.Int c.Cache.insertions);
+          ("invalidations", Json.Int c.Cache.invalidations);
+          ("evictions", Json.Int c.Cache.evictions)
+        ] )
+  ]
+
+let handle t ~now ?(deadline = infinity) env =
+  let id = env.Protocol.req_id in
+  match env.Protocol.request with
+  | Protocol.Query { goal; engine } ->
+    (run_query t ~now ~deadline env goal engine, `Continue)
+  | Protocol.Add facts -> (run_mutation t ~now ~deadline env `Add facts, `Continue)
+  | Protocol.Remove facts ->
+    (run_mutation t ~now ~deadline env `Remove facts, `Continue)
+  | Protocol.Ping -> (Protocol.pong ~id, `Continue)
+  | Protocol.Stats -> (Protocol.stats_reply ~id (stats_fields t), `Continue)
+  | Protocol.Snapshot_now -> (
+    match snapshot_now t with
+    | Ok () -> (Protocol.ack ~id ~op:"snapshot" ~count:0 ~txn:t.txn, `Continue)
+    | Error msg -> (Protocol.error ~id msg, `Continue))
+  | Protocol.Shutdown -> (Protocol.bye ~id, `Stop)
+
+let process_one t ~now =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some { q_session; q_deadline; q_env } ->
+    (match Hashtbl.find_opt t.inflight q_session with
+    | Some n when n > 1 -> Hashtbl.replace t.inflight q_session (n - 1)
+    | Some _ -> Hashtbl.remove t.inflight q_session
+    | None -> ());
+    if now > q_deadline then begin
+      t.metrics.expired <- t.metrics.expired + 1;
+      Some
+        ( q_session,
+          Protocol.error ~id:q_env.Protocol.req_id
+            "deadline expired while queued (timeout)",
+          `Continue )
+    end
+    else
+      let reply, ctl = handle t ~now ~deadline:q_deadline q_env in
+      Some (q_session, reply, ctl)

@@ -1,0 +1,105 @@
+(** The service core, independent of any socket: state, admission
+    control, request execution, durability.
+
+    Every behaviour the server must guarantee lives here so it can be
+    exercised without I/O — the fault drill drives [submit]/[process_one]
+    directly and kills the process (via {!Datalog_storage.Faults}
+    kill-points) between the transaction steps.
+
+    {2 Execution modes}
+
+    A {e positive} program (no negation) is kept {e saturated}: the
+    database holds every derivable fact, mutations propagate through
+    {!Datalog_engine.Incremental} (transactionally — a budget blown
+    mid-propagation rolls the whole batch back), and queries are served
+    by scanning the saturated relation.  A program with negation keeps
+    only base facts and answers queries with a full engine run under the
+    request budget; exhaustion surfaces as a ["partial"] reply.
+
+    {2 Durability contract}
+
+    With a snapshot path configured, a mutation is: apply, persist the
+    new snapshot (atomic install), {e then} ack.  A crash at any point
+    leaves the snapshot holding either the pre-batch or the post-batch
+    state, never a torn one, so on restart every {e acked} batch is
+    present and every {e unacked} batch is absent or fully applied.  A
+    persist {e failure} (as opposed to a crash) rolls the in-memory
+    batch back and replies error — the server never holds state it
+    could not make durable.  Kill-points ["server.txn-applied"] (after
+    apply, before persist) and ["server.pre-ack"] (after persist,
+    before ack) let the drill cut at the interesting instants. *)
+
+open Datalog_ast
+module Json = Datalog_engine.Json
+
+type config = {
+  queue_depth : int;  (** admission queue bound; beyond it, shed *)
+  session_inflight : int;  (** per-session cap on admitted requests *)
+  default_budgets : Protocol.budgets;
+  retry_after_s : float;  (** hint attached to overload replies *)
+  cache_capacity : int;
+  snapshot_path : string option;  (** durability off when [None] *)
+  durable_acks : bool;
+      (** [true] (default): every mutation persists a snapshot before
+          its ack — the ack is a durability receipt.  [false]: acks are
+          memory-only and the periodic snapshot bounds the loss window
+          to [snapshot_every_s] — the classic fsync-per-commit
+          vs. group-commit trade. *)
+  snapshot_every_s : float;  (** periodic snapshot cadence *)
+  options : Alexander.Options.t;  (** engine-mode evaluation options *)
+  log : string -> unit;
+}
+
+val default_config : config
+(** Queue depth 64, 16 in-flight per session, 5s default timeout,
+    0.1s retry hint, cache capacity 128, no snapshot path, durable
+    acks, 30s cadence, default engine options, silent log. *)
+
+type t
+
+val create : config -> Program.t -> (t, string) result
+(** Warm start: when the snapshot path exists it is loaded Strict, then
+    Lenient (logging each salvage warning) — the acked-transaction
+    counter rides in the snapshot meta.  A snapshot unreadable even
+    leniently refuses to start.  With no snapshot, a positive program is
+    saturated from its facts; a program with negation starts from its
+    base facts. *)
+
+val positive : t -> bool
+val txn : t -> int
+val db : t -> Datalog_storage.Database.t
+val pending : t -> int
+val cache : t -> Cache.t
+
+type admission = Admitted | Overloaded of float | Session_capped
+
+val submit :
+  t -> session:int -> now:float -> Protocol.envelope -> admission
+(** Admission happens before any execution: a full queue sheds the
+    request (bounded work, explicit reply), a session over its in-flight
+    cap is told to back off without penalising other sessions.  An
+    admitted request's deadline is fixed here — queue wait counts
+    against the budget. *)
+
+val forget_session : t -> int -> unit
+
+val process_one : t -> now:float -> (int * Json.t * [ `Continue | `Stop ]) option
+(** Pop and execute the oldest admitted request; [None] on an empty
+    queue.  A request whose deadline passed while queued is answered
+    with an error without being executed.  [`Stop] reports a shutdown
+    request (the reply must still be delivered). *)
+
+val handle :
+  t -> now:float -> ?deadline:float -> Protocol.envelope ->
+  Json.t * [ `Continue | `Stop ]
+(** Execute a request immediately (the path [process_one] uses;
+    exposed for control requests that bypass the queue). *)
+
+val snapshot_now : t -> (unit, string) result
+(** No-op without a snapshot path. *)
+
+val maybe_snapshot : t -> now:float -> unit
+(** Periodic checkpoint: persists when the cadence elapsed and a
+    transaction landed since the last write. *)
+
+val stats_fields : t -> (string * Json.t) list

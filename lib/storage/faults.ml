@@ -1,4 +1,12 @@
-type op = Write | Fsync | Rename | Mkdir
+type op =
+  | Write
+  | Fsync
+  | Rename
+  | Mkdir
+  | Dirsync
+  | Recv
+  | Send
+  | Point of string
 
 type action =
   | Proceed
@@ -18,6 +26,10 @@ let op_name = function
   | Fsync -> "fsync"
   | Rename -> "rename"
   | Mkdir -> "mkdir"
+  | Dirsync -> "dirsync"
+  | Recv -> "recv"
+  | Send -> "send"
+  | Point name -> Printf.sprintf "point(%s)" name
 
 let armed : plan option ref = ref None
 let counter = ref 0
@@ -74,7 +86,15 @@ let mix seed index op =
   (* 53 uniform bits -> [0, 1) *)
   Int64.to_float (Int64.shift_right_logical !z 11) /. 9007199254740992.0
 
-let op_code = function Write -> 0 | Fsync -> 1 | Rename -> 2 | Mkdir -> 3
+let op_code = function
+  | Write -> 0
+  | Fsync -> 1
+  | Rename -> 2
+  | Mkdir -> 3
+  | Dirsync -> 4
+  | Recv -> 5
+  | Send -> 6
+  | Point _ -> 7
 
 let seeded ~seed ?(p_error = 0.) ?(p_short = 0.) ?(p_crash = 0.) () =
   { label = Printf.sprintf "seeded:%d" seed;
@@ -107,6 +127,13 @@ let fail_nth kind n = nth_of_kind kind n (fun _ -> Io_error "injected fault")
 
 let crash_nth kind n =
   nth_of_kind kind n (function Write -> Short_write 0.5 | _ -> Crash)
+
+let crash_point name =
+  { label = Printf.sprintf "point:%s" name;
+    decide =
+      (fun ~index:_ op ->
+        match op with Point n when n = name -> Crash | _ -> Proceed)
+  }
 
 (* ---------------------------------------------------------------- *)
 (* Instrumented primitives *)
@@ -149,3 +176,47 @@ let mkdir dir perm =
   | Proceed -> Sys.mkdir dir perm
   | Io_error msg -> raise (Sys_error msg)
   | Short_write _ | Crash -> crashed Mkdir
+
+let plain_dirsync dir =
+  let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* directory fsync is advisory on some file systems: the open and
+         the attempt must happen, but an EINVAL-style refusal is not a
+         durability bug we can do anything about *)
+      try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let dirsync dir =
+  match consult Dirsync with
+  | Proceed -> plain_dirsync dir
+  | Io_error msg -> raise (Sys_error msg)
+  | Short_write _ | Crash -> crashed Dirsync
+
+(* For the socket seam, [Short_write f] means a survivable partial
+   transfer (sockets do that in production too), not a death: the serve
+   loop must cope with fewer bytes than requested moving. *)
+
+let recv fd buf pos len =
+  match consult Recv with
+  | Proceed -> Unix.read fd buf pos len
+  | Io_error msg -> raise (Sys_error msg)
+  | Short_write f ->
+    let n = max 0 (min len (int_of_float (f *. float_of_int len))) in
+    if n = 0 then 0 else Unix.read fd buf pos n
+  | Crash -> crashed Recv
+
+let send fd buf pos len =
+  match consult Send with
+  | Proceed -> Unix.write fd buf pos len
+  | Io_error msg -> raise (Sys_error msg)
+  | Short_write f ->
+    let n = max 0 (min len (int_of_float (f *. float_of_int len))) in
+    if n = 0 then 0 else Unix.write fd buf pos n
+  | Crash -> crashed Send
+
+let point name =
+  match consult (Point name) with
+  | Proceed -> ()
+  | Io_error msg -> raise (Sys_error msg)
+  | Short_write _ | Crash -> crashed (Point name)

@@ -1,11 +1,14 @@
-(** Deterministic fault injection for the persistence layer.
+(** Deterministic fault injection for the persistence layer and the
+    server's I/O seam.
 
-    Crash-safety claims ("no torn snapshot is ever observable") are only
-    worth something if they are exercised: this module lets the test
-    suites inject short writes, I/O errors (ENOSPC-style [Sys_error]s),
-    and simulated process kills into every file-system operation the
-    {!Snapshot} and {!Io} writers perform — deterministically, from a
-    seed, so every failure replays.
+    Crash-safety claims ("no torn snapshot is ever observable", "every
+    acked transaction survives a kill") are only worth something if they
+    are exercised: this module lets the test suites inject short writes,
+    I/O errors (ENOSPC-style [Sys_error]s), and simulated process kills
+    into every file-system operation the {!Snapshot} and {!Io} writers
+    perform, every socket transfer the serve loop performs, and every
+    named kill-point the server passes through — deterministically, from
+    a seed, so every failure replays.
 
     When no plan is armed (production), every instrumented primitive is a
     direct passthrough: one [ref] read per operation, no allocation.
@@ -21,14 +24,26 @@ type op =
   | Fsync  (** flushing written data to stable storage *)
   | Rename  (** the atomic install (temp file -> final name) *)
   | Mkdir  (** creating a directory on the save path *)
+  | Dirsync
+      (** fsync of the parent directory after a rename install — the
+          step that makes the rename itself durable across power loss *)
+  | Recv  (** reading from a client socket (serve loop) *)
+  | Send  (** writing a reply to a client socket (serve loop) *)
+  | Point of string
+      (** a named kill-point (e.g. between transaction apply and ack);
+          carries no data, only control flow *)
 
 type action =
   | Proceed
   | Io_error of string
       (** the operation raises [Sys_error] with this message *)
   | Short_write of float
-      (** only for {!Write}: the given fraction of the bytes reach the
-          file, then the process "dies" ({!Crashed}); other ops crash *)
+      (** for {!Write}: the given fraction of the bytes reach the file,
+          then the process "dies" ({!Crashed}).  For {!Recv} / {!Send}:
+          only that fraction of the requested bytes is transferred and
+          the call returns — a survivable partial transfer, which the
+          serve loop must handle like any short socket read/write.
+          Other ops crash. *)
   | Crash
       (** the process "dies" before the operation takes effect *)
 
@@ -79,10 +94,15 @@ val crash_nth : op -> int -> plan
 (** The [n]-th (0-based) operation of the given kind crashes
     (short-writing half the bytes if it is a {!Write}). *)
 
+val crash_point : string -> plan
+(** Crash at the first passage through the named kill-point; every other
+    operation proceeds. *)
+
 (** {1 Instrumented primitives}
 
-    The persistence layer routes its side effects through these.  With no
-    plan armed they are the obvious passthroughs. *)
+    The persistence layer and the serve loop route their side effects
+    through these.  With no plan armed they are the obvious
+    passthroughs. *)
 
 val write_string : out_channel -> string -> unit
 val fsync : out_channel -> unit
@@ -90,3 +110,23 @@ val fsync : out_channel -> unit
 
 val rename : string -> string -> unit
 val mkdir : string -> int -> unit
+
+val dirsync : string -> unit
+(** Open the directory, [Unix.fsync] its descriptor, close it — the
+    missing half of a durable rename.  Directory fsync is advisory on
+    some file systems; [EINVAL]-style failures from the [fsync] call
+    itself are ignored (the open/close still goes through the fault
+    plan, so kills and injected errors fire). *)
+
+val recv : Unix.file_descr -> bytes -> int -> int -> int
+(** [recv fd buf pos len] is [Unix.read] routed through the plan.
+    [Short_write f] transfers at most [f*len] bytes (min 0); a real
+    [Unix.read] of that many bytes is still performed so the stream
+    stays consistent. *)
+
+val send : Unix.file_descr -> bytes -> int -> int -> int
+(** [send fd buf pos len] is [Unix.write] likewise. *)
+
+val point : string -> unit
+(** Pass through the named kill-point: does nothing unless the armed
+    plan decides to crash ({!Crashed}) or fail ([Sys_error]) here. *)

@@ -114,8 +114,10 @@ let save_relation ?(delimiter = ',') db pred path =
   with
   | exception Unwritable msg -> Error (Printf.sprintf "%s: %s" path msg)
   | data ->
-    (* write-temp / fsync / rename: a failure (or crash) mid-save leaves
-       any previous file at [path] untouched *)
+    (* write-temp / fsync / rename / dirsync: a failure (or crash)
+       mid-save leaves any previous file at [path] untouched, and the
+       parent-directory fsync makes the install durable across power
+       loss *)
     Snapshot.atomic_write_string path data
 
 let rec mkdir_p dir =

@@ -118,7 +118,12 @@ let atomic_write_string path data =
       (fun () ->
         Faults.write_string oc data;
         Faults.fsync oc);
-    Faults.rename tmp path
+    Faults.rename tmp path;
+    (* the rename only becomes durable once the parent directory's own
+       metadata reaches stable storage: without this, a power loss after
+       the rename can resurrect the old file (or nothing) on replay of
+       the directory — the classic missing-dirsync bug *)
+    Faults.dirsync (Filename.dirname path)
   with
   | () -> Ok ()
   | exception Sys_error msg ->
@@ -472,31 +477,38 @@ let read ?(mode = Strict) path =
 
 let rel_prefix = "rel:"
 
-let save_database db path =
+let save_database ?(meta = []) db path =
   let sections =
     List.map
       (fun pred ->
         (rel_prefix ^ Pred.name pred, Pred.arity pred, Database.tuples db pred))
       (Database.preds db)
   in
-  write ~meta:[ ("kind", "database") ] ~sections path
+  write ~meta:(("kind", "database") :: meta) ~sections path
+
+let database_of_contents contents =
+  let db = Database.create () in
+  List.iter
+    (fun s ->
+      let n = String.length rel_prefix in
+      if String.length s.s_name > n && String.sub s.s_name 0 n = rel_prefix
+      then begin
+        let pred =
+          Pred.make (String.sub s.s_name n (String.length s.s_name - n))
+            s.s_arity
+        in
+        List.iter (fun t -> ignore (Database.add db pred t)) s.s_tuples
+      end)
+    contents.sections;
+  db
 
 let load_database ?mode path =
   Result.map
+    (fun contents -> (database_of_contents contents, contents.warnings))
+    (read ?mode path)
+
+let load_database_meta ?mode path =
+  Result.map
     (fun contents ->
-      let db = Database.create () in
-      List.iter
-        (fun s ->
-          let n = String.length rel_prefix in
-          if
-            String.length s.s_name > n && String.sub s.s_name 0 n = rel_prefix
-          then begin
-            let pred =
-              Pred.make (String.sub s.s_name n (String.length s.s_name - n))
-                s.s_arity
-            in
-            List.iter (fun t -> ignore (Database.add db pred t)) s.s_tuples
-          end)
-        contents.sections;
-      (db, contents.warnings))
+      (database_of_contents contents, contents.meta, contents.warnings))
     (read ?mode path)

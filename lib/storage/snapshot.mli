@@ -29,10 +29,12 @@
     keep loading and resuming.  Writing always produces format 2.
 
     Installation is atomic: the whole image is serialized, written to
-    [path ^ ".tmp"], flushed with [fsync], and [rename]d over [path] —
-    so at every instant [path] either does not exist, holds the previous
-    complete snapshot, or holds the new complete snapshot.  A crash can
-    only leave a stale [.tmp] behind, never a half-written [path].
+    [path ^ ".tmp"], flushed with [fsync], [rename]d over [path], and the
+    parent directory is fsynced (so the rename itself survives power
+    loss) — at every instant [path] either does not exist, holds the
+    previous complete snapshot, or holds the new complete snapshot.  A
+    crash can only leave a stale [.tmp] behind, never a half-written
+    [path].
 
     Detection is layered: every section carries a CRC-32 of its tuple
     lines, the manifest (written last) repeats every section's header and
@@ -99,12 +101,21 @@ val write :
 val read : ?mode:mode -> string -> (contents, corruption) result
 (** Default mode is {!Strict}. *)
 
-val save_database : Database.t -> string -> (unit, string) result
-(** One section per predicate, named ["rel:<pred>"]. *)
+val save_database :
+  ?meta:(string * string) list -> Database.t -> string -> (unit, string) result
+(** One section per predicate, named ["rel:<pred>"].  [meta] entries are
+    stored alongside the standard [kind=database] stamp (the server uses
+    this for its acked-transaction counter). *)
 
 val load_database :
   ?mode:mode -> string -> (Database.t * warning list, corruption) result
 (** Inverse of {!save_database}; non-["rel:"] sections are ignored. *)
+
+val load_database_meta :
+  ?mode:mode ->
+  string ->
+  (Database.t * (string * string) list * warning list, corruption) result
+(** {!load_database} plus the snapshot's meta block. *)
 
 val atomic_write_string : string -> string -> (unit, string) result
 (** [atomic_write_string path data]: the write-temp / fsync / rename

@@ -29,6 +29,11 @@ let tmpdir () =
 
 let rm path = try Sys.remove path with Sys_error _ -> ()
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
 let seeds =
   match Sys.getenv_opt "FAULT_SEEDS" with
   | None | Some "" -> [ 1; 2; 3; 4; 5; 6; 7; 8 ]
@@ -69,8 +74,10 @@ type outcome = Committed | Failed | Crashed
 
 (* Arm [plan], attempt to overwrite [path] (holding [old_ints]) with
    [new_ints], then verify the invariant: the path holds exactly the new
-   image iff the write reported success, and exactly the old image
-   otherwise.  Returns the outcome and whether any fault actually fired. *)
+   image iff the write reported success or the fault struck at the
+   post-rename directory sync (the install itself had already happened),
+   and exactly the old image otherwise.  Returns the outcome and whether
+   any fault actually fired. *)
 let attempt_overwrite plan path ~old_ints ~new_ints =
   F.arm plan;
   let outcome =
@@ -79,9 +86,15 @@ let attempt_overwrite plan path ~old_ints ~new_ints =
     | Error _ -> Failed
     | exception F.Crashed _ -> Crashed
   in
-  let injected = F.events () <> [] in
+  let events = F.events () in
+  let injected = events <> [] in
   F.disarm ();
-  let expected = if outcome = Committed then new_ints else old_ints in
+  (* at most one fault fires per attempt (the first aborts the write);
+     if it hit the dirsync, the rename had already installed the image *)
+  let after_install = List.exists (contains ~sub:"dirsync") events in
+  let expected =
+    if outcome = Committed || after_install then new_ints else old_ints
+  in
   check tbool "the path holds a complete image" true
     (read_ints path = expected);
   (outcome, injected)
@@ -162,6 +175,98 @@ let test_torn_rename () =
      temp file, the old one still at the path (checked by [targeted]) *)
   check tbool "complete new image in the temp file" true
     (match Sn.read (path ^ ".tmp") with Ok _ -> true | Error _ -> false);
+  rm (path ^ ".tmp");
+  rm path
+
+let test_dirsync_kill () =
+  (* a kill at the post-rename directory sync: the install has already
+     happened, so recovery must see the complete NEW image — this is the
+     kill-point that distinguishes the dirsync step from the rename *)
+  let path = tmpfile () in
+  write_exn path [ 1; 2; 3 ];
+  F.arm (F.crash_nth F.Dirsync 0);
+  (match Sn.write ~sections:(sections_of [ 9; 8 ]) path with
+  | exception F.Crashed _ -> ()
+  | Ok () -> Alcotest.fail "the dirsync kill must fire"
+  | Error msg -> Alcotest.fail msg);
+  check tbool "the kill was at the dirsync" true
+    (List.exists (contains ~sub:"dirsync") (F.events ()));
+  F.disarm ();
+  check tbool "the new image survived the kill" true
+    (read_ints path = [ 9; 8 ]);
+  check tbool "the temp file was consumed by the rename" false
+    (Sys.file_exists (path ^ ".tmp"));
+  rm path
+
+let test_dirsync_io_error () =
+  (* an I/O error at the dirsync is reported (durability is uncertain),
+     but the visible state is the complete new image, never a torn one *)
+  let path = tmpfile () in
+  write_exn path [ 1; 2; 3 ];
+  F.arm (F.fail_nth F.Dirsync 0);
+  let r = Sn.write ~sections:(sections_of [ 7 ]) path in
+  F.disarm ();
+  check tbool "dirsync failure surfaces as Error" true (Result.is_error r);
+  check tbool "the installed image is complete" true (read_ints path = [ 7 ]);
+  rm path
+
+(* -------------------------------------------------------------------- *)
+(* Concurrent-ish access: a reader that loads while a writer is
+   mid-install must see either the old or the new complete snapshot,
+   never a torn one.  The fault hooks fire before each instrumented
+   operation, so reading from inside the plan's [decide] observes the
+   path at every interleaving point the writer passes through: before
+   the temp write, before the fsync, before the rename (old image each
+   time) and before the dirsync (after the rename: new image). *)
+
+let test_reader_during_install () =
+  let path = tmpfile () in
+  let old_ints = [ 1; 2; 3 ] and new_ints = [ 40; 50 ] in
+  write_exn path old_ints;
+  let observations = ref [] in
+  let spy =
+    { F.label = "reader-spy";
+      decide =
+        (fun ~index:_ op ->
+          (match op with
+          | F.Write | F.Fsync | F.Rename | F.Dirsync ->
+            observations := (op, read_ints path) :: !observations
+          | _ -> ());
+          F.Proceed)
+    }
+  in
+  F.with_plan spy (fun () -> write_exn path new_ints);
+  let seen = List.rev !observations in
+  check tbool "the writer passed every interleaving point" true
+    (List.length seen >= 4);
+  List.iter
+    (fun (op, ints) ->
+      match op with
+      | F.Dirsync ->
+        (* after the rename: the reader must see the new complete image *)
+        check tbool "post-rename reader sees the new image" true
+          (ints = new_ints)
+      | _ ->
+        (* before the rename: the reader must see the old complete image *)
+        check tbool "pre-rename reader sees the old image" true
+          (ints = old_ints))
+    seen;
+  check tbool "final state is the new image" true (read_ints path = new_ints);
+  rm path
+
+let test_reader_after_torn_install () =
+  (* the other order: the writer dies mid-write, then a reader loads —
+     it must see the old complete image, and the torn bytes only ever
+     exist in the temp file *)
+  let path = tmpfile () in
+  write_exn path [ 1; 2; 3 ];
+  F.arm (F.crash_nth F.Write 0);
+  (match Sn.write ~sections:(sections_of [ 9 ]) path with
+  | exception F.Crashed _ -> ()
+  | Ok () | Error _ -> Alcotest.fail "the mid-write kill must fire");
+  F.disarm ();
+  check tbool "reader after the torn install sees the old image" true
+    (read_ints path = [ 1; 2; 3 ]);
   rm (path ^ ".tmp");
   rm path
 
@@ -256,6 +361,12 @@ let suite =
           test_short_write_then_kill;
         Alcotest.test_case "kill before fsync" `Quick test_kill_before_fsync;
         Alcotest.test_case "torn rename" `Quick test_torn_rename;
+        Alcotest.test_case "dirsync kill-point" `Quick test_dirsync_kill;
+        Alcotest.test_case "dirsync I/O error" `Quick test_dirsync_io_error;
+        Alcotest.test_case "reader during install" `Quick
+          test_reader_during_install;
+        Alcotest.test_case "reader after torn install" `Quick
+          test_reader_after_torn_install;
         Alcotest.test_case "mkdir fault" `Quick test_mkdir_fault;
         Alcotest.test_case "multi-file save atomicity" `Quick
           test_multi_file_save_is_per_file_atomic;
