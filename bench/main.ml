@@ -84,7 +84,8 @@ let itoa = string_of_int
 
 let run_strategy ?(negation = O.Auto) ?(profile = false)
     ?(checkpoint = Datalog_engine.Checkpoint.none) ?(compile = true)
-    ?(sips = Datalog_rewrite.Sips.Left_to_right) strategy program query =
+    ?(merge = true) ?(sips = Datalog_rewrite.Sips.Left_to_right) strategy
+    program query =
   let options =
     { O.strategy;
       negation;
@@ -94,6 +95,7 @@ let run_strategy ?(negation = O.Auto) ?(profile = false)
       trace = None;
       checkpoint;
       compile;
+      merge;
       explain = false
     }
   in
@@ -664,6 +666,7 @@ let t8 () =
                 trace = None;
                 checkpoint = Datalog_engine.Checkpoint.none;
                 compile = true;
+                merge = true;
                 explain = false
               }
             in
@@ -829,6 +832,7 @@ let bechamel_tests () =
                     trace = None;
                     checkpoint = Datalog_engine.Checkpoint.none;
                     compile = true;
+                    merge = true;
                     explain = false
                   }
                 sg (atom "sg(0, X)"))));
@@ -944,8 +948,9 @@ let json_baseline out =
              "sg(0, X)" )
          ])
   in
-  (* compiled-plan ablation: compiled vs interpreted wall time, and the
-     ltr vs cost-aware SIP join-work counters, per workload *)
+  (* compiled-plan ablation: compiled vs interpreted wall time, the ltr
+     (merge joins on) vs hash (merge joins off) vs cost-aware SIP
+     join-work and allocation counters, per workload *)
   let plan_section =
     List.concat_map
       (fun (name, program, q) ->
@@ -956,13 +961,17 @@ let json_baseline out =
               J.Obj
                 [ ("probes", J.Int r.S.counters.C.probes);
                   ("scanned", J.Int r.S.counters.C.scanned);
-                  ("firings", J.Int r.S.counters.C.firings)
+                  ("firings", J.Int r.S.counters.C.firings);
+                  ("merge_steps", J.Int r.S.counters.C.merge_steps);
+                  ("gallops", J.Int r.S.counters.C.gallops);
+                  ("minor_words", J.Float r.S.minor_words)
                 ]
             in
             let compiled = run_strategy strategy program query in
             let interpreted =
               run_strategy ~compile:false strategy program query
             in
+            let hash = run_strategy ~merge:false strategy program query in
             let cost =
               run_strategy ~sips:Datalog_rewrite.Sips.Cost_aware strategy
                 program query
@@ -973,14 +982,15 @@ let json_baseline out =
                 ("compiled_wall_s", J.Float compiled.S.wall_time_s);
                 ("interpreted_wall_s", J.Float interpreted.S.wall_time_s);
                 ("ltr", counters_json compiled);
+                ("hash", counters_json hash);
                 ("cost", counters_json cost)
               ])
-          [ O.Seminaive; O.Alexander ])
+          [ O.Seminaive; O.Magic; O.Alexander ])
       (json_workloads ())
   in
   let doc =
     J.Obj
-      [ ("schema_version", J.Int 3);
+      [ ("schema_version", J.Int 4);
         ("suite", J.String "alexander-bench-baseline");
         ("workloads", J.List workloads);
         ("plan", J.List plan_section);

@@ -4,15 +4,16 @@
    Usage:  dune exec bench/regression.exe -- BASELINE CANDIDATE
              [--tolerance PCT] [--alloc-tolerance PCT]
 
-   The join-work counters (probes, scanned, firings) are deterministic for
-   a given engine, so any growth is a real plan or engine change, not
-   noise; wall times are reported but never gate.  A cell regresses when a
-   counter exceeds its baseline by more than the tolerance (default 5%).
-   The per-cell minor-allocation gauge (minor_words, GC-reported) is close
-   to deterministic but moves with compiler/runtime details, so it gets
-   its own laxer tolerance (default 25%); baselines predating the gauge
-   simply don't gate on it.  Exit code 1 on any regression, 2 on
-   unreadable/mismatched inputs. *)
+   The join-work counters (probes, scanned, firings, merge_steps,
+   gallops) are deterministic for a given engine, so any growth is a real
+   plan or engine change, not noise; wall times are reported but never
+   gate.  A cell regresses when a counter exceeds its baseline by more
+   than the tolerance (default 5%).  Counters absent from the baseline
+   (older schemas) simply don't gate.  The per-cell minor-allocation
+   gauge (minor_words, GC-reported) is close to deterministic but moves
+   with compiler/runtime details, so it gets its own laxer tolerance
+   (default 25%); baselines predating the gauge simply don't gate on it.
+   Exit code 1 on any regression, 2 on unreadable/mismatched inputs. *)
 
 module J = Datalog_engine.Json
 
@@ -49,11 +50,12 @@ let as_list path = function
   | J.List l -> l
   | _ -> die 2 "%s: expected a list" path
 
+let gated = [ "probes"; "scanned"; "firings"; "merge_steps"; "gallops" ]
+
 (* (workload, strategy) ->
    (counter name -> value) for the gated counters, plus the allocation
    gauge when the baseline carries it (schema 3+) *)
 let cells path doc =
-  let gated = [ "probes"; "scanned"; "firings" ] in
   let tbl = Hashtbl.create 64 in
   List.iter
     (fun workload ->
@@ -111,7 +113,9 @@ let () =
       match Hashtbl.find_opt cand (w, s) with
       | None ->
         incr regressions;
-        rows := [ w; s; "-"; "-"; "-"; "-"; "MISSING" ] :: !rows
+        rows :=
+          (([ w; s ] @ List.map (fun _ -> "-") gated) @ [ "-"; "MISSING" ])
+          :: !rows
       | Some (cand_counters, cand_alloc) ->
         let deltas =
           List.map
@@ -141,25 +145,22 @@ let () =
         in
         let bad = worst > !tolerance || alloc_bad in
         if bad then incr regressions;
-        let cell (name, bv, cv, pct) =
-          Printf.sprintf "%s %d->%d (%+.1f%%)" name bv cv pct
+        (* one column per gated counter; "-" when the baseline predates it *)
+        let cell name =
+          match List.find_opt (fun (n, _, _, _) -> n = name) deltas with
+          | Some (_, bv, cv, pct) ->
+            Printf.sprintf "%d->%d (%+.1f%%)" bv cv pct
+          | None -> "-"
         in
         rows :=
-          (match deltas with
-          | [ a; b; c ] ->
-            [ w; s; cell a; cell b; cell c; alloc_cell;
-              (if bad then "REGRESSED" else "ok")
-            ]
-          | _ -> [ w; s; "-"; "-"; "-"; "-"; "BAD ROW" ])
+          (([ w; s ] @ List.map cell gated)
+          @ [ alloc_cell; (if bad then "REGRESSED" else "ok") ])
           :: !rows)
     base;
   let rows =
     List.sort compare !rows
   in
-  let header =
-    [ "workload"; "strategy"; "probes"; "scanned"; "firings"; "minor words";
-      "verdict" ]
-  in
+  let header = ([ "workload"; "strategy" ] @ gated) @ [ "minor words"; "verdict" ] in
   let ncols = List.length header in
   let widths = Array.make ncols 0 in
   List.iter

@@ -94,6 +94,16 @@ let explain_arg =
            (literal order, index probes, register operations); also \
            included in --stats-json output")
 
+let no_merge_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-merge" ]
+        ~doc:
+          "Disable galloping merge-join fusion in compiled plans; every \
+           join runs as a hash-index probe (same answers and fact \
+           counters, more probes)")
+
 let interpret_arg =
   Arg.(
     value
@@ -308,7 +318,7 @@ let print_report query report ~stats =
 let write_stats_json path file runs =
   let doc =
     Datalog_engine.Json.Obj
-      [ ("schema_version", Datalog_engine.Json.Int 3);
+      [ ("schema_version", Datalog_engine.Json.Int 4);
         ("file", Datalog_engine.Json.String file);
         ("runs", Datalog_engine.Json.List (List.rev runs))
       ]
@@ -322,7 +332,7 @@ let run_cmd =
   let action file query strategy negation sips stats stats_json trace data
       (limits : ?cancelled:(unit -> bool) -> unit -> Datalog_engine.Limits.t)
       checkpoint_path checkpoint_every resume_path snapshot_mode
-      explain interpret =
+      explain interpret no_merge =
     match
       Result.bind (read_program file) (fun parsed ->
           Result.map (fun p -> (parsed, p))
@@ -372,6 +382,7 @@ let run_cmd =
                else None);
             checkpoint;
             compile = not interpret;
+            merge = not no_merge;
             explain = explain || Option.is_some stats_json
           }
         in
@@ -445,7 +456,7 @@ let run_cmd =
       const action $ file_arg $ query_arg $ strategy_arg $ negation_arg
       $ sips_arg $ stats_arg $ stats_json_arg $ trace_arg $ data_arg
       $ limits_term $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
-      $ snapshot_mode_arg $ explain_arg $ interpret_arg)
+      $ snapshot_mode_arg $ explain_arg $ interpret_arg $ no_merge_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate queries against a program") term
 
@@ -638,6 +649,7 @@ let repl_cmd =
             trace = None;
             checkpoint = Datalog_engine.Checkpoint.none;
             compile = true;
+            merge = true;
             explain = false
           }
       in

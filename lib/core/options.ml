@@ -22,6 +22,7 @@ type t = {
   trace : (string -> unit) option;
   checkpoint : Datalog_engine.Checkpoint.t;
   compile : bool;
+  merge : bool;
   explain : bool;
 }
 
@@ -34,6 +35,7 @@ let default =
     trace = None;
     checkpoint = Datalog_engine.Checkpoint.none;
     compile = true;
+    merge = true;
     explain = false
   }
 

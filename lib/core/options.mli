@@ -47,6 +47,12 @@ type t = {
           on by default.  Off, the interpreted {!Datalog_engine.Eval}
           path runs — it is the differential-testing oracle and produces
           identical answers and counters *)
+  merge : bool;
+      (** fuse adjacent scan+probe plan steps into galloping merge joins
+          over sorted columnar projections ({!Datalog_engine.Plan});
+          on by default, only meaningful with [compile = true].  Merge
+          plans produce identical answers and fact counters to hash
+          plans; [probes] drops and [merge_steps]/[gallops] appear *)
   explain : bool;
       (** collect the compiled plans into {!Solve.report.plans} (and the
           [plan] block of {!Solve.report_json}); implies nothing about
@@ -55,8 +61,8 @@ type t = {
 
 val default : t
 (** [Alexander] strategy, left-to-right SIP, [Auto] negation, no limits,
-    no profiling, no trace, no checkpoint, compiled plans on, explain
-    off. *)
+    no profiling, no trace, no checkpoint, compiled plans on, merge
+    joins on, explain off. *)
 
 val strategy_name : strategy -> string
 val strategy_of_string : string -> strategy option

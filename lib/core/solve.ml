@@ -39,7 +39,7 @@ let plan_of_options options push =
       | Sips.Left_to_right -> Plan.Ltr
       | Sips.Greedy_bound | Sips.Cost_aware -> Plan.Cost
     in
-    Some (Plan.config ~sip ~on_compile:push ())
+    Some (Plan.config ~sip ~merge:options.Options.merge ~on_compile:push ())
 
 let dedup_infos infos =
   let seen = Hashtbl.create 16 in
@@ -454,7 +454,7 @@ let report_json ~query report =
       ]
   in
   Json.Obj
-    [ ("schema_version", Json.Int 3);
+    [ ("schema_version", Json.Int 4);
       ("query", Json.String (Format.asprintf "%a" Atom.pp query));
       ( "strategy",
         Json.String (Options.strategy_name report.options.Options.strategy) );

@@ -4,7 +4,10 @@
     a {e firing} is one successful full match of a rule body, a {e probe} is
     one indexed lookup into a relation, {e scanned} counts the candidate
     tuples those probes returned, and {e iterations} counts fixpoint
-    rounds. *)
+    rounds.  A {e merge step} is one execution of a fused galloping
+    merge-join operation (which replaces a scan plus one probe per
+    candidate), and {e gallops} counts the exponential-search descents
+    those merge steps performed. *)
 
 type t = {
   mutable facts_derived : int;  (** new tuples inserted by rules *)
@@ -12,6 +15,8 @@ type t = {
   mutable probes : int;  (** relation lookups *)
   mutable scanned : int;  (** candidate tuples inspected *)
   mutable iterations : int;  (** fixpoint rounds *)
+  mutable merge_steps : int;  (** fused merge-join executions *)
+  mutable gallops : int;  (** exponential searches inside merge joins *)
 }
 
 val create : unit -> t
@@ -20,6 +25,6 @@ val add : t -> t -> unit
 (** [add acc c] accumulates [c] into [acc]. *)
 
 val to_json : t -> Json.t
-(** One object with the five counter fields, in declaration order. *)
+(** One object with the seven counter fields, in declaration order. *)
 
 val pp : Format.formatter -> t -> unit

@@ -42,6 +42,24 @@ type op =
       pred : Pred.t;
       out : (int * action) array;
     }
+  | Mergejoin of {
+      (* a fused [Scan l; Probe r] pair: enumerate [l] in insertion order
+         (exactly the scan's snapshot) and, per candidate, locate the
+         matching group of [r] by galloping search in a sorted columnar
+         projection instead of a hash probe.  Trace-identical to the
+         unfused pair — same emissions in the same order, same [scanned]
+         and firability — with [probes] counting 2 per execution instead
+         of [1 + |l|]. *)
+      l_lit_pos : int;
+      l_pred : Pred.t;
+      l_out : (int * action) array;
+      r_lit_pos : int;
+      r_pred : Pred.t;
+      r_cols : int array;  (* ascending; mirrors the sorted handle *)
+      r_sorted : Relation.sorted_access;
+      r_key : src array;  (* values for [r_cols]; never Sunbound *)
+      r_out : (int * action) array;
+    }
   | Table of {
       (* tabled evaluation only: enumerate an IDB call table *)
       lit_pos : int;
@@ -87,11 +105,13 @@ type info = {
 
 type config = {
   sip : sip;
+  merge : bool;  (* fuse scan+probe pairs into merge joins *)
   on_compile : info -> unit;
 }
 
-let config ?(sip = Ltr) ?(on_compile = fun (_ : info) -> ()) () =
-  { sip; on_compile }
+let config ?(sip = Ltr) ?(merge = true) ?(on_compile = fun (_ : info) -> ())
+    () =
+  { sip; merge; on_compile }
 
 (* ------------------------------------------------------------------ *)
 (* Cost-aware ordering                                                 *)
@@ -385,6 +405,18 @@ let describe_op names = function
   | Scan { pred; out; _ } ->
     Printf.sprintf "scan %s match[%s]" (pred_str pred)
       (joined (action_str names) out)
+  | Mergejoin { l_pred; l_out; r_pred; r_cols; r_key; r_out; _ } ->
+    let keys =
+      String.concat ","
+        (List.map2
+           (fun c s -> Printf.sprintf "%d=%s" c (src_str names s))
+           (Array.to_list r_cols) (Array.to_list r_key))
+    in
+    Printf.sprintf "merge %s match[%s] * %s key[%s] match[%s]"
+      (pred_str l_pred)
+      (joined (action_str names) l_out)
+      (pred_str r_pred) keys
+      (joined (action_str names) r_out)
   | Table { pred; key; out; _ } ->
     let keys =
       joined (fun (c, s) -> Printf.sprintf "%d=%s" c (src_str names s)) key
@@ -450,6 +482,44 @@ let finish cfg ~dialect ~variant ~env ~ops ~order rule =
   cfg.on_compile (info plan);
   plan
 
+(* Fuse each adjacent [Scan l; Probe r] pair into one galloping merge
+   join against [r]'s sorted projection.  The fusion is sound — i.e.
+   trace-identical to the unfused pair — only when [r] cannot change
+   while this rule application runs: the sorted side is a start-of-op
+   snapshot, whereas a hash probe reads the live index.  A rule
+   application only ever writes its own head predicate, so any non-head
+   [r] is frozen; the delta literal of a semi-naive specialization is
+   frozen even when it names the head, because deltas are never written
+   mid-round. *)
+let fuse_merge ~variant ~head_pred ops =
+  let frozen r_pred r_lit_pos =
+    (match variant with
+    | Delta d -> r_lit_pos = d
+    | Full | Call _ -> false)
+    || not (Pred.equal r_pred head_pred)
+  in
+  let rec go = function
+    | Scan { lit_pos = l_lit_pos; pred = l_pred; out = l_out }
+      :: Probe { lit_pos = r_lit_pos; pred = r_pred; cols; key; out = r_out; _ }
+      :: rest
+      when frozen r_pred r_lit_pos ->
+      Mergejoin
+        { l_lit_pos;
+          l_pred;
+          l_out;
+          r_lit_pos;
+          r_pred;
+          r_cols = cols;
+          r_sorted = Relation.prepare_sorted (Array.to_list cols);
+          r_key = key;
+          r_out
+        }
+      :: go rest
+    | op :: rest -> op :: go rest
+    | [] -> []
+  in
+  go ops
+
 (* Compile [rule] for the fixpoint-style evaluators ([Eval.apply_rule]
    semantics).  [card] supplies relation cardinalities for the cost SIP;
    [delta_pos] compiles the semi-naive specialization whose literal at
@@ -468,6 +538,11 @@ let compile cfg ~card ?delta_pos rule =
   in
   let variant =
     match delta_pos with None -> Full | Some d -> Delta d
+  in
+  let ops =
+    if cfg.merge then
+      fuse_merge ~variant ~head_pred:(Atom.pred (Rule.head rule)) ops
+    else ops
   in
   finish cfg ~dialect:Rule_eval ~variant ~env ~ops
     ~order:(List.map fst ordered) rule
@@ -626,11 +701,15 @@ let run (plan : t) cnt ?(guard = Limits.no_guard) ?(profile = Profile.none) ~rel
     ~neg emit =
   let nops = Array.length plan.ops in
   let rels = Array.make (max nops 1) None in
+  let rels2 = Array.make (max nops 1) None in
   Array.iteri
     (fun k op ->
       match op with
       | Probe { lit_pos; pred; _ } | Scan { lit_pos; pred; _ } ->
         rels.(k) <- rel_of lit_pos pred
+      | Mergejoin { l_lit_pos; l_pred; r_lit_pos; r_pred; _ } ->
+        rels.(k) <- rel_of l_lit_pos l_pred;
+        rels2.(k) <- rel_of r_lit_pos r_pred
       | Table _ -> invalid_arg "Plan.run: Table op outside tabled evaluation"
       | Negtest _ | Cmptest _ | Assign _ | Unsafe_neg _ | Unsafe_cmp _ -> ())
     plan.ops;
@@ -665,6 +744,126 @@ let run (plan : t) cnt ?(guard = Limits.no_guard) ?(profile = Profile.none) ~rel
           if profiling then
             Profile.probe profile pred ~scanned:(Relation.cardinal rel);
           each k out candidates)
+      | Mergejoin { l_pred; l_out; r_pred; r_cols; r_sorted; r_key; r_out; _ }
+        -> (
+        match rels.(k) with
+        | None -> ()
+        | Some lrel -> (
+          cnt.Counters.probes <- cnt.Counters.probes + 1;
+          (* snapshot, exactly like the Scan this fuses *)
+          let candidates = Relation.to_list lrel in
+          if profiling then
+            Profile.probe profile l_pred ~scanned:(Relation.cardinal lrel);
+          match rels2.(k) with
+          | None ->
+            (* missing sorted side: the candidates are still scanned (as
+               the unfused pair would), nothing joins *)
+            List.iter
+              (fun tuple ->
+                Limits.check guard;
+                cnt.Counters.scanned <- cnt.Counters.scanned + 1;
+                ignore (match_out regs l_out tuple))
+              candidates
+          | Some rrel ->
+            cnt.Counters.probes <- cnt.Counters.probes + 1;
+            cnt.Counters.merge_steps <- cnt.Counters.merge_steps + 1;
+            let view = Relation.sorted_view rrel r_sorted in
+            let rows = view.Relation.sv_rows in
+            let keys = view.Relation.sv_keys in
+            let n = view.Relation.sv_len in
+            let ncols = Array.length r_cols in
+            (* order of the key at sorted position [i] relative to the
+               probe key currently in the registers.  A flat two-parameter
+               recursion: an inner helper capturing [i] would allocate a
+               closure on every comparison, and this runs inside the
+               gallop's innermost loop *)
+            let rec cmp_from i j =
+              if j >= ncols then 0
+              else
+                let c = Code.compare keys.(j).(i) (src_value regs r_key.(j)) in
+                if c <> 0 then c else cmp_from i (j + 1)
+            in
+            let cmp_at i = cmp_from i 0 in
+            let gallops = ref 0 in
+            let inspected = ref 0 in
+            (* [above strict i]: is the key at [i] past the probe key?
+               ([>] when strict, [>=] otherwise.)  Monotone in [i].  The
+               search loops below are tail-recursive over plain ints so a
+               gallop allocates nothing — this runs per left row. *)
+            let above strict i =
+              let c = cmp_at i in
+              if strict then c > 0 else c >= 0
+            in
+            let rec widen strict lo step =
+              if lo + step < n && not (above strict (lo + step)) then
+                widen strict (lo + step) (2 * step)
+              else bisect strict lo (min n (lo + step))
+            (* not (above lo); hi = n or above hi *)
+            and bisect strict lo hi =
+              if hi - lo <= 1 then hi
+              else
+                let mid = (lo + hi) / 2 in
+                if above strict mid then bisect strict lo mid
+                else bisect strict mid hi
+            in
+            (* first index in [[base, n)] where [above strict] holds, by
+               exponential probing then bisection *)
+            let gallop strict base =
+              incr gallops;
+              if base >= n then n
+              else if above strict base then base
+              else widen strict base 1
+            in
+            let grp_lo = ref 0 and grp_hi = ref 0 in
+            let have_grp = ref false in
+            (* position [grp_lo, grp_hi) on the run of rows equal to the
+               current probe key.  Adaptivity: an unchanged key reuses the
+               group outright, and an ascended key resumes the gallop from
+               the previous group's end instead of from 0. *)
+            let locate () =
+              if !have_grp && !grp_lo < !grp_hi && cmp_at !grp_lo = 0 then ()
+              else begin
+                let base =
+                  if !have_grp && !grp_hi > 0 && cmp_at (!grp_hi - 1) < 0 then
+                    !grp_hi
+                  else 0
+                in
+                let lo = gallop false base in
+                let hi =
+                  if lo = n || cmp_at lo > 0 then lo else gallop true lo
+                in
+                grp_lo := lo;
+                grp_hi := hi;
+                have_grp := true
+              end
+            in
+            let each_left tuple =
+              Limits.check guard;
+              cnt.Counters.scanned <- cnt.Counters.scanned + 1;
+              if match_out regs l_out tuple then begin
+                locate ();
+                for i = !grp_lo to !grp_hi - 1 do
+                  Limits.check guard;
+                  cnt.Counters.scanned <- cnt.Counters.scanned + 1;
+                  incr inspected;
+                  if match_out regs r_out rows.(i) then step (k + 1)
+                done
+              end
+            in
+            (* the sorted-side profile entry is recorded once, on abort
+               too, so per-pred probes/scanned still sum to the totals *)
+            let record () =
+              cnt.Counters.gallops <- cnt.Counters.gallops + !gallops;
+              if profiling then begin
+                Profile.probe profile r_pred ~scanned:!inspected;
+                Profile.merge profile r_pred ~gallops:!gallops
+              end
+            in
+            (match List.iter each_left candidates with
+            | () -> record ()
+            | exception e ->
+              record ();
+              raise e)))
       | Table _ -> assert false
       | Negtest { pred; args } ->
         if neg pred (Array.map (src_value regs) args) then step (k + 1)

@@ -45,6 +45,23 @@ type op =
       out : (int * action) array;
     }
   | Scan of { lit_pos : int; pred : Pred.t; out : (int * action) array }
+  | Mergejoin of {
+      l_lit_pos : int;
+      l_pred : Pred.t;
+      l_out : (int * action) array;
+      r_lit_pos : int;
+      r_pred : Pred.t;
+      r_cols : int array;
+      r_sorted : Relation.sorted_access;
+      r_key : src array;
+      r_out : (int * action) array;
+    }
+      (** a fused [Scan]+[Probe] pair executed as a galloping merge join
+          against the probed relation's sorted columnar projection;
+          trace-identical to the unfused pair except [probes] counts 2
+          per execution instead of [1 + |scan|].  Emitted by {!compile}
+          (never {!compile_call}) when the probed side is frozen for the
+          duration of a rule application. *)
   | Table of {
       lit_pos : int;
       pred : Pred.t;
@@ -83,9 +100,15 @@ type info = {
   i_steps : string list;
 }
 
-type config = { sip : sip; on_compile : info -> unit }
+type config = {
+  sip : sip;
+  merge : bool;  (** fuse scan+probe pairs into merge joins *)
+  on_compile : info -> unit;
+}
 
-val config : ?sip:sip -> ?on_compile:(info -> unit) -> unit -> config
+val config :
+  ?sip:sip -> ?merge:bool -> ?on_compile:(info -> unit) -> unit -> config
+(** [merge] defaults to [true]. *)
 
 val compile : config -> card:(Pred.t -> int) -> ?delta_pos:int -> Rule.t -> t
 (** Compile a rule for the fixpoint-family evaluators.  [card] supplies

@@ -13,6 +13,8 @@ type rule_row = {
   mutable probes : int;
   mutable scanned : int;
   mutable derived : int;
+  mutable merge_steps : int;
+  mutable gallops : int;
   mutable time_s : float;
 }
 
@@ -22,6 +24,8 @@ type pred_row = {
   mutable p_probes : int;
   mutable p_scanned : int;
   mutable p_derived : int;
+  mutable p_merge_steps : int;
+  mutable p_gallops : int;
 }
 
 type round_row = {
@@ -98,6 +102,8 @@ let rule_row p rule =
         probes = 0;
         scanned = 0;
         derived = 0;
+        merge_steps = 0;
+        gallops = 0;
         time_s = 0.0
       }
     in
@@ -115,7 +121,9 @@ let pred_row p pred =
         pred_arity = snd key;
         p_probes = 0;
         p_scanned = 0;
-        p_derived = 0
+        p_derived = 0;
+        p_merge_steps = 0;
+        p_gallops = 0
       }
     in
     Hashtbl.add p.pred_tbl key row;
@@ -127,6 +135,13 @@ let probe p pred ~scanned =
     let row = pred_row p pred in
     row.p_probes <- row.p_probes + 1;
     row.p_scanned <- row.p_scanned + scanned
+  end
+
+let merge p pred ~gallops =
+  if p.active then begin
+    let row = pred_row p pred in
+    row.p_merge_steps <- row.p_merge_steps + 1;
+    row.p_gallops <- row.p_gallops + gallops
   end
 
 let derived p pred =
@@ -146,7 +161,9 @@ let with_rule p cnt rule f =
     let f0 = cnt.Counters.firings
     and pr0 = cnt.Counters.probes
     and sc0 = cnt.Counters.scanned
-    and d0 = cnt.Counters.facts_derived in
+    and d0 = cnt.Counters.facts_derived
+    and ms0 = cnt.Counters.merge_steps
+    and g0 = cnt.Counters.gallops in
     let t0 = now () in
     let record () =
       row.evals <- row.evals + 1;
@@ -154,6 +171,8 @@ let with_rule p cnt rule f =
       row.probes <- row.probes + (cnt.Counters.probes - pr0);
       row.scanned <- row.scanned + (cnt.Counters.scanned - sc0);
       row.derived <- row.derived + (cnt.Counters.facts_derived - d0);
+      row.merge_steps <- row.merge_steps + (cnt.Counters.merge_steps - ms0);
+      row.gallops <- row.gallops + (cnt.Counters.gallops - g0);
       row.time_s <- row.time_s +. (now () -. t0)
     in
     match f () with
@@ -236,6 +255,8 @@ let to_json p =
         ("probes", Json.Int r.probes);
         ("scanned", Json.Int r.scanned);
         ("derived", Json.Int r.derived);
+        ("merge_steps", Json.Int r.merge_steps);
+        ("gallops", Json.Int r.gallops);
         ("time_s", Json.Float r.time_s)
       ]
   in
@@ -244,7 +265,9 @@ let to_json p =
       [ ("pred", Json.String (Printf.sprintf "%s/%d" r.pred_name r.pred_arity));
         ("probes", Json.Int r.p_probes);
         ("scanned", Json.Int r.p_scanned);
-        ("derived", Json.Int r.p_derived)
+        ("derived", Json.Int r.p_derived);
+        ("merge_steps", Json.Int r.p_merge_steps);
+        ("gallops", Json.Int r.p_gallops)
       ]
   in
   let stratum_json (r : stratum_row) =

@@ -22,6 +22,8 @@ type rule_row = private {
   mutable probes : int;
   mutable scanned : int;
   mutable derived : int;  (** genuinely new facts from this rule *)
+  mutable merge_steps : int;  (** fused merge-join executions *)
+  mutable gallops : int;  (** exponential searches inside those *)
   mutable time_s : float;
 }
 
@@ -31,6 +33,8 @@ type pred_row = private {
   mutable p_probes : int;  (** index probes against this predicate *)
   mutable p_scanned : int;  (** candidate tuples scanned in those probes *)
   mutable p_derived : int;  (** new facts stored for this predicate *)
+  mutable p_merge_steps : int;  (** merge joins with this pred sorted-side *)
+  mutable p_gallops : int;  (** exponential searches inside those *)
 }
 
 type round_row = private {
@@ -77,6 +81,10 @@ val with_stratum : t -> Counters.t -> int -> (unit -> 'a) -> 'a
 val probe : t -> Pred.t -> scanned:int -> unit
 (** Record one index probe against [pred] that scanned [scanned]
     candidate tuples. *)
+
+val merge : t -> Pred.t -> gallops:int -> unit
+(** Record one merge-join execution whose sorted side was [pred],
+    performing [gallops] exponential searches. *)
 
 val derived : t -> Pred.t -> unit
 (** Record one genuinely new fact stored for [pred]. *)

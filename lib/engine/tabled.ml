@@ -291,6 +291,9 @@ and run_plan st ~consumer (init, (plan : Plan.t)) c emit_tuple =
         | Plan.Assign { reg; value } ->
           regs.(reg) <- Plan.src_value regs value;
           step (k + 1)
+        | Plan.Mergejoin _ ->
+          (* [compile_call] never fuses scan+probe pairs *)
+          assert false
         | Plan.Unsafe_neg { pred; args } ->
           Plan.raise_unsafe_neg plan regs pred args
         | Plan.Unsafe_cmp { cmp; lhs; rhs } ->

@@ -6,12 +6,21 @@ open Datalog_storage
    variable names). *)
 type slot = Bound of Code.t | Free of int
 
+(* Entries are shared by four structures: an exact-match hash table, a
+   per-predicate bucket (for subsumption scans), a per-dependency bucket
+   (for invalidation), and a doubly-linked LRU list.  The hash table,
+   the LRU list and the live count are maintained eagerly; the buckets
+   are cleaned lazily — a dead entry ([e_live = false]) is skipped and
+   dropped the next time its bucket is walked, and [bucket_add] compacts
+   any bucket that outgrows the capacity so dead references cannot
+   accumulate beyond O(capacity). *)
 type entry = {
   e_pred : Pred.t;
   e_key : slot array;
   e_answers : Tuple.t list;
-  e_deps : Pred.Set.t;
-  mutable e_stamp : int;
+  mutable e_live : bool;
+  mutable e_newer : entry option;  (* toward the MRU end *)
+  mutable e_older : entry option;  (* toward the LRU end *)
 }
 
 type stats = {
@@ -23,10 +32,36 @@ type stats = {
   evictions : int;
 }
 
+let key_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Bound c, Bound d -> Code.equal c d
+         | Free i, Free j -> i = j
+         | Bound _, Free _ | Free _, Bound _ -> false)
+       a b
+
+module KeyTbl = Hashtbl.Make (struct
+  type t = Pred.t * slot array
+
+  let equal (p1, k1) (p2, k2) = Pred.equal p1 p2 && key_equal k1 k2
+  let hash (p, k) = Hashtbl.hash (Pred.hash p, k)
+end)
+
+type bucket = {
+  mutable items : entry list;  (* newest-inserted first; may contain dead *)
+  mutable blen : int;  (* List.length items, live or dead *)
+}
+
 type t = {
   capacity : int;
-  mutable entries : entry list;
-  mutable clock : int;
+  table : entry KeyTbl.t;  (* exact (pred, key) -> live entry *)
+  by_pred : bucket Pred.Tbl.t;  (* pred -> its entries (subsumption) *)
+  dep_idx : bucket Pred.Tbl.t;  (* dep pred -> dependent entries *)
+  mutable mru : entry option;  (* LRU list head (most recent) *)
+  mutable lru : entry option;  (* LRU list tail (eviction victim) *)
+  mutable count : int;  (* live entries *)
   mutable hits : int;
   mutable subsumed_hits : int;
   mutable misses : int;
@@ -36,8 +71,20 @@ type t = {
 }
 
 let create ~capacity =
-  { capacity; entries = []; clock = 0; hits = 0; subsumed_hits = 0;
-    misses = 0; insertions = 0; invalidations = 0; evictions = 0 }
+  { capacity;
+    table = KeyTbl.create 64;
+    by_pred = Pred.Tbl.create 16;
+    dep_idx = Pred.Tbl.create 16;
+    mru = None;
+    lru = None;
+    count = 0;
+    hits = 0;
+    subsumed_hits = 0;
+    misses = 0;
+    insertions = 0;
+    invalidations = 0;
+    evictions = 0
+  }
 
 let key_of goal =
   let next = ref 0 in
@@ -54,16 +101,6 @@ let key_of goal =
           seen := (x, k) :: !seen;
           Free k))
     (Atom.args goal)
-
-let key_equal a b =
-  Array.length a = Array.length b
-  && Array.for_all2
-       (fun x y ->
-         match (x, y) with
-         | Bound c, Bound d -> Code.equal c d
-         | Free i, Free j -> i = j
-         | Bound _, Free _ | Free _, Bound _ -> false)
-       a b
 
 let bound_count key =
   Array.fold_left
@@ -100,35 +137,88 @@ let subsumes ekey gkey =
     ekey;
   !ok
 
+(* ------------------------------------------------------------------ *)
+(* LRU list                                                            *)
+
+let unlink t e =
+  (match e.e_newer with
+  | None -> t.mru <- e.e_older
+  | Some n -> n.e_older <- e.e_older);
+  (match e.e_older with
+  | None -> t.lru <- e.e_newer
+  | Some o -> o.e_newer <- e.e_newer);
+  e.e_newer <- None;
+  e.e_older <- None
+
+let push_front t e =
+  e.e_newer <- None;
+  e.e_older <- t.mru;
+  (match t.mru with None -> () | Some m -> m.e_newer <- Some e);
+  t.mru <- Some e;
+  if t.lru = None then t.lru <- Some e
+
 let touch t e =
-  t.clock <- t.clock + 1;
-  e.e_stamp <- t.clock
+  unlink t e;
+  push_front t e
+
+(* Drop [e] from the eager structures; its bucket references die lazily. *)
+let kill t e =
+  e.e_live <- false;
+  KeyTbl.remove t.table (e.e_pred, e.e_key);
+  unlink t e;
+  t.count <- t.count - 1
+
+(* ------------------------------------------------------------------ *)
+(* Buckets                                                             *)
+
+let bucket_compact b =
+  b.items <- List.filter (fun e -> e.e_live) b.items;
+  b.blen <- List.length b.items
+
+let bucket_add t tbl pred e =
+  let b =
+    match Pred.Tbl.find_opt tbl pred with
+    | Some b -> b
+    | None ->
+      let b = { items = []; blen = 0 } in
+      Pred.Tbl.add tbl pred b;
+      b
+  in
+  (* live entries never exceed the capacity, so a longer bucket is mostly
+     dead references: compact before they pile up *)
+  if b.blen >= (2 * t.capacity) + 8 then bucket_compact b;
+  b.items <- e :: b.items;
+  b.blen <- b.blen + 1
+
+(* ------------------------------------------------------------------ *)
 
 let find t goal =
   if t.capacity <= 0 then None
   else begin
     let pred = Atom.pred goal in
     let key = key_of goal in
-    let same_pred e = Pred.equal e.e_pred pred in
-    match
-      List.find_opt (fun e -> same_pred e && key_equal e.e_key key) t.entries
-    with
+    match KeyTbl.find_opt t.table (pred, key) with
     | Some e ->
       touch t e;
       t.hits <- t.hits + 1;
       Some (e.e_answers, `Exact)
     | None -> (
-      (* most specific subsuming entry -> least post-filtering *)
+      (* most specific subsuming entry -> least post-filtering; ties go
+         to the most recently inserted (the bucket is newest-first) *)
       let best =
-        List.fold_left
-          (fun best e ->
-            if same_pred e && subsumes e.e_key key then
-              match best with
-              | Some b when bound_count b.e_key >= bound_count e.e_key ->
-                best
-              | _ -> Some e
-            else best)
-          None t.entries
+        match Pred.Tbl.find_opt t.by_pred pred with
+        | None -> None
+        | Some b ->
+          bucket_compact b;
+          List.fold_left
+            (fun best e ->
+              if subsumes e.e_key key then
+                match best with
+                | Some b' when bound_count b'.e_key >= bound_count e.e_key ->
+                  best
+                | _ -> Some e
+              else best)
+            None b.items
       in
       match best with
       | Some e ->
@@ -144,50 +234,67 @@ let insert t goal ~deps answers =
   if t.capacity > 0 then begin
     let pred = Atom.pred goal in
     let key = key_of goal in
-    t.entries <-
-      List.filter
-        (fun e -> not (Pred.equal e.e_pred pred && key_equal e.e_key key))
-        t.entries;
-    if List.length t.entries >= t.capacity then begin
-      (* evict the least recently used entry *)
-      let lru =
-        List.fold_left
-          (fun lru e ->
-            match lru with
-            | Some l when l.e_stamp <= e.e_stamp -> lru
-            | _ -> Some e)
-          None t.entries
-      in
-      match lru with
+    (* replacing an entry for the same pattern is silent (neither an
+       eviction nor an invalidation) *)
+    (match KeyTbl.find_opt t.table (pred, key) with
+    | Some old -> kill t old
+    | None -> ());
+    if t.count >= t.capacity then begin
+      match t.lru with
       | Some victim ->
-        t.entries <- List.filter (fun e -> e != victim) t.entries;
+        kill t victim;
         t.evictions <- t.evictions + 1
       | None -> ()
     end;
-    t.clock <- t.clock + 1;
     t.insertions <- t.insertions + 1;
-    t.entries <-
-      { e_pred = pred; e_key = key; e_answers = answers; e_deps = deps;
-        e_stamp = t.clock }
-      :: t.entries
+    let e =
+      { e_pred = pred;
+        e_key = key;
+        e_answers = answers;
+        e_live = true;
+        e_newer = None;
+        e_older = None
+      }
+    in
+    KeyTbl.add t.table (pred, key) e;
+    push_front t e;
+    bucket_add t t.by_pred pred e;
+    Pred.Set.iter (fun d -> bucket_add t t.dep_idx d e) deps;
+    t.count <- t.count + 1
   end
 
 let invalidate t changed =
   if Pred.Set.is_empty changed then 0
   else begin
-    let keep, drop =
-      List.partition
-        (fun e -> Pred.Set.is_empty (Pred.Set.inter e.e_deps changed))
-        t.entries
-    in
-    t.entries <- keep;
-    let n = List.length drop in
-    t.invalidations <- t.invalidations + n;
-    n
+    let n = ref 0 in
+    Pred.Set.iter
+      (fun p ->
+        match Pred.Tbl.find_opt t.dep_idx p with
+        | None -> ()
+        | Some b ->
+          List.iter
+            (fun e ->
+              if e.e_live then begin
+                kill t e;
+                incr n
+              end)
+            b.items;
+          (* everything listed under [p] is dead now *)
+          Pred.Tbl.remove t.dep_idx p)
+      changed;
+    t.invalidations <- t.invalidations + !n;
+    !n
   end
 
-let clear t = t.entries <- []
-let length t = List.length t.entries
+let clear t =
+  KeyTbl.reset t.table;
+  Pred.Tbl.reset t.by_pred;
+  Pred.Tbl.reset t.dep_idx;
+  t.mru <- None;
+  t.lru <- None;
+  t.count <- 0
+
+let length t = t.count
 
 let stats t =
   { hits = t.hits; subsumed_hits = t.subsumed_hits; misses = t.misses;

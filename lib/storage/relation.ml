@@ -1,6 +1,9 @@
+open Datalog_ast
+
 type bucket = {
-  mutable tuples : Tuple.t list;
-  mutable blen : int;  (* List.length tuples, maintained incrementally *)
+  mutable tuples : Tuple.t list;  (* may contain dead tuples, newest first *)
+  mutable blen : int;  (* number of *live* tuples in [tuples] *)
+  mutable dead : int;  (* removed tuples not yet filtered out of [tuples] *)
 }
 
 type index = {
@@ -8,11 +11,39 @@ type index = {
   map : bucket Tuple.Tbl.t;  (* projected key -> matching tuples *)
 }
 
+(* A sorted columnar projection for one column set.  [srows] holds the
+   live tuples ordered by their projection onto [scols] (raw code order),
+   with equal keys ordered newest-insertion-first — the same within-key
+   order as the hash buckets, so merge joins and hash joins enumerate a
+   join group identically.  [skeys] is the column-major copy of the key
+   columns ([skeys.(j).(i) = srows.(i).(scols.(j))]), which is what the
+   galloping search touches, keeping its memory traffic to the key bytes
+   instead of whole tuples.  Inserts go to [pending] (a newest-first run,
+   sorted and merged into [srows] on the next read); a removal marks the
+   projection [stale], rebuilding it wholesale on the next read.
+
+   [srows] and [skeys] are capacity-managed: only the first [slen] slots
+   are live, and the arrays grow geometrically, so the per-round merge of
+   a fixpoint loop reuses the same buffers instead of allocating fresh
+   ones — refresh allocates O(run) amortized, not O(relation). *)
+type sorted = {
+  scols : int array;  (* strictly increasing column numbers *)
+  mutable srows : Tuple.t array;  (* live in [0, slen); capacity beyond *)
+  mutable skeys : Code.t array array;  (* same capacity as [srows] *)
+  mutable slen : int;
+  mutable pending : Tuple.t list;
+  mutable npending : int;
+  mutable stale : bool;
+}
+
 (* Tuples live in a growable array in insertion order; [slots] maps each
    live tuple to its array slot.  A removal tombstones the slot ([None])
    instead of rebuilding a list, and the array is compacted once
-   tombstones dominate — so [remove] is O(indexes) amortised and
-   [iter]/[fold] walk the array without allocating. *)
+   tombstones dominate.  Index buckets are tombstoned too: [remove] only
+   decrements a per-bucket live count, and dead entries are filtered out
+   the next time the bucket is read — the reader walks the whole bucket
+   anyway, so the filter costs nothing asymptotically and [remove] is
+   O(#indexes) outright. *)
 type t = {
   name : string;
   arity : int;
@@ -21,6 +52,7 @@ type t = {
   mutable filled : int;  (* slots in use, live or tombstoned *)
   mutable size : int;  (* live tuples *)
   indexes : (int list, index) Hashtbl.t;
+  sorted_idx : (int list, sorted) Hashtbl.t;
   mutable generation : int;  (* bumped whenever indexes are invalidated *)
 }
 
@@ -32,18 +64,34 @@ let create ?(name = "?") arity =
     filled = 0;
     size = 0;
     indexes = Hashtbl.create 4;
+    sorted_idx = Hashtbl.create 4;
     generation = 0
   }
 
 let arity r = r.arity
 
-let index_add idx tuple =
+(* Drop dead tuples from a bucket.  Liveness is membership in [slots],
+   which is why [insert] must register index entries *before* slots: a
+   remove-then-reinsert of the same tuple would otherwise see its own
+   fresh copy as live while the dead one still sits in the bucket. *)
+let bucket_compact r b =
+  if b.dead > 0 then begin
+    b.tuples <- List.filter (fun t -> Tuple.Tbl.mem r.slots t) b.tuples;
+    b.dead <- 0
+  end
+
+let bucket_tuples r b =
+  bucket_compact r b;
+  b.tuples
+
+let index_add r idx tuple =
   let key = Tuple.project idx.cols tuple in
   match Tuple.Tbl.find_opt idx.map key with
   | Some b ->
+    bucket_compact r b;
     b.tuples <- tuple :: b.tuples;
     b.blen <- b.blen + 1
-  | None -> Tuple.Tbl.add idx.map key { tuples = [ tuple ]; blen = 1 }
+  | None -> Tuple.Tbl.add idx.map key { tuples = [ tuple ]; blen = 1; dead = 0 }
 
 let grow r =
   let cap = Array.length r.order in
@@ -59,12 +107,20 @@ let insert r tuple =
          r.name r.arity (Array.length tuple));
   if Tuple.Tbl.mem r.slots tuple then false
   else begin
+    (* indexes before slots: see [bucket_compact] *)
+    Hashtbl.iter (fun _ idx -> index_add r idx tuple) r.indexes;
+    Hashtbl.iter
+      (fun _ s ->
+        if not s.stale then begin
+          s.pending <- tuple :: s.pending;
+          s.npending <- s.npending + 1
+        end)
+      r.sorted_idx;
     if r.filled = Array.length r.order then grow r;
     r.order.(r.filled) <- Some tuple;
     Tuple.Tbl.add r.slots tuple r.filled;
     r.filled <- r.filled + 1;
     r.size <- r.size + 1;
-    Hashtbl.iter (fun _ idx -> index_add idx tuple) r.indexes;
     true
   end
 
@@ -93,13 +149,19 @@ let remove r tuple =
         let key = Tuple.project idx.cols tuple in
         match Tuple.Tbl.find_opt idx.map key with
         | None -> ()
-        | Some b -> (
-          match List.filter (fun t -> not (Tuple.equal t tuple)) b.tuples with
-          | [] -> Tuple.Tbl.remove idx.map key  (* no dead buckets *)
-          | rest ->
-            b.tuples <- rest;
-            b.blen <- b.blen - 1))
+        | Some b ->
+          b.blen <- b.blen - 1;
+          if b.blen = 0 then Tuple.Tbl.remove idx.map key  (* no dead buckets *)
+          else b.dead <- b.dead + 1)
       r.indexes;
+    Hashtbl.iter
+      (fun _ s ->
+        if not s.stale then begin
+          s.stale <- true;
+          s.pending <- [];
+          s.npending <- 0
+        end)
+      r.sorted_idx;
     if r.filled > 64 && r.filled > 2 * r.size then compact r;
     true
 
@@ -128,37 +190,53 @@ let to_list r =
 
 (* Column sets are validated here, once per index creation, rather than on
    every probe: callers ([select], [prepare]) always pass a sorted list. *)
+let check_cols cols_list =
+  let rec check = function
+    | i :: (j :: _ as rest) ->
+      if i = j then invalid_arg "Relation: duplicate column";
+      check rest
+    | _ -> ()
+  in
+  check cols_list
+
 let get_index r cols_list =
   match Hashtbl.find_opt r.indexes cols_list with
   | Some idx -> idx
   | None ->
-    let rec check = function
-      | i :: (j :: _ as rest) ->
-        if i = j then invalid_arg "Relation: duplicate column";
-        check rest
-      | _ -> ()
-    in
-    check cols_list;
+    check_cols cols_list;
     let idx = { cols = Array.of_list cols_list; map = Tuple.Tbl.create 64 } in
-    iter (fun t -> index_add idx t) r;
+    iter (fun t -> index_add r idx t) r;
     Hashtbl.add r.indexes cols_list idx;
     idx
 
 (* Shared by [select] and [select_count]: sort the bindings by column,
-   build the projected key, and find the bucket (if any) in the index on
-   those columns.  [bindings] must be non-empty. *)
+   collapse duplicates (two equal bindings on one column are redundant;
+   two conflicting ones match nothing, [None]), build the projected key,
+   and find the bucket (if any) in the index on those columns.
+   [bindings] must be non-empty. *)
 let find_bucket r bindings =
   let sorted = List.sort (fun (i, _) (j, _) -> Int.compare i j) bindings in
-  let cols = List.map fst sorted in
-  let key = Array.of_list (List.map snd sorted) in
-  let idx = get_index r cols in
-  Tuple.Tbl.find_opt idx.map key
+  let rec dedup acc = function
+    | [] -> Some (List.rev acc)
+    | (i, c) :: (((j, d) :: _) as rest) when i = j ->
+      if Code.equal c d then dedup acc rest else None
+    | b :: rest -> dedup (b :: acc) rest
+  in
+  match dedup [] sorted with
+  | None -> None
+  | Some bindings ->
+    let cols = List.map fst bindings in
+    let key = Array.of_list (List.map snd bindings) in
+    let idx = get_index r cols in
+    Tuple.Tbl.find_opt idx.map key
 
 let select r bindings =
   match bindings with
   | [] -> to_list r
   | _ -> (
-    match find_bucket r bindings with None -> [] | Some b -> b.tuples)
+    match find_bucket r bindings with
+    | None -> []
+    | Some b -> bucket_tuples r b)
 
 let select_count r bindings =
   match bindings with
@@ -166,7 +244,7 @@ let select_count r bindings =
   | _ -> (
     match find_bucket r bindings with
     | None -> ([], 0)
-    | Some b -> (b.tuples, b.blen))
+    | Some b -> (bucket_tuples r b, b.blen))
 
 (* Pre-resolved index handles.  [prepare] validates and sorts the column
    set once, at plan-compile time; [probe] then memoises the index of the
@@ -205,7 +283,166 @@ let probe r a key =
   let idx = access_index r a in
   match Tuple.Tbl.find_opt idx.map key with
   | None -> ([], 0)
-  | Some b -> (b.tuples, b.blen)
+  | Some b -> (bucket_tuples r b, b.blen)
+
+(* ------------------------------------------------------------------ *)
+(* Sorted columnar projections                                         *)
+
+(* Raw code order ([Code.compare] is [Int.compare] on the interned ids):
+   merge joins only need *some* total order shared by both sides, and
+   comparing ints beats decoding values. *)
+let key_compare scols a b =
+  let k = Array.length scols in
+  let rec go j =
+    if j >= k then 0
+    else
+      let c = Code.compare a.(scols.(j)) b.(scols.(j)) in
+      if c <> 0 then c else go (j + 1)
+  in
+  go 0
+
+(* Refill the column-major key arrays from [srows.(lo .. slen-1)];
+   earlier slots are untouched rows whose keys are already in place.
+   Pure writes — never allocates. *)
+let columnize_from s lo =
+  Array.iteri
+    (fun j c ->
+      let col = s.skeys.(j) in
+      for i = lo to s.slen - 1 do
+        col.(i) <- s.srows.(i).(c)
+      done)
+    s.scols
+
+(* Grow the row and key buffers to at least [cap] slots (geometric),
+   carrying the live rows over.  Returns [true] when it reallocated, in
+   which case the key arrays are fresh and need a full [columnize_from 0]. *)
+let sorted_ensure s cap =
+  if Array.length s.srows >= cap then false
+  else begin
+    let cap' = max cap (max 16 (2 * Array.length s.srows)) in
+    let rows' = Array.make cap' ([||] : Tuple.t) in
+    Array.blit s.srows 0 rows' 0 s.slen;
+    s.srows <- rows';
+    s.skeys <- Array.map (fun _ -> Array.make cap' (Code.of_int 0)) s.scols;
+    true
+  end
+
+(* Bring a projection up to date.  Both paths preserve the invariant
+   that equal keys are ordered newest-insertion-first: a full rebuild
+   lists tuples newest-first before the stable sort, and the pending run
+   (newest first by construction, and younger than everything in
+   [srows]) wins ties in the merge. *)
+let refresh_sorted r s =
+  if s.stale then begin
+    (* removals are rare on the fixpoint path, so the rebuild allocates
+       exact-size buffers (the whole array must be sorted, and the stdlib
+       sort has no prefix variant) *)
+    let rows = Array.make r.size ([||] : Tuple.t) in
+    let j = ref 0 in
+    for i = r.filled - 1 downto 0 do
+      match r.order.(i) with
+      | None -> ()
+      | Some t ->
+        rows.(!j) <- t;
+        incr j
+    done;
+    Array.stable_sort (key_compare s.scols) rows;
+    s.srows <- rows;
+    s.slen <- r.size;
+    s.skeys <- Array.map (fun _ -> Array.make r.size (Code.of_int 0)) s.scols;
+    columnize_from s 0;
+    s.pending <- [];
+    s.npending <- 0;
+    s.stale <- false
+  end
+  else if s.npending > 0 then begin
+    let run = Array.of_list s.pending in
+    Array.stable_sort (key_compare s.scols) run;
+    let nb = s.slen and nr = Array.length run in
+    let grew = sorted_ensure s (nb + nr) in
+    (* in-place tail merge: walk base and run from their high ends, filling
+       [srows] downward from [nb + nr - 1].  Once the run is exhausted the
+       remaining base rows are already in place, so slots below the last
+       write (and their keys) are never touched — when new tuples intern
+       to high codes, the merge only churns the tail of the buffers. *)
+    let i = ref (nb - 1) and j = ref (nr - 1) in
+    let m = ref (nb + nr - 1) in
+    while !j >= 0 do
+      (* base wins ties here: placed at the higher slot, it lands *after*
+         the equal-keyed (younger) run row *)
+      if !i >= 0 && key_compare s.scols s.srows.(!i) run.(!j) >= 0 then begin
+        s.srows.(!m) <- s.srows.(!i);
+        decr i
+      end
+      else begin
+        s.srows.(!m) <- run.(!j);
+        decr j
+      end;
+      decr m
+    done;
+    s.slen <- nb + nr;
+    columnize_from s (if grew then 0 else !m + 1);
+    s.pending <- [];
+    s.npending <- 0
+  end
+
+let get_sorted r cols_list =
+  match Hashtbl.find_opt r.sorted_idx cols_list with
+  | Some s -> s
+  | None ->
+    check_cols cols_list;
+    let s =
+      { scols = Array.of_list cols_list;
+        srows = [||];
+        skeys = [||];
+        slen = 0;
+        pending = [];
+        npending = 0;
+        stale = true
+      }
+    in
+    Hashtbl.add r.sorted_idx cols_list s;
+    s
+
+type sorted_access = {
+  sacols : int list;  (* sorted, duplicate-free *)
+  mutable sm_rel : t option;
+  mutable sm_gen : int;
+  mutable sm_srt : sorted option;
+}
+
+type sorted_view = {
+  sv_rows : Tuple.t array;
+  sv_keys : Code.t array array;
+  sv_len : int;
+}
+
+let prepare_sorted cols =
+  let sorted = List.sort_uniq Int.compare cols in
+  if List.length sorted <> List.length cols then
+    invalid_arg "Relation.prepare_sorted: duplicate column";
+  List.iter
+    (fun c ->
+      if c < 0 then invalid_arg "Relation.prepare_sorted: negative column")
+    sorted;
+  { sacols = sorted; sm_rel = None; sm_gen = 0; sm_srt = None }
+
+let sorted_view r a =
+  let s =
+    match a.sm_srt with
+    | Some s
+      when (match a.sm_rel with Some r' -> r' == r | None -> false)
+           && a.sm_gen = r.generation ->
+      s
+    | _ ->
+      let s = get_sorted r a.sacols in
+      a.sm_rel <- Some r;
+      a.sm_gen <- r.generation;
+      a.sm_srt <- Some s;
+      s
+  in
+  refresh_sorted r s;
+  { sv_rows = s.srows; sv_keys = s.skeys; sv_len = s.slen }
 
 let copy r =
   let fresh = create ~name:r.name r.arity in
@@ -218,12 +455,14 @@ let clear r =
   r.filled <- 0;
   r.size <- 0;
   Hashtbl.reset r.indexes;
+  Hashtbl.reset r.sorted_idx;
   r.generation <- r.generation + 1
 
 let union_into ~src ~dst =
   fold (fun t acc -> if insert dst t then acc + 1 else acc) src 0
 
 let index_count r = Hashtbl.length r.indexes
+let sorted_index_count r = Hashtbl.length r.sorted_idx
 
 let bucket_count r =
   Hashtbl.fold (fun _ idx acc -> acc + Tuple.Tbl.length idx.map) r.indexes 0

@@ -1,9 +1,13 @@
-(** In-memory relations with on-demand hash indexes.
+(** In-memory relations with on-demand hash indexes and sorted columnar
+    projections.
 
     A relation stores a set of tuples of a fixed arity.  Lookups with a
     partial binding ([select]) create (once) and then maintain a hash index
     keyed on the bound columns, which makes the nested-loop joins of the
-    evaluators index-backed. *)
+    evaluators index-backed.  Independently, {!sorted_view} maintains
+    per-column-set sorted projections (column-major key arrays over rows
+    ordered by raw code), which back the galloping merge joins of the plan
+    executor. *)
 
 open Datalog_ast
 
@@ -19,10 +23,14 @@ val insert : t -> Tuple.t -> bool
     @raise Invalid_argument on arity mismatch. *)
 
 val remove : t -> Tuple.t -> bool
-(** Delete a tuple; returns [true] iff it was present.  O(#indexes)
-    amortised: the insertion-order slot is tombstoned (and compacted once
-    tombstones dominate), and an index bucket emptied by the deletion is
-    removed rather than left behind. *)
+(** Delete a tuple; returns [true] iff it was present.  O(#indexes):
+    the insertion-order slot is tombstoned (and the array compacted once
+    tombstones dominate), and each index bucket merely counts the
+    deletion — dead entries are filtered out the next time the bucket is
+    read, which the reader pays nothing extra for since it walks the
+    bucket anyway.  A bucket emptied by deletions is removed rather than
+    left behind.  Sorted projections are marked stale and rebuilt on
+    their next read. *)
 
 val mem : t -> Tuple.t -> bool
 val cardinal : t -> int
@@ -40,7 +48,9 @@ val to_list : t -> Tuple.t list
 val select : t -> (int * Code.t) list -> Tuple.t list
 (** [select r bindings] returns the tuples agreeing with the given
     [(column, code)] constraints, using (and building if necessary) a hash
-    index on those columns.  [select r []] returns all tuples. *)
+    index on those columns.  [select r []] returns all tuples.  Duplicate
+    bindings on one column are collapsed: equal codes are redundant,
+    conflicting codes match nothing (the result is [[]]). *)
 
 val select_count : t -> (int * Code.t) list -> Tuple.t list * int
 (** Like {!select} but also returns the number of tuples in O(1), so
@@ -65,6 +75,37 @@ val probe : t -> access -> Code.t array -> Tuple.t list * int
     must be in ascending column order (the order of the sorted [cols]
     given to {!prepare}). *)
 
+type sorted_access
+(** A pre-resolved handle for a sorted columnar projection on a fixed
+    column set, the {!access} analogue for merge joins. *)
+
+type sorted_view = {
+  sv_rows : Tuple.t array;
+      (** live tuples ordered by their projection onto the prepared
+          columns (raw code order); equal keys are ordered newest first,
+          matching the hash buckets' within-key order *)
+  sv_keys : Code.t array array;
+      (** column-major keys: [sv_keys.(j).(i) = sv_rows.(i).(cols.(j))] *)
+  sv_len : int;
+      (** number of live slots: only [sv_rows.(0 .. sv_len - 1)] (and the
+          matching key prefixes) are meaningful — the arrays are
+          capacity-managed and may be longer *)
+}
+
+val prepare_sorted : int list -> sorted_access
+(** [prepare_sorted cols] validates and sorts [cols] once, like
+    {!prepare}.  The handle memoises the projection of the last relation
+    it was used against (physical equality + generation check).
+    @raise Invalid_argument on duplicate or negative columns. *)
+
+val sorted_view : t -> sorted_access -> sorted_view
+(** [sorted_view r a] is the up-to-date sorted projection of [r] on the
+    prepared columns, building it lazily on first use.  Inserts since the
+    last view are absorbed as a sorted run merged in place into the
+    buffers (amortized O(run) allocation); removals force a full rebuild.
+    The returned arrays are owned by the relation and must not be
+    mutated; they are valid until the next mutation of [r]. *)
+
 val copy : t -> t
 (** A fresh relation with the same tuples (indexes are not copied). *)
 
@@ -74,7 +115,10 @@ val union_into : src:t -> dst:t -> int
 (** Insert every tuple of [src] into [dst]; returns how many were new. *)
 
 val index_count : t -> int
-(** Number of secondary indexes currently built (diagnostics). *)
+(** Number of secondary hash indexes currently built (diagnostics). *)
+
+val sorted_index_count : t -> int
+(** Number of sorted columnar projections currently built (diagnostics). *)
 
 val bucket_count : t -> int
 (** Total number of hash buckets across all indexes (diagnostics: after

@@ -24,9 +24,10 @@ let prog = Datalog_parser.Parser.program_of_string
 let atom = Datalog_parser.Parser.atom_of_string
 let rule = Datalog_parser.Parser.rule_of_string
 
-let opts ?(compile = true) ?(sips = Datalog_rewrite.Sips.Left_to_right)
-    ?(negation = O.Auto) strategy =
-  { O.default with O.strategy; compile; sips; negation }
+let opts ?(compile = true) ?(merge = true)
+    ?(sips = Datalog_rewrite.Sips.Left_to_right) ?(negation = O.Auto) strategy
+    =
+  { O.default with O.strategy; compile; merge; sips; negation }
 
 let counters (r : S.report) =
   let c = r.S.counters in
@@ -52,7 +53,7 @@ let prop_ltr_parity arb tag count =
         ~count arb
         (fun (program, query) ->
           match
-            ( S.run ~options:(opts strategy) program query,
+            ( S.run ~options:(opts ~merge:false strategy) program query,
               S.run ~options:(opts ~compile:false strategy) program query )
           with
           | Ok a, Ok b ->
@@ -97,7 +98,8 @@ let prop_negation_modes =
         ~count:20 Gen.arb_stratified_program_query
         (fun (program, query) ->
           match
-            ( S.run ~options:(opts ~negation O.Seminaive) program query,
+            ( S.run ~options:(opts ~negation ~merge:false O.Seminaive) program
+                query,
               S.run
                 ~options:(opts ~negation ~compile:false O.Seminaive)
                 program query )
@@ -124,7 +126,9 @@ let test_cmp_parity () =
       let query = atom q in
       List.iter
         (fun strategy ->
-          let a = S.run_exn ~options:(opts strategy) cmp_program query in
+          let a =
+            S.run_exn ~options:(opts ~merge:false strategy) cmp_program query
+          in
           let b =
             S.run_exn ~options:(opts ~compile:false strategy) cmp_program query
           in
@@ -202,7 +206,7 @@ let test_unsafe_parity () =
 let test_delta_parity () =
   let program = Alexander.Workloads.ancestor_chain 60 in
   let query = atom "anc(10, X)" in
-  let a = S.run_exn ~options:(opts O.Seminaive) program query in
+  let a = S.run_exn ~options:(opts ~merge:false O.Seminaive) program query in
   let b = S.run_exn ~options:(opts ~compile:false O.Seminaive) program query in
   check tint "answers" (List.length a.S.answers) (List.length b.S.answers);
   check tbool "counters" true (counters a = counters b);
@@ -238,6 +242,8 @@ let test_incremental_parity () =
 let test_golden_explain () =
   let r = rule "anc(X, Y) :- edge(X, Z), anc(Z, Y)." in
   let cfg = Plan.config () in
+  (* the full variant probes the rule's own head predicate, which is not
+     frozen during a rule application — no merge fusion *)
   let info = Plan.info (Plan.compile cfg ~card:(fun _ -> 0) r) in
   check tstr "variant" "full" info.Plan.i_variant;
   check tstr "sip" "ltr" info.Plan.i_sip;
@@ -247,17 +253,34 @@ let test_golden_explain () =
       "emit anc(X,Y)"
     ]
     info.Plan.i_steps;
+  (* the delta literal never changes mid-round, so the same probe fuses *)
   let delta = Plan.info (Plan.compile cfg ~card:(fun _ -> 0) ~delta_pos:1 r) in
   check tstr "delta variant" "delta@1" delta.Plan.i_variant;
+  check tstrings "delta steps"
+    [ "merge edge/2 match[0:=X,1:=Z] * anc/2 key[0=Z] match[1:=Y]";
+      "emit anc(X,Y)"
+    ]
+    delta.Plan.i_steps;
+  (* with merge fusion off, the unfused pair comes back *)
+  let nomerge_cfg = Plan.config ~merge:false () in
+  let nomerge =
+    Plan.info (Plan.compile nomerge_cfg ~card:(fun _ -> 0) ~delta_pos:1 r)
+  in
+  check tstrings "delta steps (no merge)"
+    [ "scan edge/2 match[0:=X,1:=Z]";
+      "probe anc/2 key[0=Z] match[1:=Y]";
+      "emit anc(X,Y)"
+    ]
+    nomerge.Plan.i_steps;
   (* cost SIP: make anc much smaller than edge, so the body is reordered
-     to scan anc first and probe edge through the bound Z *)
+     to scan anc first and probe edge through the bound Z; edge is not
+     the head predicate, so the pair fuses *)
   let cost_cfg = Plan.config ~sip:Plan.Cost () in
   let card p = if Pred.name p = "anc" then 5 else 100 in
   let cost = Plan.info (Plan.compile cost_cfg ~card r) in
   check Alcotest.(list int) "cost order" [ 1; 0 ] cost.Plan.i_order;
   check tstrings "cost steps"
-    [ "scan anc/2 match[0:=Z,1:=Y]";
-      "probe edge/2 key[1=Z] match[0:=X]";
+    [ "merge anc/2 match[0:=Z,1:=Y] * edge/2 key[1=Z] match[0:=X]";
       "emit anc(X,Y)"
     ]
     cost.Plan.i_steps
@@ -324,6 +347,55 @@ let test_cost_reduces_work () =
   check tbool "less scanned" true
     (cost.S.counters.C.scanned < ltr.S.counters.C.scanned)
 
+(* ------------------------------------------------------------------ *)
+(* Merge-join plans vs hash-join plans: byte-identical answers and fact
+   counters; probes may only drop *)
+
+let merge_invariants (r : S.report) =
+  let c = r.S.counters in
+  (r.S.answers, c.C.scanned, c.C.firings, c.C.facts_derived, c.C.iterations)
+
+let prop_merge_parity arb tag count =
+  List.map
+    (fun strategy ->
+      QCheck.Test.make
+        ~name:
+          (Printf.sprintf "merge = hash join (%s, %s)"
+             (O.strategy_name strategy) tag)
+        ~count arb
+        (fun (program, query) ->
+          match
+            ( S.run ~options:(opts strategy) program query,
+              S.run ~options:(opts ~merge:false strategy) program query )
+          with
+          | Ok m, Ok h ->
+            merge_invariants m = merge_invariants h
+            && m.S.counters.C.probes <= h.S.counters.C.probes
+            && h.S.counters.C.merge_steps = 0
+            && h.S.counters.C.gallops = 0
+          | Error _, Error _ -> true
+          | Ok _, Error _ | Error _, Ok _ -> false))
+    strategies_under_test
+
+let test_merge_reduces_probes () =
+  let program = Alexander.Workloads.ancestor_chain 80 in
+  let query = atom "anc(20, X)" in
+  List.iter
+    (fun strategy ->
+      let m = S.run_exn ~options:(opts strategy) program query in
+      let h = S.run_exn ~options:(opts ~merge:false strategy) program query in
+      let name fmt =
+        Printf.sprintf "%s (%s)" fmt (O.strategy_name strategy)
+      in
+      check tbool (name "same answers+facts") true
+        (merge_invariants m = merge_invariants h);
+      check tbool (name "merge steps ran") true
+        (m.S.counters.C.merge_steps > 0);
+      check tbool (name "gallops ran") true (m.S.counters.C.gallops > 0);
+      check tbool (name "fewer probes") true
+        (m.S.counters.C.probes < h.S.counters.C.probes))
+    [ O.Seminaive; O.Magic; O.Supplementary; O.Supplementary_idb; O.Alexander ]
+
 let suite =
   [ ( "plan",
       [ Alcotest.test_case "cmp parity" `Quick test_cmp_parity;
@@ -336,11 +408,15 @@ let suite =
         Alcotest.test_case "equivalence under both sips" `Quick
           test_equivalence_under_sips;
         Alcotest.test_case "cost sip reduces work" `Quick
-          test_cost_reduces_work
+          test_cost_reduces_work;
+        Alcotest.test_case "merge join reduces probes" `Quick
+          test_merge_reduces_probes
       ]
       @ List.map QCheck_alcotest.to_alcotest
           (prop_ltr_parity Gen.arb_positive_program_query "positive" 40
           @ prop_cost_parity Gen.arb_positive_program_query "positive" 25
           @ prop_ltr_parity Gen.arb_stratified_program_query "stratified" 25
+          @ prop_merge_parity Gen.arb_positive_program_query "positive" 40
+          @ prop_merge_parity Gen.arb_stratified_program_query "stratified" 25
           @ prop_negation_modes) )
   ]

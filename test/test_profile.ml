@@ -59,7 +59,15 @@ let reconcile name report =
   check tint
     (name ^ ": predicate derivations sum to the total")
     c.C.facts_derived
-    (sum (fun (r : P.pred_row) -> r.P.p_derived) (P.preds p))
+    (sum (fun (r : P.pred_row) -> r.P.p_derived) (P.preds p));
+  check tint
+    (name ^ ": predicate merge steps sum to the total")
+    c.C.merge_steps
+    (sum (fun (r : P.pred_row) -> r.P.p_merge_steps) (P.preds p));
+  check tint
+    (name ^ ": predicate gallops sum to the total")
+    c.C.gallops
+    (sum (fun (r : P.pred_row) -> r.P.p_gallops) (P.preds p))
 
 let test_rows_reconcile_every_strategy () =
   let program = W.same_generation ~layers:4 ~width:5 in
@@ -154,7 +162,9 @@ let test_report_json_schema () =
   (match J.member "totals" json with
   | Some totals ->
     check tstrings "totals keys"
-      [ "facts_derived"; "firings"; "probes"; "scanned"; "iterations" ]
+      [ "facts_derived"; "firings"; "probes"; "scanned"; "iterations";
+        "merge_steps"; "gallops"
+      ]
       (J.keys totals)
   | None -> Alcotest.fail "no totals");
   match J.member "profile" json with
@@ -167,18 +177,18 @@ let test_report_json_schema () =
     | Some (J.List (first :: _)) ->
       check tstrings "rule row keys"
         [ "rule"; "evals"; "firings"; "probes"; "scanned"; "derived";
-          "time_s"
+          "merge_steps"; "gallops"; "time_s"
         ]
         (J.keys first)
     | _ -> Alcotest.fail "no rule rows")
 
-let test_schema_version_is_3 () =
+let test_schema_version_is_4 () =
   let report =
     run_exn ~options:O.default (W.ancestor_chain 5) (atom "anc(0, X)")
   in
   let json = S.report_json ~query:(atom "anc(0, X)") report in
-  check tbool "schema_version 3" true
-    (J.member "schema_version" json = Some (J.Int 3))
+  check tbool "schema_version 4" true
+    (J.member "schema_version" json = Some (J.Int 4))
 
 (* -------------------------------------------------------------------- *)
 (* Trace sinks *)
@@ -259,8 +269,8 @@ let suite =
           test_stratum_rows_stratified;
         Alcotest.test_case "report_json schema pinned" `Quick
           test_report_json_schema;
-        Alcotest.test_case "schema_version is 3" `Quick
-          test_schema_version_is_3;
+        Alcotest.test_case "schema_version is 4" `Quick
+          test_schema_version_is_4;
         Alcotest.test_case "trace lines" `Quick test_trace_lines;
         Alcotest.test_case "trace implies profiling" `Quick
           test_trace_implies_profile;

@@ -212,6 +212,155 @@ let prop_select_under_churn =
       && List.equal Tuple.equal (Relation.to_list r) model
       && Relation.cardinal r = List.length model)
 
+(* Regression: duplicate bindings on one column used to corrupt the index
+   key (the column list is sorted, the probe key built positionally).
+   Equal duplicates must be redundant; conflicting ones match nothing. *)
+let test_relation_select_duplicate_bindings () =
+  let r = Relation.create 2 in
+  List.iter
+    (fun (a, b) -> ignore (Relation.insert r (tup [ a; b ])))
+    [ (1, 10); (1, 20); (2, 10) ];
+  let c1 = Code.of_int 1 and c2 = Code.of_int 2 and c10 = Code.of_int 10 in
+  check tint "equal duplicates are redundant" 2
+    (List.length (Relation.select r [ (0, c1); (0, c1) ]));
+  check tint "equal duplicates mixed with another column" 1
+    (List.length (Relation.select r [ (0, c1); (1, c10); (0, c1) ]));
+  check tint "conflicting duplicates match nothing" 0
+    (List.length (Relation.select r [ (0, c1); (0, c2) ]));
+  let ts, n = Relation.select_count r [ (1, c10); (1, Code.of_int 20) ] in
+  check tint "select_count conflict: empty" 0 (List.length ts);
+  check tint "select_count conflict: zero count" 0 n;
+  (* the dup query must not have polluted the index for the clean one *)
+  check tint "index still consistent after dup queries" 2
+    (List.length (Relation.select r [ (0, c1) ]))
+
+let test_relation_sorted_view_order () =
+  let r = Relation.create 2 in
+  let a = Relation.prepare_sorted [ 0 ] in
+  List.iter
+    (fun (x, y) -> ignore (Relation.insert r (tup [ x; y ])))
+    [ (1, 100); (2, 200); (1, 300) ];
+  let rows v =
+    let w = Relation.sorted_view r v in
+    List.init w.Relation.sv_len (fun i ->
+        let t = w.Relation.sv_rows.(i) in
+        (Code.to_int t.(0), Code.to_int t.(1)))
+  in
+  check
+    (Alcotest.list (Alcotest.pair tint tint))
+    "sorted by key, newest first within a key"
+    [ (1, 300); (1, 100); (2, 200) ]
+    (rows a);
+  (* inserts since the last view take the incremental sorted-run path *)
+  List.iter
+    (fun (x, y) -> ignore (Relation.insert r (tup [ x; y ])))
+    [ (1, 400); (0, 500) ];
+  check
+    (Alcotest.list (Alcotest.pair tint tint))
+    "merged run: still sorted, run rows win ties"
+    [ (0, 500); (1, 400); (1, 300); (1, 100); (2, 200) ]
+    (rows a);
+  (* a removal marks the projection stale and forces a rebuild *)
+  ignore (Relation.remove r (tup [ 1; 100 ]));
+  check
+    (Alcotest.list (Alcotest.pair tint tint))
+    "rebuild after removal"
+    [ (0, 500); (1, 400); (1, 300); (2, 200) ]
+    (rows a);
+  check tint "one sorted projection" 1 (Relation.sorted_index_count r);
+  let v = Relation.sorted_view r a in
+  check tbool "column-major keys mirror the rows" true
+    (Array.length v.sv_keys = 1
+    && List.for_all
+         (fun i -> Code.equal v.sv_keys.(0).(i) v.sv_rows.(i).(0))
+         (List.init v.sv_len Fun.id))
+
+(* Property: hash probes and sorted views stay consistent with a list
+   model under interleaved insert/remove churn, with both index kinds
+   created mid-stream and a deterministic tail that is guaranteed to
+   cross the amortised-compaction threshold. *)
+let prop_sorted_and_probe_under_churn =
+  let gen =
+    QCheck.Gen.(
+      let* ops =
+        list_size (int_range 0 200) (triple (int_bound 3) (int_bound 9) (int_bound 9))
+      in
+      let* q = int_bound 9 in
+      return (ops, q))
+  in
+  QCheck.Test.make ~name:"probe and sorted_view agree with model under churn"
+    ~count:100 (QCheck.make gen) (fun (ops, q) ->
+      let r = Relation.create 2 in
+      let acc = Relation.prepare [ 0 ] in
+      let sacc = Relation.prepare_sorted [ 0 ] in
+      (* model holds the live tuples in insertion order *)
+      let model = ref [] in
+      let ok = ref true in
+      let check_now key =
+        let c = Code.of_int key in
+        let bucket, n = Relation.probe r acc [| c |] in
+        let expect = List.filter (fun t -> Code.equal t.(0) c) !model in
+        (* hash buckets list matches newest first *)
+        if n <> List.length expect
+           || not (List.equal Tuple.equal bucket (List.rev expect))
+        then ok := false;
+        let v = Relation.sorted_view r sacc in
+        let rows =
+          List.init v.Relation.sv_len (fun i -> v.Relation.sv_rows.(i))
+        in
+        let expect_sorted =
+          (* stable sort of the newest-first model = sorted with
+             newest-first ties, exactly the view's contract *)
+          List.stable_sort
+            (fun a b -> Code.compare a.(0) b.(0))
+            (List.rev !model)
+        in
+        if not (List.equal Tuple.equal rows expect_sorted) then ok := false;
+        List.iteri
+          (fun i t ->
+            if not (Code.equal v.sv_keys.(0).(i) t.(0)) then ok := false)
+          rows
+      in
+      let apply (k, a, b) =
+        let t = tup [ a; b ] in
+        let present = List.exists (Tuple.equal t) !model in
+        match k with
+        | 0 | 1 ->
+          if Relation.insert r t = present then ok := false;
+          if not present then model := !model @ [ t ]
+        | 2 ->
+          if Relation.remove r t <> present then ok := false;
+          model := List.filter (fun u -> not (Tuple.equal t u)) !model
+        | _ -> check_now a
+      in
+      List.iter apply ops;
+      check_now q;
+      (* deterministic tail: 120 fresh tuples in, then all out again,
+         which forces filled > 64 and filled > 2 * size (the model never
+         exceeds 100 live tuples), i.e. the compaction threshold *)
+      let extra = List.init 120 (fun i -> tup [ 100 + i; i ]) in
+      List.iter (fun t -> ignore (Relation.insert r t)) extra;
+      model := !model @ extra;
+      check_now 105;
+      List.iter (fun t -> ignore (Relation.remove r t)) extra;
+      model :=
+        List.filter (fun u -> Code.to_int u.(0) < 100) !model;
+      check_now q;
+      (* a projection created after all that churn must agree too *)
+      let late = Relation.prepare_sorted [ 0; 1 ] in
+      let v = Relation.sorted_view r late in
+      let rows =
+        List.init v.Relation.sv_len (fun i -> v.Relation.sv_rows.(i))
+      in
+      let expect =
+        List.stable_sort
+          (fun a b ->
+            let c = Code.compare a.(0) b.(0) in
+            if c <> 0 then c else Code.compare a.(1) b.(1))
+          (List.rev !model)
+      in
+      !ok && List.equal Tuple.equal rows expect)
+
 let test_relation_dead_buckets_removed () =
   let r = Relation.create 2 in
   List.iter
@@ -256,6 +405,10 @@ let suite =
         Alcotest.test_case "relation arity" `Quick test_relation_arity_check;
         Alcotest.test_case "insertion order" `Quick test_relation_insertion_order;
         Alcotest.test_case "select" `Quick test_relation_select;
+        Alcotest.test_case "select duplicate bindings" `Quick
+          test_relation_select_duplicate_bindings;
+        Alcotest.test_case "sorted view order" `Quick
+          test_relation_sorted_view_order;
         Alcotest.test_case "index maintenance" `Quick
           test_relation_index_maintained_after_insert;
         Alcotest.test_case "relation copy" `Quick test_relation_copy_independent;
@@ -272,6 +425,7 @@ let suite =
       List.map QCheck_alcotest.to_alcotest
         [ prop_select_agrees_with_scan;
           prop_index_creation_point_irrelevant;
-          prop_select_under_churn
+          prop_select_under_churn;
+          prop_sorted_and_probe_under_churn
         ] )
   ]
