@@ -873,6 +873,117 @@ let run_bechamel () =
     (List.sort String.compare names)
 
 (* ------------------------------------------------------------------ *)
+(* T10: durable-ingest throughput.  Facts per second through the
+   supervisor's mutation path under each durability regime.  The cell
+   to watch: wal-backed acks stay within a constant factor of
+   no-durability, while the snapshot-per-transaction regime the log
+   replaced collapses as the database grows — O(db) per ack against
+   the log's O(batch). *)
+
+module Sup = Datalog_server.Supervisor
+module SP = Datalog_server.Protocol
+
+let durable_batches = 240
+let durable_batch_facts = 5
+
+let durable_configs dir =
+  let snap name = Some (Filename.concat dir name) in
+  [ ( "no-durability",
+      { Sup.default_config with
+        Sup.snapshot_path = None;
+        durable_acks = false
+      },
+      `Plain );
+    ( "wal-always",
+      { Sup.default_config with Sup.snapshot_path = snap "always.alexsnap" },
+      `Plain );
+    ( "wal-interval",
+      { Sup.default_config with
+        Sup.snapshot_path = snap "interval.alexsnap";
+        wal_fsync = Datalog_storage.Wal.Interval 0.05
+      },
+      `Tick );
+    ( "snapshot-per-txn",
+      { Sup.default_config with
+        Sup.snapshot_path = snap "pertxn.alexsnap";
+        durable_acks = false
+      },
+      `Snapshot )
+  ]
+
+let durable_ingest_results () =
+  let dir = Filename.temp_file "alexbench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+  @@ fun () ->
+  List.map
+    (fun (name, config, style) ->
+      let t =
+        match
+          Sup.create config (Program.make ~facts:[ atom "ing(0, 0)" ] [])
+        with
+        | Ok t -> t
+        | Error msg -> failwith (name ^ ": " ^ msg)
+      in
+      let t0 = Unix.gettimeofday () in
+      for b = 1 to durable_batches do
+        let facts =
+          List.init durable_batch_facts (fun j ->
+              atom (Printf.sprintf "ing(%d, %d)" b j))
+        in
+        let env =
+          { SP.req_id = Datalog_engine.Json.Null;
+            budgets = SP.no_budgets;
+            idem_key = None;
+            request = SP.Add facts
+          }
+        in
+        let reply, _ = Sup.handle t ~now:(Unix.gettimeofday ()) env in
+        (match Datalog_engine.Json.member "status" reply with
+        | Some (Datalog_engine.Json.String "ok") -> ()
+        | _ ->
+          failwith
+            (Printf.sprintf "%s: batch %d refused: %s" name b
+               (Datalog_engine.Json.to_line reply)));
+        match style with
+        | `Plain -> ()
+        | `Tick -> Sup.maybe_snapshot t ~now:(Unix.gettimeofday ())
+        | `Snapshot -> (
+          match Sup.snapshot_now t with
+          | Ok () -> ()
+          | Error msg -> failwith (name ^ ": snapshot failed: " ^ msg))
+      done;
+      let wall = Unix.gettimeofday () -. t0 in
+      (name, wall))
+    (durable_configs dir)
+
+let t10 () =
+  let total = durable_batches * durable_batch_facts in
+  let rows =
+    List.map
+      (fun (name, wall) ->
+        [ name;
+          itoa durable_batches;
+          itoa total;
+          ms wall;
+          Printf.sprintf "%.0f" (float_of_int total /. wall)
+        ])
+      (durable_ingest_results ())
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "T10: durable-ingest throughput (%d batches of %d facts)"
+         durable_batches durable_batch_facts)
+    ~header:[ "durability"; "batches"; "facts"; "wall ms"; "facts/s" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable baseline: the per-strategy join-work comparison the
    paper's cost claim rests on, as schema-stable JSON for future perf PRs
    to diff against (see docs/OBSERVABILITY.md). *)
@@ -988,13 +1099,30 @@ let json_baseline out =
           [ O.Seminaive; O.Magic; O.Alexander ])
       (json_workloads ())
   in
+  (* durable-ingest throughput per durability regime; wall times only,
+     so the regression gate (which reads "workloads") never flakes on
+     fsync latency *)
+  let durable_ingest =
+    let total = durable_batches * durable_batch_facts in
+    List.map
+      (fun (name, wall) ->
+        J.Obj
+          [ ("config", J.String name);
+            ("batches", J.Int durable_batches);
+            ("facts_per_batch", J.Int durable_batch_facts);
+            ("wall_s", J.Float wall);
+            ("facts_per_s", J.Float (float_of_int total /. wall))
+          ])
+      (durable_ingest_results ())
+  in
   let doc =
     J.Obj
       [ ("schema_version", J.Int 4);
         ("suite", J.String "alexander-bench-baseline");
         ("workloads", J.List workloads);
         ("plan", J.List plan_section);
-        ("checkpointing", J.List checkpointing)
+        ("checkpointing", J.List checkpointing);
+        ("durable_ingest", J.List durable_ingest)
       ]
   in
   Out_channel.with_open_text out (fun oc -> J.to_channel oc doc);
@@ -1006,8 +1134,8 @@ let json_baseline out =
 
 let experiments =
   [ ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5); ("T6", t6);
-    ("T7", t7); ("T8", t8); ("T9", t9); ("F1", f1); ("F2", f2); ("F3", f3);
-    ("F4", f4)
+    ("T7", t7); ("T8", t8); ("T9", t9); ("T10", t10); ("F1", f1); ("F2", f2);
+    ("F3", f3); ("F4", f4)
   ]
 
 let () =

@@ -42,9 +42,60 @@ let snapshot_arg =
     & opt (some string) None
     & info [ "snapshot" ] ~docv:"FILE"
         ~doc:
-          "Durability: load FILE on startup (strict, then lenient with \
-           warnings), persist every acked transaction to it atomically, \
-           and write a final snapshot on shutdown")
+          "Durability baseline: load FILE on startup (strict, then lenient \
+           with warnings), replay the write-ahead log on top, rotate into \
+           FILE when the log grows, and write a final snapshot on shutdown")
+
+let wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"FILE"
+        ~doc:
+          "Write-ahead log path (default: the --snapshot path plus \
+           $(b,.wal)).  Every acked mutation is appended as one \
+           CRC-framed transaction; recovery replays the log over the \
+           snapshot")
+
+let fsync_conv =
+  let parse s =
+    match Datalog_storage.Wal.fsync_policy_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf p ->
+        Format.pp_print_string ppf (Datalog_storage.Wal.fsync_policy_name p) )
+
+let fsync_arg =
+  Arg.(
+    value
+    & opt fsync_conv Datalog_storage.Wal.Always
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:
+          "Log flush policy: $(b,always) (fsync before every ack), \
+           $(b,interval)[:SECONDS] (group commit, default 0.05s window), \
+           or $(b,never) (leave it to the OS)")
+
+let wal_max_bytes_arg =
+  Arg.(
+    value
+    & opt int (4 * 1024 * 1024)
+    & info [ "wal-max-bytes" ] ~docv:"N"
+        ~doc:
+          "Rotation threshold: once the log exceeds N bytes, install a \
+           fresh snapshot and truncate the log")
+
+let idempotency_keys_arg =
+  Arg.(
+    value
+    & opt int 1024
+    & info [ "idempotency-keys" ] ~docv:"N"
+        ~doc:
+          "How many committed idempotency keys are remembered for retry \
+           deduplication (FIFO eviction, persisted across restarts); 0 \
+           disables the table")
 
 let no_durable_acks_arg =
   Arg.(
@@ -128,9 +179,9 @@ let quiet_arg =
   Arg.(value & flag & info [ "quiet" ] ~doc:"No log lines on stderr")
 
 let serve_cmd =
-  let action file socket port host snapshot no_durable_acks snapshot_every
-      queue_depth session_inflight cache_size timeout max_facts data strategy
-      quiet =
+  let action file socket port host snapshot wal fsync wal_max_bytes
+      idempotency_keys no_durable_acks snapshot_every queue_depth
+      session_inflight cache_size timeout max_facts data strategy quiet =
     let listen =
       match (socket, port) with
       | Some path, None -> Ok (Srv.Server.Unix_path path)
@@ -169,6 +220,10 @@ let serve_cmd =
           cache_capacity = cache_size;
           snapshot_path = snapshot;
           durable_acks = not no_durable_acks;
+          wal_path = wal;
+          wal_fsync = fsync;
+          wal_max_bytes;
+          idempotency_capacity = idempotency_keys;
           snapshot_every_s = snapshot_every;
           default_budgets =
             { Srv.Protocol.no_budgets with
@@ -183,25 +238,28 @@ let serve_cmd =
       | Ok code -> code
       | Error msg ->
         prerr_endline msg;
-        (* an unreadable snapshot is the startup failure with its own
-           exit code, so orchestrators can tell it from a bad flag *)
-        let mentions_snapshot =
-          let sub = "snapshot" and m = String.length msg in
-          let n = String.length sub in
+        (* unreadable durable state (snapshot or log) is the startup
+           failure with its own exit code, so orchestrators can tell it
+           from a bad flag *)
+        let mentions sub =
+          let m = String.length msg and n = String.length sub in
           let rec go i =
             i + n <= m && (String.sub msg i n = sub || go (i + 1))
           in
           go 0
         in
-        if mentions_snapshot then Alexander.Errors.corrupt_snapshot_exit_code
+        if mentions "snapshot" || mentions "wal" then
+          Alexander.Errors.corrupt_snapshot_exit_code
         else 1)
   in
   let term =
     Term.(
       const action $ file_arg $ socket_arg $ port_arg $ host_arg
-      $ snapshot_arg $ no_durable_acks_arg $ snapshot_every_arg
-      $ queue_depth_arg $ session_inflight_arg $ cache_size_arg $ timeout_arg
-      $ max_facts_arg $ data_arg $ strategy_arg $ quiet_arg)
+      $ snapshot_arg $ wal_arg $ fsync_arg $ wal_max_bytes_arg
+      $ idempotency_keys_arg $ no_durable_acks_arg $ snapshot_every_arg
+      $ queue_depth_arg
+      $ session_inflight_arg $ cache_size_arg $ timeout_arg $ max_facts_arg
+      $ data_arg $ strategy_arg $ quiet_arg)
   in
   Cmd.v
     (Cmd.info "alexander_serve" ~version:"1.0.0"

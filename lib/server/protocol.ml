@@ -22,7 +22,12 @@ type request =
   | Snapshot_now
   | Shutdown
 
-type envelope = { req_id : Json.t; budgets : budgets; request : request }
+type envelope = {
+  req_id : Json.t;
+  budgets : budgets;
+  idem_key : string option;
+  request : request;
+}
 type parse_error = { err_id : Json.t; err_message : string }
 
 (* ------------------------------------------------------------------ *)
@@ -77,7 +82,8 @@ let parse line =
     let err_id = Option.value ~default:Json.Null (Json.member "id" obj) in
     let fail msg = Error { err_id; err_message = msg } in
     let budgets = budgets_of obj in
-    let envelope request = Ok { req_id = err_id; budgets; request } in
+    let idem_key = string_member "key" obj in
+    let envelope request = Ok { req_id = err_id; budgets; idem_key; request } in
     match string_member "op" obj with
     | None -> fail "missing \"op\" field"
     | Some "query" -> (
@@ -110,7 +116,7 @@ let parse line =
 
 let atom_string atom = Format.asprintf "%a" Atom.pp atom
 
-let answers_reply ~id ~goal ~answers ~cached ~complete ~reason ~wall_s =
+let answers_reply ~id ~goal ~answers ~cached ~complete ~reason ~txn ~wall_s =
   let pred = Atom.pred goal in
   let rendered =
     List.map (fun t -> Json.String (atom_string (Tuple.to_atom pred t)))
@@ -125,17 +131,20 @@ let answers_reply ~id ~goal ~answers ~cached ~complete ~reason ~wall_s =
     @ [ ("answers", Json.List rendered);
         ("count", Json.Int (List.length answers));
         ("cached", Json.Bool cached);
+        ("txn", Json.Int txn);
         ("wall_s", Json.Float wall_s)
       ])
 
-let ack ~id ~op ~count ~txn =
+let ack ~id ~op ~count ~txn ?key ?(idempotent = false) () =
   Json.Obj
-    [ ("id", id);
-      ("status", Json.String "ok");
-      ("op", Json.String op);
-      ("count", Json.Int count);
-      ("txn", Json.Int txn)
-    ]
+    ([ ("id", id);
+       ("status", Json.String "ok");
+       ("op", Json.String op);
+       ("count", Json.Int count);
+       ("txn", Json.Int txn)
+     ]
+    @ (match key with Some k -> [ ("key", Json.String k) ] | None -> [])
+    @ if idempotent then [ ("idempotent", Json.Bool true) ] else [])
 
 let error ~id message =
   Json.Obj

@@ -41,7 +41,16 @@ type request =
   | Snapshot_now
   | Shutdown
 
-type envelope = { req_id : Json.t; budgets : budgets; request : request }
+type envelope = {
+  req_id : Json.t;
+  budgets : budgets;
+  idem_key : string option;
+      (** the ["key"] field: a client-chosen idempotency key for
+          mutations.  The server records it with the committed
+          transaction, so a retry of an applied-but-unacked request gets
+          the original ack back instead of a double apply. *)
+  request : request;
+}
 
 type parse_error = { err_id : Json.t; err_message : string }
 (** The id is recovered when the line parsed as JSON but the request was
@@ -58,16 +67,30 @@ val answers_reply :
   cached:bool ->
   complete:bool ->
   reason:string option ->
+  txn:int ->
   wall_s:float ->
   Json.t
 (** [status] is ["ok"] when [complete], else ["partial"] with the
     exhaustion [reason].  Answers are rendered as fact strings
-    (["anc(ann, bob)"]), parseable back with the Datalog parser. *)
+    (["anc(ann, bob)"]), parseable back with the Datalog parser.
+    [txn] names the transaction state the answers reflect, so a
+    pipelining client can tell whether its own mutations are visible. *)
 
-val ack : id:Json.t -> op:string -> count:int -> txn:int -> Json.t
+val ack :
+  id:Json.t ->
+  op:string ->
+  count:int ->
+  txn:int ->
+  ?key:string ->
+  ?idempotent:bool ->
+  unit ->
+  Json.t
 (** Mutation acknowledged: [count] tuples changed, the database now
-    reflects acked transaction [txn] — and, when a snapshot path is
-    configured, that state is already durable (ack-after-persist). *)
+    reflects acked transaction [txn] — and, with durability configured,
+    that transaction is already in the write-ahead log (ack-after-fsync
+    under the [always] policy).  [key] echoes the request's idempotency
+    key; [idempotent] marks a replayed ack (the transaction had already
+    committed under that key and nothing was re-applied). *)
 
 val error : id:Json.t -> string -> Json.t
 val overloaded : id:Json.t -> scope:string -> retry_after_s:float -> Json.t

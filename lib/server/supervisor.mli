@@ -18,16 +18,32 @@
 
     {2 Durability contract}
 
-    With a snapshot path configured, a mutation is: apply, persist the
-    new snapshot (atomic install), {e then} ack.  A crash at any point
-    leaves the snapshot holding either the pre-batch or the post-batch
-    state, never a torn one, so on restart every {e acked} batch is
-    present and every {e unacked} batch is absent or fully applied.  A
-    persist {e failure} (as opposed to a crash) rolls the in-memory
-    batch back and replies error — the server never holds state it
-    could not make durable.  Kill-points ["server.txn-applied"] (after
-    apply, before persist) and ["server.pre-ack"] (after persist,
-    before ack) let the drill cut at the interesting instants. *)
+    With durable acks configured, mutations ride a write-ahead log
+    ({!Datalog_storage.Wal}): append the transaction's frame, fsync
+    (policy permitting), apply in memory, {e then} ack — so durability
+    costs O(batch), not O(database), per transaction.  Recovery is
+    snapshot load + log replay: on restart every {e acked} batch is
+    present, every {e unacked} batch is absent or fully applied, and
+    under the [always] fsync policy the recovered state is exactly the
+    acked prefix plus at most the one in-flight transaction.  An append
+    {e failure} (as opposed to a crash) refuses the transaction before
+    anything applies; an apply failure truncates the already-appended
+    frame back out of the log.  When the log outgrows
+    [wal_max_bytes] (and on {!snapshot_now}), a fresh snapshot is
+    installed and the log truncated — rotation.
+
+    Mutations may carry a client idempotency key ([key] field): the key
+    is recorded in the log with the committed transaction and held in a
+    bounded table (rebuilt on recovery from snapshot meta + replay), so
+    a client that times out and retries an applied-but-unacked request
+    gets the original ack back ([idempotent:true]) instead of a double
+    apply — exactly-once end to end.
+
+    Kill-points ["wal.appended"] (frame written, not yet fsynced),
+    ["server.wal-synced"] (durable, not yet applied),
+    ["server.pre-ack"] (applied, client never saw the ack) and
+    ["server.rotate-installed"] (snapshot installed, log not yet
+    truncated) let the drill cut at the interesting instants. *)
 
 open Datalog_ast
 module Json = Datalog_engine.Json
@@ -38,14 +54,28 @@ type config = {
   default_budgets : Protocol.budgets;
   retry_after_s : float;  (** hint attached to overload replies *)
   cache_capacity : int;
-  snapshot_path : string option;  (** durability off when [None] *)
+  snapshot_path : string option;
+      (** recovery baseline and rotation target; durability is off when
+          both this and [wal_path] are [None] *)
   durable_acks : bool;
-      (** [true] (default): every mutation persists a snapshot before
-          its ack — the ack is a durability receipt.  [false]: acks are
-          memory-only and the periodic snapshot bounds the loss window
-          to [snapshot_every_s] — the classic fsync-per-commit
-          vs. group-commit trade. *)
-  snapshot_every_s : float;  (** periodic snapshot cadence *)
+      (** [true] (default): every mutation is appended to the
+          write-ahead log before its ack — the ack is a durability
+          receipt (exact under the [always] fsync policy).  [false]:
+          acks are memory-only, no log is kept, and the periodic
+          snapshot bounds the loss window to [snapshot_every_s]. *)
+  wal_path : string option;
+      (** where the log lives; defaults to [snapshot_path ^ ".wal"]
+          when durable acks are on and a snapshot path is set *)
+  wal_fsync : Datalog_storage.Wal.fsync_policy;
+      (** [Always] (default), [Interval s] (group commit), or [Never] *)
+  wal_max_bytes : int;
+      (** rotation threshold: once the log exceeds this, a snapshot is
+          installed and the log truncated (needs [snapshot_path]) *)
+  idempotency_capacity : int;
+      (** how many committed idempotency keys are remembered (FIFO
+          eviction); [0] disables the table *)
+  snapshot_every_s : float;
+      (** periodic snapshot cadence (non-WAL mode only) *)
   options : Alexander.Options.t;  (** engine-mode evaluation options *)
   log : string -> unit;
 }
@@ -53,23 +83,31 @@ type config = {
 val default_config : config
 (** Queue depth 64, 16 in-flight per session, 5s default timeout,
     0.1s retry hint, cache capacity 128, no snapshot path, durable
-    acks, 30s cadence, default engine options, silent log. *)
+    acks, always-fsync, 4 MiB rotation threshold, 1024 idempotency
+    keys, 30s cadence, default engine options, silent log. *)
 
 type t
 
 val create : config -> Program.t -> (t, string) result
 (** Warm start: when the snapshot path exists it is loaded Strict, then
     Lenient (logging each salvage warning) — the acked-transaction
-    counter rides in the snapshot meta.  A snapshot unreadable even
-    leniently refuses to start.  With no snapshot, a positive program is
-    saturated from its facts; a program with negation starts from its
-    base facts. *)
+    counter and the idempotency table ride in the snapshot meta.  With
+    durable acks, the write-ahead log is then loaded the same way (a
+    torn tail is truncated with a logged warning) and every transaction
+    beyond the snapshot is replayed in order; a gap between snapshot
+    and log, or a replay failure, refuses to start.  A snapshot or log
+    unreadable even leniently refuses to start.  With no snapshot, a
+    positive program is saturated from its facts; a program with
+    negation starts from its base facts. *)
 
 val positive : t -> bool
 val txn : t -> int
 val db : t -> Datalog_storage.Database.t
 val pending : t -> int
 val cache : t -> Cache.t
+
+val wal_active : t -> bool
+(** Whether mutations are riding a write-ahead log. *)
 
 type admission = Admitted | Overloaded of float | Session_capped
 
@@ -96,10 +134,14 @@ val handle :
     exposed for control requests that bypass the queue). *)
 
 val snapshot_now : t -> (unit, string) result
-(** No-op without a snapshot path. *)
+(** In WAL mode: force a rotation (snapshot install + log truncation),
+    or just fsync the log tail when there is no snapshot path.
+    Otherwise: persist a snapshot; no-op without a snapshot path. *)
 
 val maybe_snapshot : t -> now:float -> unit
-(** Periodic checkpoint: persists when the cadence elapsed and a
-    transaction landed since the last write. *)
+(** The serve loop's periodic tick.  In WAL mode this drives the
+    [Interval] group-commit fsync; otherwise it persists a periodic
+    snapshot when the cadence elapsed and a transaction landed since
+    the last write. *)
 
 val stats_fields : t -> (string * Json.t) list

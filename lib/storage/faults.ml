@@ -4,6 +4,7 @@ type op =
   | Rename
   | Mkdir
   | Dirsync
+  | Read
   | Recv
   | Send
   | Point of string
@@ -27,6 +28,7 @@ let op_name = function
   | Rename -> "rename"
   | Mkdir -> "mkdir"
   | Dirsync -> "dirsync"
+  | Read -> "read"
   | Recv -> "recv"
   | Send -> "send"
   | Point name -> Printf.sprintf "point(%s)" name
@@ -95,6 +97,7 @@ let op_code = function
   | Recv -> 5
   | Send -> 6
   | Point _ -> 7
+  | Read -> 8
 
 let seeded ~seed ?(p_error = 0.) ?(p_short = 0.) ?(p_crash = 0.) () =
   { label = Printf.sprintf "seeded:%d" seed;
@@ -192,6 +195,23 @@ let dirsync dir =
   | Proceed -> plain_dirsync dir
   | Io_error msg -> raise (Sys_error msg)
   | Short_write _ | Crash -> crashed Dirsync
+
+(* For the load seam, [Short_write f] means a survivable short read —
+   only that fraction of the file comes back, as if the file had been
+   torn at that byte.  The reader must detect the truncation itself
+   (checksums, frame lengths), which is exactly what the WAL torn-tail
+   tests exercise. *)
+
+let read_file path =
+  match consult Read with
+  | Proceed -> In_channel.with_open_bin path In_channel.input_all
+  | Io_error msg -> raise (Sys_error msg)
+  | Short_write f ->
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    let n = int_of_float (f *. float_of_int (String.length data)) in
+    let n = max 0 (min n (String.length data)) in
+    String.sub data 0 n
+  | Crash -> crashed Read
 
 (* For the socket seam, [Short_write f] means a survivable partial
    transfer (sockets do that in production too), not a death: the serve

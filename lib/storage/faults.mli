@@ -27,6 +27,7 @@ type op =
   | Dirsync
       (** fsync of the parent directory after a rename install — the
           step that makes the rename itself durable across power loss *)
+  | Read  (** reading a whole file back at load/recovery time *)
   | Recv  (** reading from a client socket (serve loop) *)
   | Send  (** writing a reply to a client socket (serve loop) *)
   | Point of string
@@ -42,8 +43,10 @@ type action =
           then the process "dies" ({!Crashed}).  For {!Recv} / {!Send}:
           only that fraction of the requested bytes is transferred and
           the call returns — a survivable partial transfer, which the
-          serve loop must handle like any short socket read/write.
-          Other ops crash. *)
+          serve loop must handle like any short socket read/write.  For
+          {!Read}: only that prefix of the file comes back, as if the
+          tail had been torn off — survivable, the caller's framing must
+          detect it.  Other ops crash. *)
   | Crash
       (** the process "dies" before the operation takes effect *)
 
@@ -117,6 +120,12 @@ val dirsync : string -> unit
     some file systems; [EINVAL]-style failures from the [fsync] call
     itself are ignored (the open/close still goes through the fault
     plan, so kills and injected errors fire). *)
+
+val read_file : string -> string
+(** Read the whole file (binary) through the plan.  [Short_write f]
+    returns only the first [f] fraction of the bytes — a torn read the
+    caller must detect via its own framing (the WAL and snapshot loaders
+    do); [Io_error] raises [Sys_error]. *)
 
 val recv : Unix.file_descr -> bytes -> int -> int -> int
 (** [recv fd buf pos len] is [Unix.read] routed through the plan.

@@ -15,9 +15,12 @@ let load_file ?delimiter ~pred path =
   let delimiter =
     match delimiter with Some d -> d | None -> default_delimiter path
   in
-  match In_channel.with_open_text path In_channel.input_lines with
+  (* routed through the fault plan so load-time torn reads are
+     injectable, like every other storage seam *)
+  match Faults.read_file path with
   | exception Sys_error msg -> Error msg
-  | lines ->
+  | data ->
+    let lines = String.split_on_char '\n' data in
     let lines =
       List.mapi (fun i l -> (i + 1, l)) lines
       |> List.filter (fun (_, l) -> String.trim l <> "")

@@ -271,6 +271,33 @@ let test_reader_after_torn_install () =
   rm path
 
 (* -------------------------------------------------------------------- *)
+(* The load seam: [read_file] is how every reader (snapshot, WAL)
+   observes a file, so a short read here is a torn file to them *)
+
+let test_read_faults () =
+  let path = tmpfile () in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "0123456789");
+  F.arm (F.fail_nth F.Read 0);
+  (match F.read_file path with
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "injected read error must raise Sys_error");
+  F.disarm ();
+  let short =
+    { F.label = "short-read";
+      decide =
+        (fun ~index:_ op ->
+          match op with F.Read -> F.Short_write 0.5 | _ -> F.Proceed)
+    }
+  in
+  let got = F.with_plan short (fun () -> F.read_file path) in
+  check tbool "a short read returns a strict prefix" true
+    (got = "01234");
+  check tbool "an uninstrumented read is whole" true
+    (F.read_file path = "0123456789");
+  rm path
+
+(* -------------------------------------------------------------------- *)
 (* The Io writer shares the primitive: per-file atomicity across a
    multi-file database save *)
 
@@ -367,6 +394,7 @@ let suite =
           test_reader_during_install;
         Alcotest.test_case "reader after torn install" `Quick
           test_reader_after_torn_install;
+        Alcotest.test_case "read faults" `Quick test_read_faults;
         Alcotest.test_case "mkdir fault" `Quick test_mkdir_fault;
         Alcotest.test_case "multi-file save atomicity" `Quick
           test_multi_file_save_is_per_file_atomic;

@@ -49,8 +49,8 @@ let sup_exn ?(config = Sup.default_config) program =
   | Ok t -> t
   | Error msg -> Alcotest.fail ("supervisor refused to start: " ^ msg)
 
-let env ?(id = Json.Int 1) ?(budgets = P.no_budgets) request =
-  { P.req_id = id; budgets; request }
+let env ?(id = Json.Int 1) ?(budgets = P.no_budgets) ?key request =
+  { P.req_id = id; budgets; idem_key = key; request }
 
 let handle t e = fst (Sup.handle t ~now:(Unix.gettimeofday ()) e)
 
@@ -68,6 +68,11 @@ let answer_count reply =
   match member "count" reply with
   | Json.Int n -> n
   | _ -> Alcotest.fail "count is not an int"
+
+let int_field name reply =
+  match member name reply with
+  | Json.Int n -> n
+  | _ -> Alcotest.fail (name ^ " is not an int")
 
 let cached reply =
   match member "cached" reply with
@@ -124,7 +129,8 @@ let test_reply_shapes () =
   let reply =
     P.answers_reply ~id:(Json.Int 3) ~goal:(atom "anc(ann, X)")
       ~answers:[ Tuple.of_atom (atom "anc(ann, bob)") ]
-      ~cached:false ~complete:false ~reason:(Some "timeout") ~wall_s:0.01
+      ~cached:false ~complete:false ~reason:(Some "timeout") ~txn:0
+      ~wall_s:0.01
   in
   check tstr "partial status" "partial" (status reply);
   (match member "reason" reply with
@@ -372,17 +378,24 @@ let test_deadline_expires_in_queue () =
 let with_snapshot_config path =
   { Sup.default_config with Sup.snapshot_path = Some path }
 
+let rm_state path =
+  rm path;
+  rm (path ^ ".wal")
+
 let test_recovery_roundtrip () =
   let path = tmpfile () in
-  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
-  rm path;
+  Fun.protect ~finally:(fun () -> rm_state path) @@ fun () ->
+  rm_state path;
   let config = with_snapshot_config path in
   let t = sup_exn ~config (ancestor_program ()) in
+  check tbool "wal is on" true (Sup.wal_active t);
   check tstr "txn 1" "ok" (status (handle t (env (P.Add [ atom "parent(eve, fay)" ]))));
   check tstr "txn 2" "ok"
     (status (handle t (env (P.Remove [ atom "parent(bob, dan)" ]))));
   let facts_before = Database.total_facts (Sup.db t) in
-  (* a fresh supervisor from the same snapshot resumes where acks left *)
+  (* no snapshot was ever written: recovery is pure log replay over the
+     program's own facts *)
+  check tbool "snapshot not yet installed" false (Sys.file_exists path);
   let t2 = sup_exn ~config (ancestor_program ()) in
   check tint "acked transactions recovered" 2 (Sup.txn t2);
   check tint "state recovered exactly" facts_before
@@ -392,16 +405,102 @@ let test_recovery_roundtrip () =
     (List.mem "anc(ann, fay)" (answers r));
   check tbool "dan stayed removed" false (List.mem "anc(ann, dan)" (answers r))
 
+let test_wal_rotation_and_recovery () =
+  let path = tmpfile () in
+  Fun.protect ~finally:(fun () -> rm_state path) @@ fun () ->
+  rm_state path;
+  (* a tiny rotation threshold: every committed batch pushes the log
+     over it, so each mutation installs a snapshot and truncates *)
+  let config = { (with_snapshot_config path) with Sup.wal_max_bytes = 1 } in
+  let t = sup_exn ~config (ancestor_program ()) in
+  check tstr "txn 1" "ok" (status (handle t (env (P.Add [ atom "parent(eve, fay)" ]))));
+  check tbool "rotation installed a snapshot" true (Sys.file_exists path);
+  let wal_after_rotation =
+    In_channel.with_open_bin (path ^ ".wal") In_channel.input_all
+  in
+  check tbool "log truncated to its header" true
+    (String.length wal_after_rotation < 32);
+  check tstr "txn 2" "ok"
+    (status (handle t (env (P.Remove [ atom "parent(bob, dan)" ]))));
+  let facts_before = Database.total_facts (Sup.db t) in
+  (* recovery = snapshot (txn 2, after the second rotation) + empty log *)
+  let t2 = sup_exn ~config (ancestor_program ()) in
+  check tint "acked transactions recovered" 2 (Sup.txn t2);
+  check tint "state recovered exactly" facts_before
+    (Database.total_facts (Sup.db t2))
+
+let test_idempotent_retry () =
+  let path = tmpfile () in
+  Fun.protect ~finally:(fun () -> rm_state path) @@ fun () ->
+  rm_state path;
+  let config = with_snapshot_config path in
+  let t = sup_exn ~config (ancestor_program ()) in
+  let add = env ~key:"k1" (P.Add [ atom "parent(eve, fay)" ]) in
+  let r1 = handle t add in
+  check tstr "first ack" "ok" (status r1);
+  (match member "key" r1 with
+  | Json.String "k1" -> ()
+  | _ -> Alcotest.fail "ack does not echo the key");
+  check tbool "first apply is not idempotent" true
+    (Json.member "idempotent" r1 = None);
+  let facts_after = Database.total_facts (Sup.db t) in
+  (* the retry returns the original ack verbatim and applies nothing *)
+  let r2 = handle t add in
+  check tstr "retry acked" "ok" (status r2);
+  (match member "idempotent" r2 with
+  | Json.Bool true -> ()
+  | _ -> Alcotest.fail "retry not marked idempotent");
+  check tint "same txn" (int_field "txn" r1) (int_field "txn" r2);
+  check tint "nothing re-applied" facts_after (Database.total_facts (Sup.db t));
+  check tint "txn counter unchanged" 1 (Sup.txn t);
+  (* the key survives a restart: the log carries it *)
+  let t2 = sup_exn ~config (ancestor_program ()) in
+  let r3 = handle t2 add in
+  check tstr "post-restart retry acked" "ok" (status r3);
+  (match member "idempotent" r3 with
+  | Json.Bool true -> ()
+  | _ -> Alcotest.fail "post-restart retry not idempotent");
+  check tint "post-restart txn unchanged" 1 (Sup.txn t2);
+  (* a different key is a different transaction *)
+  let r4 = handle t2 (env ~key:"k2" (P.Add [ atom "parent(fay, gus)" ])) in
+  check tstr "new key applies" "ok" (status r4);
+  check tbool "new key is not idempotent" true
+    (Json.member "idempotent" r4 = None);
+  check tint "txn advanced" 2 (Sup.txn t2)
+
+let test_wal_failed_apply_truncated () =
+  let path = tmpfile () in
+  Fun.protect ~finally:(fun () -> rm_state path) @@ fun () ->
+  rm_state path;
+  let config = with_snapshot_config path in
+  let t = sup_exn ~config (ancestor_program ()) in
+  check tstr "one good txn" "ok"
+    (status (handle t (env (P.Add [ atom "parent(eve, fay)" ]))));
+  (* a budget blown mid-propagation: the batch rolls back in memory AND
+     its already-appended frame is cut back out of the log *)
+  let tight = { P.no_budgets with P.max_facts = Some 1 } in
+  check tstr "exhausted batch is an error" "error"
+    (status (handle t (env ~budgets:tight (P.Add [ atom "parent(cal, zed)" ]))));
+  check tint "txn did not advance" 1 (Sup.txn t);
+  let t2 = sup_exn ~config (ancestor_program ()) in
+  check tint "replay sees only the committed txn" 1 (Sup.txn t2);
+  check tint "state agrees" (Database.total_facts (Sup.db t))
+    (Database.total_facts (Sup.db t2))
+
 let test_recovery_lenient_fallback () =
   let path = tmpfile () in
-  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
-  rm path;
+  Fun.protect ~finally:(fun () -> rm_state path) @@ fun () ->
+  rm_state path;
   let log = ref [] in
   let config =
     { (with_snapshot_config path) with Sup.log = (fun l -> log := l :: !log) }
   in
   let t = sup_exn ~config (ancestor_program ()) in
   check tstr "acked" "ok" (status (handle t (env (P.Add [ atom "parent(eve, fay)" ]))));
+  (* force a rotation so the snapshot exists and the log is empty *)
+  (match Sup.snapshot_now t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("rotation failed: " ^ msg));
   (* corrupt one byte inside a relation section's tuple lines (the dict
      block also holds ':'-tagged values, so aim past "rel:"): the
      section CRC no longer matches, Strict refuses, Lenient salvages the
@@ -517,7 +616,7 @@ let test_e2e_session_and_restart () =
     [ program; "--socket"; socket; "--snapshot"; snapshot; "--quiet" ]
   in
   Fun.protect ~finally:(fun () ->
-      List.iter rm [ program; socket; snapshot ];
+      List.iter rm [ program; socket; snapshot; snapshot ^ ".wal" ];
       (try Sys.rmdir dir with Sys_error _ -> ()))
   @@ fun () ->
   (* session 1: observe, mutate, roll the mutation back, shut down *)
@@ -648,6 +747,11 @@ let suite =
         Alcotest.test_case "deadline expires in queue" `Quick
           test_deadline_expires_in_queue;
         Alcotest.test_case "recovery roundtrip" `Quick test_recovery_roundtrip;
+        Alcotest.test_case "wal rotation + recovery" `Quick
+          test_wal_rotation_and_recovery;
+        Alcotest.test_case "idempotent retry" `Quick test_idempotent_retry;
+        Alcotest.test_case "wal: failed apply truncated" `Quick
+          test_wal_failed_apply_truncated;
         Alcotest.test_case "recovery: lenient fallback" `Quick
           test_recovery_lenient_fallback;
         Alcotest.test_case "e2e session + restart" `Quick

@@ -1,22 +1,33 @@
 (* The serve loop's recovery invariant, drilled across a seeded
    kill-point matrix.
 
-   The claim under test: with durable acks, every acked mutation batch
-   survives a kill-and-restart, and an unacked batch is either absent or
-   fully applied — never torn.  Each seed deterministically picks a
-   scripted run of mutation batches and a kill point (the n-th Write,
-   Fsync, Rename or Dirsync of the persist path, or one of the named
-   server kill-points between apply, persist and ack), runs the batches
-   against a supervisor until the simulated process death, restarts from
-   the snapshot, and checks
+   The claim under test: with durable acks riding the write-ahead log,
+   every acked mutation batch survives a kill-and-restart, and an
+   unacked batch is either absent or fully applied — never torn.  Each
+   seed deterministically picks a scripted run of keyed mutation batches
+   and a kill point (the n-th Write, Fsync, Rename or Dirsync, or one of
+   the named points between the transaction steps: post-append
+   pre-fsync, post-fsync pre-apply, post-apply pre-ack, mid-rotation),
+   runs the batches against a supervisor until the simulated process
+   death, restarts from snapshot + log, and checks
 
      recovered.txn ∈ {acked, acked + 1}
 
    AND that the recovered database is byte-identical to a fault-free
    replay of exactly the first [recovered.txn] batches.  The "+1" is the
-   honest gap of ack-after-persist: a batch can be durable while the
-   client never saw its ack, so it may legitimately reappear — but it
-   must reappear whole.
+   honest gap of ack-after-append: a batch can be durable while the
+   client never saw its ack.
+
+   Then the retry phase closes that gap: every batch is retried with its
+   original idempotency key.  A batch the recovery kept must answer with
+   its original ack ([idempotent:true], the original txn) and apply
+   nothing; a batch the crash lost must apply fresh.  After the retries
+   the state must equal a fault-free run of the whole script —
+   exactly-once end to end.
+
+   Some seeds force a rotation on every batch (a 1-byte rotation
+   threshold), so the snapshot-install path and the mid-rotation kill
+   window are part of the matrix.
 
    The seed count comes from SERVER_DRILL_SEEDS (an integer; CI runs at
    least 50); the default exercises 25 seeds. *)
@@ -48,30 +59,44 @@ let people = [| "ann"; "bob"; "cal"; "dan"; "eve"; "fay"; "gus"; "hal" |]
 let batch_count = 8
 
 (* The scripted run is a pure function of the seed, so the reference
-   replay and the victim run see byte-identical batches. *)
+   replay and the victim run see byte-identical batches.  Every batch
+   carries its index as an idempotency key for the retry phase. *)
 let batches_of rng =
-  List.init batch_count (fun _ ->
+  List.init batch_count (fun i ->
       let edge () =
         let a = people.(Random.State.int rng (Array.length people)) in
         let b = people.(Random.State.int rng (Array.length people)) in
         atom (Printf.sprintf "parent(%s, %s)" a b)
       in
       let facts = List.init (1 + Random.State.int rng 3) (fun _ -> edge ()) in
-      if Random.State.int rng 4 = 0 then P.Remove facts else P.Add facts)
+      let request =
+        if Random.State.int rng 4 = 0 then P.Remove facts else P.Add facts
+      in
+      (Printf.sprintf "k%d" i, request))
 
-(* One kill point per seed: an op of the persist path (each batch's
-   snapshot save performs exactly one Write/Fsync/Rename/Dirsync, so the
-   n-th occurrence is batch n's), or a named point between the
-   transaction steps. *)
+(* One kill point per seed: an op of the log/snapshot path, or a named
+   point between the transaction steps.  Returns the plan and whether
+   the seed needs per-batch rotation for its kill point to be reachable
+   (Rename/Dirsync and the mid-rotation window only happen when a
+   snapshot is installed). *)
 let kill_plan_of rng =
   let n = Random.State.int rng batch_count in
-  match Random.State.int rng 6 with
-  | 0 -> F.crash_nth F.Write n
-  | 1 -> F.crash_nth F.Fsync n
-  | 2 -> F.crash_nth F.Rename n
-  | 3 -> F.crash_nth F.Dirsync n
-  | 4 -> F.crash_nth (F.Point "server.txn-applied") n
-  | _ -> F.crash_nth (F.Point "server.pre-ack") n
+  let choice = Random.State.int rng 8 in
+  let plan =
+    match choice with
+    | 0 -> F.crash_nth F.Write n
+    | 1 -> F.crash_nth F.Fsync n
+    | 2 -> F.crash_nth F.Rename n
+    | 3 -> F.crash_nth F.Dirsync n
+    | 4 -> F.crash_nth (F.Point "wal.appended") n
+    | 5 -> F.crash_nth (F.Point "server.wal-synced") n
+    | 6 -> F.crash_nth (F.Point "server.pre-ack") n
+    | _ -> F.crash_nth (F.Point "server.rotate-installed") n
+  in
+  let rotate =
+    choice = 2 || choice = 3 || choice = 7 || Random.State.bool rng
+  in
+  (plan, rotate)
 
 let tmpdir () =
   let dir = Filename.temp_file "alexdrill" "" in
@@ -89,12 +114,23 @@ let sup_exn where config program =
   | Ok t -> t
   | Error msg -> Alcotest.fail (where ^ ": " ^ msg)
 
-let env request = { P.req_id = Json.Null; budgets = P.no_budgets; request }
+let env ?key request =
+  { P.req_id = Json.Null; budgets = P.no_budgets; idem_key = key; request }
 
 let status reply =
   match Json.member "status" reply with
   | Some (Json.String s) -> s
   | _ -> Alcotest.fail "reply has no status"
+
+let txn_of reply =
+  match Json.member "txn" reply with
+  | Some (Json.Int n) -> n
+  | _ -> Alcotest.fail "reply has no txn"
+
+let is_idempotent reply =
+  match Json.member "idempotent" reply with
+  | Some (Json.Bool true) -> true
+  | _ -> false
 
 (* The database as a sorted list of rendered facts: exact-state
    comparison independent of dictionary coding or insertion order. *)
@@ -107,14 +143,39 @@ let facts_of sup =
            (Database.tuples db p))
   |> List.sort compare
 
+(* A fault-free replay of the first [prefix] batches on a fresh
+   supervisor with no durability at all. *)
+let reference_replay ~seed batches prefix =
+  let reference =
+    sup_exn "reference"
+      { Sup.default_config with Sup.snapshot_path = None }
+      (ancestor_program ())
+  in
+  List.iteri
+    (fun i (_, request) ->
+      if i < prefix then
+        let reply, _ =
+          Sup.handle reference ~now:(Unix.gettimeofday ()) (env request)
+        in
+        if status reply <> "ok" then
+          Alcotest.fail
+            (Printf.sprintf "seed %d: reference replay refused batch %d" seed i))
+    batches;
+  reference
+
 let run_one_seed seed =
   let rng = Random.State.make [| 0x5eed; seed |] in
   let batches = batches_of rng in
-  let plan = kill_plan_of rng in
+  let plan, rotate = kill_plan_of rng in
   let dir = tmpdir () in
   Fun.protect ~finally:(fun () -> rmdir_r dir) @@ fun () ->
   let path = Filename.concat dir "state.alexsnap" in
-  let config = { Sup.default_config with Sup.snapshot_path = Some path } in
+  let config =
+    { Sup.default_config with
+      Sup.snapshot_path = Some path;
+      wal_max_bytes = (if rotate then 1 else Sup.default_config.Sup.wal_max_bytes)
+    }
+  in
   (* the victim: created fault-free, killed mid-run *)
   let victim = sup_exn "victim" config (ancestor_program ()) in
   let acked = ref 0 in
@@ -122,9 +183,10 @@ let run_one_seed seed =
     try
       F.with_plan plan (fun () ->
           List.iter
-            (fun request ->
+            (fun (key, request) ->
               let reply, _ =
-                Sup.handle victim ~now:(Unix.gettimeofday ()) (env request)
+                Sup.handle victim ~now:(Unix.gettimeofday ())
+                  (env ~key request)
               in
               if status reply <> "ok" then
                 Alcotest.fail
@@ -135,7 +197,7 @@ let run_one_seed seed =
       false
     with F.Crashed _ -> true
   in
-  (* restart: memory is gone, only the snapshot survives *)
+  (* restart: memory is gone, only snapshot + log survive *)
   let recovered = sup_exn "recovery" config (ancestor_program ()) in
   let rtxn = Sup.txn recovered in
   if not (rtxn = !acked || rtxn = !acked + 1) then
@@ -149,25 +211,46 @@ let run_one_seed seed =
       (Printf.sprintf "seed %d: no kill fired yet only %d/%d batches persisted"
          seed rtxn batch_count);
   (* exact state: a fault-free replay of the first rtxn batches *)
-  let reference =
-    sup_exn "reference"
-      { Sup.default_config with Sup.snapshot_path = None }
-      (ancestor_program ())
-  in
-  List.iteri
-    (fun i request ->
-      if i < rtxn then
-        let reply, _ =
-          Sup.handle reference ~now:(Unix.gettimeofday ()) (env request)
-        in
-        if status reply <> "ok" then
-          Alcotest.fail
-            (Printf.sprintf "seed %d: reference replay refused batch %d" seed i))
-    batches;
+  let prefix_ref = reference_replay ~seed batches rtxn in
   Alcotest.(check (list string))
     (Printf.sprintf "seed %d (%s): recovered state = replay of %d acked batches"
        seed plan.F.label rtxn)
-    (facts_of reference) (facts_of recovered)
+    (facts_of prefix_ref) (facts_of recovered)
+  ;
+  (* retry phase: the client resubmits every batch under its original
+     key.  Kept batches answer with their original ack and apply
+     nothing; lost batches apply fresh.  Either way batch i ends up as
+     transaction i + 1 exactly once. *)
+  List.iteri
+    (fun i (key, request) ->
+      let reply, _ =
+        Sup.handle recovered ~now:(Unix.gettimeofday ()) (env ~key request)
+      in
+      if status reply <> "ok" then
+        Alcotest.fail
+          (Printf.sprintf "seed %d: retry of batch %d refused: %s" seed i
+             (Json.to_line reply));
+      let expect_idem = i < rtxn in
+      if is_idempotent reply <> expect_idem then
+        Alcotest.fail
+          (Printf.sprintf
+             "seed %d (%s): retry of batch %d (recovered txn %d) %s" seed
+             plan.F.label i rtxn
+             (if expect_idem then "re-applied instead of replaying the ack"
+              else "claimed idempotence for a lost batch"));
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: retry of batch %d names its transaction"
+           seed i)
+        (i + 1) (txn_of reply))
+    batches;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: every batch committed exactly once" seed)
+    batch_count (Sup.txn recovered);
+  let full_ref = reference_replay ~seed batches batch_count in
+  Alcotest.(check (list string))
+    (Printf.sprintf "seed %d (%s): post-retry state = full fault-free run"
+       seed plan.F.label)
+    (facts_of full_ref) (facts_of recovered)
 
 let prop_recovery_invariant =
   QCheck.Test.make ~name:"acked batches survive any kill point"
@@ -178,13 +261,20 @@ let prop_recovery_invariant =
       true)
 
 let test_kill_points_actually_fire () =
-  (* sanity on the drill itself: both named kill-points and the persist
-     path are reachable — a drill whose kills never fire proves nothing *)
-  let hit plan =
+  (* sanity on the drill itself: both named kill-points and the
+     log/snapshot path are reachable — a drill whose kills never fire
+     proves nothing *)
+  let hit ~rotate plan =
     let dir = tmpdir () in
     Fun.protect ~finally:(fun () -> rmdir_r dir) @@ fun () ->
     let path = Filename.concat dir "state.alexsnap" in
-    let config = { Sup.default_config with Sup.snapshot_path = Some path } in
+    let config =
+      { Sup.default_config with
+        Sup.snapshot_path = Some path;
+        wal_max_bytes =
+          (if rotate then 1 else Sup.default_config.Sup.wal_max_bytes)
+      }
+    in
     let t = sup_exn "victim" config (ancestor_program ()) in
     try
       F.with_plan plan (fun () ->
@@ -195,12 +285,15 @@ let test_kill_points_actually_fire () =
     with F.Crashed _ -> true
   in
   List.iter
-    (fun (name, plan) ->
-      Alcotest.(check bool) (name ^ " fires") true (hit plan))
-    [ ("txn-applied", F.crash_point "server.txn-applied");
-      ("pre-ack", F.crash_point "server.pre-ack");
-      ("write", F.crash_nth F.Write 0);
-      ("rename", F.crash_nth F.Rename 0)
+    (fun (name, rotate, plan) ->
+      Alcotest.(check bool) (name ^ " fires") true (hit ~rotate plan))
+    [ ("wal-appended", false, F.crash_point "wal.appended");
+      ("wal-synced", false, F.crash_point "server.wal-synced");
+      ("pre-ack", false, F.crash_point "server.pre-ack");
+      ("rotate-installed", true, F.crash_point "server.rotate-installed");
+      ("write", false, F.crash_nth F.Write 0);
+      ("fsync", false, F.crash_nth F.Fsync 0);
+      ("rename", true, F.crash_nth F.Rename 0)
     ]
 
 let suite =
