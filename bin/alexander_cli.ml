@@ -104,6 +104,18 @@ let no_merge_arg =
            join runs as a hash-index probe (same answers and fact \
            counters, more probes)")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Evaluate on a pool of N OCaml domains (1 = serial).  Rule \
+           applications are sharded across domains and merged \
+           deterministically at round barriers: answers and gated \
+           counters are identical for every N, only wall time changes.  \
+           Only meaningful with compiled plans (the default)")
+
 let interpret_arg =
   Arg.(
     value
@@ -318,7 +330,7 @@ let print_report query report ~stats =
 let write_stats_json path file runs =
   let doc =
     Datalog_engine.Json.Obj
-      [ ("schema_version", Datalog_engine.Json.Int 4);
+      [ ("schema_version", Datalog_engine.Json.Int 5);
         ("file", Datalog_engine.Json.String file);
         ("runs", Datalog_engine.Json.List (List.rev runs))
       ]
@@ -332,7 +344,7 @@ let run_cmd =
   let action file query strategy negation sips stats stats_json trace data
       (limits : ?cancelled:(unit -> bool) -> unit -> Datalog_engine.Limits.t)
       checkpoint_path checkpoint_every resume_path snapshot_mode
-      explain interpret no_merge =
+      explain interpret no_merge domains =
     match
       Result.bind (read_program file) (fun parsed ->
           Result.map (fun p -> (parsed, p))
@@ -383,7 +395,8 @@ let run_cmd =
             checkpoint;
             compile = not interpret;
             merge = not no_merge;
-            explain = explain || Option.is_some stats_json
+            explain = explain || Option.is_some stats_json;
+            domains = max 1 domains
           }
         in
         (* resume applies to a single query: a checkpoint records one
@@ -456,7 +469,8 @@ let run_cmd =
       const action $ file_arg $ query_arg $ strategy_arg $ negation_arg
       $ sips_arg $ stats_arg $ stats_json_arg $ trace_arg $ data_arg
       $ limits_term $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
-      $ snapshot_mode_arg $ explain_arg $ interpret_arg $ no_merge_arg)
+      $ snapshot_mode_arg $ explain_arg $ interpret_arg $ no_merge_arg
+      $ domains_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate queries against a program") term
 
@@ -650,7 +664,8 @@ let repl_cmd =
             checkpoint = Datalog_engine.Checkpoint.none;
             compile = true;
             merge = true;
-            explain = false
+            explain = false;
+            domains = 1
           }
       in
       let stats = ref stats in

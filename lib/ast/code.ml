@@ -20,28 +20,45 @@ let small_min = min_int asr 1
 let small_max = max_int asr 1
 let fits_small i = i >= small_min && i <= small_max
 
-(* Side dictionary for ints outside [small_min, small_max]. *)
+(* Side dictionary for ints outside [small_min, small_max].  Like the
+   {!Symbol} intern table it is process-wide mutable state that OCaml 5
+   domains may hit concurrently, so every access holds [lock].  Only
+   out-of-range ints pay it — the small-int and symbol paths are pure
+   arithmetic on immutable ints and stay lock-free. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
 let dict : (int, int) Hashtbl.t = Hashtbl.create 16
 let dict_rev : int array ref = ref (Array.make 16 0)
 let dict_count = ref 0
 
 let dict_intern i =
-  match Hashtbl.find_opt dict i with
-  | Some slot -> slot
-  | None ->
-    let slot = !dict_count in
-    let n = Array.length !dict_rev in
-    if slot >= n then begin
-      let bigger = Array.make (n * 2) 0 in
-      Array.blit !dict_rev 0 bigger 0 n;
-      dict_rev := bigger
-    end;
-    !dict_rev.(slot) <- i;
-    incr dict_count;
-    Hashtbl.add dict i slot;
-    slot
+  locked (fun () ->
+      match Hashtbl.find_opt dict i with
+      | Some slot -> slot
+      | None ->
+        let slot = !dict_count in
+        let n = Array.length !dict_rev in
+        if slot >= n then begin
+          let bigger = Array.make (n * 2) 0 in
+          Array.blit !dict_rev 0 bigger 0 n;
+          dict_rev := bigger
+        end;
+        !dict_rev.(slot) <- i;
+        incr dict_count;
+        Hashtbl.add dict i slot;
+        slot)
 
-let dictionary_size () = !dict_count
+let dictionary_size () = locked (fun () -> !dict_count)
 
 let of_symbol s = Symbol.id s * 2
 
@@ -58,12 +75,13 @@ let is_symbol c = c land 1 = 0 && c >= 0
 let to_int c =
   if c land 1 = 1 then c asr 1
   else if c >= 0 then invalid_arg "Code.to_int: code is a symbol"
-  else begin
-    let slot = (-c asr 1) - 1 in
-    if slot < 0 || slot >= !dict_count then
-      invalid_arg (Printf.sprintf "Code.to_int: unknown dictionary code %d" c);
-    !dict_rev.(slot)
-  end
+  else
+    locked (fun () ->
+        let slot = (-c asr 1) - 1 in
+        if slot < 0 || slot >= !dict_count then
+          invalid_arg
+            (Printf.sprintf "Code.to_int: unknown dictionary code %d" c);
+        !dict_rev.(slot))
 
 let to_value c =
   if c land 1 = 1 then Value.Int (c asr 1)

@@ -24,6 +24,7 @@ type t = {
   compile : bool;
   merge : bool;
   explain : bool;
+  domains : int;
 }
 
 let default =
@@ -36,7 +37,8 @@ let default =
     checkpoint = Datalog_engine.Checkpoint.none;
     compile = true;
     merge = true;
-    explain = false
+    explain = false;
+    domains = 1
   }
 
 let strategy_name = function

@@ -57,12 +57,19 @@ type t = {
       (** collect the compiled plans into {!Solve.report.plans} (and the
           [plan] block of {!Solve.report_json}); implies nothing about
           [compile] — explain with [compile = false] reports no plans *)
+  domains : int;
+      (** evaluate with a pool of this many OCaml domains
+          ({!Datalog_engine.Par}); 1 (the default) runs the untouched
+          serial path.  Only meaningful with [compile = true] and a
+          fixpoint-based strategy; answers and gated counters are
+          identical for every value (the parallel merge is
+          deterministic), only wall time changes *)
 }
 
 val default : t
 (** [Alexander] strategy, left-to-right SIP, [Auto] negation, no limits,
     no profiling, no trace, no checkpoint, compiled plans on, merge
-    joins on, explain off. *)
+    joins on, explain off, one domain. *)
 
 val strategy_name : strategy -> string
 val strategy_of_string : string -> strategy option

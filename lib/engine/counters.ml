@@ -18,6 +18,8 @@ let create () =
     gallops = 0
   }
 
+let zero = create
+
 let reset c =
   c.facts_derived <- 0;
   c.firings <- 0;

@@ -3,23 +3,33 @@ open Datalog_storage
 
 (* One rule application, either interpreted ([Eval.apply_rule]) or through
    a compiled plan; the two are counter-for-counter equivalent, so which
-   one runs is invisible to profiles, limits and checkpoints. *)
-let applier cnt ~guard ~profile ~neg ?plan ~card ?delta_pos rule =
+   one runs is invisible to profiles, limits and checkpoints.  With a
+   domain pool ([par], compiled path only) the application may be sharded
+   across worker domains — also counter-equivalent, by [Par]'s merge. *)
+let applier cnt ~guard ~profile ~neg ?plan ?par ~card ?delta_pos rule =
   match plan with
   | None ->
     fun ~rel_of emit ->
       Eval.apply_rule cnt ~guard ~profile ~rel_of ~neg rule emit
-  | Some cfg ->
+  | Some cfg -> (
     let p = Plan.compile cfg ~card ?delta_pos rule in
-    fun ~rel_of emit -> Plan.run p cnt ~guard ~profile ~rel_of ~neg emit
+    match par with
+    | Some pool ->
+      fun ~rel_of emit ->
+        Par.run_app pool p cnt ~guard ~profile ~rel_of ~neg emit
+    | None ->
+      fun ~rel_of emit -> Plan.run p cnt ~guard ~profile ~rel_of ~neg emit)
+
+let note_round par = match par with Some pool -> Par.note_round pool | None -> ()
 
 let naive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
-    ?(ckpt = Checkpoint.none) ?plan ~db ~neg rules =
+    ?(ckpt = Checkpoint.none) ?plan ?par ~db ~neg rules =
   let rel_of = Eval.db_rel_of db in
   let card pred = Database.cardinal db pred in
   let apps =
     List.map
-      (fun rule -> (rule, applier cnt ~guard ~profile ~neg ?plan ~card rule))
+      (fun rule ->
+        (rule, applier cnt ~guard ~profile ~neg ?plan ?par ~card rule))
       rules
   in
   let changed = ref true in
@@ -43,7 +53,9 @@ let naive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
                       end)))
             apps)
     with
-    | () -> Checkpoint.on_round ckpt ~db ~delta:None
+    | () ->
+      note_round par;
+      Checkpoint.on_round ckpt ~db ~delta:None
     | exception (Limits.Out_of_budget _ as e) ->
       (* naive rounds re-evaluate everything, so the saved database alone
          is a resumable state *)
@@ -65,7 +77,8 @@ let delta_positions recursive rule =
          | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> None)
 
 let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
-    ?(ckpt = Checkpoint.none) ?plan ?initial_delta ~db ~neg ?recursive rules =
+    ?(ckpt = Checkpoint.none) ?plan ?par ?initial_delta ~db ~neg ?recursive
+    rules =
   let recursive =
     match recursive with Some s -> s | None -> head_preds rules
   in
@@ -82,7 +95,8 @@ let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
     let rel_of = Eval.db_rel_of db in
     let apps =
       List.map
-        (fun rule -> (rule, applier cnt ~guard ~profile ~neg ?plan ~card rule))
+        (fun rule ->
+          (rule, applier cnt ~guard ~profile ~neg ?plan ?par ~card rule))
         rules
     in
     match
@@ -103,7 +117,9 @@ let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
                       end)))
             apps)
     with
-    | () -> Checkpoint.on_round ckpt ~db ~delta:(Some !delta)
+    | () ->
+      note_round par;
+      Checkpoint.on_round ckpt ~db ~delta:(Some !delta)
     | exception (Limits.Out_of_budget _ as e) ->
       (* not every rule has run against the full database yet, so no
          delta is trustworthy: force the resume to redo this round *)
@@ -119,8 +135,8 @@ let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
             List.map
               (fun delta_pos ->
                 ( delta_pos,
-                  applier cnt ~guard ~profile ~neg ?plan ~card ~delta_pos rule
-                ))
+                  applier cnt ~guard ~profile ~neg ?plan ?par ~card ~delta_pos
+                    rule ))
               positions
           in
           Some (rule, apps))
@@ -167,6 +183,7 @@ let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
         Checkpoint.on_interrupt ckpt ~db ~delta:(Some merged)
       end;
       raise e);
+    note_round par;
     delta := next;
     Checkpoint.on_round ckpt ~db ~delta:(Some next)
   done

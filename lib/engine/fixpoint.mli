@@ -26,6 +26,7 @@ val naive :
   ?profile:Profile.t ->
   ?ckpt:Checkpoint.t ->
   ?plan:Plan.config ->
+  ?par:Par.t ->
   db:Database.t ->
   neg:(Pred.t -> Tuple.t -> bool) ->
   Rule.t list ->
@@ -34,7 +35,8 @@ val naive :
     With [plan], each rule is compiled once (against the cardinalities of
     [db] at entry) and run through {!Plan.run}; without it, the
     interpreted {!Eval.apply_rule} path is used.  The two are equivalent,
-    counters included.
+    counters included.  With [par] (compiled path only), shardable
+    applications run on the domain pool — still counter-equivalent.
     @raise Limits.Out_of_budget when the guard's budget is exhausted. *)
 
 val seminaive :
@@ -43,6 +45,7 @@ val seminaive :
   ?profile:Profile.t ->
   ?ckpt:Checkpoint.t ->
   ?plan:Plan.config ->
+  ?par:Par.t ->
   ?initial_delta:Database.t ->
   db:Database.t ->
   neg:(Pred.t -> Tuple.t -> bool) ->

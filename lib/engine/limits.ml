@@ -38,8 +38,13 @@ type guard = {
   max_iterations : int;
   max_tuples : int;
   cancelled : unit -> bool;
-  mutable tick : int;  (** sampling counter for the clock / cancel poll *)
-  mutable dtick : int;  (** derivation counter for {!check_derived} *)
+  mutable tick : int;
+      (** the one shared decimation counter: every hot-path check —
+          per-candidate and per-derivation alike — bumps it, and the
+          clock / cancel poll fires on its boundaries.  One plain int
+          field, no allocation, so an active guard costs the same
+          [minor_words] whether one domain polls it or the lane guards
+          of a parallel run each poll their own. *)
 }
 
 let never_cancelled () = false
@@ -52,8 +57,7 @@ let no_guard =
     max_iterations = max_int;
     max_tuples = max_int;
     cancelled = never_cancelled;
-    tick = 0;
-    dtick = 0
+    tick = 0
   }
 
 let guard limits cnt =
@@ -69,11 +73,16 @@ let guard limits cnt =
       max_iterations = Option.value ~default:max_int limits.max_iterations;
       max_tuples = Option.value ~default:max_int limits.max_tuples;
       cancelled = Option.value ~default:never_cancelled limits.cancelled;
-      tick = 0;
-      dtick = 0
+      tick = 0
     }
 
+let lane_guard parent ~cnt ~cancelled =
+  if not parent.active then no_guard
+  else { parent with cnt; cancelled; tick = 0 }
+
 let is_active g = g.active
+
+let poll_cancelled g = g.active && g.cancelled ()
 
 let exhausted reason = raise (Out_of_budget reason)
 
@@ -96,12 +105,17 @@ let check g =
    maintenance for — hundreds of thousands of facts inside one fixpoint
    round while the scan tick crawls; counting derivations directly keeps
    the worst-case overshoot past a deadline bounded by 64 emitted facts'
-   worth of work rather than by the size of the round. *)
+   worth of work rather than by the size of the round.  It shares the
+   one [tick] counter with [check]: in derivation-only loops (no
+   candidate scans between firings) the counter advances here alone and
+   the poll fires every 64 derivations; in mixed loops the per-scan
+   checks keep the counter moving and the 512-boundary poll bounds the
+   overshoot regardless of how the two interleave. *)
 let check_derived g =
   if g.active then begin
     if g.cnt.Counters.facts_derived > g.max_facts then exhausted Fact_limit;
-    g.dtick <- g.dtick + 1;
-    if g.dtick land 63 = 0 then slow_checks g
+    g.tick <- g.tick + 1;
+    if g.tick land 63 = 0 then slow_checks g
   end
 
 let check_round g =

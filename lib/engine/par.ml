@@ -1,0 +1,281 @@
+(* A fork-join pool of OCaml 5 domains executing sharded rule
+   applications ({!Plan.run_shard}).  The pool is created once per
+   evaluation run and reused across every application: worker domains
+   park on a condition variable between jobs, so the per-application
+   cost is one broadcast and one barrier wait, not a domain spawn.
+
+   Determinism: the coordinator freezes every relation the plan reads
+   ({!Plan.freeze}), the lanes buffer their emissions tagged with the
+   outer-candidate index they descend from, and the merge below
+   interleaves the buffers back into ascending index order — the
+   database receives the same tuples in the same order as a serial run,
+   so insertion-order-sensitive downstream work (bucket order, scan
+   order, later rounds) is unperturbed and every gated counter matches
+   the serial engine bit for bit.  The one exception is [gallops] of a
+   sharded outer merge join, where each lane runs its own adaptive
+   cursor (see Plan). *)
+
+type stats = {
+  s_domains : int;
+  mutable s_apps_parallel : int;
+  mutable s_apps_serial : int;  (* applications that fell back *)
+  mutable s_rounds_parallel : int;
+  mutable s_rounds_total : int;
+  mutable s_barrier_wait_s : float;
+  (* imbalance accumulators: per parallel application, the busiest
+     lane's [scanned] and the sum over all lanes *)
+  mutable s_bal_max : int;
+  mutable s_bal_sum : int;
+}
+
+type t = {
+  lanes : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  cv : Condition.t;  (* workers wait here for a new epoch *)
+  done_cv : Condition.t;  (* the coordinator waits here for the barrier *)
+  mutable epoch : int;
+  mutable job : (int -> unit) option;
+  mutable pending : int;
+  mutable stop : bool;
+  mutable shut : bool;
+  cancel : bool Atomic.t;
+      (* set by any lane that raises, polled by the lane guards *)
+  lane_cnt : Counters.t array;
+  s : stats;
+  mutable apps_at_round_start : int;
+}
+
+(* Below this many outer candidates the barrier overhead dominates any
+   possible win, so the application runs serially.  The threshold only
+   depends on the plan and the data — never on timing — so a given
+   [--domains N] run always takes the same path. *)
+let min_outer = 64
+
+let worker t i () =
+  let lane = i + 1 in
+  let rec loop seen =
+    Mutex.lock t.m;
+    while (not t.stop) && t.epoch = seen do
+      Condition.wait t.cv t.m
+    done;
+    if t.stop then Mutex.unlock t.m
+    else begin
+      let e = t.epoch in
+      let job = match t.job with Some j -> j | None -> assert false in
+      Mutex.unlock t.m;
+      (* the job records its own exceptions per lane; nothing escapes *)
+      (try job lane with _ -> ());
+      Mutex.lock t.m;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.signal t.done_cv;
+      Mutex.unlock t.m;
+      loop e
+    end
+  in
+  loop 0
+
+let create domains =
+  if domains < 2 then invalid_arg "Par.create: need at least 2 domains";
+  let t =
+    { lanes = domains;
+      workers = [||];
+      m = Mutex.create ();
+      cv = Condition.create ();
+      done_cv = Condition.create ();
+      epoch = 0;
+      job = None;
+      pending = 0;
+      stop = false;
+      shut = false;
+      cancel = Atomic.make false;
+      lane_cnt = Array.init domains (fun _ -> Counters.create ());
+      s =
+        { s_domains = domains;
+          s_apps_parallel = 0;
+          s_apps_serial = 0;
+          s_rounds_parallel = 0;
+          s_rounds_total = 0;
+          s_barrier_wait_s = 0.;
+          s_bal_max = 0;
+          s_bal_sum = 0
+        };
+      apps_at_round_start = 0
+    }
+  in
+  t.workers <- Array.init (domains - 1) (fun i -> Domain.spawn (worker t i));
+  t
+
+let domains t = t.lanes
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let note_round t =
+  t.s.s_rounds_total <- t.s.s_rounds_total + 1;
+  if t.s.s_apps_parallel > t.apps_at_round_start then
+    t.s.s_rounds_parallel <- t.s.s_rounds_parallel + 1;
+  t.apps_at_round_start <- t.s.s_apps_parallel
+
+(* Hand [work] to every lane (the coordinator runs lane 0 itself) and
+   wait for the barrier; the wait always happens, even if lane 0's run
+   raises, so the pool is reusable afterwards. *)
+let dispatch t work =
+  Mutex.lock t.m;
+  t.job <- Some work;
+  t.pending <- t.lanes - 1;
+  t.epoch <- t.epoch + 1;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  let finish () =
+    let t0 = Unix.gettimeofday () in
+    Mutex.lock t.m;
+    while t.pending > 0 do
+      Condition.wait t.done_cv t.m
+    done;
+    t.job <- None;
+    Mutex.unlock t.m;
+    t.s.s_barrier_wait_s <-
+      t.s.s_barrier_wait_s +. (Unix.gettimeofday () -. t0)
+  in
+  match work 0 with
+  | () -> finish ()
+  | exception e ->
+    finish ();
+    raise e
+
+(* Re-raise policy after a barrier: a lane that aborted because another
+   lane's failure flipped the cancel flag reports [Cancelled]; the root
+   cause is the other lane's exception, so any non-[Cancelled] exception
+   wins, lowest lane first. *)
+let pick_exn exns =
+  let is_cancelled = function
+    | Limits.Out_of_budget Limits.Cancelled -> true
+    | _ -> false
+  in
+  let best = ref None in
+  Array.iter
+    (fun e ->
+      match e with
+      | None -> ()
+      | Some e -> (
+        match !best with
+        | None -> best := Some e
+        | Some cur -> if is_cancelled cur && not (is_cancelled e) then
+            best := Some e))
+    exns;
+  !best
+
+let run_serial t plan cnt ~guard ~profile ~rel_of ~neg emit =
+  t.s.s_apps_serial <- t.s.s_apps_serial + 1;
+  Plan.run plan cnt ~guard ~profile ~rel_of ~neg emit
+
+let run_app t plan cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
+    ~rel_of ~neg emit =
+  if not (Plan.shardable plan) then
+    run_serial t plan cnt ~guard ~profile ~rel_of ~neg emit
+  else begin
+    let prep = Plan.freeze plan ~rel_of in
+    if Plan.outer_cardinal prep < min_outer then
+      run_serial t plan cnt ~guard ~profile ~rel_of ~neg emit
+    else begin
+      t.s.s_apps_parallel <- t.s.s_apps_parallel + 1;
+      Atomic.set t.cancel false;
+      let lanes = t.lanes in
+      let bufs = Array.make lanes [] in
+      let cnts = t.lane_cnt in
+      Array.iter Counters.reset cnts;
+      let profiling = Profile.is_active profile in
+      let profs =
+        if profiling then Array.init lanes (fun _ -> Profile.create ())
+        else Array.make lanes Profile.none
+      in
+      let exns = Array.make lanes None in
+      let work lane =
+        let lg =
+          Limits.lane_guard guard ~cnt:cnts.(lane)
+            ~cancelled:
+              (if lane = 0 then fun () ->
+                 Atomic.get t.cancel || Limits.poll_cancelled guard
+               else fun () -> Atomic.get t.cancel)
+        in
+        match
+          Plan.run_shard plan prep cnts.(lane) ~guard:lg
+            ~profile:profs.(lane) ~neg ~nshards:lanes ~shard:lane
+            (fun idx tuple -> bufs.(lane) <- (idx, tuple) :: bufs.(lane))
+        with
+        | () -> ()
+        | exception e ->
+          exns.(lane) <- Some e;
+          Atomic.set t.cancel true
+      in
+      dispatch t work;
+      (* merge, in a deterministic order: lane counters and profiles in
+         lane order, then emissions interleaved back into serial order *)
+      let total_scanned = ref 0 and max_scanned = ref 0 in
+      Array.iter
+        (fun c ->
+          total_scanned := !total_scanned + c.Counters.scanned;
+          if c.Counters.scanned > !max_scanned then
+            max_scanned := c.Counters.scanned;
+          Counters.add cnt c)
+        cnts;
+      t.s.s_bal_max <- t.s.s_bal_max + !max_scanned;
+      t.s.s_bal_sum <- t.s.s_bal_sum + !total_scanned;
+      if profiling then Array.iter (fun p -> Profile.add profile p) profs;
+      (* Each lane's buffer, reversed, is ascending in outer-candidate
+         index, and a candidate belongs to exactly one lane — repeatedly
+         draining the smallest head is exactly the serial emission
+         order.  Replay keeps the serial per-derivation budget poll
+         (lanes could not enforce [max_facts]: the shared count only
+         exists here). *)
+      let heads = Array.map List.rev bufs in
+      let head_pred = plan.Plan.head_pred in
+      let exhausted = ref false in
+      while not !exhausted do
+        let best = ref (-1) and best_idx = ref max_int in
+        Array.iteri
+          (fun l h ->
+            match h with
+            | (idx, _) :: _ when idx < !best_idx ->
+              best := l;
+              best_idx := idx
+            | _ -> ())
+          heads;
+        if !best < 0 then exhausted := true
+        else
+          match heads.(!best) with
+          | (_, tuple) :: rest ->
+            heads.(!best) <- rest;
+            Limits.check_derived guard;
+            emit head_pred tuple
+          | [] -> assert false
+      done;
+      match pick_exn exns with Some e -> raise e | None -> ()
+    end
+  end
+
+let stats_json t =
+  let s = t.s in
+  let imbalance =
+    if s.s_bal_sum = 0 then 1.0
+    else
+      float_of_int (s.s_bal_max * t.lanes) /. float_of_int s.s_bal_sum
+  in
+  Json.Obj
+    [ ("domains", Json.Int s.s_domains);
+      ("apps_parallel", Json.Int s.s_apps_parallel);
+      ("apps_serial", Json.Int s.s_apps_serial);
+      ("rounds_parallel", Json.Int s.s_rounds_parallel);
+      ("rounds_total", Json.Int s.s_rounds_total);
+      ("barrier_wait_s", Json.Float s.s_barrier_wait_s);
+      ("shard_imbalance", Json.Float imbalance)
+    ]

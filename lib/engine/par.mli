@@ -1,0 +1,68 @@
+(** Multicore parallel evaluation: a fork-join pool of OCaml 5 domains
+    executing domain-sharded rule applications with a deterministic
+    merge at each application barrier.
+
+    One rule application at a time is split across the pool's lanes:
+    the coordinator freezes every relation the compiled plan reads
+    ({!Plan.freeze}), each lane runs {!Plan.run_shard} over the outer
+    candidates that hash to it, and the barrier merges the lanes' answer
+    buffers back into serial emission order and folds their
+    {!Counters.t} / {!Profile.t} with the monoid [add]s.  Answers,
+    database insertion order, and every gated counter are identical to
+    a serial run ([gallops] excepted — each lane of a sharded merge
+    join runs its own adaptive cursor).
+
+    Applications whose plan is not {!Plan.shardable} (it would observe
+    its own head mid-application, or could raise an unsafe-rule error),
+    or whose outer relation is too small for the barrier to pay off,
+    fall back to {!Plan.run} on the coordinator — semantics are never
+    affected, only wall time.
+
+    {!Limits} deadlines and cancellation propagate through an atomic
+    flag the lane guards poll; [max_facts] is enforced at the merge,
+    where the shared fact count lives.  Checkpoints stay
+    coordinator-only: the pool never touches the database — all
+    mutation goes through the caller's [emit] at the barrier. *)
+
+open Datalog_ast
+open Datalog_storage
+
+type t
+(** A pool of worker domains (created eagerly, parked between jobs). *)
+
+val create : int -> t
+(** [create n] spawns a pool of [n] lanes total: [n - 1] worker domains
+    plus the calling (coordinator) domain, which executes lane 0 of
+    every job itself.  Call {!shutdown} when done.
+    @raise Invalid_argument when [n < 2]. *)
+
+val domains : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent. *)
+
+val run_app :
+  t ->
+  Plan.t ->
+  Counters.t ->
+  ?guard:Limits.guard ->
+  ?profile:Profile.t ->
+  rel_of:(int -> Pred.t -> Relation.t option) ->
+  neg:(Pred.t -> Tuple.t -> bool) ->
+  (Pred.t -> Tuple.t -> unit) ->
+  unit
+(** Drop-in replacement for {!Plan.run}: one rule application, sharded
+    across the pool when profitable, serial otherwise.  [emit] is only
+    ever called on the coordinator domain, after the barrier, in serial
+    emission order. *)
+
+val note_round : t -> unit
+(** Tell the pool a fixpoint round completed, for the
+    rounds-parallelized statistic. *)
+
+val stats_json : t -> Json.t
+(** The [parallel] block of the stats report: [{"domains";
+    "apps_parallel"; "apps_serial"; "rounds_parallel"; "rounds_total";
+    "barrier_wait_s"; "shard_imbalance"}].  [shard_imbalance] is the
+    busiest lane's share of scanned tuples relative to a perfect split
+    (1.0 = balanced), accumulated over all parallel applications. *)

@@ -9,9 +9,15 @@ type outcome = {
   status : Limits.status;
 }
 
+(* Strata always run in sequence, even with a domain pool: independent
+   SCCs of the predicate graph could in principle evaluate concurrently,
+   but their rule applications would interleave nondeterministically and
+   the per-stratum profile and checkpoint stream would no longer match
+   the serial engine.  Parallelism lives inside each rule application
+   ({!Par}), where a deterministic merge keeps counters exact. *)
 let run ?(limits = Limits.none) ?(profile = Profile.none)
     ?(checkpoint = Checkpoint.none) ?resume_from ?db ?(use_naive = false)
-    ?plan program =
+    ?plan ?par program =
   match Stratify.stratification program with
   | None ->
     Error
@@ -61,10 +67,10 @@ let run ?(limits = Limits.none) ?(profile = Profile.none)
                    strata produced *)
                 if use_naive then
                   Fixpoint.naive counters ~guard ~profile ~ckpt:checkpoint
-                    ?plan ~db ~neg rules
+                    ?plan ?par ~db ~neg rules
                 else
                   Fixpoint.seminaive counters ~guard ~profile
-                    ~ckpt:checkpoint ?plan ?initial_delta ~db ~neg rules)
+                    ~ckpt:checkpoint ?plan ?par ?initial_delta ~db ~neg rules)
         done
       with
       | () -> Limits.Complete

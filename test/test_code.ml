@@ -81,6 +81,62 @@ let test_eval_cmp_matches_literal_semantics () =
     vs
 
 (* -------------------------------------------------------------------- *)
+(* Thread-safety: the side dictionary and the symbol intern table are
+   process-wide mutable state guarded by a mutex; four domains interning
+   the same out-of-range ints and symbol names concurrently must agree
+   on every code, decode exactly, and never create duplicate entries. *)
+
+let test_concurrent_interning () =
+  let n_domains = 4 and n_values = 200 in
+  let seed = 0x5eed + Hashtbl.hash "code-stress" in
+  let big k = max_int - 1 - (k * 7919) - (seed land 0xff) in
+  let sym k = Printf.sprintf "stress_sym_%d_%d" (seed land 0xfff) k in
+  let worker () =
+    Array.init n_values (fun k ->
+        let ic = Code.of_int (big k) in
+        let sc = Code.of_symbol (Symbol.intern (sym k)) in
+        let fc = Code.of_symbol (Symbol.fresh "stress_fresh") in
+        (ic, sc, fc))
+  in
+  let domains = Array.init n_domains (fun _ -> Domain.spawn worker) in
+  let results = Array.map Domain.join domains in
+  (* every domain computed the same code for the same value *)
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun k (ic, sc, _) ->
+          let ic0, sc0, _ = results.(0).(k) in
+          check tbool "int codes agree across domains" true (Code.equal ic ic0);
+          check tbool "symbol codes agree across domains" true
+            (Code.equal sc sc0);
+          check tint "decodes exactly" (big k) (Code.to_int ic))
+        row)
+    results;
+  (* distinct inputs got distinct codes (injectivity survived the race) *)
+  let all = Hashtbl.create 256 in
+  Array.iteri
+    (fun k (ic, sc, _) ->
+      check tbool "int/sym codes distinct" false (Code.equal ic sc);
+      Hashtbl.replace all ic ("i", k);
+      Hashtbl.replace all sc ("s", k))
+    results.(0);
+  check tint "no code collisions" (2 * n_values) (Hashtbl.length all);
+  Array.iteri
+    (fun k (ic, sc, _) ->
+      check tbool "int slot" true (Hashtbl.find all ic = ("i", k));
+      check tbool "sym slot" true (Hashtbl.find all sc = ("s", k)))
+    results.(0);
+  (* [fresh] never handed the same symbol to two callers *)
+  let fresh_codes = Hashtbl.create 256 in
+  Array.iter
+    (Array.iter (fun (_, _, fc) ->
+         check tbool "fresh symbol is unique" false (Hashtbl.mem fresh_codes fc);
+         Hashtbl.replace fresh_codes fc ()))
+    results;
+  check tint "all fresh symbols distinct" (n_domains * n_values)
+    (Hashtbl.length fresh_codes)
+
+(* -------------------------------------------------------------------- *)
 (* Properties *)
 
 let arb_value =
@@ -118,7 +174,9 @@ let suite =
         Alcotest.test_case "value order" `Quick
           test_compare_values_matches_value_compare;
         Alcotest.test_case "comparison literals" `Quick
-          test_eval_cmp_matches_literal_semantics
+          test_eval_cmp_matches_literal_semantics;
+        Alcotest.test_case "concurrent interning (4 domains)" `Quick
+          test_concurrent_interning
       ] );
     ( "code:properties",
       List.map QCheck_alcotest.to_alcotest

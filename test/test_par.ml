@@ -1,0 +1,375 @@
+(* Parallel evaluation: the Counters/Profile merge monoid obeys its
+   laws on random traces, and evaluating with a domain pool produces
+   answers and gated counters bit-identical to the serial engines.
+   (The one legitimately divergent counter, [gallops], moves only when
+   a merge join's sorted outer side is sharded — its per-lane adaptive
+   cursors start cold; the bench regression gate --ignores it in the
+   parallel-parity job.) *)
+
+module O = Alexander.Options
+module S = Alexander.Solve
+module W = Alexander.Workloads
+module C = Datalog_engine.Counters
+module P = Datalog_engine.Profile
+module Par = Datalog_engine.Par
+module J = Datalog_engine.Json
+module Pred = Datalog_ast.Pred
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let atom = Datalog_parser.Parser.atom_of_string
+
+let run_exn ~options program query =
+  match S.run ~options program query with
+  | Ok report -> report
+  | Error e -> Alcotest.fail (Alexander.Errors.message e)
+
+(* -------------------------------------------------------------------- *)
+(* The Counters monoid: random counter traces, split any way, fold back
+   to the straight-line accumulation. *)
+
+(* one trace event bumps one field by a small amount *)
+type event = Ev of int * int (* field index 0..6, delta *)
+
+let apply_event (c : C.t) (Ev (field, d)) =
+  match field with
+  | 0 -> c.C.facts_derived <- c.C.facts_derived + d
+  | 1 -> c.C.firings <- c.C.firings + d
+  | 2 -> c.C.probes <- c.C.probes + d
+  | 3 -> c.C.scanned <- c.C.scanned + d
+  | 4 -> c.C.iterations <- c.C.iterations + d
+  | 5 -> c.C.merge_steps <- c.C.merge_steps + d
+  | _ -> c.C.gallops <- c.C.gallops + d
+
+let of_events evs =
+  let c = C.zero () in
+  List.iter (apply_event c) evs;
+  c
+
+let counters_equal (a : C.t) (b : C.t) =
+  a.C.facts_derived = b.C.facts_derived
+  && a.C.firings = b.C.firings
+  && a.C.probes = b.C.probes
+  && a.C.scanned = b.C.scanned
+  && a.C.iterations = b.C.iterations
+  && a.C.merge_steps = b.C.merge_steps
+  && a.C.gallops = b.C.gallops
+
+let arb_events =
+  QCheck.make
+    ~print:(fun evs ->
+      String.concat ";"
+        (List.map (fun (Ev (f, d)) -> Printf.sprintf "%d+=%d" f d) evs))
+    QCheck.Gen.(
+      list_size (int_bound 60)
+        (let* field = int_bound 6 in
+         let* d = int_bound 9 in
+         return (Ev (field, d))))
+
+(* split positions: a list of cut points as fractions of the length *)
+let split_at n l =
+  let rec go i acc = function
+    | rest when i = n -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (i + 1) (x :: acc) rest
+  in
+  go 0 [] l
+
+let prop_counters_add_assoc_comm =
+  QCheck.Test.make ~name:"Counters.add is associative and commutative"
+    ~count:200
+    (QCheck.triple arb_events arb_events arb_events)
+    (fun (e1, e2, e3) ->
+      let a () = of_events e1 and b () = of_events e2 and c () = of_events e3 in
+      (* (a+b)+c = a+(b+c): fold into an accumulator both ways *)
+      let l = C.zero () in
+      C.add l (a ());
+      C.add l (b ());
+      C.add l (c ());
+      let bc = b () in
+      C.add bc (c ());
+      let r = C.zero () in
+      C.add r (a ());
+      C.add r bc;
+      (* commutativity: c+b+a *)
+      let rev = C.zero () in
+      C.add rev (c ());
+      C.add rev (b ());
+      C.add rev (a ());
+      counters_equal l r && counters_equal l rev)
+
+let prop_counters_split_merge =
+  QCheck.Test.make
+    ~name:"Counters: split-then-merge = straight-line on random traces"
+    ~count:200
+    (QCheck.pair arb_events (QCheck.small_nat))
+    (fun (evs, cut) ->
+      let straight = of_events evs in
+      let cut = if evs = [] then 0 else cut mod (List.length evs + 1) in
+      let l, r = split_at cut evs in
+      let merged = C.zero () in
+      C.add merged (of_events l);
+      C.add merged (of_events r);
+      (* zero is the identity *)
+      C.add merged (C.zero ());
+      counters_equal straight merged)
+
+(* -------------------------------------------------------------------- *)
+(* The Profile monoid: random probe/merge/derive traces over a small
+   predicate pool, split across two profiles and folded back, equal the
+   straight-line profile up to row order. *)
+
+type pevent =
+  | Probe of int * int (* pred index, scanned *)
+  | Merge of int * int (* pred index, gallops *)
+  | Derived of int
+
+(* Lazy: interning at module-init time would shift the process-wide
+   symbol ids other suites' set orderings depend on. *)
+let preds = lazy [| Pred.make "p" 1; Pred.make "q" 2; Pred.make "r" 1 |]
+
+let apply_pevent prof ev =
+  let preds = Lazy.force preds in
+  match ev with
+  | Probe (i, scanned) -> P.probe prof preds.(i) ~scanned
+  | Merge (i, gallops) -> P.merge prof preds.(i) ~gallops
+  | Derived i -> P.derived prof preds.(i)
+
+let profile_of_pevents evs =
+  let prof = P.create () in
+  List.iter (apply_pevent prof) evs;
+  prof
+
+let pred_rows_sorted prof =
+  List.sort compare
+    (List.map
+       (fun (r : P.pred_row) ->
+         ( r.P.pred_name,
+           r.P.pred_arity,
+           r.P.p_probes,
+           r.P.p_scanned,
+           r.P.p_derived,
+           r.P.p_merge_steps,
+           r.P.p_gallops ))
+       (P.preds prof))
+
+let arb_pevents =
+  QCheck.make
+    ~print:(fun evs -> string_of_int (List.length evs))
+    QCheck.Gen.(
+      list_size (int_bound 60)
+        (let* i = int_bound 2 in
+         let* kind = int_bound 2 in
+         let* n = int_bound 9 in
+         return
+           (match kind with
+           | 0 -> Probe (i, n)
+           | 1 -> Merge (i, n)
+           | _ -> Derived i)))
+
+let prop_profile_split_merge =
+  QCheck.Test.make
+    ~name:"Profile.add: split-then-merge = straight-line up to row order"
+    ~count:200
+    (QCheck.pair arb_pevents QCheck.small_nat)
+    (fun (evs, cut) ->
+      let straight = profile_of_pevents evs in
+      let cut = if evs = [] then 0 else cut mod (List.length evs + 1) in
+      let l, r = split_at cut evs in
+      let merged = profile_of_pevents l in
+      P.add merged (profile_of_pevents r);
+      (* the identity: folding in a fresh profile changes nothing *)
+      P.add merged (P.create ());
+      pred_rows_sorted straight = pred_rows_sorted merged)
+
+let prop_profile_add_commutes =
+  QCheck.Test.make
+    ~name:"Profile.add is commutative up to row order" ~count:200
+    (QCheck.pair arb_pevents arb_pevents)
+    (fun (e1, e2) ->
+      let ab = profile_of_pevents e1 in
+      P.add ab (profile_of_pevents e2);
+      let ba = profile_of_pevents e2 in
+      P.add ba (profile_of_pevents e1);
+      pred_rows_sorted ab = pred_rows_sorted ba)
+
+(* -------------------------------------------------------------------- *)
+(* End-to-end parity: a domain pool produces identical answers and gated
+   counters.  [gallops] is compared too on the chain workloads (their
+   sharded outer ops are probes/scans, where even gallops agree). *)
+
+let with_domains ?(profile = false) domains strategy =
+  { O.default with O.strategy; domains; profile }
+
+let gated (r : S.report) =
+  let c = r.S.counters in
+  ( List.length r.S.answers,
+    r.S.answers,
+    c.C.facts_derived,
+    c.C.firings,
+    c.C.probes,
+    c.C.scanned,
+    c.C.iterations,
+    c.C.merge_steps )
+
+let check_parity name strategy program query ~check_gallops =
+  let serial = run_exn ~options:(with_domains 1 strategy) program query in
+  List.iter
+    (fun domains ->
+      let par = run_exn ~options:(with_domains domains strategy) program query in
+      check tbool
+        (Printf.sprintf "%s: answers+gated counters identical at %d domains"
+           name domains)
+        true
+        (gated serial = gated par);
+      if check_gallops then
+        check tint
+          (Printf.sprintf "%s: gallops identical at %d domains" name domains)
+          serial.S.counters.C.gallops par.S.counters.C.gallops)
+    [ 2; 4 ]
+
+let test_parity_chain () =
+  let program = W.ancestor_chain 260 in
+  let query = atom "anc(100, X)" in
+  List.iter
+    (fun strategy ->
+      check_parity
+        ("chain/" ^ O.strategy_name strategy)
+        strategy program query ~check_gallops:true)
+    [ O.Seminaive; O.Magic; O.Alexander; O.Supplementary ]
+
+let test_parity_same_generation () =
+  let program = W.same_generation ~layers:6 ~width:10 in
+  let query = atom "sg(0, X)" in
+  List.iter
+    (fun strategy ->
+      check_parity
+        ("sg/" ^ O.strategy_name strategy)
+        strategy program query ~check_gallops:false)
+    [ O.Seminaive; O.Magic; O.Alexander ]
+
+let test_parity_negation () =
+  let program =
+    Datalog_parser.Parser.program_of_string
+      ("reach(X) :- source(X).\n\
+        reach(Y) :- reach(X), edge(X, Y).\n\
+        dead(X) :- node(X), not reach(X).\n\
+        source(0)."
+      ^ String.concat ""
+          (List.init 150 (fun i -> Printf.sprintf "edge(%d, %d)." i (i + 1)))
+      ^ String.concat ""
+          (List.init 200 (fun i -> Printf.sprintf "node(%d)." i)))
+  in
+  check_parity "negation/seminaive" O.Seminaive program (atom "dead(X)")
+    ~check_gallops:true
+
+(* profile rows merge identically too: same rule rows, same counts *)
+let test_parity_profile_rows () =
+  let program = W.ancestor_chain 260 in
+  let query = atom "anc(100, X)" in
+  let rows (r : S.report) =
+    List.sort compare
+      (List.map
+         (fun (row : P.rule_row) ->
+           ( row.P.rule_text,
+             row.P.evals,
+             row.P.firings,
+             row.P.probes,
+             row.P.scanned,
+             row.P.derived,
+             row.P.merge_steps ))
+         (P.rules r.S.profile))
+  in
+  let serial =
+    run_exn ~options:(with_domains ~profile:true 1 O.Seminaive) program query
+  in
+  let par =
+    run_exn ~options:(with_domains ~profile:true 4 O.Seminaive) program query
+  in
+  check tbool "rule rows identical" true (rows serial = rows par)
+
+(* the report carries the pool's stats block, and it really parallelized *)
+let test_parallel_block () =
+  let program = W.ancestor_chain 260 in
+  let query = atom "anc(100, X)" in
+  let report =
+    run_exn ~options:(with_domains 4 O.Seminaive) program query
+  in
+  match report.S.parallel with
+  | None -> Alcotest.fail "no parallel block at domains=4"
+  | Some block ->
+    check tbool "domains recorded" true (J.member "domains" block = Some (J.Int 4));
+    let apps =
+      match J.member "apps_parallel" block with Some (J.Int n) -> n | _ -> -1
+    in
+    check tbool "some applications were sharded" true (apps > 0);
+    let serial =
+      run_exn ~options:(with_domains 1 O.Seminaive) program query
+    in
+    check tbool "serial report has no parallel block" true
+      (serial.S.parallel = None)
+
+(* small outer relations stay on the coordinator (the min_outer
+   fallback) — still correct, just not sharded *)
+let test_small_stays_serial () =
+  let program = W.ancestor_chain 20 in
+  let query = atom "anc(5, X)" in
+  let report = run_exn ~options:(with_domains 4 O.Seminaive) program query in
+  (match report.S.parallel with
+  | None -> Alcotest.fail "no parallel block"
+  | Some block ->
+    check tbool "all applications fell back to serial" true
+      (J.member "apps_parallel" block = Some (J.Int 0)));
+  let serial = run_exn ~options:(with_domains 1 O.Seminaive) program query in
+  check tbool "answers still identical" true
+    (report.S.answers = serial.S.answers)
+
+let test_pool_create_rejects_one () =
+  match Par.create 1 with
+  | exception Invalid_argument _ -> ()
+  | pool ->
+    Par.shutdown pool;
+    Alcotest.fail "Par.create 1 should Invalid_argument"
+
+(* max-facts budgets stop parallel evaluation soundly: the partial
+   answer set is a subset of the full one and the status is Exhausted *)
+let test_limits_parallel_sound () =
+  let program = W.ancestor_chain 260 in
+  let query = atom "anc(100, X)" in
+  let full = run_exn ~options:(with_domains 4 O.Seminaive) program query in
+  let options =
+    { (with_domains 4 O.Seminaive) with
+      O.limits = Datalog_engine.Limits.make ~max_facts:500 ()
+    }
+  in
+  let partial = run_exn ~options program query in
+  check tbool "exhausted" true (S.incomplete partial);
+  check tbool "partial answers are a subset" true
+    (List.for_all
+       (fun a -> List.mem a full.S.answers)
+       partial.S.answers)
+
+let suite =
+  [ ( "par:monoid",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_counters_add_assoc_comm;
+          prop_counters_split_merge;
+          prop_profile_split_merge;
+          prop_profile_add_commutes
+        ] );
+    ( "par:parity",
+      [ Alcotest.test_case "chain workloads" `Quick test_parity_chain;
+        Alcotest.test_case "same generation" `Quick test_parity_same_generation;
+        Alcotest.test_case "negation" `Quick test_parity_negation;
+        Alcotest.test_case "profile rows" `Quick test_parity_profile_rows;
+        Alcotest.test_case "parallel stats block" `Quick test_parallel_block;
+        Alcotest.test_case "small outer stays serial" `Quick
+          test_small_stays_serial;
+        Alcotest.test_case "pool rejects 1 domain" `Quick
+          test_pool_create_rejects_one;
+        Alcotest.test_case "limits stay sound" `Quick
+          test_limits_parallel_sound
+      ] )
+  ]

@@ -146,7 +146,7 @@ let test_report_json_schema () =
   check tstrings "report keys"
     [ "schema_version"; "query"; "strategy"; "sips"; "negation"; "evaluator";
       "status"; "exhausted_reason"; "answers"; "undefined"; "wall_time_s";
-      "minor_words"; "rewritten"; "plan"; "totals"; "profile"
+      "minor_words"; "rewritten"; "plan"; "parallel"; "totals"; "profile"
     ]
     (J.keys json);
   (match J.member "plan" json with
@@ -182,13 +182,16 @@ let test_report_json_schema () =
         (J.keys first)
     | _ -> Alcotest.fail "no rule rows")
 
-let test_schema_version_is_4 () =
+let test_schema_version_is_5 () =
   let report =
     run_exn ~options:O.default (W.ancestor_chain 5) (atom "anc(0, X)")
   in
   let json = S.report_json ~query:(atom "anc(0, X)") report in
-  check tbool "schema_version 4" true
-    (J.member "schema_version" json = Some (J.Int 4))
+  check tbool "schema_version 5" true
+    (J.member "schema_version" json = Some (J.Int 5));
+  (* serial runs report the parallel block as null *)
+  check tbool "parallel null when serial" true
+    (J.member "parallel" json = Some J.Null)
 
 (* -------------------------------------------------------------------- *)
 (* Trace sinks *)
@@ -269,8 +272,8 @@ let suite =
           test_stratum_rows_stratified;
         Alcotest.test_case "report_json schema pinned" `Quick
           test_report_json_schema;
-        Alcotest.test_case "schema_version is 4" `Quick
-          test_schema_version_is_4;
+        Alcotest.test_case "schema_version is 5" `Quick
+          test_schema_version_is_5;
         Alcotest.test_case "trace lines" `Quick test_trace_lines;
         Alcotest.test_case "trace implies profiling" `Quick
           test_trace_implies_profile;
