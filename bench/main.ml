@@ -84,7 +84,7 @@ let itoa = string_of_int
 
 let run_strategy ?(negation = O.Auto) ?(profile = false)
     ?(checkpoint = Datalog_engine.Checkpoint.none) ?(compile = true)
-    ?(merge = true) ?(sips = Datalog_rewrite.Sips.Left_to_right)
+    ?(merge = true) ?(subsume = true) ?(sips = Datalog_rewrite.Sips.Left_to_right)
     ?(domains = 1) ?(limits = bench_limits) strategy program query =
   let options =
     { O.strategy;
@@ -96,6 +96,7 @@ let run_strategy ?(negation = O.Auto) ?(profile = false)
       checkpoint;
       compile;
       merge;
+      subsume;
       explain = false;
       domains
     }
@@ -668,6 +669,7 @@ let t8 () =
                 checkpoint = Datalog_engine.Checkpoint.none;
                 compile = true;
                 merge = true;
+                subsume = true;
                 explain = false;
                 domains = 1
               }
@@ -835,6 +837,7 @@ let bechamel_tests () =
                     checkpoint = Datalog_engine.Checkpoint.none;
                     compile = true;
                     merge = true;
+                    subsume = true;
                     explain = false;
                     domains = 1
                   }
@@ -1008,6 +1011,31 @@ let json_strategies =
   [ O.Seminaive; O.Magic; O.Supplementary; O.Supplementary_idb; O.Alexander;
     O.Tabled ]
 
+(* bound-pair workloads: non-linear tc whose both-bound query adorns [tc]
+   with the comparable {bb, bf} adornment pair, so the runtime
+   subsumption filter has work to do — the gated evidence that
+   [--subsume] (the default) strictly lowers facts_derived and probes
+   lives in these cells *)
+let magic_family = [ O.Magic; O.Supplementary; O.Supplementary_idb; O.Alexander ]
+
+let subsume_workloads () =
+  [ ("tc_bound_chain_60", W.tc_bound_pair 60, "tc(0, 60)");
+    ("tc_bound_tree_7x2", W.tc_bound_tree ~depth:7 ~fanout:2, "tc(0, 200)");
+    ("tc_bound_tree_5x3", W.tc_bound_tree ~depth:5 ~fanout:3, "tc(0, 300)");
+    ( "tc_bound_random_80",
+      W.tc_bound_random ~nodes:80 ~edges:160 ~seed:7,
+      "tc(0, 40)" )
+  ]
+
+(* strata-heavy negation workloads for the well-founded engine: the deep
+   game tree is locally stratified (every atom decided), the chords on a
+   Hamiltonian cycle are not (a dense undefined region survives into the
+   residual program) *)
+let wellfounded_workloads () =
+  [ ("win_tree_7x2", W.win_tree ~depth:7 ~fanout:2, "win(0)");
+    ("win_cycle_dense_60", W.win_cycle_dense ~nodes:60 ~seed:11, "win(0)")
+  ]
+
 (* the long-running cell multicore speedup is measured on: the full
    transitive closure of a 4000-node chain runs long enough to amortize
    round barriers.  Restricted to the cheap strategies — seminaive
@@ -1023,6 +1051,7 @@ let par_limits = Datalog_engine.Limits.make ~timeout_s:900. ()
 
 let json_workloads () =
   List.map (fun (n, p, q) -> (n, p, q, json_strategies)) (plan_workloads ())
+  @ List.map (fun (n, p, q) -> (n, p, q, magic_family)) (subsume_workloads ())
   @ [ (fun (n, p, q) -> (n, p, q, par_strategies)) (par_workload ()) ]
 
 let bench_domains = ref 1
@@ -1051,6 +1080,36 @@ let json_baseline out =
             ("strategies", J.List strategies)
           ])
       (json_workloads ())
+  in
+  (* well-founded cells ride in the gated "workloads" section too; the
+     evaluation runs under [negation = Well_founded] (the strategy field
+     of the options record is immaterial there), so the cell key is
+     rewritten to the evaluator's name *)
+  let set_field key value = function
+    | J.Obj fields ->
+      J.Obj
+        (List.map (fun (k, v) -> if k = key then (k, value) else (k, v)) fields)
+    | j -> j
+  in
+  let workloads =
+    workloads
+    @ List.map
+        (fun (name, program, q) ->
+          let query = atom q in
+          let report =
+            run_strategy ~negation:O.Well_founded ~profile:true O.Seminaive
+              program query
+          in
+          J.Obj
+            [ ("workload", J.String name);
+              ("query", J.String q);
+              ( "strategies",
+                J.List
+                  [ set_field "strategy" (J.String "wellfounded")
+                      (S.report_json ~query report)
+                  ] )
+            ])
+        (wellfounded_workloads ())
   in
   (* governed-vs-checkpointed wall-time deltas, so perf PRs can watch the
      crash-safety overhead as well as the join work *)
@@ -1179,11 +1238,45 @@ let json_baseline out =
           ])
       (durable_ingest_results ())
   in
+  (* subsumption ablation: the same bound-pair cells with the filter on
+     (the default, what "workloads" gates) and off, so the saved join
+     work is visible as a paired diff rather than across files *)
+  let subsume_section =
+    List.concat_map
+      (fun (name, program, q) ->
+        let query = atom q in
+        let counters_json (r : S.report) =
+          J.Obj
+            [ ("facts_derived", J.Int r.S.counters.C.facts_derived);
+              ("probes", J.Int r.S.counters.C.probes);
+              ("scanned", J.Int r.S.counters.C.scanned);
+              ("firings", J.Int r.S.counters.C.firings);
+              ("subsumed", J.Int r.S.counters.C.subsumed);
+              ("minor_words", J.Float r.S.minor_words)
+            ]
+        in
+        List.map
+          (fun strategy ->
+            let on = run_strategy strategy program query in
+            let off = run_strategy ~subsume:false strategy program query in
+            J.Obj
+              [ ("workload", J.String name);
+                ("strategy", J.String (O.strategy_name strategy));
+                ("answers", J.Int (List.length on.S.answers));
+                ("subsume_on", counters_json on);
+                ("subsume_off", counters_json off);
+                ("on_wall_s", J.Float on.S.wall_time_s);
+                ("off_wall_s", J.Float off.S.wall_time_s)
+              ])
+          magic_family)
+      (subsume_workloads ())
+  in
   let doc =
     J.Obj
-      [ ("schema_version", J.Int 5);
+      [ ("schema_version", J.Int 6);
         ("suite", J.String "alexander-bench-baseline");
         ("workloads", J.List workloads);
+        ("subsume", J.List subsume_section);
         ("plan", J.List plan_section);
         ("parallel", J.List parallel_section);
         ("checkpointing", J.List checkpointing);

@@ -104,6 +104,16 @@ let no_merge_arg =
            join runs as a hash-index probe (same answers and fact \
            counters, more probes)")
 
+let no_subsume_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-subsume" ]
+        ~doc:
+          "Disable the adornment-lattice subsumption filter on \
+           magic-family rewrites (ablation; same answers, more derived \
+           facts and probes)")
+
 let domains_arg =
   Arg.(
     value
@@ -330,7 +340,7 @@ let print_report query report ~stats =
 let write_stats_json path file runs =
   let doc =
     Datalog_engine.Json.Obj
-      [ ("schema_version", Datalog_engine.Json.Int 5);
+      [ ("schema_version", Datalog_engine.Json.Int 6);
         ("file", Datalog_engine.Json.String file);
         ("runs", Datalog_engine.Json.List (List.rev runs))
       ]
@@ -344,7 +354,7 @@ let run_cmd =
   let action file query strategy negation sips stats stats_json trace data
       (limits : ?cancelled:(unit -> bool) -> unit -> Datalog_engine.Limits.t)
       checkpoint_path checkpoint_every resume_path snapshot_mode
-      explain interpret no_merge domains =
+      explain interpret no_merge no_subsume domains =
     match
       Result.bind (read_program file) (fun parsed ->
           Result.map (fun p -> (parsed, p))
@@ -395,6 +405,7 @@ let run_cmd =
             checkpoint;
             compile = not interpret;
             merge = not no_merge;
+            subsume = not no_subsume;
             explain = explain || Option.is_some stats_json;
             domains = max 1 domains
           }
@@ -470,7 +481,7 @@ let run_cmd =
       $ sips_arg $ stats_arg $ stats_json_arg $ trace_arg $ data_arg
       $ limits_term $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
       $ snapshot_mode_arg $ explain_arg $ interpret_arg $ no_merge_arg
-      $ domains_arg)
+      $ no_subsume_arg $ domains_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate queries against a program") term
 
@@ -664,6 +675,7 @@ let repl_cmd =
             checkpoint = Datalog_engine.Checkpoint.none;
             compile = true;
             merge = true;
+            subsume = true;
             explain = false;
             domains = 1
           }

@@ -25,6 +25,7 @@ type t = {
   merge : bool;
   explain : bool;
   domains : int;
+  subsume : bool;
 }
 
 let default =
@@ -38,7 +39,8 @@ let default =
     compile = true;
     merge = true;
     explain = false;
-    domains = 1
+    domains = 1;
+    subsume = true
   }
 
 let strategy_name = function

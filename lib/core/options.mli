@@ -64,12 +64,22 @@ type t = {
           fixpoint-based strategy; answers and gated counters are
           identical for every value (the parallel merge is
           deterministic), only wall time changes *)
+  subsume : bool;
+      (** apply the adornment-lattice subsumption filter
+          ({!Datalog_engine.Subsume}) to the magic-family strategies: a
+          magic/problem fact whose strictly-more-general call is already
+          present is diverted into a companion relation, and bridge rules
+          restore its answers from the general call's — identical
+          answers, fewer [facts_derived]/[probes], a [subsumed] counter.
+          On by default ([--no-subsume] ablates); no effect on
+          [Naive]/[Seminaive]/[Tabled] or on programs where no two
+          adornments of a predicate are comparable *)
 }
 
 val default : t
 (** [Alexander] strategy, left-to-right SIP, [Auto] negation, no limits,
     no profiling, no trace, no checkpoint, compiled plans on, merge
-    joins on, explain off, one domain. *)
+    joins on, explain off, one domain, subsumption filter on. *)
 
 val strategy_name : strategy -> string
 val strategy_of_string : string -> strategy option

@@ -94,8 +94,8 @@ let check_safety program =
 
 (* Evaluate [program] (rules + facts) under the requested negation
    semantics; answers are read from [answer_pred]/[pattern]. *)
-let evaluate ?resume_from ?plan ?par options profile program answer_pred
-    pattern =
+let evaluate ?resume_from ?plan ?par ?(subsume = Subsume.none) options
+    profile program answer_pred pattern =
   let limits = options.Options.limits in
   let checkpoint = options.Options.checkpoint in
   let no_resume evaluator =
@@ -112,7 +112,7 @@ let evaluate ?resume_from ?plan ?par options profile program answer_pred
       Result.map_error
         (fun msg -> Errors.Not_stratified msg)
         (Stratified.run ~limits ~profile ~checkpoint ?resume_from ~use_naive
-           ?plan ?par program)
+           ?plan ?par ~subsume program)
     in
     Ok
       ( outcome.Stratified.db,
@@ -155,6 +155,23 @@ let evaluate ?resume_from ?plan ?par options profile program answer_pred
   let answers = matching_tuples db answer_pred pattern in
   let undefined = matching_atoms undefined_atoms pattern in
   Ok (db, counters, answers, undefined, evaluator, status)
+
+(* The runtime subsumption filter for these options: built from the
+   rewriting's declared comparable-adornment pairs (empty on programs
+   with at most one adornment per predicate).  Only the stratified
+   fixpoint path consults it; the conditional evaluator (the [Auto]
+   fallback for unstratified rewritten programs) leaves companions
+   empty, so the bridge rules never fire there and answers agree. *)
+let subsume_of options rw =
+  if not options.Options.subsume then Subsume.none
+  else
+    Subsume.make
+      (List.map
+         (fun s ->
+           ( s.Rewritten.specific,
+             s.Rewritten.generals,
+             s.Rewritten.companion ))
+         rw.Rewritten.subsumption)
 
 (* The domain pool for these options: only the compiled fixpoint path
    can shard, so [--domains N] without plans (or with an engine that
@@ -277,8 +294,9 @@ let run_uncaught ~options ?resume_from program query =
             rw.Rewritten.rules
         in
         let* result =
-          evaluate ?resume_from ?plan ?par options profile full
-            (Rewritten.answer_pred rw) rw.Rewritten.answer_atom
+          evaluate ?resume_from ?plan ?par ~subsume:(subsume_of options rw)
+            options profile full (Rewritten.answer_pred rw)
+            rw.Rewritten.answer_atom
         in
         Ok (finish (Some rw) result))
 
@@ -388,7 +406,8 @@ let run_many_uncaught ~options program queries =
                   in
                   Hashtbl.replace results i (query, answers))
                 group)
-            (evaluate ?plan ?par options profile full (Rewritten.answer_pred rw)
+            (evaluate ?plan ?par ~subsume:(subsume_of options rw) options
+               profile full (Rewritten.answer_pred rw)
                (Atom.make (Rewritten.answer_pred rw)
                   (Array.mapi
                      (fun i _ -> Term.var (Printf.sprintf "_Any%d" i))
@@ -473,7 +492,7 @@ let report_json ~query report =
     match report.parallel with None -> Json.Null | Some j -> j
   in
   Json.Obj
-    [ ("schema_version", Json.Int 5);
+    [ ("schema_version", Json.Int 6);
       ("query", Json.String (Format.asprintf "%a" Atom.pp query));
       ( "strategy",
         Json.String (Options.strategy_name report.options.Options.strategy) );
@@ -481,6 +500,7 @@ let report_json ~query report =
         Json.String (Sips.strategy_name report.options.Options.sips) );
       ( "negation",
         Json.String (Options.negation_name report.options.Options.negation) );
+      ("subsume", Json.Bool report.options.Options.subsume);
       ("evaluator", Json.String report.evaluator);
       ("status", Json.String status);
       ("exhausted_reason", reason);

@@ -98,9 +98,9 @@ val answer_atoms : Program.t -> Atom.t -> report -> Atom.t list
 (** The answers as ground atoms over the source query predicate. *)
 
 val report_json : query:Atom.t -> report -> Datalog_engine.Json.t
-(** The report as a schema-stable JSON object (schema_version 5): query,
-    strategy/sips/negation, evaluator, status, answer and undefined
-    counts, wall time, minor-heap allocation, rewritten-program size, the
+(** The report as a schema-stable JSON object (schema_version 6): query,
+    strategy/sips/negation, the subsumption-filter flag, evaluator,
+    status, answer and undefined counts, wall time, minor-heap allocation, rewritten-program size, the
     compiled-plan block (SIP, per-rule variants and steps), the parallel
     block ([null] for serial runs), the counter totals, and the full
     profile (empty rows unless profiling was on).

@@ -126,6 +126,34 @@ let win_move_random ~nodes ~edges ~seed =
 let win_move_dag n =
   Program.make ~facts:(chain ~pred:"move" n) (win_move_rules ())
 
+let win_tree ~depth ~fanout =
+  Program.make
+    ~facts:(full_tree ~pred:"move" ~depth ~fanout)
+    (win_move_rules ())
+
+let win_cycle_dense ~nodes ~seed =
+  (* a Hamiltonian cycle guarantees an unstratifiable negative loop
+     through every node; the random chords on top make the undefined
+     region irregular, so the residual program is genuinely dense *)
+  Program.make
+    ~facts:
+      (cycle ~pred:"move" nodes
+      @ random_graph ~pred:"move" ~nodes ~edges:(2 * nodes) ~seed)
+    (win_move_rules ())
+
+let tc_bound_pair n =
+  Program.make ~facts:(chain ~pred:"edge" n) (tc_nonlinear_rules ())
+
+let tc_bound_tree ~depth ~fanout =
+  Program.make
+    ~facts:(full_tree ~pred:"edge" ~depth ~fanout)
+    (tc_nonlinear_rules ())
+
+let tc_bound_random ~nodes ~edges ~seed =
+  Program.make
+    ~facts:(random_graph ~pred:"edge" ~nodes ~edges ~seed)
+    (tc_nonlinear_rules ())
+
 let query name args = Atom.app name args
 
 let _ = fact1

@@ -67,6 +67,33 @@ val win_move_random : nodes:int -> edges:int -> seed:int -> Program.t
 val win_move_dag : int -> Program.t
 (** Win–move over a chain (acyclic, therefore locally stratified). *)
 
+val win_tree : depth:int -> fanout:int -> Program.t
+(** Win–move over a complete [fanout]-ary game tree of the given depth
+    (acyclic: every atom is defined, the strata of the local
+    stratification are the tree levels).  A strata-heavy well-founded
+    workload with no undefined atoms. *)
+
+val win_cycle_dense : nodes:int -> seed:int -> Program.t
+(** Win–move over a Hamiltonian cycle plus [2*nodes] random chord moves:
+    not stratifiable, with a dense undefined region — the residual
+    program of the well-founded computation stays large. *)
+
+val tc_bound_pair : int -> Program.t
+(** Non-linear transitive closure over an [n]-chain.  Queried with both
+    arguments bound ([tc(0, n)]), the magic-family rewrites adorn [tc]
+    with both [bb] and [bf] — a comparable pair on the adornment
+    lattice, so the runtime subsumption filter has bridges to work
+    with (see {!Datalog_rewrite.Rewritten.subsumption}). *)
+
+val tc_bound_tree : depth:int -> fanout:int -> Program.t
+(** {!tc_bound_pair} over a complete tree instead of a chain: the
+    recursive doubling revisits every subtree call, so a both-bound
+    query subsumes many more specific calls. *)
+
+val tc_bound_random : nodes:int -> edges:int -> seed:int -> Program.t
+(** {!tc_bound_pair} over a random digraph; cyclic reachability keeps
+    re-deriving both-bound calls already covered by the free ones. *)
+
 (** {1 Query helpers} *)
 
 val node : int -> Term.t

@@ -62,7 +62,8 @@ end
    (tuple, condition-set) choices; negative literals over IDB predicates are
    delayed into the accumulated condition; negative EDB literals and
    comparisons are decided immediately. *)
-let solve_body cnt ~guard ~profile store ~is_idb ~edb_mem body env cond emit =
+let solve_body cnt ~guard ~profile store ~is_idb ~edb_mem ~oracle body env
+    cond emit =
   let module Cenv = Eval.Cenv in
   let rec go body env cond =
     match body with
@@ -92,7 +93,18 @@ let solve_body cnt ~guard ~profile store ~is_idb ~edb_mem body env cond emit =
         raise
           (Eval.Unsafe_rule
              (Format.asprintf "negative literal %a not ground" Atom.pp a));
-      if is_idb (Atom.pred a) then go rest env (Atom.Set.add a cond)
+      if is_idb (Atom.pred a) then begin
+        match oracle a with
+        | `False ->
+          (* failure transformation: [a] is underivable even in the
+             most generous interpretation, so [not a] holds outright *)
+          go rest env cond
+        | `True ->
+          (* success transformation: [a] is certainly true, the branch
+             is dead — no statement is generated *)
+          ()
+        | `Undecided -> go rest env (Atom.Set.add a cond)
+      end
       else if not (edb_mem a) then go rest env cond
     | Literal.Cmp (op, t1, t2) :: rest -> (
       let r1 = Cenv.resolve_term env t1 and r2 = Cenv.resolve_term env t2 in
@@ -112,8 +124,11 @@ let solve_body cnt ~guard ~profile store ~is_idb ~edb_mem body env cond emit =
   in
   go body env cond
 
-let run ?(limits = Limits.none) ?(profile = Profile.none) ?plan ?db program =
-  let counters = Counters.create () in
+let run ?(limits = Limits.none) ?(profile = Profile.none) ?plan ?counters
+    ?(oracle = fun _ -> `Undecided) ?db program =
+  let counters =
+    match counters with Some c -> c | None -> Counters.create ()
+  in
   let guard = Limits.guard limits counters in
   let store = Store.create () in
   let seed = match db with Some db -> db | None -> Database.create () in
@@ -156,7 +171,8 @@ let run ?(limits = Limits.none) ?(profile = Profile.none) ?plan ?db program =
               (fun rule ->
                 Profile.with_rule profile counters rule (fun () ->
                     solve_body counters ~guard ~profile store ~is_idb
-                      ~edb_mem (Rule.body rule) Eval.Cenv.empty Atom.Set.empty
+                      ~edb_mem ~oracle (Rule.body rule) Eval.Cenv.empty
+                      Atom.Set.empty
                       (fun env cond ->
                         counters.Counters.firings <-
                           counters.Counters.firings + 1;

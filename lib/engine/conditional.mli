@@ -39,13 +39,29 @@ type outcome = {
 }
 
 val run :
-  ?limits:Limits.t -> ?profile:Profile.t -> ?plan:Plan.config ->
-  ?db:Database.t -> Program.t ->
+  ?limits:Limits.t ->
+  ?profile:Profile.t ->
+  ?plan:Plan.config ->
+  ?counters:Counters.t ->
+  ?oracle:(Atom.t -> [ `True | `False | `Undecided ]) ->
+  ?db:Database.t ->
+  Program.t ->
   outcome
 (** Evaluate the program under the conditional fixpoint.  [db] optionally
     pre-seeds extra EDB facts; [limits] bounds the evaluation; an active
     [profile] records per-rule and per-round rows of the monotone phase
-    (the reduction phase derives no new atoms and is not attributed). *)
+    (the reduction phase derives no new atoms and is not attributed).
+
+    [counters] shares an existing counter set instead of creating a
+    fresh one (the budget guard then also sees work recorded by earlier
+    phases — used by {!Wellfounded.run}).
+
+    [oracle] pre-decides delayed ground IDB negations [not a]: [`True]
+    (a certainly true — the branch is dead, the success transformation),
+    [`False] (a certainly underivable — the literal is discharged
+    outright, the failure transformation) or [`Undecided] (delay into
+    the condition set as usual).  A sound oracle shrinks the residual
+    program without changing the computed model. *)
 
 val holds : outcome -> Atom.t -> bool
 (** Is the ground atom true in the computed model? *)

@@ -6,6 +6,7 @@ type t = {
   mutable iterations : int;
   mutable merge_steps : int;
   mutable gallops : int;
+  mutable subsumed : int;
 }
 
 let create () =
@@ -15,7 +16,8 @@ let create () =
     scanned = 0;
     iterations = 0;
     merge_steps = 0;
-    gallops = 0
+    gallops = 0;
+    subsumed = 0
   }
 
 let zero = create
@@ -27,7 +29,8 @@ let reset c =
   c.scanned <- 0;
   c.iterations <- 0;
   c.merge_steps <- 0;
-  c.gallops <- 0
+  c.gallops <- 0;
+  c.subsumed <- 0
 
 let add acc c =
   acc.facts_derived <- acc.facts_derived + c.facts_derived;
@@ -36,7 +39,8 @@ let add acc c =
   acc.scanned <- acc.scanned + c.scanned;
   acc.iterations <- acc.iterations + c.iterations;
   acc.merge_steps <- acc.merge_steps + c.merge_steps;
-  acc.gallops <- acc.gallops + c.gallops
+  acc.gallops <- acc.gallops + c.gallops;
+  acc.subsumed <- acc.subsumed + c.subsumed
 
 let to_json c =
   Json.Obj
@@ -46,12 +50,13 @@ let to_json c =
       ("scanned", Json.Int c.scanned);
       ("iterations", Json.Int c.iterations);
       ("merge_steps", Json.Int c.merge_steps);
-      ("gallops", Json.Int c.gallops)
+      ("gallops", Json.Int c.gallops);
+      ("subsumed", Json.Int c.subsumed)
     ]
 
 let pp ppf c =
   Format.fprintf ppf
     "facts=%d firings=%d probes=%d scanned=%d iterations=%d merge_steps=%d \
-     gallops=%d"
+     gallops=%d subsumed=%d"
     c.facts_derived c.firings c.probes c.scanned c.iterations c.merge_steps
-    c.gallops
+    c.gallops c.subsumed

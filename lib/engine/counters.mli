@@ -7,7 +7,9 @@
     rounds.  A {e merge step} is one execution of a fused galloping
     merge-join operation (which replaces a scan plus one probe per
     candidate), and {e gallops} counts the exponential-search descents
-    those merge steps performed. *)
+    those merge steps performed.  {e subsumed} counts magic/problem facts
+    dropped because a more general call was already present
+    ({!Subsume}). *)
 
 type t = {
   mutable facts_derived : int;  (** new tuples inserted by rules *)
@@ -17,6 +19,9 @@ type t = {
   mutable iterations : int;  (** fixpoint rounds *)
   mutable merge_steps : int;  (** fused merge-join executions *)
   mutable gallops : int;  (** exponential searches inside merge joins *)
+  mutable subsumed : int;
+      (** magic/problem facts dropped by the adornment-lattice
+          subsumption filter (distinct tuples, like [facts_derived]) *)
 }
 
 val create : unit -> t
@@ -35,6 +40,6 @@ val add : t -> t -> unit
     order for the profile rows' sake. *)
 
 val to_json : t -> Json.t
-(** One object with the seven counter fields, in declaration order. *)
+(** One object with the eight counter fields, in declaration order. *)
 
 val pp : Format.formatter -> t -> unit

@@ -23,7 +23,8 @@ let applier cnt ~guard ~profile ~neg ?plan ?par ~card ?delta_pos rule =
 let note_round par = match par with Some pool -> Par.note_round pool | None -> ()
 
 let naive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
-    ?(ckpt = Checkpoint.none) ?plan ?par ~db ~neg rules =
+    ?(ckpt = Checkpoint.none) ?plan ?par ?(subsume = Subsume.none) ~db ~neg
+    rules =
   let rel_of = Eval.db_rel_of db in
   let card pred = Database.cardinal db pred in
   let apps =
@@ -43,10 +44,21 @@ let naive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
             (fun (rule, app) ->
               Profile.with_rule profile cnt rule (fun () ->
                   app ~rel_of (fun pred tuple ->
+                      let pred, dropped =
+                        match Subsume.drop subsume db pred tuple with
+                        | Some companion -> (companion, true)
+                        | None -> (pred, false)
+                      in
                       if Database.add db pred tuple then begin
-                        cnt.Counters.facts_derived <-
-                          cnt.Counters.facts_derived + 1;
-                        Profile.derived profile pred;
+                        if dropped then begin
+                          cnt.Counters.subsumed <- cnt.Counters.subsumed + 1;
+                          Profile.subsumed profile pred
+                        end
+                        else begin
+                          cnt.Counters.facts_derived <-
+                            cnt.Counters.facts_derived + 1;
+                          Profile.derived profile pred
+                        end;
                         if Limits.is_active guard then
                           Limits.check_relation guard (Database.rel db pred);
                         changed := true
@@ -77,11 +89,14 @@ let delta_positions recursive rule =
          | Literal.Pos _ | Literal.Neg _ | Literal.Cmp _ -> None)
 
 let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
-    ?(ckpt = Checkpoint.none) ?plan ?par ?initial_delta ~db ~neg ?recursive
-    rules =
+    ?(ckpt = Checkpoint.none) ?plan ?par ?(subsume = Subsume.none)
+    ?initial_delta ~db ~neg ?recursive rules =
   let recursive =
     match recursive with Some s -> s | None -> head_preds rules
   in
+  (* companion relations are populated by the filter, not by rules, but
+     the bridge rules join against them — drive those joins with deltas *)
+  let recursive = Pred.Set.union recursive (Subsume.companions subsume) in
   let card pred = Database.cardinal db pred in
   let fresh_delta () : Database.t = Database.create () in
   let delta = ref (fresh_delta ()) in
@@ -107,10 +122,21 @@ let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
             (fun (rule, app) ->
               Profile.with_rule profile cnt rule (fun () ->
                   app ~rel_of (fun pred tuple ->
+                      let pred, dropped =
+                        match Subsume.drop subsume db pred tuple with
+                        | Some companion -> (companion, true)
+                        | None -> (pred, false)
+                      in
                       if Database.add db pred tuple then begin
-                        cnt.Counters.facts_derived <-
-                          cnt.Counters.facts_derived + 1;
-                        Profile.derived profile pred;
+                        if dropped then begin
+                          cnt.Counters.subsumed <- cnt.Counters.subsumed + 1;
+                          Profile.subsumed profile pred
+                        end
+                        else begin
+                          cnt.Counters.facts_derived <-
+                            cnt.Counters.facts_derived + 1;
+                          Profile.derived profile pred
+                        end;
                         if Limits.is_active guard then
                           Limits.check_relation guard (Database.rel db pred);
                         ignore (Database.add !delta pred tuple)
@@ -159,10 +185,22 @@ let seminaive cnt ?(guard = Limits.no_guard) ?(profile = Profile.none)
                          else Database.find db pred
                        in
                        app ~rel_of (fun pred tuple ->
+                           let pred, dropped =
+                             match Subsume.drop subsume db pred tuple with
+                             | Some companion -> (companion, true)
+                             | None -> (pred, false)
+                           in
                            if Database.add db pred tuple then begin
-                             cnt.Counters.facts_derived <-
-                               cnt.Counters.facts_derived + 1;
-                             Profile.derived profile pred;
+                             if dropped then begin
+                               cnt.Counters.subsumed <-
+                                 cnt.Counters.subsumed + 1;
+                               Profile.subsumed profile pred
+                             end
+                             else begin
+                               cnt.Counters.facts_derived <-
+                                 cnt.Counters.facts_derived + 1;
+                               Profile.derived profile pred
+                             end;
                              if Limits.is_active guard then
                                Limits.check_relation guard
                                  (Database.rel db pred);

@@ -27,6 +27,7 @@ val naive :
   ?ckpt:Checkpoint.t ->
   ?plan:Plan.config ->
   ?par:Par.t ->
+  ?subsume:Subsume.t ->
   db:Database.t ->
   neg:(Pred.t -> Tuple.t -> bool) ->
   Rule.t list ->
@@ -46,6 +47,7 @@ val seminaive :
   ?ckpt:Checkpoint.t ->
   ?plan:Plan.config ->
   ?par:Par.t ->
+  ?subsume:Subsume.t ->
   ?initial_delta:Database.t ->
   db:Database.t ->
   neg:(Pred.t -> Tuple.t -> bool) ->
@@ -61,4 +63,9 @@ val seminaive :
     the state after some completed round and [initial_delta] the facts
     that round produced (a resumed checkpoint) — the full first round is
     then skipped.
+
+    An active [subsume] filter ({!Subsume}) may divert an emitted fact
+    into its companion relation (counted as [subsumed], not
+    [facts_derived]); companion predicates are implicitly added to
+    [recursive] so the restoring bridge rules see them through deltas.
     @raise Limits.Out_of_budget when the guard's budget is exhausted. *)

@@ -15,6 +15,7 @@ type rule_row = {
   mutable derived : int;
   mutable merge_steps : int;
   mutable gallops : int;
+  mutable r_subsumed : int;
   mutable time_s : float;
 }
 
@@ -26,6 +27,7 @@ type pred_row = {
   mutable p_derived : int;
   mutable p_merge_steps : int;
   mutable p_gallops : int;
+  mutable p_subsumed : int;
 }
 
 type round_row = {
@@ -104,6 +106,7 @@ let rule_row p rule =
         derived = 0;
         merge_steps = 0;
         gallops = 0;
+        r_subsumed = 0;
         time_s = 0.0
       }
     in
@@ -123,7 +126,8 @@ let pred_row p pred =
         p_scanned = 0;
         p_derived = 0;
         p_merge_steps = 0;
-        p_gallops = 0
+        p_gallops = 0;
+        p_subsumed = 0
       }
     in
     Hashtbl.add p.pred_tbl key row;
@@ -148,6 +152,12 @@ let derived p pred =
   if p.active then begin
     let row = pred_row p pred in
     row.p_derived <- row.p_derived + 1
+  end
+
+let subsumed p pred =
+  if p.active then begin
+    let row = pred_row p pred in
+    row.p_subsumed <- row.p_subsumed + 1
   end
 
 (* Bare column bumps for the sharded merge-join executor ({!Par}): a
@@ -192,6 +202,7 @@ let add dst src =
                 derived = 0;
                 merge_steps = 0;
                 gallops = 0;
+                r_subsumed = 0;
                 time_s = 0.0
               }
             in
@@ -206,6 +217,7 @@ let add dst src =
         row.derived <- row.derived + src_row.derived;
         row.merge_steps <- row.merge_steps + src_row.merge_steps;
         row.gallops <- row.gallops + src_row.gallops;
+        row.r_subsumed <- row.r_subsumed + src_row.r_subsumed;
         row.time_s <- row.time_s +. src_row.time_s)
       (List.rev src.rules_rev);
     List.iter
@@ -222,7 +234,8 @@ let add dst src =
                 p_scanned = 0;
                 p_derived = 0;
                 p_merge_steps = 0;
-                p_gallops = 0
+                p_gallops = 0;
+                p_subsumed = 0
               }
             in
             Hashtbl.add dst.pred_tbl key row;
@@ -233,7 +246,8 @@ let add dst src =
         row.p_scanned <- row.p_scanned + src_row.p_scanned;
         row.p_derived <- row.p_derived + src_row.p_derived;
         row.p_merge_steps <- row.p_merge_steps + src_row.p_merge_steps;
-        row.p_gallops <- row.p_gallops + src_row.p_gallops)
+        row.p_gallops <- row.p_gallops + src_row.p_gallops;
+        row.p_subsumed <- row.p_subsumed + src_row.p_subsumed)
       (List.rev src.preds_rev);
     dst.rounds_rev <- src.rounds_rev @ dst.rounds_rev;
     dst.strata_rev <- src.strata_rev @ dst.strata_rev;
@@ -253,7 +267,8 @@ let with_rule p cnt rule f =
     and sc0 = cnt.Counters.scanned
     and d0 = cnt.Counters.facts_derived
     and ms0 = cnt.Counters.merge_steps
-    and g0 = cnt.Counters.gallops in
+    and g0 = cnt.Counters.gallops
+    and su0 = cnt.Counters.subsumed in
     let t0 = now () in
     let record () =
       row.evals <- row.evals + 1;
@@ -263,6 +278,7 @@ let with_rule p cnt rule f =
       row.derived <- row.derived + (cnt.Counters.facts_derived - d0);
       row.merge_steps <- row.merge_steps + (cnt.Counters.merge_steps - ms0);
       row.gallops <- row.gallops + (cnt.Counters.gallops - g0);
+      row.r_subsumed <- row.r_subsumed + (cnt.Counters.subsumed - su0);
       row.time_s <- row.time_s +. (now () -. t0)
     in
     match f () with
@@ -347,6 +363,7 @@ let to_json p =
         ("derived", Json.Int r.derived);
         ("merge_steps", Json.Int r.merge_steps);
         ("gallops", Json.Int r.gallops);
+        ("subsumed", Json.Int r.r_subsumed);
         ("time_s", Json.Float r.time_s)
       ]
   in
@@ -357,7 +374,8 @@ let to_json p =
         ("scanned", Json.Int r.p_scanned);
         ("derived", Json.Int r.p_derived);
         ("merge_steps", Json.Int r.p_merge_steps);
-        ("gallops", Json.Int r.p_gallops)
+        ("gallops", Json.Int r.p_gallops);
+        ("subsumed", Json.Int r.p_subsumed)
       ]
   in
   let stratum_json (r : stratum_row) =

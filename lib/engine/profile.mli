@@ -24,6 +24,7 @@ type rule_row = private {
   mutable derived : int;  (** genuinely new facts from this rule *)
   mutable merge_steps : int;  (** fused merge-join executions *)
   mutable gallops : int;  (** exponential searches inside those *)
+  mutable r_subsumed : int;  (** facts diverted by the subsumption filter *)
   mutable time_s : float;
 }
 
@@ -35,6 +36,8 @@ type pred_row = private {
   mutable p_derived : int;  (** new facts stored for this predicate *)
   mutable p_merge_steps : int;  (** merge joins with this pred sorted-side *)
   mutable p_gallops : int;  (** exponential searches inside those *)
+  mutable p_subsumed : int;
+      (** facts of this predicate dropped as subsumed ({!Subsume}) *)
 }
 
 type round_row = private {
@@ -88,6 +91,10 @@ val merge : t -> Pred.t -> gallops:int -> unit
 
 val derived : t -> Pred.t -> unit
 (** Record one genuinely new fact stored for [pred]. *)
+
+val subsumed : t -> Pred.t -> unit
+(** Record one fact of [pred] dropped by the adornment-lattice
+    subsumption filter (and diverted into its companion relation). *)
 
 val add_scanned : t -> Pred.t -> scanned:int -> unit
 (** Add candidate tuples scanned for [pred] {e without} counting a

@@ -17,7 +17,7 @@ type outcome = {
    ({!Par}), where a deterministic merge keeps counters exact. *)
 let run ?(limits = Limits.none) ?(profile = Profile.none)
     ?(checkpoint = Checkpoint.none) ?resume_from ?db ?(use_naive = false)
-    ?plan ?par program =
+    ?plan ?par ?(subsume = Subsume.none) program =
   match Stratify.stratification program with
   | None ->
     Error
@@ -67,10 +67,11 @@ let run ?(limits = Limits.none) ?(profile = Profile.none)
                    strata produced *)
                 if use_naive then
                   Fixpoint.naive counters ~guard ~profile ~ckpt:checkpoint
-                    ?plan ?par ~db ~neg rules
+                    ?plan ?par ~subsume ~db ~neg rules
                 else
                   Fixpoint.seminaive counters ~guard ~profile
-                    ~ckpt:checkpoint ?plan ?par ?initial_delta ~db ~neg rules)
+                    ~ckpt:checkpoint ?plan ?par ~subsume ?initial_delta ~db
+                    ~neg rules)
         done
       with
       | () -> Limits.Complete

@@ -1,11 +1,23 @@
-(** Well-founded semantics via Van Gelder's alternating fixpoint.
+(** Well-founded semantics, computed bottom-up.
 
-    Let [S(I)] be the least fixpoint of the program where a negated atom
-    holds iff it is absent from [I] (and from the EDB).  [S] is
-    anti-monotone, so [S o S] is monotone: iterating [I := S(S(I))] from
-    the empty set climbs to the set of {e well-founded true} atoms, and one
-    more application of [S] yields the {e possible} atoms.  Atoms possible
-    but not true are {e undefined}; everything else is false.
+    {!run} is the transformation-based engine (after Brass & Dix,
+    "Transformation-Based Bottom-Up Computation of the Well-Founded
+    Model"): two compiled seminaive fixpoints bracket the model — the
+    {e definite} subset (negations all extensional) underestimates the
+    true atoms, the program with intensional negations stripped
+    overestimates the possible ones — and a single conditional fixpoint
+    ({!Conditional}) handles the undecided slice, with its delayed
+    negations pre-decided against the two approximations (the success
+    and failure transformations) and its residual program reduced by
+    positive reduction.  The bulk of the work thus runs through the same
+    compiled-plan join machinery, counters and budget guard as the other
+    engines.
+
+    {!run_alternating} is Van Gelder's alternating fixpoint, kept as the
+    differential oracle ([S] is anti-monotone, so iterating [I := S(S(I))]
+    from the empty set climbs to the well-founded true atoms and one more
+    [S] yields the possible ones).  The two engines agree on every
+    program; qcheck pins this.
 
     On stratified programs the undefined set is empty and the true set is
     the perfect model, which the tests check against {!Stratified}. *)
@@ -16,22 +28,30 @@ open Datalog_storage
 type outcome = {
   true_db : Database.t;  (** EDB plus well-founded-true IDB atoms *)
   undefined : Atom.t list;  (** atoms with truth value unknown *)
-  rounds : int;  (** alternating-fixpoint outer iterations *)
+  rounds : int;  (** fixpoint rounds across all phases *)
   counters : Counters.t;
   status : Limits.status;
-      (** on [Exhausted _] the outcome is taken from the last {e completed}
-          alternation: [true_db] is a sound under-approximation of the
-          well-founded true set, and [undefined] an over-approximation of
-          the undefined set *)
+      (** on [Exhausted _], [true_db] is a sound under-approximation of
+          the well-founded true set; [undefined] is best-effort (empty
+          when the budget ran out before the overestimate completed) *)
 }
 
 val run :
   ?limits:Limits.t -> ?profile:Profile.t -> ?plan:Plan.config ->
   ?db:Database.t -> Program.t ->
   outcome
-(** [limits] bounds the evaluation (all inner fixpoints share one
-    budget).  An active [profile] accumulates rule/round rows across every
-    inner fixpoint and traces each alternation step. *)
+(** The transformation-based engine.  [limits] bounds the evaluation
+    (all phases share one budget and one counter set).  An active
+    [profile] accumulates rule/round rows across every phase and traces
+    each phase transition. *)
+
+val run_alternating :
+  ?limits:Limits.t -> ?profile:Profile.t -> ?plan:Plan.config ->
+  ?db:Database.t -> Program.t ->
+  outcome
+(** Van Gelder's alternating fixpoint (the differential oracle).
+    [rounds] counts outer alternations; on [Exhausted _] the outcome is
+    taken from the last {e completed} alternation. *)
 
 val holds : outcome -> Atom.t -> bool
 val is_undefined : outcome -> Atom.t -> bool

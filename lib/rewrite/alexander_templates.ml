@@ -2,49 +2,21 @@ open Datalog_ast
 
 let transform (adorned : Adorn.t) =
   let registry = adorned.Adorn.registry in
-  let call_pred adorned_p source binding =
-    let p =
-      Pred.make ("call_" ^ Pred.name adorned_p) (Binding.bound_count binding)
-    in
-    Registry.register registry p (Registry.Call (source, binding));
-    p
-  in
-  let ans_pred adorned_p source binding =
-    let p = Pred.make ("ans_" ^ Pred.name adorned_p) (Pred.arity adorned_p) in
-    Registry.register registry p (Registry.Answer (source, binding));
-    p
-  in
   let rules =
     List.concat_map
       (fun (r : Adorn.adorned_rule) ->
         let call_head =
-          Atom.make
-            (call_pred (Atom.pred r.head) r.source_pred r.head_binding)
-            (Array.of_list
-               (Rewrite_common.bound_arg_terms r.head r.head_binding))
+          Rewrite_common.call_atom registry r.head r.source_pred
+            r.head_binding
         in
         let ans_head =
-          Atom.make
-            (ans_pred (Atom.pred r.head) r.source_pred r.head_binding)
-            (Atom.args r.head)
+          Rewrite_common.ans_atom registry r.head r.source_pred
+            r.head_binding
         in
         let body = Array.of_list r.body in
         let n = Array.length body in
-        (* positions of intensional (adorned) subgoals, in order *)
-        let idb_positions =
-          List.init n Fun.id
-          |> List.filter (fun i ->
-                 match body.(i) with
-                 | Literal.Pos a | Literal.Neg a -> (
-                   match Registry.kind_of registry (Atom.pred a) with
-                   | Some (Registry.Adorned _) -> true
-                   | Some _ | None -> false)
-                 | Literal.Cmp _ -> false)
-        in
-        let segment lo hi =
-          (* body literals in [lo, hi) *)
-          List.init (max 0 (hi - lo)) (fun k -> body.(lo + k))
-        in
+        let idb_positions = Rewrite_common.idb_positions registry body in
+        let segment = Rewrite_common.segment body in
         match idb_positions with
         | [] ->
           [ Rule.make ans_head (Literal.pos call_head :: segment 0 n) ]
@@ -52,32 +24,23 @@ let transform (adorned : Adorn.t) =
           let k = List.length idb_positions in
           let cont_atom j pos =
             (* continuation materialised just before body position [pos] *)
-            let vars = Rewrite_common.carried r pos in
-            let p =
-              Pred.make
-                (Printf.sprintf "cont_%d_%d" r.index j)
-                (List.length vars)
-            in
-            Registry.register registry p (Registry.Cont (r.index, j));
-            Atom.make p (Rewrite_common.var_terms vars)
+            Rewrite_common.aux_atom registry r ~prefix:"cont" ~ordinal:j
+              ~pos
+              (Registry.Cont (r.index, j))
           in
           let subgoal_parts i =
             (* the call atom and the ans literal of the subgoal at [i] *)
             match body.(i) with
             | Literal.Pos a | Literal.Neg a ->
               let source, binding =
-                match Registry.kind_of registry (Atom.pred a) with
-                | Some (Registry.Adorned (s, b)) -> (s, b)
-                | Some _ | None -> assert false
+                match Rewrite_common.adorned_source registry a with
+                | Some sb -> sb
+                | None -> assert false
               in
               let call =
-                Atom.make
-                  (call_pred (Atom.pred a) source binding)
-                  (Array.of_list (Rewrite_common.bound_arg_terms a binding))
+                Rewrite_common.call_atom registry a source binding
               in
-              let ans =
-                Atom.make (ans_pred (Atom.pred a) source binding) (Atom.args a)
-              in
+              let ans = Rewrite_common.ans_atom registry a source binding in
               let ans_lit =
                 match body.(i) with
                 | Literal.Neg _ -> Literal.neg ans
@@ -92,8 +55,7 @@ let transform (adorned : Adorn.t) =
           (* cont_1 from the call and the extensional prefix *)
           let first = positions.(0) in
           let cont1 = cont_atom 1 first in
-          emit
-            (Rule.make cont1 (Literal.pos call_head :: segment 0 first));
+          emit (Rule.make cont1 (Literal.pos call_head :: segment 0 first));
           let call1, _ = subgoal_parts first in
           emit (Rule.make call1 [ Literal.pos cont1 ]);
           (* middle continuations *)
@@ -121,21 +83,4 @@ let transform (adorned : Adorn.t) =
           List.rev !out)
       adorned.Adorn.rules
   in
-  let seed = Rewrite_common.seed_for ~prefix:"call_" adorned in
-  Registry.register registry seed.Rewrite_common.seed_pred
-    (Registry.Call (Atom.pred adorned.Adorn.query, adorned.Adorn.query_binding));
-  let ans_query =
-    Pred.make
-      ("ans_" ^ Pred.name adorned.Adorn.query_pred)
-      (Pred.arity adorned.Adorn.query_pred)
-  in
-  Registry.register registry ans_query
-    (Registry.Answer
-       (Atom.pred adorned.Adorn.query, adorned.Adorn.query_binding));
-  { Rewritten.name = "alexander";
-    rules;
-    seeds = [ seed.Rewrite_common.seed_atom ];
-    answer_atom = Atom.make ans_query (Atom.args adorned.Adorn.query);
-    registry;
-    adorned
-  }
+  Rewrite_common.finish_alexander adorned rules

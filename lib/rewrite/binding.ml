@@ -38,6 +38,14 @@ let of_atom ~bound atom =
     (Atom.args atom)
 
 let equal a b = a = b
+
+let leq general specific =
+  Array.length general = Array.length specific
+  && (let ok = ref true in
+      Array.iteri
+        (fun i g -> if g && not specific.(i) then ok := false)
+        general;
+      !ok)
 let compare = Stdlib.compare
 
 let pp ppf b = Format.pp_print_string ppf (to_string b)

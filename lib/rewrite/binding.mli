@@ -28,4 +28,12 @@ val of_atom : bound:(string -> bool) -> Datalog_ast.Atom.t -> t
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val leq : t -> t -> bool
+(** [leq general specific] is the adornment lattice order [general ⊑
+    specific]: every position bound in [general] is also bound in
+    [specific] (pointwise [b ⊑ f] read as "fewer bound positions is more
+    general").  A call with adornment [general] subsumes one with
+    [specific] on the shared bound positions.  [false] when arities
+    differ. *)
+
 val pp : Format.formatter -> t -> unit

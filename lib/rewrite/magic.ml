@@ -1,58 +1,36 @@
 open Datalog_ast
 
-let magic_pred registry adorned_p source binding =
-  let p =
-    Pred.make ("m_" ^ Pred.name adorned_p) (Binding.bound_count binding)
-  in
-  Registry.register registry p (Registry.Magic (source, binding));
-  p
-
 let transform (adorned : Adorn.t) =
   let registry = adorned.Adorn.registry in
-  let magic_atom_of adorned_atom source binding =
-    let terms = Rewrite_common.bound_arg_terms adorned_atom binding in
-    Atom.make
-      (magic_pred registry (Atom.pred adorned_atom) source binding)
-      (Array.of_list terms)
-  in
   let rules =
     List.concat_map
       (fun (r : Adorn.adorned_rule) ->
-        let m_head = magic_atom_of r.head r.source_pred r.head_binding in
-        let modified =
-          Rule.make r.head (Literal.pos m_head :: r.body)
+        let m_head =
+          Rewrite_common.magic_atom registry r.head r.source_pred
+            r.head_binding
         in
+        let modified = Rule.make r.head (Literal.pos m_head :: r.body) in
         let magic_rules =
           List.concat
             (List.mapi
                (fun i lit ->
                  match lit with
                  | Literal.Pos a | Literal.Neg a -> (
-                   match Registry.kind_of registry (Atom.pred a) with
-                   | Some (Registry.Adorned (source, binding)) ->
+                   match Rewrite_common.adorned_source registry a with
+                   | Some (source, binding) ->
                      let prefix =
                        List.filteri (fun j _ -> j < i) r.body
                      in
                      [ Rule.make
-                         (magic_atom_of a source binding)
+                         (Rewrite_common.magic_atom registry a source
+                            binding)
                          (Literal.pos m_head :: prefix)
                      ]
-                   | Some _ | None -> [])
+                   | None -> [])
                  | Literal.Cmp _ -> [])
                r.body)
         in
         magic_rules @ [ modified ])
       adorned.Adorn.rules
   in
-  let seed = Rewrite_common.seed_for ~prefix:"m_" adorned in
-  (* register the seed predicate in case the query predicate has no rules *)
-  Registry.register registry seed.Rewrite_common.seed_pred
-    (Registry.Magic (Atom.pred adorned.Adorn.query, adorned.Adorn.query_binding));
-  { Rewritten.name = "magic";
-    rules;
-    seeds = [ seed.Rewrite_common.seed_atom ];
-    answer_atom =
-      Atom.make adorned.Adorn.query_pred (Atom.args adorned.Adorn.query);
-    registry;
-    adorned
-  }
+  Rewrite_common.finish_magic ~name:"magic" adorned rules

@@ -8,11 +8,20 @@ type kind =
   | Sup of int * int
   | SupIdb of int * int
   | Cont of int * int
+  | Subsumed of Pred.t * Binding.t
 
 type t = kind Pred.Tbl.t
 
 let create () : t = Pred.Tbl.create 32
-let register t p kind = Pred.Tbl.replace t p kind
+
+(* Idempotent: the first registration of a predicate wins.  The query
+   predicate in particular is registered both when its rules are adorned
+   and when its seed is built; re-registering must not clobber (or
+   duplicate) the original entry. *)
+let register t p kind =
+  match Pred.Tbl.find_opt t p with
+  | None -> Pred.Tbl.add t p kind
+  | Some _ -> ()
 let kind_of t p = Pred.Tbl.find_opt t p
 
 let preds_of_kind t keep =
@@ -29,3 +38,5 @@ let pp_kind ppf = function
   | Sup (r, i) -> Format.fprintf ppf "sup(rule %d, pos %d)" r i
   | SupIdb (r, j) -> Format.fprintf ppf "sup-idb(rule %d, subgoal %d)" r j
   | Cont (r, i) -> Format.fprintf ppf "cont(rule %d, pos %d)" r i
+  | Subsumed (p, b) ->
+    Format.fprintf ppf "subsumed %a^%a" Pred.pp p Binding.pp b

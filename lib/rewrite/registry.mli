@@ -18,11 +18,20 @@ type kind =
       (** supplementary predicate of the IDB-cut variant
           (rule index, ordinal of the intensional subgoal) *)
   | Cont of int * int  (** Alexander continuation (rule index, ordinal) *)
+  | Subsumed of Pred.t * Binding.t
+      (** companion relation holding the magic/problem facts the runtime
+          subsumption filter dropped for the recorded source predicate and
+          (specific) binding; read by the restoring bridge rules *)
 
 type t
 
 val create : unit -> t
+
 val register : t -> Pred.t -> kind -> unit
+(** Idempotent: registering an already-registered predicate is a no-op
+    (the first registration wins), so seeding the query predicate after
+    its rules were adorned does not double-register it. *)
+
 val kind_of : t -> Pred.t -> kind option
 val preds_of_kind : t -> (kind -> bool) -> Pred.t list
 (** Sorted list of predicates whose kind satisfies the filter. *)

@@ -67,3 +67,218 @@ let seed_for ~prefix (adorned : Adorn.t) =
       (List.length consts)
   in
   { seed_pred = pred; seed_atom = Atom.make pred (Array.of_list consts) }
+
+(* ---- shared auxiliary-predicate constructors ---- *)
+
+let magic_pred registry adorned_p source binding =
+  let p =
+    Pred.make ("m_" ^ Pred.name adorned_p) (Binding.bound_count binding)
+  in
+  Registry.register registry p (Registry.Magic (source, binding));
+  p
+
+let magic_atom registry atom source binding =
+  Atom.make
+    (magic_pred registry (Atom.pred atom) source binding)
+    (Array.of_list (bound_arg_terms atom binding))
+
+let call_pred registry adorned_p source binding =
+  let p =
+    Pred.make ("call_" ^ Pred.name adorned_p) (Binding.bound_count binding)
+  in
+  Registry.register registry p (Registry.Call (source, binding));
+  p
+
+let call_atom registry atom source binding =
+  Atom.make
+    (call_pred registry (Atom.pred atom) source binding)
+    (Array.of_list (bound_arg_terms atom binding))
+
+let ans_pred registry adorned_p source binding =
+  let p = Pred.make ("ans_" ^ Pred.name adorned_p) (Pred.arity adorned_p) in
+  Registry.register registry p (Registry.Answer (source, binding));
+  p
+
+let ans_atom registry atom source binding =
+  Atom.make (ans_pred registry (Atom.pred atom) source binding) (Atom.args atom)
+
+let adorned_source registry a =
+  match Registry.kind_of registry (Atom.pred a) with
+  | Some (Registry.Adorned (s, b)) -> Some (s, b)
+  | Some _ | None -> None
+
+let idb_positions registry body =
+  List.filter
+    (fun i ->
+      match body.(i) with
+      | Literal.Pos a | Literal.Neg a ->
+        Option.is_some (adorned_source registry a)
+      | Literal.Cmp _ -> false)
+    (List.init (Array.length body) Fun.id)
+
+let segment body lo hi = List.init (max 0 (hi - lo)) (fun k -> body.(lo + k))
+
+let aux_atom registry (rule : Adorn.adorned_rule) ~prefix ~ordinal ~pos kind =
+  let vars = carried rule pos in
+  let p =
+    Pred.make
+      (Printf.sprintf "%s_%d_%d" prefix rule.index ordinal)
+      (List.length vars)
+  in
+  Registry.register registry p kind;
+  Atom.make p (var_terms vars)
+
+(* ---- adornment-lattice subsumption: companions and bridge rules ----
+
+   Two adornments of the same source predicate are comparable when one
+   binds a subset of the other's positions ([Binding.leq]).  For every
+   such pair (S, G) with G strictly more general we
+
+   - record a runtime-filter entry: a fresh S fact may be dropped when G
+     already contains its projection (the general call was asked, so G's
+     answers are complete for it), with the drop diverted into a fresh
+     companion relation [sub_<S>], and
+
+   - emit a bridge rule restoring exactly the dropped calls' answers
+     from the general side's answer relation, guarded by the companion:
+
+       res_S(V0..Vn) :- sub_<S>(V at S-bound positions), res_G(V0..Vn).
+
+   where res is the adorned predicate for the magic family and the ans_
+   predicate for Alexander templates.  Bridging every comparable pair
+   keeps the filter sound under transitivity: a dropped general needs no
+   chasing because the specific was checked against all of its generals
+   directly. *)
+
+let strictly_more_general g s = Binding.leq g s && not (Binding.equal g s)
+
+let subsumption_bridges ~family registry =
+  let trigger = function
+    | Registry.Magic (s, b) when family = `Magic -> Some (s, b)
+    | Registry.Call (s, b) when family = `Call -> Some (s, b)
+    | _ -> None
+  in
+  let result_of source binding =
+    Registry.fold
+      (fun p k acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match (family, k) with
+          | `Magic, Registry.Adorned (s, b) | `Call, Registry.Answer (s, b)
+            ->
+            if Pred.equal s source && Binding.equal b binding then Some p
+            else None
+          | _ -> None))
+      registry None
+  in
+  let triggers =
+    Registry.fold
+      (fun p k acc ->
+        match trigger k with Some (s, b) -> (s, b, p) :: acc | None -> acc)
+      registry []
+    |> List.sort (fun (_, _, p1) (_, _, p2) -> Pred.compare p1 p2)
+  in
+  let entries = ref [] in
+  let bridges = ref [] in
+  List.iter
+    (fun (src, b_s, p_s) ->
+      match result_of src b_s with
+      | None -> ()
+      | Some result_s ->
+        let generals =
+          List.filter_map
+            (fun (src', b_g, p_g) ->
+              if Pred.equal src src' && strictly_more_general b_g b_s then
+                match result_of src b_g with
+                | Some result_g -> Some (b_g, p_g, result_g)
+                | None -> None
+              else None)
+            triggers
+        in
+        if generals <> [] then begin
+          let companion = Pred.make ("sub_" ^ Pred.name p_s) (Pred.arity p_s) in
+          Registry.register registry companion
+            (Registry.Subsumed (src, b_s));
+          let s_bound = Binding.bound_positions b_s in
+          let full = Pred.arity result_s in
+          let vars =
+            Array.init full (fun i -> Term.var (Printf.sprintf "V%d" i))
+          in
+          let comp_atom =
+            Atom.make companion
+              (Array.of_list (List.map (fun i -> vars.(i)) s_bound))
+          in
+          let head = Atom.make result_s vars in
+          let proj_of b_g =
+            let index_in_s p =
+              let rec go k = function
+                | [] -> assert false
+                | q :: rest -> if q = p then k else go (k + 1) rest
+              in
+              go 0 s_bound
+            in
+            Array.of_list (List.map index_in_s (Binding.bound_positions b_g))
+          in
+          List.iter
+            (fun (_, _, result_g) ->
+              bridges :=
+                Rule.make head
+                  [ Literal.pos comp_atom;
+                    Literal.pos (Atom.make result_g vars)
+                  ]
+                :: !bridges)
+            generals;
+          entries :=
+            { Rewritten.specific = p_s;
+              companion;
+              generals =
+                List.map (fun (b_g, p_g, _) -> (p_g, proj_of b_g)) generals
+            }
+            :: !entries
+        end)
+    triggers;
+  (List.rev !entries, List.rev !bridges)
+
+(* ---- shared finishing tail of the magic-family rewritings ---- *)
+
+let finish_magic ~name (adorned : Adorn.t) rules =
+  let registry = adorned.Adorn.registry in
+  let seed = seed_for ~prefix:"m_" adorned in
+  Registry.register registry seed.seed_pred
+    (Registry.Magic
+       (Atom.pred adorned.Adorn.query, adorned.Adorn.query_binding));
+  let subsumption, bridges = subsumption_bridges ~family:`Magic registry in
+  { Rewritten.name;
+    rules = rules @ bridges;
+    seeds = [ seed.seed_atom ];
+    answer_atom =
+      Atom.make adorned.Adorn.query_pred (Atom.args adorned.Adorn.query);
+    registry;
+    adorned;
+    subsumption
+  }
+
+let finish_alexander (adorned : Adorn.t) rules =
+  let registry = adorned.Adorn.registry in
+  let seed = seed_for ~prefix:"call_" adorned in
+  Registry.register registry seed.seed_pred
+    (Registry.Call
+       (Atom.pred adorned.Adorn.query, adorned.Adorn.query_binding));
+  let ans_query =
+    Pred.make
+      ("ans_" ^ Pred.name adorned.Adorn.query_pred)
+      (Pred.arity adorned.Adorn.query_pred)
+  in
+  Registry.register registry ans_query
+    (Registry.Answer
+       (Atom.pred adorned.Adorn.query, adorned.Adorn.query_binding));
+  let subsumption, bridges = subsumption_bridges ~family:`Call registry in
+  { Rewritten.name = "alexander";
+    rules = rules @ bridges;
+    seeds = [ seed.seed_atom ];
+    answer_atom = Atom.make ans_query (Atom.args adorned.Adorn.query);
+    registry;
+    adorned;
+    subsumption
+  }

@@ -36,3 +36,66 @@ type query_seed = {
 val seed_for : prefix:string -> Adorn.t -> query_seed
 (** The seed fact [prefix_q__a(c1, ..., ck)] built from the query's
     constants. *)
+
+(** {2 Shared auxiliary-predicate constructors}
+
+    Each constructor registers the predicate it builds (idempotently)
+    under the appropriate {!Registry.kind}. *)
+
+val magic_pred : Registry.t -> Pred.t -> Pred.t -> Binding.t -> Pred.t
+(** [magic_pred reg adorned_p source b]: the magic guard [m_<adorned_p>]
+    of arity [bound_count b]. *)
+
+val magic_atom : Registry.t -> Atom.t -> Pred.t -> Binding.t -> Atom.t
+(** The magic atom of an adorned atom: its terms at the bound positions. *)
+
+val call_pred : Registry.t -> Pred.t -> Pred.t -> Binding.t -> Pred.t
+val call_atom : Registry.t -> Atom.t -> Pred.t -> Binding.t -> Atom.t
+(** Alexander problem predicate/atom ([call_] prefix). *)
+
+val ans_pred : Registry.t -> Pred.t -> Pred.t -> Binding.t -> Pred.t
+val ans_atom : Registry.t -> Atom.t -> Pred.t -> Binding.t -> Atom.t
+(** Alexander solution predicate/atom ([ans_] prefix, full arity). *)
+
+val adorned_source : Registry.t -> Atom.t -> (Pred.t * Binding.t) option
+(** The source predicate and binding when the atom's predicate is a
+    registered adorned predicate. *)
+
+val idb_positions : Registry.t -> Datalog_ast.Literal.t array -> int list
+(** Positions of the intensional (adorned) subgoals of a body, in order. *)
+
+val segment : 'a array -> int -> int -> 'a list
+(** [segment body lo hi]: the body literals in [lo, hi). *)
+
+val aux_atom :
+  Registry.t ->
+  Adorn.adorned_rule ->
+  prefix:string ->
+  ordinal:int ->
+  pos:int ->
+  Registry.kind ->
+  Atom.t
+(** The supplementary/continuation atom [<prefix>_<rule idx>_<ordinal>]
+    carrying {!carried}[ rule pos]. *)
+
+(** {2 Subsumption and rewriting assembly} *)
+
+val subsumption_bridges :
+  family:[ `Magic | `Call ] ->
+  Registry.t ->
+  Rewritten.subsumption list * Rule.t list
+(** For every pair of registered magic (or Alexander problem) predicates
+    of the same source predicate whose adornments are strictly
+    comparable in the lattice, the runtime-filter entry (companion
+    relation registered as {!Registry.Subsumed}) and the bridge rule
+    that restores a dropped specific call's answers from the general
+    predicate's answers. *)
+
+val finish_magic : name:string -> Adorn.t -> Rule.t list -> Rewritten.t
+(** Shared tail of the magic-family rewritings: build and register the
+    [m_] seed, compute subsumption bridges, and assemble the
+    {!Rewritten.t} (answer atom = the adorned query). *)
+
+val finish_alexander : Adorn.t -> Rule.t list -> Rewritten.t
+(** Alexander tail: [call_] seed, [ans_] answer predicate, subsumption
+    bridges over the problem predicates. *)

@@ -1,5 +1,11 @@
 open Datalog_ast
 
+type subsumption = {
+  specific : Pred.t;
+  companion : Pred.t;
+  generals : (Pred.t * int array) list;
+}
+
 type t = {
   name : string;
   rules : Rule.t list;
@@ -7,6 +13,7 @@ type t = {
   answer_atom : Atom.t;
   registry : Registry.t;
   adorned : Adorn.t;
+  subsumption : subsumption list;
 }
 
 let program t = Program.make ~facts:t.seeds t.rules

@@ -2,6 +2,25 @@
 
 open Datalog_ast
 
+type subsumption = {
+  specific : Pred.t;
+      (** a magic/problem predicate whose facts the runtime filter may
+          drop *)
+  companion : Pred.t;
+      (** where dropped [specific] facts are recorded instead (same
+          arity); the bridge rules join against it *)
+  generals : (Pred.t * int array) list;
+      (** each strictly-more-general magic/problem predicate of the same
+          source, with the projection from a [specific] tuple to the
+          general one: entry [i] is the index within [specific]'s
+          argument list holding the general's [i]-th argument *)
+}
+(** The adornment-lattice subsumption opportunities of a rewriting: a
+    newly derived [specific] fact may be dropped when a general
+    predicate already contains its projection — the emitted bridge rules
+    (part of [rules]) restore exactly the answers of dropped calls from
+    the general predicate's answers. *)
+
 type t = {
   name : string;
       (** "magic", "supplementary", "supplementary-idb" or "alexander" *)
@@ -13,6 +32,9 @@ type t = {
           the Alexander answer predicate) *)
   registry : Registry.t;
   adorned : Adorn.t;  (** the adorned program the rewriting consumed *)
+  subsumption : subsumption list;
+      (** empty when no two adornments of a source predicate are
+          comparable *)
 }
 
 val program : t -> Program.t

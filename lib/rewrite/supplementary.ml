@@ -2,28 +2,17 @@ open Datalog_ast
 
 let transform (adorned : Adorn.t) =
   let registry = adorned.Adorn.registry in
-  let magic_pred adorned_p source binding =
-    let p =
-      Pred.make ("m_" ^ Pred.name adorned_p) (Binding.bound_count binding)
-    in
-    Registry.register registry p (Registry.Magic (source, binding));
-    p
-  in
   let rules =
     List.concat_map
       (fun (r : Adorn.adorned_rule) ->
         let m_head =
-          Atom.make
-            (magic_pred (Atom.pred r.head) r.source_pred r.head_binding)
-            (Array.of_list
-               (Rewrite_common.bound_arg_terms r.head r.head_binding))
+          Rewrite_common.magic_atom registry r.head r.source_pred
+            r.head_binding
         in
         let n = List.length r.body in
         let sup_atom i =
-          let vars = Rewrite_common.carried r i in
-          let p = Pred.make (Printf.sprintf "sup_%d_%d" r.index i) (List.length vars) in
-          Registry.register registry p (Registry.Sup (r.index, i));
-          Atom.make p (Rewrite_common.var_terms vars)
+          Rewrite_common.aux_atom registry r ~prefix:"sup" ~ordinal:i ~pos:i
+            (Registry.Sup (r.index, i))
         in
         let sup0 = Rule.make (sup_atom 0) [ Literal.pos m_head ] in
         let chain =
@@ -37,16 +26,14 @@ let transform (adorned : Adorn.t) =
                  let magic_rule =
                    match lit with
                    | Literal.Pos a | Literal.Neg a -> (
-                     match Registry.kind_of registry (Atom.pred a) with
-                     | Some (Registry.Adorned (source, binding)) ->
-                       let m =
-                         Atom.make
-                           (magic_pred (Atom.pred a) source binding)
-                           (Array.of_list
-                              (Rewrite_common.bound_arg_terms a binding))
-                       in
-                       [ Rule.make m [ Literal.pos prev ] ]
-                     | Some _ | None -> [])
+                     match Rewrite_common.adorned_source registry a with
+                     | Some (source, binding) ->
+                       [ Rule.make
+                           (Rewrite_common.magic_atom registry a source
+                              binding)
+                           [ Literal.pos prev ]
+                       ]
+                     | None -> [])
                    | Literal.Cmp _ -> []
                  in
                  magic_rule @ [ step ])
@@ -56,14 +43,4 @@ let transform (adorned : Adorn.t) =
         (sup0 :: chain) @ [ head_rule ])
       adorned.Adorn.rules
   in
-  let seed = Rewrite_common.seed_for ~prefix:"m_" adorned in
-  Registry.register registry seed.Rewrite_common.seed_pred
-    (Registry.Magic (Atom.pred adorned.Adorn.query, adorned.Adorn.query_binding));
-  { Rewritten.name = "supplementary";
-    rules;
-    seeds = [ seed.Rewrite_common.seed_atom ];
-    answer_atom =
-      Atom.make adorned.Adorn.query_pred (Atom.args adorned.Adorn.query);
-    registry;
-    adorned
-  }
+  Rewrite_common.finish_magic ~name:"supplementary" adorned rules

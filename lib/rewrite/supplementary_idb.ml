@@ -2,62 +2,36 @@ open Datalog_ast
 
 let transform (adorned : Adorn.t) =
   let registry = adorned.Adorn.registry in
-  let magic_pred adorned_p source binding =
-    let p =
-      Pred.make ("m_" ^ Pred.name adorned_p) (Binding.bound_count binding)
-    in
-    Registry.register registry p (Registry.Magic (source, binding));
-    p
-  in
   let rules =
     List.concat_map
       (fun (r : Adorn.adorned_rule) ->
         let m_head =
-          Atom.make
-            (magic_pred (Atom.pred r.head) r.source_pred r.head_binding)
-            (Array.of_list
-               (Rewrite_common.bound_arg_terms r.head r.head_binding))
+          Rewrite_common.magic_atom registry r.head r.source_pred
+            r.head_binding
         in
         let body = Array.of_list r.body in
         let n = Array.length body in
-        let idb_positions =
-          List.filter
-            (fun i ->
-              match body.(i) with
-              | Literal.Pos a | Literal.Neg a -> (
-                match Registry.kind_of registry (Atom.pred a) with
-                | Some (Registry.Adorned _) -> true
-                | Some _ | None -> false)
-              | Literal.Cmp _ -> false)
-            (List.init n Fun.id)
-        in
-        let segment lo hi = List.init (max 0 (hi - lo)) (fun k -> body.(lo + k)) in
+        let idb_positions = Rewrite_common.idb_positions registry body in
+        let segment = Rewrite_common.segment body in
         match idb_positions with
         | [] -> [ Rule.make r.head (Literal.pos m_head :: segment 0 n) ]
         | _ ->
           let k = List.length idb_positions in
           let positions = Array.of_list idb_positions in
           let sup_atom j pos =
-            let vars = Rewrite_common.carried r pos in
-            let p =
-              Pred.make
-                (Printf.sprintf "supi_%d_%d" r.index j)
-                (List.length vars)
-            in
-            Registry.register registry p (Registry.SupIdb (r.index, j));
-            Atom.make p (Rewrite_common.var_terms vars)
+            Rewrite_common.aux_atom registry r ~prefix:"supi" ~ordinal:j
+              ~pos
+              (Registry.SupIdb (r.index, j))
           in
           let magic_of i =
             match body.(i) with
             | Literal.Pos a | Literal.Neg a ->
               let source, binding =
-                match Registry.kind_of registry (Atom.pred a) with
-                | Some (Registry.Adorned (s, b)) -> (s, b)
-                | Some _ | None -> assert false
+                match Rewrite_common.adorned_source registry a with
+                | Some sb -> sb
+                | None -> assert false
               in
-              Atom.make
-                (magic_pred (Atom.pred a) source binding)
-                (Array.of_list (Rewrite_common.bound_arg_terms a binding))
+              Rewrite_common.magic_atom registry a source binding
             | Literal.Cmp _ -> assert false
           in
           let out = ref [] in
@@ -86,14 +60,4 @@ let transform (adorned : Adorn.t) =
           List.rev !out)
       adorned.Adorn.rules
   in
-  let seed = Rewrite_common.seed_for ~prefix:"m_" adorned in
-  Registry.register registry seed.Rewrite_common.seed_pred
-    (Registry.Magic (Atom.pred adorned.Adorn.query, adorned.Adorn.query_binding));
-  { Rewritten.name = "supplementary-idb";
-    rules;
-    seeds = [ seed.Rewrite_common.seed_atom ];
-    answer_atom =
-      Atom.make adorned.Adorn.query_pred (Atom.args adorned.Adorn.query);
-    registry;
-    adorned
-  }
+  Rewrite_common.finish_magic ~name:"supplementary-idb" adorned rules

@@ -90,6 +90,19 @@ let bound_query_gen =
       (if side then Atom.app pred [ Term.int c; Term.var "Q" ]
        else Atom.app pred [ Term.var "Q"; Term.int c ]))
 
+(* both arguments constant: the adorned program then carries a {bb, bf}
+   comparable pair whenever the query predicate also occurs free-ended in
+   a body, which is what exercises the runtime subsumption filter *)
+let both_bound_query_gen =
+  G.(
+    let* pred = oneofl [ "p0"; "p1"; "p2" ] in
+    let* a = int_bound 5 in
+    let* b = int_bound 5 in
+    return (Atom.app pred [ Term.int a; Term.int b ]))
+
+let any_bound_query_gen =
+  G.oneof [ bound_query_gen; both_bound_query_gen ]
+
 let positive_with_query_gen = G.pair positive_program_gen bound_query_gen
 
 let print_program_query (p, q) =
@@ -100,6 +113,10 @@ let arb_positive_program_query =
 
 let arb_positive_program =
   QCheck.make ~print:(Format.asprintf "%a" Program.pp) positive_program_gen
+
+let arb_positive_program_any_query =
+  QCheck.make ~print:print_program_query
+    (G.pair positive_program_gen any_bound_query_gen)
 
 (* ---------------------------------------------------------------- *)
 (* Stratified programs with negation *)
@@ -146,6 +163,48 @@ let arb_stratified_program =
 let arb_stratified_program_query =
   QCheck.make ~print:print_program_query
     (G.pair stratified_program_gen bound_query_gen)
+
+(* ---------------------------------------------------------------- *)
+(* Unrestricted negation: negative cycles allowed *)
+
+(* Like the stratified generator but any IDB predicate may be negated in
+   any rule, so negation can run through recursion (win–move-like
+   programs, generally not stratifiable).  The domain stays 0..5, so
+   both well-founded engines terminate. *)
+let unstratified_program_gen =
+  G.(
+    let* e_facts = facts_gen "e" in
+    let* f_facts = facts_gen "f" in
+    let idb = [ "p0"; "p1"; "p2" ] in
+    let* rules =
+      flatten_l
+        (List.map
+           (fun head ->
+             let* r = chain_rule_gen head [ "e"; "f"; "p0"; "p1"; "p2" ] in
+             let* add = bool in
+             if not add then return r
+             else
+               let* np = oneofl idb in
+               let v =
+                 match Atom.var_set (Rule.head r) with
+                 | v :: _ -> v
+                 | [] -> "X"
+               in
+               let* c = int_bound 5 in
+               let neg_lit =
+                 Literal.neg (Atom.app np [ Term.var v; Term.int c ])
+               in
+               return (Rule.make (Rule.head r) (Rule.body r @ [ neg_lit ])))
+           (idb @ idb))
+    in
+    (* base rules keep the positive part non-trivial *)
+    let* base =
+      flatten_l (List.map (fun head -> chain_rule_gen head [ "e"; "f" ]) idb)
+    in
+    return (Program.make ~facts:(e_facts @ f_facts) (base @ rules)))
+
+let arb_unstratified_program =
+  QCheck.make ~print:(Format.asprintf "%a" Program.pp) unstratified_program_gen
 
 (* ---------------------------------------------------------------- *)
 (* Comparing databases restricted to given predicates *)

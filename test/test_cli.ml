@@ -154,7 +154,7 @@ let test_stats_json_file_and_trace () =
   let json = In_channel.with_open_text out In_channel.input_all in
   Sys.remove out;
   check tbool "schema version" true
-    (contains ~sub:"\"schema_version\": 5" json);
+    (contains ~sub:"\"schema_version\": 6" json);
   check tbool "profile enabled" true (contains ~sub:"\"enabled\": true" json);
   check tbool "per-rule rows" true (contains ~sub:"\"rule\":" json);
   check tbool "plan block" true (contains ~sub:"\"compiled\": true" json);

@@ -10,5 +10,6 @@ let () =
    @ Test_edge_cases.suite @ Test_limits.suite @ Test_profile.suite
    @ Test_snapshot.suite @ Test_checkpoint.suite @ Test_faults.suite
    @ Test_wal.suite
+   @ Test_subsume.suite
    @ Test_plan.suite @ Test_par.suite @ Test_cli.suite @ Test_misc.suite
    @ Test_server.suite @ Test_server_drill.suite)

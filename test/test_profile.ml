@@ -144,7 +144,8 @@ let test_report_json_schema () =
   in
   let json = S.report_json ~query:(atom "anc(0, X)") report in
   check tstrings "report keys"
-    [ "schema_version"; "query"; "strategy"; "sips"; "negation"; "evaluator";
+    [ "schema_version"; "query"; "strategy"; "sips"; "negation"; "subsume";
+      "evaluator";
       "status"; "exhausted_reason"; "answers"; "undefined"; "wall_time_s";
       "minor_words"; "rewritten"; "plan"; "parallel"; "totals"; "profile"
     ]
@@ -163,7 +164,7 @@ let test_report_json_schema () =
   | Some totals ->
     check tstrings "totals keys"
       [ "facts_derived"; "firings"; "probes"; "scanned"; "iterations";
-        "merge_steps"; "gallops"
+        "merge_steps"; "gallops"; "subsumed"
       ]
       (J.keys totals)
   | None -> Alcotest.fail "no totals");
@@ -177,18 +178,18 @@ let test_report_json_schema () =
     | Some (J.List (first :: _)) ->
       check tstrings "rule row keys"
         [ "rule"; "evals"; "firings"; "probes"; "scanned"; "derived";
-          "merge_steps"; "gallops"; "time_s"
+          "merge_steps"; "gallops"; "subsumed"; "time_s"
         ]
         (J.keys first)
     | _ -> Alcotest.fail "no rule rows")
 
-let test_schema_version_is_5 () =
+let test_schema_version_is_6 () =
   let report =
     run_exn ~options:O.default (W.ancestor_chain 5) (atom "anc(0, X)")
   in
   let json = S.report_json ~query:(atom "anc(0, X)") report in
-  check tbool "schema_version 5" true
-    (J.member "schema_version" json = Some (J.Int 5));
+  check tbool "schema_version 6" true
+    (J.member "schema_version" json = Some (J.Int 6));
   (* serial runs report the parallel block as null *)
   check tbool "parallel null when serial" true
     (J.member "parallel" json = Some J.Null)
@@ -272,8 +273,8 @@ let suite =
           test_stratum_rows_stratified;
         Alcotest.test_case "report_json schema pinned" `Quick
           test_report_json_schema;
-        Alcotest.test_case "schema_version is 5" `Quick
-          test_schema_version_is_5;
+        Alcotest.test_case "schema_version is 6" `Quick
+          test_schema_version_is_6;
         Alcotest.test_case "trace lines" `Quick test_trace_lines;
         Alcotest.test_case "trace implies profiling" `Quick
           test_trace_implies_profile;

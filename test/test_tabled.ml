@@ -162,9 +162,12 @@ let prop_tabled_corresponds_to_alexander =
     ~name:"tabled calls/answers = Alexander call/ans relations" ~count:40
     Gen.arb_positive_program_query (fun (program, query) ->
       let outcome = t_run_exn program query in
+      (* the correspondence is with the {e unfiltered} rewriting: the
+         subsumption filter deliberately thins call_ relations (dropped
+         calls live in their sub_ companions), so it is turned off here *)
       let report =
         S.run_exn
-          ~options:{ O.default with O.strategy = O.Alexander }
+          ~options:{ O.default with O.strategy = O.Alexander; subsume = false }
           program query
       in
       let rw = Option.get report.S.rewritten in
